@@ -1,0 +1,56 @@
+//! Ablation benches for the design knobs DESIGN.md calls out: buffer
+//! cutoff age, attempt success probability, and adaptive segment size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_entanglement::CutoffPolicy;
+use dqc_types::Tick;
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_cutoff(c: &mut Criterion) {
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    let mut group = c.benchmark_group("ablation/cutoff");
+    for cutoff in [100i64, 150, 500] {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.cutoff = CutoffPolicy::MaxAge(Tick::new(cutoff));
+        group.bench_function(format!("{cutoff}t"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(evaluate(&circuit, &config, Design::AsyncBuf, seed).expect("evaluates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_psucc(c: &mut Criterion) {
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    let mut group = c.benchmark_group("ablation/psucc");
+    for psucc in [0.2f64, 0.4, 0.8] {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.success_probability = psucc;
+        group.bench_function(format!("p{psucc}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(evaluate(&circuit, &config, Design::AsyncBuf, seed).expect("evaluates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn print_ablations(_c: &mut Criterion) {
+    dqc_bench::run_cutoff_ablation(10, dqc_bench::BASE_SEED).expect("cutoff ablation");
+    dqc_bench::run_psucc_ablation(10, dqc_bench::BASE_SEED).expect("psucc ablation");
+    dqc_bench::run_segment_ablation(5, dqc_bench::BASE_SEED).expect("segment ablation");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cutoff, bench_psucc, print_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 3: synchronous vs asynchronous arrival patterns.
+//!
+//! Times the entanglement service under both generation patterns and
+//! prints the regenerated arrival histograms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_bench::fig3_data;
+use dqc_entanglement::GenerationPattern;
+use std::hint::black_box;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/arrivals");
+    for (label, pattern) in [
+        ("synchronous", GenerationPattern::Synchronous),
+        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(fig3_data(pattern, 50, 3)));
+        });
+    }
+    group.finish();
+}
+
+fn print_figure(_c: &mut Criterion) {
+    dqc_bench::print_fig3(dqc_bench::BASE_SEED);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_patterns, print_figure
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 5: circuit depth across designs and 32-qubit benchmarks.
+//!
+//! Times one full executor run per (benchmark, design) pair, then prints
+//! the regenerated depth series (10-run averages; use the `repro` binary
+//! with `--runs 50` for the paper's averaging).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_designs(c: &mut Criterion) {
+    let config = SystemConfig::paper_two_node_32();
+    for bench in PaperBenchmark::FIG5 {
+        let circuit = bench.circuit();
+        let mut group = c.benchmark_group(format!("fig5/{bench}"));
+        for design in Design::ALL {
+            group.bench_function(design.name(), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(evaluate(&circuit, &config, design, seed).expect("evaluates"))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn print_figure(_c: &mut Criterion) {
+    dqc_bench::run_fig5(10, dqc_bench::BASE_SEED).expect("fig5 series");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_designs, print_figure
+}
+criterion_main!(benches);

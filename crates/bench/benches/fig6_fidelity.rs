@@ -1,0 +1,47 @@
+//! Fig. 6: output fidelity across designs and 32-qubit benchmarks.
+//!
+//! Times the fidelity-bearing pipeline (teleportation fidelity table
+//! construction plus one executor run) and prints the regenerated
+//! fidelity series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::{evaluate, Design, OperationFidelities, RemoteFidelityTable, SystemConfig};
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_remote_fidelity_table(c: &mut Criterion) {
+    c.bench_function("fig6/remote_fidelity_table", |b| {
+        b.iter(|| black_box(RemoteFidelityTable::new(&OperationFidelities::default())));
+    });
+}
+
+fn bench_fidelity_runs(c: &mut Criterion) {
+    let config = SystemConfig::paper_two_node_32();
+    let mut group = c.benchmark_group("fig6/evaluate");
+    for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
+        let circuit = bench.circuit();
+        group.bench_function(bench.to_string(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    evaluate(&circuit, &config, Design::AdaptBuf, seed)
+                        .expect("evaluates")
+                        .fidelity,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn print_figure(_c: &mut Criterion) {
+    dqc_bench::run_fig6(10, dqc_bench::BASE_SEED).expect("fig6 series");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_remote_fidelity_table, bench_fidelity_runs, print_figure
+}
+criterion_main!(benches);

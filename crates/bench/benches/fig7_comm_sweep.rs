@@ -1,0 +1,36 @@
+//! Fig. 7: QAOA-r8-32 depth as communication/buffer qubits scale.
+//!
+//! Times executor runs at 10/15/20 communication qubits and prints the
+//! regenerated sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    let mut group = c.benchmark_group("fig7/comm_qubits");
+    for n in [10usize, 15, 20] {
+        let config = SystemConfig::paper_two_node_32().with_comm_and_buffer(n);
+        group.bench_function(format!("init_buf/comm{n}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(evaluate(&circuit, &config, Design::InitBuf, seed).expect("evaluates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn print_figure(_c: &mut Criterion) {
+    dqc_bench::run_fig7(10, dqc_bench::BASE_SEED).expect("fig7 series");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep, print_figure
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 8: the 64-qubit two-node system on QAOA-r4-64 / QAOA-r8-64.
+//!
+//! Times executor runs on the larger system and prints the regenerated
+//! depth comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_larger_system(c: &mut Criterion) {
+    let config = SystemConfig::paper_two_node_64();
+    for bench in PaperBenchmark::FIG8 {
+        let circuit = bench.circuit();
+        let mut group = c.benchmark_group(format!("fig8/{bench}"));
+        for design in [Design::Original, Design::SyncBuf, Design::InitBuf] {
+            group.bench_function(design.name(), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(evaluate(&circuit, &config, design, seed).expect("evaluates"))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn print_figure(_c: &mut Criterion) {
+    dqc_bench::run_fig8(10, dqc_bench::BASE_SEED).expect("fig8 series");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_larger_system, print_figure
+}
+criterion_main!(benches);

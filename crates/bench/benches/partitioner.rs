@@ -1,0 +1,53 @@
+//! Substrate bench: the METIS-style multilevel partitioner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_partition::{partition_graph, Graph};
+use dqc_workloads::random_regular_graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn regular_graph(n: usize, d: usize) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let edges = random_regular_graph(n, d, &mut rng).expect("valid parameters");
+    let mut g = Graph::new(n);
+    for (a, b) in edges {
+        g.add_edge(a, b, 1);
+    }
+    g
+}
+
+fn bench_bisection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner/bisect");
+    for (n, d) in [(32usize, 4usize), (64, 8), (128, 8), (256, 8)] {
+        let g = regular_graph(n, d);
+        group.bench_function(format!("n{n}_d{d}"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                black_box(partition_graph(&g, 2, 0, &mut rng).expect("partitions"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let g = regular_graph(128, 8);
+    let mut group = c.benchmark_group("partitioner/kway");
+    for k in [2usize, 4, 8] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                black_box(partition_graph(&g, k, 0, &mut rng).expect("partitions"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bisection_scaling, bench_kway
+}
+criterion_main!(benches);

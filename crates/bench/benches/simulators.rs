@@ -1,0 +1,58 @@
+//! Substrate bench: the quantum simulation engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_sim::{
+    state_teleportation_fidelity, teleported_cnot_fidelity, Statevector, Tableau, TeleportNoise,
+};
+use dqc_workloads::{qft_with_swaps, random_clifford};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_statevector_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/statevector_qft");
+    for n in [8u32, 12, 16] {
+        let circuit = qft_with_swaps(n);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let mut sv = Statevector::zero_state(n);
+                sv.apply_circuit(&circuit).expect("unitary circuit");
+                black_box(sv.norm_sqr())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_teleport_fidelity(c: &mut Criterion) {
+    c.bench_function("sim/teleported_cnot_fidelity", |b| {
+        b.iter(|| black_box(teleported_cnot_fidelity(&TeleportNoise::table_ii())));
+    });
+    c.bench_function("sim/state_teleportation_fidelity", |b| {
+        b.iter(|| black_box(state_teleportation_fidelity(&TeleportNoise::table_ii())));
+    });
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/tableau");
+    for n in [16u32, 64, 128] {
+        let circuit = random_clifford(n, 10 * n, 0.0, &mut ChaCha8Rng::seed_from_u64(9));
+        group.bench_function(format!("clifford_n{n}"), |b| {
+            b.iter(|| {
+                let mut t = Tableau::new(n as usize);
+                for op in circuit.operations() {
+                    t.apply(op).expect("clifford only");
+                }
+                black_box(t.num_qubits())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_statevector_qft, bench_teleport_fidelity, bench_tableau
+}
+criterion_main!(benches);

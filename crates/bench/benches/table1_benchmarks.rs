@@ -1,0 +1,42 @@
+//! Table I: benchmark generation and 2-node partitioning.
+//!
+//! Times the circuit generators and the METIS-style partitioner that
+//! together produce every row of Table I, then prints the regenerated
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_partition::partition_circuit;
+use dqc_workloads::PaperBenchmark;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/generate");
+    for bench in PaperBenchmark::ALL {
+        group.bench_function(bench.to_string(), |b| {
+            b.iter(|| black_box(bench.circuit()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/partition");
+    for bench in PaperBenchmark::ALL {
+        let circuit = bench.circuit();
+        group.bench_function(bench.to_string(), |b| {
+            b.iter(|| black_box(partition_circuit(&circuit, 2, 7).expect("partitions")));
+        });
+    }
+    group.finish();
+}
+
+fn print_table(_c: &mut Criterion) {
+    dqc_bench::print_table1(&dqc_bench::table1_data());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_partitioning, print_table
+}
+criterion_main!(benches);

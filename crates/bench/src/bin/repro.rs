@@ -1,0 +1,129 @@
+//! Command-line driver that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! repro [table1|table2|fig3|fig5|fig6|fig7|fig8|ablations|all] [--runs N] [--seed S]
+//! ```
+//!
+//! Without arguments it runs everything with the paper's 50-run averages.
+
+use dqc_core::SystemConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut runs = dqc_bench::PAPER_RUNS;
+    let mut seed = dqc_bench::BASE_SEED;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--runs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => runs = v,
+                None => return usage("--runs needs an integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    for target in &targets {
+        let outcome = match target.as_str() {
+            "table1" => {
+                dqc_bench::print_table1(&dqc_bench::table1_data());
+                Ok(())
+            }
+            "table2" => {
+                dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
+                Ok(())
+            }
+            "fig3" => {
+                dqc_bench::print_fig3(seed);
+                Ok(())
+            }
+            "fig5" => dqc_bench::run_fig5(runs, seed),
+            "fig6" => dqc_bench::run_fig6(runs, seed),
+            "fig7" => dqc_bench::run_fig7(runs, seed),
+            "fig8" => dqc_bench::run_fig8(runs, seed),
+            "ablations" => dqc_bench::run_cutoff_ablation(runs, seed)
+                .and_then(|()| dqc_bench::run_psucc_ablation(runs, seed))
+                .and_then(|()| dqc_bench::run_segment_ablation(runs, seed))
+                .and_then(|()| dqc_bench::run_protocol_ablation(runs, seed))
+                .and_then(|()| dqc_bench::run_purification_ablation(runs, seed)),
+            "all" => {
+                dqc_bench::print_table1(&dqc_bench::table1_data());
+                println!();
+                dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
+                println!();
+                dqc_bench::print_fig3(seed);
+                println!();
+                dqc_bench::run_fig5(runs, seed)
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_fig6(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_fig7(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_fig8(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_cutoff_ablation(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_psucc_ablation(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_segment_ablation(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_protocol_ablation(runs, seed)
+                    })
+                    .and_then(|()| {
+                        println!();
+                        dqc_bench::run_purification_ablation(runs, seed)
+                    })
+            }
+            other => return usage(&format!("unknown target {other}")),
+        };
+        if let Err(e) = outcome {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(message: &str) -> ExitCode {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: repro [table1|table2|fig3|fig5|fig6|fig7|fig8|ablations|all] \
+         [--runs N] [--seed S]"
+    );
+    if message.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,483 @@
+//! Reproduction harness for every table and figure of the paper's
+//! evaluation (§IV–V).
+//!
+//! Each `*_data` function regenerates the numbers behind one artifact;
+//! each `print_*` function renders them in the layout of the paper. The
+//! [`repro` binary](../repro/index.html) drives them from the command
+//! line, and the Criterion benches under `benches/` time the underlying
+//! computations.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! // Regenerate Table I (runs the partitioner on all six benchmarks):
+//! let rows = dqc_bench::table1_data();
+//! dqc_bench::print_table1(&rows);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dqc_core::{evaluate_many, AveragedReport, Design, EvaluateError, SystemConfig};
+use dqc_entanglement::{EntanglementService, GenerationPattern};
+use dqc_partition::partition_circuit;
+use dqc_types::Tick;
+use dqc_workloads::PaperBenchmark;
+
+/// Number of randomized runs the paper averages per bar.
+pub const PAPER_RUNS: usize = 50;
+
+/// Base seed for all reproduction sweeps (any value reproduces the same
+/// output; this one is fixed so EXPERIMENTS.md numbers are stable).
+pub const BASE_SEED: u64 = 2025;
+
+// ---------------------------------------------------------------- Table I
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Benchmark name as printed in the paper.
+    pub name: String,
+    /// Data-qubit count.
+    pub qubits: u32,
+    /// Two-qubit gates that stay within a node after partitioning.
+    pub local_2q: usize,
+    /// Two-qubit gates that cross the node cut.
+    pub remote_2q: usize,
+    /// Single-qubit gates.
+    pub one_q: usize,
+    /// Unit circuit depth.
+    pub depth: usize,
+}
+
+/// Regenerates Table I: benchmark properties under the 2-node METIS-style
+/// partition.
+pub fn table1_data() -> Vec<Table1Row> {
+    PaperBenchmark::ALL
+        .iter()
+        .map(|bench| {
+            let circuit = bench.circuit();
+            let map = partition_circuit(&circuit, 2, SystemConfig::default().partition_seed)
+                .expect("paper benchmarks partition cleanly");
+            Table1Row {
+                name: bench.to_string(),
+                qubits: circuit.num_qubits(),
+                local_2q: map.count_local_2q(&circuit),
+                remote_2q: map.count_remote(&circuit),
+                one_q: circuit.counts().single_qubit,
+                depth: circuit.depth(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table I in the paper's column layout.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("TABLE I: BENCHMARK PROPERTIES (2-node multilevel partition)");
+    println!(
+        "{:<12} {:>7} {:>10} {:>11} {:>7} {:>7}",
+        "Name", "#qubits", "#local 2Q", "#remote 2Q", "#1Q", "depth"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>7} {:>10} {:>11} {:>7} {:>7}",
+            r.name, r.qubits, r.local_2q, r.remote_2q, r.one_q, r.depth
+        );
+    }
+}
+
+// --------------------------------------------------------------- Table II
+
+/// Prints Table II — the operation latencies/fidelities actually used by
+/// the executor.
+pub fn print_table2(config: &SystemConfig) {
+    println!("TABLE II: QUANTUM OPERATION PROPERTIES");
+    println!("{:<22} {:>9} {:>10}", "Name", "Latency", "Fidelity");
+    let rows = [
+        ("1Q gates", config.latencies.one_qubit, config.fidelities.one_qubit),
+        ("Local CNOT gates", config.latencies.two_qubit, config.fidelities.two_qubit),
+        ("Measurement", config.latencies.measurement, config.fidelities.measurement),
+        ("EPR pair preparation", config.latencies.epr_cycle, config.fidelities.epr),
+    ];
+    for (name, latency, fidelity) in rows {
+        println!(
+            "{:<22} {:>9.1} {:>9.2}%",
+            name,
+            latency.as_cnot_units(),
+            fidelity * 100.0
+        );
+    }
+    println!(
+        "psucc = {}, 1/kappa = {:.0} CNOT units, local CNOT = 300 ns",
+        config.success_probability,
+        1.0 / (config.kappa_per_tick * Tick::TICKS_PER_CNOT as f64)
+    );
+}
+
+// ----------------------------------------------------------------- Fig. 3
+
+/// Arrival histogram of successful generations, in links per `T_local`
+/// bucket, for the first `cycles` attempt cycles.
+pub fn fig3_data(pattern: GenerationPattern, cycles: usize, seed: u64) -> Vec<usize> {
+    let config = SystemConfig::default().service_config(pattern, true);
+    let horizon = config.attempt_cycle * cycles as i64;
+    let mut service = EntanglementService::new(
+        dqc_entanglement::ServiceConfig {
+            buffer_capacity: 10_000, // observe raw arrivals without stalls
+            cutoff: dqc_entanglement::CutoffPolicy::Keep,
+            ..config
+        },
+        seed,
+    );
+    service.advance_to(horizon);
+    let bucket = Tick::CNOT; // one T_local
+    let n_buckets = (horizon.ticks() / bucket.ticks()) as usize;
+    let mut histogram = vec![0usize; n_buckets];
+    for &arrival in service.arrivals() {
+        let idx = (arrival.ticks() / bucket.ticks()) as usize;
+        if idx < n_buckets {
+            histogram[idx] += 1;
+        }
+    }
+    histogram
+}
+
+/// Prints the Fig. 3 sync-vs-async arrival comparison as text sparklines.
+pub fn print_fig3(seed: u64) {
+    println!("FIG 3: ENTANGLEMENT ARRIVALS PER T_local (10 comm pairs, psucc = 0.4)");
+    for (label, pattern) in [
+        ("synchronous", GenerationPattern::Synchronous),
+        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+    ] {
+        let hist = fig3_data(pattern, 10, seed);
+        let line: String = hist
+            .iter()
+            .map(|&c| char::from_digit(c.min(9) as u32, 10).unwrap_or('9'))
+            .collect();
+        let total: usize = hist.iter().sum();
+        let occupied = hist.iter().filter(|c| **c > 0).count();
+        println!("{label:>13}: {line}");
+        println!(
+            "{:>13}  total {total} links in {} buckets ({} buckets occupied)",
+            "", hist.len(), occupied
+        );
+    }
+}
+
+// ------------------------------------------------------------- Fig. 5 / 6
+
+/// Depth and fidelity of every design on one benchmark (one panel of
+/// Figures 5 and 6).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn design_sweep(
+    bench: PaperBenchmark,
+    config: &SystemConfig,
+    designs: &[Design],
+    runs: usize,
+    seed: u64,
+) -> Result<Vec<AveragedReport>, EvaluateError> {
+    let circuit = bench.circuit();
+    designs
+        .iter()
+        .map(|&design| evaluate_many(&circuit, config, design, runs, seed))
+        .collect()
+}
+
+/// Prints one Fig. 5 panel: absolute depth and depth relative to ideal.
+pub fn print_depth_panel(bench: PaperBenchmark, reports: &[AveragedReport]) {
+    println!("-- {bench}");
+    for r in reports {
+        println!(
+            "  {:<9} depth {:>8.1}  ({:>6.2}x ideal)   link-wait {:>6.1}t  wasted {:>6.1}",
+            r.design.name(),
+            r.mean_depth,
+            r.mean_depth_relative,
+            r.mean_link_wait,
+            r.mean_wasted
+        );
+    }
+}
+
+/// Prints one Fig. 6 panel: absolute output fidelity.
+pub fn print_fidelity_panel(bench: PaperBenchmark, reports: &[AveragedReport]) {
+    println!("-- {bench}");
+    for r in reports {
+        println!(
+            "  {:<9} fidelity {}   (relative to ideal {})",
+            r.design.name(),
+            format_fidelity(r.mean_fidelity),
+            format_fidelity(relative_to_ideal(reports, r))
+        );
+    }
+}
+
+/// Formats a fidelity with fixed decimals, switching to scientific
+/// notation when the value would round to zero (QFT's collapse remains
+/// comparable across designs).
+fn format_fidelity(f: f64) -> String {
+    if f == 0.0 || f >= 5e-4 {
+        format!("{f:.4}")
+    } else {
+        format!("{f:.2e}")
+    }
+}
+
+fn relative_to_ideal(reports: &[AveragedReport], r: &AveragedReport) -> f64 {
+    let ideal = reports
+        .iter()
+        .find(|x| x.design == Design::Ideal)
+        .map_or(1.0, |x| x.mean_fidelity);
+    if ideal > 0.0 {
+        r.mean_fidelity / ideal
+    } else {
+        0.0
+    }
+}
+
+/// Runs and prints the full Figure 5 (depth, 4 × 32-qubit benchmarks).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_fig5(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("FIG 5: CIRCUIT DEPTH ACROSS DESIGNS ({runs}-run averages)");
+    let config = SystemConfig::paper_two_node_32();
+    for bench in PaperBenchmark::FIG5 {
+        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
+        print_depth_panel(bench, &reports);
+    }
+    Ok(())
+}
+
+/// Runs and prints the full Figure 6 (fidelity, 4 × 32-qubit benchmarks).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_fig6(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("FIG 6: CIRCUIT FIDELITY ACROSS DESIGNS ({runs}-run averages)");
+    let config = SystemConfig::paper_two_node_32();
+    for bench in PaperBenchmark::FIG5 {
+        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
+        print_fidelity_panel(bench, &reports);
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- Fig. 7
+
+/// Runs and prints Figure 7: QAOA-r8-32 depth with 10/15/20 communication
+/// and buffer qubits (buffered designs + ideal).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_fig7(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("FIG 7: QAOA-r8-32 DEPTH vs COMMUNICATION/BUFFER QUBITS ({runs}-run averages)");
+    let mut designs = Design::BUFFERED.to_vec();
+    designs.push(Design::Ideal);
+    for n in [10usize, 15, 20] {
+        println!("-- #comm_qb = {n}, #buff_qb = {n}");
+        let config = SystemConfig::paper_two_node_32().with_comm_and_buffer(n);
+        let reports =
+            design_sweep(PaperBenchmark::QaoaR8_32, &config, &designs, runs, seed)?;
+        for r in &reports {
+            println!(
+                "  {:<9} depth {:>8.1}  ({:>6.2}x ideal)  fidelity {:.4}",
+                r.design.name(),
+                r.mean_depth,
+                r.mean_depth_relative,
+                r.mean_fidelity
+            );
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- Fig. 8
+
+/// Runs and prints Figure 8: the 64-qubit system (32 data + 20 comm + 20
+/// buffer per node) on QAOA-r4-64 and QAOA-r8-64.
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_fig8(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("FIG 8: 64-QUBIT SYSTEM DEPTH ACROSS DESIGNS ({runs}-run averages)");
+    let config = SystemConfig::paper_two_node_64();
+    for bench in PaperBenchmark::FIG8 {
+        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
+        print_depth_panel(bench, &reports);
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// Sweeps the buffer cutoff age and reports depth/fidelity/waste for one
+/// design (extension beyond the paper: quantifies §III-C's cutoff remark).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("ABLATION: BUFFER CUTOFF AGE (QAOA-r8-32, async_buf, {runs}-run averages)");
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    for cutoff_ticks in [50i64, 100, 150, 250, 500, 1000] {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.cutoff = dqc_entanglement::CutoffPolicy::MaxAge(Tick::new(cutoff_ticks));
+        let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+        println!(
+            "  cutoff {:>5}t: depth {:>7.1}  fidelity {:.4}  wasted {:>6.1}",
+            cutoff_ticks, r.mean_depth, r.mean_fidelity, r.mean_wasted
+        );
+    }
+    Ok(())
+}
+
+/// Sweeps the per-attempt success probability, showing where buffering
+/// stops mattering (extension).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("ABLATION: SUCCESS PROBABILITY (QAOA-r8-32, {runs}-run averages)");
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    for psucc in [0.1, 0.2, 0.4, 0.6, 0.8] {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.success_probability = psucc;
+        let orig = evaluate_many(&circuit, &config, Design::Original, runs, seed)?;
+        let asyn = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+        println!(
+            "  psucc {psucc:.1}: original {:>7.1}  async_buf {:>7.1}  (gain {:>5.2}x)",
+            orig.mean_depth,
+            asyn.mean_depth,
+            orig.mean_depth / asyn.mean_depth
+        );
+    }
+    Ok(())
+}
+
+/// Compares the two remote-gate protocols (extension: the paper's stated
+/// future work of combining gate and state teleportation).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("ABLATION: REMOTE-GATE PROTOCOL (async_buf, {runs}-run averages)");
+    for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
+        let circuit = bench.circuit();
+        for protocol in
+            [dqc_core::RemoteProtocol::GateTeleport, dqc_core::RemoteProtocol::StateTeleport]
+        {
+            let mut config = SystemConfig::paper_two_node_32();
+            config.remote_protocol = protocol;
+            let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+            println!(
+                "  {bench:<11} {:?}: depth {:>7.1}  fidelity {:.4}  ({} links/gate)",
+                protocol,
+                r.mean_depth,
+                r.mean_fidelity,
+                protocol.links_per_gate()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Compares plain consumption against purify-on-consume (extension built
+/// on the paper's citation \[53\]: purification trades entanglement rate
+/// for link quality).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("ABLATION: BBPSSW PURIFY-ON-CONSUME (async_buf, {runs}-run averages)");
+    for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
+        let circuit = bench.circuit();
+        for purify in [false, true] {
+            let mut config = SystemConfig::paper_two_node_32();
+            config.purify_links = purify;
+            let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+            println!(
+                "  {bench:<11} purify={purify:<5}: depth {:>7.1}  fidelity {:.4}",
+                r.mean_depth, r.mean_fidelity
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Sweeps the adaptive segment size `m` (extension beyond the paper's
+/// fixed `m = n_comm · psucc`).
+///
+/// # Errors
+///
+/// Propagates [`EvaluateError`] from the executor.
+pub fn run_segment_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+    println!("ABLATION: ADAPTIVE SEGMENT SIZE m (QFT-32, adapt_buf, {runs}-run averages)");
+    let circuit = PaperBenchmark::Qft32.circuit();
+    let base = SystemConfig::paper_two_node_32();
+    println!("  (paper default m = {})", base.segment_remote_gates());
+    for m in [1usize, 2, 4, 8, 16] {
+        let mut config = base.clone();
+        // Scale comm qubits so m = ceil(comm · psucc) hits the target.
+        config.comm_qubits_per_node = (m as f64 / config.success_probability).ceil() as usize;
+        config.buffer_qubits_per_node = config.comm_qubits_per_node;
+        let r = evaluate_many(&circuit, &config, Design::AdaptBuf, runs, seed)?;
+        println!(
+            "  m = {:>2} (comm = {:>2}): depth {:>8.1}  fidelity {:.4}",
+            m, config.comm_qubits_per_node, r.mean_depth, r.mean_fidelity
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_for_deterministic_benchmarks() {
+        let rows = table1_data();
+        let tlim = rows.iter().find(|r| r.name == "TLIM-32").unwrap();
+        assert_eq!(tlim.local_2q, 300);
+        assert_eq!(tlim.remote_2q, 10);
+        assert_eq!(tlim.one_q, 640);
+        assert_eq!(tlim.depth, 40);
+        let qft = rows.iter().find(|r| r.name == "QFT-32").unwrap();
+        assert_eq!(qft.local_2q, 240);
+        assert_eq!(qft.remote_2q, 256);
+        assert_eq!(qft.depth, 63);
+    }
+
+    #[test]
+    fn fig3_sync_is_burstier_than_async() {
+        let sync = fig3_data(GenerationPattern::Synchronous, 20, 1);
+        let asyn = fig3_data(GenerationPattern::Asynchronous { groups: 10 }, 20, 1);
+        let occupied = |h: &[usize]| h.iter().filter(|c| **c > 0).count();
+        assert!(
+            occupied(&asyn) > 2 * occupied(&sync),
+            "async arrivals spread over many more buckets: {} vs {}",
+            occupied(&asyn),
+            occupied(&sync)
+        );
+        let peak = |h: &[usize]| h.iter().copied().max().unwrap_or(0);
+        assert!(peak(&sync) > peak(&asyn), "sync peaks higher");
+    }
+
+    #[test]
+    fn design_sweep_produces_one_report_per_design() {
+        let config = SystemConfig::paper_two_node_32();
+        let reports =
+            design_sweep(PaperBenchmark::Tlim32, &config, &Design::ALL, 2, 0).unwrap();
+        assert_eq!(reports.len(), Design::ALL.len());
+        assert!(reports.iter().all(|r| r.runs == 2));
+    }
+}

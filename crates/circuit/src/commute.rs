@@ -1,0 +1,284 @@
+//! Rule-based commutation analysis between circuit operations.
+//!
+//! The paper's adaptive scheduler (§III-D) derives ASAP and ALAP variants
+//! of a circuit segment by *commuting remote gates* past their neighbours.
+//! This module provides the `commutes` predicate those passes rely on.
+//!
+//! The rules are **conservative**: `commutes` only returns `true` when the
+//! unitaries provably commute; when unsure it returns `false`, which can at
+//! worst forgo an optimization, never corrupt the circuit. The rule set is
+//! cross-validated against exact matrix commutators in `dqc-sim`'s test
+//! suite.
+
+use crate::{Gate, Operation};
+use dqc_types::QubitId;
+
+/// Returns true when the two operations provably commute as unitaries.
+///
+/// The implemented rules:
+///
+/// 1. Operations on disjoint qubits always commute.
+/// 2. Identical operations commute with themselves.
+/// 3. Two Z-diagonal gates (in the computational basis) always commute,
+///    regardless of operand overlap — this covers the QFT/QAOA workhorses
+///    `cz`, `cp`, `rzz`, `rz`, `t`, `s`.
+/// 4. Two CNOTs commute when they share a control or share a target (but
+///    not when one's control is the other's target).
+/// 5. A CNOT commutes with a Z-diagonal gate that avoids its target, and
+///    with an X-diagonal gate that avoids its control.
+/// 6. Two X-diagonal single-qubit gates on the same wire commute.
+///
+/// Measurements are treated as commuting with nothing they overlap.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{commutes, Gate, Operation};
+/// use dqc_types::QubitId;
+///
+/// let q = QubitId::new;
+/// // Shared-control CNOTs commute:
+/// let a = Operation::two(Gate::Cx, q(0), q(1));
+/// let b = Operation::two(Gate::Cx, q(0), q(2));
+/// assert!(commutes(&a, &b));
+/// // Control-into-target does not:
+/// let c = Operation::two(Gate::Cx, q(1), q(2));
+/// assert!(!commutes(&a, &c));
+/// // Diagonal gates always do:
+/// let d = Operation::two(Gate::Cz, q(0), q(1));
+/// let e = Operation::one(Gate::Rz(0.7), q(1));
+/// assert!(commutes(&d, &e));
+/// ```
+pub fn commutes(a: &Operation, b: &Operation) -> bool {
+    // Rule 1: disjoint supports.
+    if !a.overlaps(b) {
+        return true;
+    }
+    // Measurements do not commute with anything overlapping (conservative).
+    if a.gate().is_measurement() || b.gate().is_measurement() {
+        return false;
+    }
+    // Rule 2: identical unitaries.
+    if a.same_unitary(b) {
+        return true;
+    }
+    // Rule 3: Z-diagonal ⊗ Z-diagonal.
+    if a.gate().is_z_diagonal() && b.gate().is_z_diagonal() {
+        return true;
+    }
+    // CNOT-involved rules.
+    match (a.gate(), b.gate()) {
+        (Gate::Cx, Gate::Cx) => cx_cx_commute(a, b),
+        (Gate::Cx, _) => cx_other_commute(a, b),
+        (_, Gate::Cx) => cx_other_commute(b, a),
+        (ga, gb) if ga.arity() == 1 && gb.arity() == 1 => {
+            // Same wire (overlap is guaranteed here): X-diagonal pairs
+            // commute; Z-diagonal pairs were handled by rule 3.
+            ga.is_x_diagonal() && gb.is_x_diagonal()
+        }
+        _ => false,
+    }
+}
+
+fn cx_cx_commute(a: &Operation, b: &Operation) -> bool {
+    let (ca, ta) = (a.control().expect("cx"), a.target().expect("cx"));
+    let (cb, tb) = (b.control().expect("cx"), b.target().expect("cx"));
+    // Overlapping CNOTs commute iff no control of one is a target of the
+    // other (shared control and/or shared target are both fine).
+    ca != tb && cb != ta
+}
+
+/// `a` is a CNOT, `b` any non-CNOT, non-measurement gate overlapping `a`.
+fn cx_other_commute(a: &Operation, b: &Operation) -> bool {
+    let control = a.control().expect("cx");
+    let target = a.target().expect("cx");
+    let touches = |q: QubitId| b.acts_on(q);
+    if b.gate().is_z_diagonal() {
+        // Z-diagonal slides through the control leg only.
+        return !touches(target);
+    }
+    if b.gate().arity() == 1 && b.gate().is_x_diagonal() {
+        // X-diagonal slides through the target leg only.
+        return !touches(control);
+    }
+    false
+}
+
+/// Returns true when `op` commutes with *every* operation in `window`.
+///
+/// This is the predicate used when hoisting a remote gate across a block of
+/// its neighbours to form an ASAP/ALAP segment variant.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{commutes_with_all, Gate, Operation};
+/// use dqc_types::QubitId;
+/// let q = QubitId::new;
+/// let remote = Operation::two(Gate::Rzz(0.3), q(0), q(4));
+/// let window = [
+///     Operation::one(Gate::Rz(0.1), q(0)),
+///     Operation::two(Gate::Cz, q(4), q(5)),
+/// ];
+/// assert!(commutes_with_all(&remote, &window));
+/// ```
+pub fn commutes_with_all(op: &Operation, window: &[Operation]) -> bool {
+    window.iter().all(|w| commutes(op, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn disjoint_always_commute() {
+        let a = Operation::two(Gate::Cx, q(0), q(1));
+        let b = Operation::one(Gate::H, q(2));
+        assert!(commutes(&a, &b));
+        assert!(commutes(&b, &a));
+    }
+
+    #[test]
+    fn diagonal_family_commutes_pairwise() {
+        let ops = [
+            Operation::one(Gate::Rz(0.3), q(0)),
+            Operation::one(Gate::T, q(0)),
+            Operation::two(Gate::Cz, q(0), q(1)),
+            Operation::two(Gate::CPhase(0.5), q(1), q(0)),
+            Operation::two(Gate::Rzz(0.7), q(0), q(1)),
+        ];
+        for a in &ops {
+            for b in &ops {
+                assert!(commutes(a, b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cx_shared_control_commutes() {
+        let a = Operation::two(Gate::Cx, q(0), q(1));
+        let b = Operation::two(Gate::Cx, q(0), q(2));
+        assert!(commutes(&a, &b));
+    }
+
+    #[test]
+    fn cx_shared_target_commutes() {
+        let a = Operation::two(Gate::Cx, q(0), q(2));
+        let b = Operation::two(Gate::Cx, q(1), q(2));
+        assert!(commutes(&a, &b));
+    }
+
+    #[test]
+    fn cx_chain_does_not_commute() {
+        let a = Operation::two(Gate::Cx, q(0), q(1));
+        let b = Operation::two(Gate::Cx, q(1), q(2));
+        assert!(!commutes(&a, &b));
+        // Nor in reverse order.
+        assert!(!commutes(&b, &a));
+    }
+
+    #[test]
+    fn cx_identical_commutes() {
+        let a = Operation::two(Gate::Cx, q(0), q(1));
+        assert!(commutes(&a, &a));
+    }
+
+    #[test]
+    fn z_diag_slides_through_cx_control() {
+        let cx = Operation::two(Gate::Cx, q(0), q(1));
+        let rz_on_control = Operation::one(Gate::Rz(0.4), q(0));
+        let rz_on_target = Operation::one(Gate::Rz(0.4), q(1));
+        assert!(commutes(&cx, &rz_on_control));
+        assert!(!commutes(&cx, &rz_on_target));
+    }
+
+    #[test]
+    fn x_diag_slides_through_cx_target() {
+        let cx = Operation::two(Gate::Cx, q(0), q(1));
+        let x_on_target = Operation::one(Gate::X, q(1));
+        let x_on_control = Operation::one(Gate::X, q(0));
+        let rx_on_target = Operation::one(Gate::Rx(1.1), q(1));
+        assert!(commutes(&cx, &x_on_target));
+        assert!(commutes(&cx, &rx_on_target));
+        assert!(!commutes(&cx, &x_on_control));
+    }
+
+    #[test]
+    fn cz_avoiding_cx_target_commutes() {
+        let cx = Operation::two(Gate::Cx, q(0), q(1));
+        let cz_on_control = Operation::two(Gate::Cz, q(0), q(2));
+        let cz_on_target = Operation::two(Gate::Cz, q(1), q(2));
+        assert!(commutes(&cx, &cz_on_control));
+        assert!(!commutes(&cx, &cz_on_target));
+    }
+
+    #[test]
+    fn hadamard_does_not_commute_with_overlapping_cx() {
+        let cx = Operation::two(Gate::Cx, q(0), q(1));
+        for wire in [0, 1] {
+            let h = Operation::one(Gate::H, q(wire));
+            assert!(!commutes(&cx, &h));
+        }
+    }
+
+    #[test]
+    fn same_wire_x_rotations_commute() {
+        let a = Operation::one(Gate::Rx(0.2), q(0));
+        let b = Operation::one(Gate::Rx(0.9), q(0));
+        let x = Operation::one(Gate::X, q(0));
+        assert!(commutes(&a, &b));
+        assert!(commutes(&a, &x));
+    }
+
+    #[test]
+    fn mixed_axis_same_wire_does_not_commute() {
+        let rx = Operation::one(Gate::Rx(0.2), q(0));
+        let rz = Operation::one(Gate::Rz(0.2), q(0));
+        assert!(!commutes(&rx, &rz));
+    }
+
+    #[test]
+    fn measurement_blocks_everything_overlapping() {
+        let m = Operation::one(Gate::Measure, q(0));
+        let rz = Operation::one(Gate::Rz(0.3), q(0));
+        let other = Operation::one(Gate::Rz(0.3), q(1));
+        assert!(!commutes(&m, &rz));
+        assert!(commutes(&m, &other));
+    }
+
+    #[test]
+    fn commutes_is_symmetric_on_rule_set() {
+        let pool = [
+            Operation::two(Gate::Cx, q(0), q(1)),
+            Operation::two(Gate::Cx, q(1), q(0)),
+            Operation::two(Gate::Cx, q(0), q(2)),
+            Operation::two(Gate::Cz, q(0), q(1)),
+            Operation::two(Gate::Rzz(0.3), q(1), q(2)),
+            Operation::one(Gate::Rz(0.3), q(0)),
+            Operation::one(Gate::Rx(0.3), q(1)),
+            Operation::one(Gate::H, q(0)),
+            Operation::one(Gate::Measure, q(2)),
+        ];
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(commutes(a, b), commutes(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_check_requires_all() {
+        let remote = Operation::two(Gate::Rzz(0.3), q(0), q(4));
+        let ok = [Operation::one(Gate::Rz(0.1), q(0))];
+        let bad = [
+            Operation::one(Gate::Rz(0.1), q(0)),
+            Operation::one(Gate::H, q(4)),
+        ];
+        assert!(commutes_with_all(&remote, &ok));
+        assert!(!commutes_with_all(&remote, &bad));
+    }
+}

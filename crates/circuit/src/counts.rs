@@ -1,0 +1,99 @@
+//! Aggregated gate statistics.
+
+use crate::Circuit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Gate-count summary of a circuit, in the categories of the paper's
+/// Table I (single-qubit / two-qubit / measurement, plus a per-mnemonic
+/// histogram).
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure(0).measure(1);
+/// let counts = c.counts();
+/// assert_eq!(counts.single_qubit, 1);
+/// assert_eq!(counts.two_qubit, 1);
+/// assert_eq!(counts.measurements, 2);
+/// assert_eq!(counts.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Number of single-qubit unitaries (measurements excluded).
+    pub single_qubit: usize,
+    /// Number of two-qubit gates.
+    pub two_qubit: usize,
+    /// Number of measurements.
+    pub measurements: usize,
+    /// Count per gate mnemonic (`"h"`, `"cx"`, …).
+    pub by_name: BTreeMap<&'static str, usize>,
+}
+
+impl GateCounts {
+    /// Computes the counts of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut counts = GateCounts::default();
+        for op in circuit.operations() {
+            let gate = op.gate();
+            if gate.is_measurement() {
+                counts.measurements += 1;
+            } else if gate.is_two_qubit() {
+                counts.two_qubit += 1;
+            } else {
+                counts.single_qubit += 1;
+            }
+            *counts.by_name.entry(gate.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Total number of operations counted.
+    pub fn total(&self) -> usize {
+        self.single_qubit + self.two_qubit + self.measurements
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1q={} 2q={} meas={}",
+            self.single_qubit, self.two_qubit, self.measurements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_counts_zero() {
+        let counts = Circuit::new(4).counts();
+        assert_eq!(counts.total(), 0);
+        assert!(counts.by_name.is_empty());
+    }
+
+    #[test]
+    fn histogram_tracks_mnemonics() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).rzz(1, 2, 0.4);
+        let counts = c.counts();
+        assert_eq!(counts.by_name["h"], 2);
+        assert_eq!(counts.by_name["cx"], 1);
+        assert_eq!(counts.by_name["rzz"], 1);
+        assert_eq!(counts.single_qubit, 2);
+        assert_eq!(counts.two_qubit, 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert_eq!(c.counts().to_string(), "1q=1 2q=1 meas=0");
+    }
+}

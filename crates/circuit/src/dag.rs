@@ -1,0 +1,251 @@
+//! Dependency DAG over a circuit's operations.
+
+use crate::Circuit;
+use dqc_types::GateId;
+
+/// The data-dependency DAG of a circuit.
+///
+/// Two operations are dependent when they share a qubit; the DAG keeps, for
+/// every operation, the immediately preceding and succeeding operation on
+/// each of its operand wires. Schedulers in `dqc-core` consume this
+/// structure to run list scheduling, and the ASAP/ALAP variant generator
+/// uses it to know which reorderings are even candidates.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{Circuit, CircuitDag};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2);
+/// let dag = CircuitDag::new(&c);
+/// assert_eq!(dag.predecessors(dqc_types::GateId::new(1)), &[dqc_types::GateId::new(0)]);
+/// assert_eq!(dag.roots().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    preds: Vec<Vec<GateId>>,
+    succs: Vec<Vec<GateId>>,
+    roots: Vec<GateId>,
+}
+
+impl CircuitDag {
+    /// Builds the dependency DAG of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut last_on_wire: Vec<Option<GateId>> = vec![None; circuit.num_qubits() as usize];
+        let mut roots = Vec::new();
+
+        for (id, op) in circuit.iter() {
+            let mut has_pred = false;
+            for q in op.qubits() {
+                if let Some(prev) = last_on_wire[q.as_usize()] {
+                    // A gate may depend on the same predecessor through
+                    // both wires; record it once.
+                    if !preds[id.as_usize()].contains(&prev) {
+                        preds[id.as_usize()].push(prev);
+                        succs[prev.as_usize()].push(id);
+                    }
+                    has_pred = true;
+                }
+                last_on_wire[q.as_usize()] = Some(id);
+            }
+            if !has_pred {
+                roots.push(id);
+            }
+        }
+        Self { preds, succs, roots }
+    }
+
+    /// Number of operations in the underlying circuit.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns true when the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Operations with no predecessors (schedulable immediately).
+    pub fn roots(&self) -> &[GateId] {
+        &self.roots
+    }
+
+    /// Immediate predecessors of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit.
+    pub fn predecessors(&self, id: GateId) -> &[GateId] {
+        &self.preds[id.as_usize()]
+    }
+
+    /// Immediate successors of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit.
+    pub fn successors(&self, id: GateId) -> &[GateId] {
+        &self.succs[id.as_usize()]
+    }
+
+    /// In-degree of every operation, indexed by gate id — the starting
+    /// state for Kahn-style list scheduling.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.preds.iter().map(Vec::len).collect()
+    }
+
+    /// A topological order of the operations (Kahn's algorithm, favouring
+    /// program order among ready gates, so the result is deterministic).
+    pub fn topological_order(&self) -> Vec<GateId> {
+        let mut indeg = self.in_degrees();
+        // BinaryHeap is a max-heap; use Reverse for program order.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<GateId>> =
+            self.roots.iter().copied().map(std::cmp::Reverse).collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(std::cmp::Reverse(id)) = ready.pop() {
+            order.push(id);
+            for &s in self.successors(id) {
+                indeg[s.as_usize()] -= 1;
+                if indeg[s.as_usize()] == 0 {
+                    ready.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.len(), "circuit DAG must be acyclic");
+        order
+    }
+
+    /// ASAP level of every operation (longest path from a root, in unit
+    /// depth), indexed by gate id.
+    pub fn asap_levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.len()];
+        for id in self.topological_order() {
+            let l = self
+                .predecessors(id)
+                .iter()
+                .map(|p| levels[p.as_usize()] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[id.as_usize()] = l;
+        }
+        levels
+    }
+
+    /// ALAP level of every operation given the circuit's total unit depth.
+    pub fn alap_levels(&self) -> Vec<usize> {
+        let asap = self.asap_levels();
+        let depth = asap.iter().copied().max().map_or(0, |d| d + 1);
+        let mut levels = vec![depth.saturating_sub(1); self.len()];
+        for id in self.topological_order().into_iter().rev() {
+            let l = self
+                .successors(id)
+                .iter()
+                .map(|s| levels[s.as_usize()])
+                .min()
+                .map(|min_succ| min_succ.saturating_sub(1))
+                .unwrap_or(depth.saturating_sub(1));
+            levels[id.as_usize()] = l;
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GateId {
+        GateId::new(i)
+    }
+
+    fn chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).h(2);
+        c
+    }
+
+    #[test]
+    fn chain_dependencies() {
+        let dag = CircuitDag::new(&chain());
+        assert_eq!(dag.roots(), &[g(0)]);
+        assert_eq!(dag.predecessors(g(1)), &[g(0)]);
+        assert_eq!(dag.predecessors(g(2)), &[g(1)]);
+        assert_eq!(dag.successors(g(2)), &[g(3)]);
+    }
+
+    #[test]
+    fn diamond_has_single_dependency_edge() {
+        // cx(0,1) followed by cx(0,1) again: dependent through both wires,
+        // but only one edge must exist.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(g(1)), &[g(0)]);
+        assert_eq!(dag.successors(g(0)), &[g(1)]);
+    }
+
+    #[test]
+    fn topological_order_is_valid_and_deterministic() {
+        let mut c = Circuit::new(4);
+        c.h(3).h(0).cx(0, 1).cx(2, 3).cx(1, 2);
+        let dag = CircuitDag::new(&c);
+        let order = dag.topological_order();
+        assert_eq!(order.len(), c.len());
+        let mut pos = vec![0usize; c.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.as_usize()] = i;
+        }
+        for (id, _) in c.iter() {
+            for p in dag.predecessors(id) {
+                assert!(pos[p.as_usize()] < pos[id.as_usize()]);
+            }
+        }
+        // Deterministic: rebuilding yields the same order.
+        assert_eq!(order, CircuitDag::new(&c).topological_order());
+    }
+
+    #[test]
+    fn asap_levels_match_circuit_depth() {
+        let c = chain();
+        let dag = CircuitDag::new(&c);
+        let levels = dag.asap_levels();
+        assert_eq!(levels.iter().max().unwrap() + 1, c.depth());
+        assert_eq!(levels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alap_levels_push_gates_late() {
+        // h(0) is on a short branch: ASAP level 0, but ALAP can defer it.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(1, 2).cx(1, 2).cx(0, 1);
+        let dag = CircuitDag::new(&c);
+        let asap = dag.asap_levels();
+        let alap = dag.alap_levels();
+        assert_eq!(asap[0], 0);
+        assert_eq!(alap[0], 1, "h(0) only needs to finish before cx(0,1) at level 2");
+        for i in 0..c.len() {
+            assert!(asap[i] <= alap[i], "asap must not exceed alap for gate {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_roots() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.roots().len(), 4);
+        assert_eq!(dag.asap_levels(), vec![0; 4]);
+    }
+
+    #[test]
+    fn empty_circuit_dag() {
+        let dag = CircuitDag::new(&Circuit::new(2));
+        assert!(dag.is_empty());
+        assert!(dag.topological_order().is_empty());
+        assert!(dag.alap_levels().is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for circuit construction.
+
+use dqc_types::QubitId;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an ill-formed circuit operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A referenced qubit is outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// Size of the circuit's qubit register.
+        num_qubits: u32,
+    },
+    /// A multi-qubit gate listed the same qubit twice.
+    DuplicateOperand {
+        /// The repeated qubit.
+        qubit: QubitId,
+    },
+    /// The number of operands does not match the gate's arity.
+    ArityMismatch {
+        /// Operand count the gate requires.
+        expected: usize,
+        /// Operand count that was supplied.
+        got: usize,
+    },
+    /// The circuit contains a measurement, which has no inverse.
+    IrreversibleOperation,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "duplicate operand {qubit} in multi-qubit gate")
+            }
+            CircuitError::ArityMismatch { expected, got } => {
+                write!(f, "gate expects {expected} operand(s), got {got}")
+            }
+            CircuitError::IrreversibleOperation => {
+                write!(f, "circuit contains a measurement and cannot be inverted")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange { qubit: QubitId::new(9), num_qubits: 4 };
+        assert_eq!(e.to_string(), "qubit q9 out of range for 4-qubit circuit");
+        let e = CircuitError::DuplicateOperand { qubit: QubitId::new(2) };
+        assert_eq!(e.to_string(), "duplicate operand q2 in multi-qubit gate");
+        let e = CircuitError::ArityMismatch { expected: 2, got: 1 };
+        assert_eq!(e.to_string(), "gate expects 2 operand(s), got 1");
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

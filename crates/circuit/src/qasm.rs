@@ -1,0 +1,119 @@
+//! OpenQASM 2.0 export.
+
+use crate::{Circuit, Gate};
+use std::fmt::Write as _;
+
+/// Serializes a circuit as an OpenQASM 2.0 program.
+///
+/// Gates with no native OpenQASM 2.0 form are emitted as standard-library
+/// decompositions (`rzz` → `cx; rz; cx`). Measurements target a classical
+/// register of the same width as the qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{to_qasm, Circuit};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1).measure(0).measure(1);
+/// let qasm = to_qasm(&bell);
+/// assert!(qasm.starts_with("OPENQASM 2.0;"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// assert!(qasm.contains("measure q[0] -> c[0];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let n = circuit.num_qubits();
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    for op in circuit.operations() {
+        let qs = op.qubits();
+        match op.gate() {
+            Gate::I => {
+                let _ = writeln!(out, "id q[{}];", qs[0].index());
+            }
+            Gate::Measure => {
+                let _ = writeln!(out, "measure q[{0}] -> c[{0}];", qs[0].index());
+            }
+            Gate::Rzz(theta) => {
+                // qelib1 has no rzz; canonical decomposition.
+                let (a, b) = (qs[0].index(), qs[1].index());
+                let _ = writeln!(out, "cx q[{a}],q[{b}];");
+                let _ = writeln!(out, "rz({theta}) q[{b}];");
+                let _ = writeln!(out, "cx q[{a}],q[{b}];");
+            }
+            Gate::Phase(theta) => {
+                let _ = writeln!(out, "u1({theta}) q[{}];", qs[0].index());
+            }
+            Gate::CPhase(theta) => {
+                let _ = writeln!(out, "cu1({theta}) q[{}],q[{}];", qs[0].index(), qs[1].index());
+            }
+            g => {
+                let name = g.name();
+                match g.param() {
+                    Some(theta) => {
+                        let _ = write!(out, "{name}({theta}) ");
+                    }
+                    None => {
+                        let _ = write!(out, "{name} ");
+                    }
+                }
+                let operands: Vec<String> =
+                    qs.iter().map(|q| format!("q[{}]", q.index())).collect();
+                let _ = writeln!(out, "{};", operands.join(","));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_declares_registers() {
+        let qasm = to_qasm(&Circuit::new(5));
+        assert!(qasm.contains("qreg q[5];"));
+        assert!(qasm.contains("creg c[5];"));
+        assert!(qasm.contains("include \"qelib1.inc\";"));
+    }
+
+    #[test]
+    fn rotations_carry_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25);
+        assert!(to_qasm(&c).contains("rz(0.25) q[0];"));
+    }
+
+    #[test]
+    fn rzz_decomposes_to_cx_rz_cx() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.5);
+        let qasm = to_qasm(&c);
+        let body: Vec<&str> = qasm.lines().skip(4).collect();
+        assert_eq!(body, vec!["cx q[0],q[1];", "rz(0.5) q[1];", "cx q[0],q[1];"]);
+    }
+
+    #[test]
+    fn cphase_uses_cu1() {
+        let mut c = Circuit::new(2);
+        c.cp(1, 0, 0.125);
+        assert!(to_qasm(&c).contains("cu1(0.125) q[1],q[0];"));
+    }
+
+    #[test]
+    fn every_gate_kind_serializes() {
+        let mut c = Circuit::new(3);
+        c.h(0).x(1).y(2).z(0).s(1).t(2).rx(0, 0.1).ry(1, 0.2).rz(2, 0.3);
+        c.p(0, 0.4).cx(0, 1).cz(1, 2).cp(0, 2, 0.5).rzz(0, 1, 0.6).swap(1, 2);
+        c.measure(0);
+        let qasm = to_qasm(&c);
+        for needle in
+            ["h q[0];", "x q[1];", "swap q[1],q[2];", "cu1(0.5)", "u1(0.4)", "measure q[0] -> c[0];"]
+        {
+            assert!(qasm.contains(needle), "missing {needle} in:\n{qasm}");
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! OpenQASM 2.0 import (the subset produced by [`crate::to_qasm`] plus
+//! common aliases).
+
+use crate::{Circuit, Gate};
+use dqc_types::QubitId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing an OpenQASM 2.0 program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending statement.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// Supported statements: the header (`OPENQASM`, `include`), one `qreg`,
+/// optional `creg`, gate applications over this crate's gate set (with the
+/// aliases `u1`→`p`, `cu1`→`cp`, `id`), `measure q[i] -> c[j];`, and
+/// `barrier` (ignored). Comments (`//`) are stripped.
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] for unknown gates, malformed operands,
+/// missing registers, or out-of-range qubits.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{from_qasm, to_qasm, Circuit};
+///
+/// # fn main() -> Result<(), dqc_circuit::ParseQasmError> {
+/// let mut original = Circuit::new(3);
+/// original.h(0).cx(0, 1).rzz(1, 2, 0.5).measure(2);
+/// let round_tripped = from_qasm(&to_qasm(&original))?;
+/// // rzz re-imports as its cx/rz/cx decomposition; unitaries agree.
+/// assert_eq!(round_tripped.num_qubits(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        for statement in line.split(';') {
+            let statement = statement.trim();
+            if statement.is_empty() {
+                continue;
+            }
+            parse_statement(statement, line_no, &mut circuit)?;
+        }
+    }
+    circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+}
+
+fn parse_statement(
+    statement: &str,
+    line: usize,
+    circuit: &mut Option<Circuit>,
+) -> Result<(), ParseQasmError> {
+    let (head, rest) = match statement.find(|c: char| c.is_whitespace() || c == '(') {
+        Some(pos) => statement.split_at(pos),
+        None => (statement, ""),
+    };
+    match head {
+        "OPENQASM" | "include" | "barrier" | "creg" => Ok(()),
+        "qreg" => {
+            let size = parse_register_size(rest.trim(), line)?;
+            if circuit.is_some() {
+                return Err(ParseQasmError::new(line, "multiple qreg declarations"));
+            }
+            *circuit = Some(Circuit::new(size));
+            Ok(())
+        }
+        "measure" => {
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| ParseQasmError::new(line, "measure before qreg"))?;
+            let operand = rest
+                .split("->")
+                .next()
+                .ok_or_else(|| ParseQasmError::new(line, "malformed measure"))?;
+            let q = parse_qubit(operand.trim(), line)?;
+            c.push(Gate::Measure, &[q])
+                .map_err(|e| ParseQasmError::new(line, e.to_string()))?;
+            Ok(())
+        }
+        name => {
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| ParseQasmError::new(line, "gate before qreg"))?;
+            let (gate, operand_text) = parse_gate(name, rest.trim(), line)?;
+            let qubits: Result<Vec<QubitId>, _> = operand_text
+                .split(',')
+                .map(|t| parse_qubit(t.trim(), line))
+                .collect();
+            c.push(gate, &qubits?)
+                .map_err(|e| ParseQasmError::new(line, e.to_string()))?;
+            Ok(())
+        }
+    }
+}
+
+fn parse_register_size(text: &str, line: usize) -> Result<u32, ParseQasmError> {
+    // e.g. "q[5]"
+    let open = text.find('[').ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
+    let close = text.find(']').ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
+    text[open + 1..close]
+        .parse()
+        .map_err(|_| ParseQasmError::new(line, "bad register size"))
+}
+
+fn parse_qubit(text: &str, line: usize) -> Result<QubitId, ParseQasmError> {
+    let open = text
+        .find('[')
+        .ok_or_else(|| ParseQasmError::new(line, format!("malformed operand {text}")))?;
+    let close = text
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(line, format!("malformed operand {text}")))?;
+    let index: u32 = text[open + 1..close]
+        .parse()
+        .map_err(|_| ParseQasmError::new(line, format!("bad qubit index in {text}")))?;
+    Ok(QubitId::new(index))
+}
+
+fn parse_gate<'a>(
+    name: &str,
+    rest: &'a str,
+    line: usize,
+) -> Result<(Gate, &'a str), ParseQasmError> {
+    // Split an optional "(angle)" prefix from the operand list.
+    let (param, operands) = if let Some(stripped) = rest.strip_prefix('(') {
+        let close = stripped
+            .find(')')
+            .ok_or_else(|| ParseQasmError::new(line, "unclosed parameter list"))?;
+        let angle = parse_angle(&stripped[..close], line)?;
+        (Some(angle), stripped[close + 1..].trim())
+    } else {
+        (None, rest)
+    };
+    let gate = match (name, param) {
+        ("id", None) => Gate::I,
+        ("h", None) => Gate::H,
+        ("x", None) => Gate::X,
+        ("y", None) => Gate::Y,
+        ("z", None) => Gate::Z,
+        ("s", None) => Gate::S,
+        ("sdg", None) => Gate::Sdg,
+        ("t", None) => Gate::T,
+        ("tdg", None) => Gate::Tdg,
+        ("rx", Some(a)) => Gate::Rx(a),
+        ("ry", Some(a)) => Gate::Ry(a),
+        ("rz", Some(a)) => Gate::Rz(a),
+        ("p" | "u1", Some(a)) => Gate::Phase(a),
+        ("cx", None) => Gate::Cx,
+        ("cz", None) => Gate::Cz,
+        ("cp" | "cu1", Some(a)) => Gate::CPhase(a),
+        ("rzz", Some(a)) => Gate::Rzz(a),
+        ("swap", None) => Gate::Swap,
+        (unknown, _) => {
+            return Err(ParseQasmError::new(line, format!("unsupported gate {unknown}")))
+        }
+    };
+    Ok((gate, operands))
+}
+
+/// Parses angles like `0.5`, `-1.2e-3`, `pi`, `pi/2`, `-pi/4`, `2*pi`.
+fn parse_angle(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+    let text = text.trim();
+    if let Ok(v) = text.parse::<f64>() {
+        return Ok(v);
+    }
+    let pi = std::f64::consts::PI;
+    let normalized = text.replace(' ', "");
+    let (sign, body) = match normalized.strip_prefix('-') {
+        Some(b) => (-1.0, b.to_string()),
+        None => (1.0, normalized),
+    };
+    if body == "pi" {
+        return Ok(sign * pi);
+    }
+    if let Some(denominator) = body.strip_prefix("pi/") {
+        if let Ok(d) = denominator.parse::<f64>() {
+            return Ok(sign * pi / d);
+        }
+    }
+    if let Some(factor) = body.strip_suffix("*pi") {
+        if let Ok(k) = factor.parse::<f64>() {
+            return Ok(sign * k * pi);
+        }
+    }
+    Err(ParseQasmError::new(line, format!("cannot parse angle {text}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_qasm;
+
+    #[test]
+    fn parses_simple_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];
+            cx q[0],q[1];
+            rz(0.25) q[2];
+            cp(0.5) q[1],q[2];
+            measure q[0] -> c[0];
+        "#;
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.operations()[0].gate(), Gate::H);
+        assert_eq!(c.operations()[1].gate(), Gate::Cx);
+        assert_eq!(c.operations()[2].gate(), Gate::Rz(0.25));
+        assert_eq!(c.operations()[4].gate(), Gate::Measure);
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "qreg q[1]; rz(pi) q[0]; rz(pi/2) q[0]; rz(-pi/4) q[0]; rz(2*pi) q[0];";
+        let c = from_qasm(src).unwrap();
+        let angles: Vec<f64> = c.operations().iter().filter_map(|op| op.gate().param()).collect();
+        let pi = std::f64::consts::PI;
+        assert_eq!(angles, vec![pi, pi / 2.0, -pi / 4.0, 2.0 * pi]);
+    }
+
+    #[test]
+    fn strips_comments_and_blank_lines() {
+        let src = "// header\nqreg q[2];\n\nh q[0]; // superpose\ncx q[0],q[1];";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_structure() {
+        let mut original = Circuit::new(4);
+        original.h(0).x(1).s(2).t(3).rx(0, 0.1).ry(1, 0.2).rz(2, 0.3).p(3, 0.4);
+        original.cx(0, 1).cz(1, 2).cp(2, 3, 0.5).swap(0, 3).measure(1);
+        let round = from_qasm(&to_qasm(&original)).unwrap();
+        // rzz is absent, so everything maps 1:1.
+        assert_eq!(round.len(), original.len());
+        for (a, b) in original.operations().iter().zip(round.operations()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rzz_round_trips_as_decomposition() {
+        let mut original = Circuit::new(2);
+        original.rzz(0, 1, 0.7);
+        let round = from_qasm(&to_qasm(&original)).unwrap();
+        let names: Vec<&str> = round.operations().iter().map(|o| o.gate().name()).collect();
+        assert_eq!(names, vec!["cx", "rz", "cx"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_qasm("qreg q[2];\nfrobnicate q[0];").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_gate_before_qreg() {
+        let err = from_qasm("h q[0];").unwrap_err();
+        assert!(err.to_string().contains("before qreg"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_qubits() {
+        let err = from_qasm("qreg q[2]; cx q[0],q[5];").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_duplicate_qreg() {
+        let err = from_qasm("qreg q[2]; qreg r[2];").unwrap_err();
+        assert!(err.to_string().contains("multiple qreg"));
+    }
+
+    #[test]
+    fn no_qreg_is_an_error() {
+        assert!(from_qasm("OPENQASM 2.0;").is_err());
+    }
+}

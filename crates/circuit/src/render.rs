@@ -1,0 +1,133 @@
+//! ASCII rendering of small circuits, for examples and debugging.
+
+use crate::{Circuit, Gate};
+
+/// Renders a circuit as ASCII art, one row per qubit wire, one column per
+/// unit-depth layer.
+///
+/// Intended for small circuits in examples and test failure output; wide
+/// circuits render wide.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::{render, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let art = render(&c);
+/// assert!(art.contains("h"));
+/// assert!(art.contains("●")); // control dot
+/// assert!(art.contains("⊕")); // target
+/// ```
+pub fn render(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits() as usize;
+    let layers = circuit.layers();
+    let mut rows: Vec<String> = (0..n).map(|q| format!("q{q:<3}: ")).collect();
+    let pad = rows.iter().map(String::len).max().unwrap_or(0);
+    for row in &mut rows {
+        while row.len() < pad {
+            row.push(' ');
+        }
+    }
+    for layer in &layers {
+        let mut labels: Vec<String> = vec![String::new(); n];
+        for id in layer {
+            let op = circuit.operation(*id).expect("layer ids valid");
+            let qs = op.qubits();
+            match op.gate() {
+                Gate::Cx => {
+                    labels[qs[0].as_usize()] = "●".to_string();
+                    labels[qs[1].as_usize()] = "⊕".to_string();
+                }
+                Gate::Cz => {
+                    labels[qs[0].as_usize()] = "●".to_string();
+                    labels[qs[1].as_usize()] = "●".to_string();
+                }
+                Gate::Swap => {
+                    labels[qs[0].as_usize()] = "╳".to_string();
+                    labels[qs[1].as_usize()] = "╳".to_string();
+                }
+                Gate::Measure => {
+                    labels[qs[0].as_usize()] = "[M]".to_string();
+                }
+                g if g.arity() == 2 => {
+                    let label = short_label(g);
+                    labels[qs[0].as_usize()] = format!("{label}┐");
+                    labels[qs[1].as_usize()] = format!("{label}┘");
+                }
+                g => {
+                    labels[qs[0].as_usize()] = short_label(g);
+                }
+            }
+        }
+        // Column width adapts to the widest label in the layer.
+        let cell = labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0)
+            .max(3)
+            + 2;
+        for (q, label) in labels.into_iter().enumerate() {
+            rows[q].push_str(&center(&label, cell));
+        }
+    }
+    let mut out = rows.join("\n");
+    out.push('\n');
+    out
+}
+
+fn short_label(gate: Gate) -> String {
+    match gate.param() {
+        Some(theta) => format!("{}({:.2})", gate.name(), theta),
+        None => gate.name().to_string(),
+    }
+}
+
+fn center(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    let right = width - len - left;
+    format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_row_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2);
+        let art = render(&c);
+        assert_eq!(art.trim_end().lines().count(), 3);
+    }
+
+    #[test]
+    fn rows_have_equal_width() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).rzz(2, 3, 0.5).measure(3);
+        let art = render(&c);
+        let widths: Vec<usize> =
+            art.trim_end().lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}\n{art}");
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let art = render(&Circuit::new(2));
+        assert!(art.contains("q0"));
+        assert!(art.contains("q1"));
+    }
+
+    #[test]
+    fn measurement_marker_present() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        assert!(render(&c).contains("[M]"));
+    }
+}

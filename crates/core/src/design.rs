@@ -1,0 +1,152 @@
+//! The six architecture designs compared in the paper's §V.
+
+use dqc_entanglement::GenerationPattern;
+use std::fmt;
+
+/// One of the DQC architecture designs evaluated in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::Design;
+///
+/// assert!(!Design::Original.uses_buffer());
+/// assert!(Design::AdaptBuf.adaptive_scheduling());
+/// assert!(Design::InitBuf.preinitializes());
+/// assert_eq!(Design::AsyncBuf.to_string(), "async_buf");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// No buffer qubits: successes pin their communication pair until
+    /// consumed (Fig. 2(c)).
+    Original,
+    /// Buffered, with synchronous (lockstep) generation attempts.
+    SyncBuf,
+    /// Buffered, with asynchronously staggered attempts (§III-C).
+    AsyncBuf,
+    /// `AsyncBuf` plus adaptive ASAP/ALAP segment scheduling (§III-D).
+    AdaptBuf,
+    /// `AdaptBuf` plus buffers pre-filled with EPR pairs at time zero.
+    InitBuf,
+    /// Monolithic execution: every gate local, no remote operations.
+    Ideal,
+}
+
+impl Design {
+    /// All six designs in the paper's presentation order.
+    pub const ALL: [Design; 6] = [
+        Design::Original,
+        Design::SyncBuf,
+        Design::AsyncBuf,
+        Design::AdaptBuf,
+        Design::InitBuf,
+        Design::Ideal,
+    ];
+
+    /// The five distributed designs (everything but `ideal`).
+    pub const DISTRIBUTED: [Design; 5] = [
+        Design::Original,
+        Design::SyncBuf,
+        Design::AsyncBuf,
+        Design::AdaptBuf,
+        Design::InitBuf,
+    ];
+
+    /// The four buffered designs shown in the Fig. 7 sweep.
+    pub const BUFFERED: [Design; 4] =
+        [Design::SyncBuf, Design::AsyncBuf, Design::AdaptBuf, Design::InitBuf];
+
+    /// Whether successful links are swapped into buffer qubits.
+    pub const fn uses_buffer(self) -> bool {
+        !matches!(self, Design::Original | Design::Ideal)
+    }
+
+    /// Whether generation attempts are staggered into sub-groups.
+    pub const fn asynchronous_generation(self) -> bool {
+        matches!(self, Design::AsyncBuf | Design::AdaptBuf | Design::InitBuf)
+    }
+
+    /// Whether the controller performs runtime ASAP/ALAP variant lookup.
+    pub const fn adaptive_scheduling(self) -> bool {
+        matches!(self, Design::AdaptBuf | Design::InitBuf)
+    }
+
+    /// Whether buffers start pre-filled with EPR pairs.
+    pub const fn preinitializes(self) -> bool {
+        matches!(self, Design::InitBuf)
+    }
+
+    /// The generation pattern this design runs, given the configured
+    /// number of stagger groups.
+    pub fn generation_pattern(self, async_groups: usize) -> GenerationPattern {
+        if self.asynchronous_generation() {
+            GenerationPattern::Asynchronous { groups: async_groups.max(1) }
+        } else {
+            GenerationPattern::Synchronous
+        }
+    }
+
+    /// The snake_case name used in the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Design::Original => "original",
+            Design::SyncBuf => "sync_buf",
+            Design::AsyncBuf => "async_buf",
+            Design::AdaptBuf => "adapt_buf",
+            Design::InitBuf => "init_buf",
+            Design::Ideal => "ideal",
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_match_paper_semantics() {
+        assert!(!Design::Original.uses_buffer());
+        assert!(Design::SyncBuf.uses_buffer());
+        assert!(!Design::SyncBuf.asynchronous_generation());
+        assert!(Design::AsyncBuf.asynchronous_generation());
+        assert!(!Design::AsyncBuf.adaptive_scheduling());
+        assert!(Design::AdaptBuf.adaptive_scheduling());
+        assert!(!Design::AdaptBuf.preinitializes());
+        assert!(Design::InitBuf.preinitializes());
+        assert!(Design::InitBuf.adaptive_scheduling());
+    }
+
+    #[test]
+    fn names_match_figures() {
+        let names: Vec<&str> = Design::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["original", "sync_buf", "async_buf", "adapt_buf", "init_buf", "ideal"]
+        );
+    }
+
+    #[test]
+    fn generation_patterns() {
+        assert_eq!(
+            Design::SyncBuf.generation_pattern(10),
+            GenerationPattern::Synchronous
+        );
+        assert_eq!(
+            Design::AdaptBuf.generation_pattern(10),
+            GenerationPattern::Asynchronous { groups: 10 }
+        );
+    }
+
+    #[test]
+    fn design_sets_are_consistent() {
+        assert_eq!(Design::ALL.len(), 6);
+        assert!(Design::DISTRIBUTED.iter().all(|d| *d != Design::Ideal));
+        assert!(Design::BUFFERED.iter().all(|d| d.uses_buffer()));
+    }
+}

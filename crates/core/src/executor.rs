@@ -1,0 +1,801 @@
+//! The event-driven executor: schedules a partitioned circuit on the
+//! buffered, asynchronously supplied DQC architecture and estimates depth
+//! and fidelity (paper §IV).
+
+use crate::{
+    segment_sequence, Design, ExecutionReport, RemoteFidelityTable, SegmentVariants,
+    SystemConfig, VariantKind,
+};
+use dqc_circuit::{Circuit, Gate, Operation};
+use dqc_entanglement::EntanglementService;
+use dqc_partition::{partition_circuit, PartitionError, QubitMap};
+use dqc_types::{Fidelity, NodeId, Tick};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvaluateError {
+    /// The circuit uses more qubits than the system hosts.
+    CircuitTooWide {
+        /// Qubits the circuit needs.
+        qubits: u32,
+        /// Data qubits the system provides.
+        capacity: usize,
+    },
+    /// The qubit partitioner failed.
+    Partition(PartitionError),
+    /// A remote gate can never be served (no communication qubits).
+    NoEntanglementPossible,
+}
+
+impl fmt::Display for EvaluateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluateError::CircuitTooWide { qubits, capacity } => {
+                write!(f, "circuit needs {qubits} qubits but the system hosts {capacity}")
+            }
+            EvaluateError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            EvaluateError::NoEntanglementPossible => {
+                write!(f, "remote gates present but no communication qubits configured")
+            }
+        }
+    }
+}
+
+impl Error for EvaluateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvaluateError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PartitionError> for EvaluateError {
+    fn from(e: PartitionError) -> Self {
+        EvaluateError::Partition(e)
+    }
+}
+
+/// Evaluates one circuit on one design with one random seed, returning the
+/// depth/fidelity report (one bar of the paper's Figures 5–8 before
+/// averaging).
+///
+/// # Errors
+///
+/// Returns [`EvaluateError`] when the circuit does not fit the system,
+/// partitioning fails, or remote gates exist with no communication qubits.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::{evaluate, Design, SystemConfig};
+/// use dqc_workloads::{tlim, TlimParams};
+///
+/// # fn main() -> Result<(), dqc_core::EvaluateError> {
+/// let circuit = tlim(32, 10, TlimParams::default());
+/// let config = SystemConfig::paper_two_node_32();
+/// let buffered = evaluate(&circuit, &config, Design::AsyncBuf, 1)?;
+/// let bare = evaluate(&circuit, &config, Design::Original, 1)?;
+/// assert!(buffered.makespan < bare.makespan, "buffering shortens the schedule");
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    circuit: &Circuit,
+    config: &SystemConfig,
+    design: Design,
+    seed: u64,
+) -> Result<ExecutionReport, EvaluateError> {
+    let capacity = config.total_data_qubits();
+    if circuit.num_qubits() as usize > capacity {
+        return Err(EvaluateError::CircuitTooWide { qubits: circuit.num_qubits(), capacity });
+    }
+    let ideal_makespan = ideal_schedule(circuit, config).makespan;
+    if design == Design::Ideal {
+        let tracker = ideal_schedule(circuit, config);
+        return Ok(tracker.into_report(design, ideal_makespan, None, (0, 0, 0), config));
+    }
+
+    let map = partition_circuit(circuit, config.num_nodes, config.partition_seed)?;
+    if map.count_remote(circuit) > 0 && config.comm_qubits_per_node == 0 {
+        return Err(EvaluateError::NoEntanglementPossible);
+    }
+
+    let table = RemoteFidelityTable::new(&config.fidelities);
+    let mut services = ServicePool::new(config, design, seed);
+    let mut tracker = Tracker::with_seed(circuit.num_qubits(), seed);
+
+    if design.adaptive_scheduling() {
+        let m = config.segment_remote_gates();
+        let ops = circuit.operations();
+        let mut counts = (0usize, 0usize, 0usize);
+        for seg in segment_sequence(ops, &map, m) {
+            let segment_ops = &ops[seg];
+            let variants = SegmentVariants::compile(segment_ops, &map);
+            let kind = choose_variant(segment_ops, &map, &mut services, &tracker, m);
+            match kind {
+                VariantKind::Original => counts.0 += 1,
+                VariantKind::Asap => counts.1 += 1,
+                VariantKind::Alap => counts.2 += 1,
+            }
+            for op in variants.sequence(kind) {
+                tracker.issue(op, &map, &mut services, &table, config)?;
+            }
+        }
+        let stats = services.merged_stats();
+        Ok(tracker.into_report(design, ideal_makespan, Some(stats), counts, config))
+    } else {
+        for op in circuit.operations() {
+            tracker.issue(op, &map, &mut services, &table, config)?;
+        }
+        let stats = services.merged_stats();
+        Ok(tracker.into_report(design, ideal_makespan, Some(stats), (0, 0, 0), config))
+    }
+}
+
+/// Runs [`evaluate`] for `runs` consecutive seeds and averages (the paper
+/// reports 50-run means).
+///
+/// # Errors
+///
+/// Propagates the first [`EvaluateError`] encountered.
+pub fn evaluate_many(
+    circuit: &Circuit,
+    config: &SystemConfig,
+    design: Design,
+    runs: usize,
+    base_seed: u64,
+) -> Result<crate::AveragedReport, EvaluateError> {
+    let reports: Result<Vec<_>, _> = (0..runs.max(1))
+        .map(|i| evaluate(circuit, config, design, base_seed.wrapping_add(i as u64)))
+        .collect();
+    Ok(crate::AveragedReport::from_runs(&reports?))
+}
+
+/// The §III-D lookup rule: probe the buffer level `e` where the segment
+/// would start; `e > m` → ASAP, `e = 0` → ALAP, otherwise original order.
+fn choose_variant(
+    segment_ops: &[Operation],
+    map: &QubitMap,
+    services: &mut ServicePool,
+    tracker: &Tracker,
+    m: usize,
+) -> VariantKind {
+    // The controller inspects the buffer when the segment's earliest gate
+    // could issue.
+    let t_probe = segment_ops
+        .iter()
+        .flat_map(|op| op.qubits())
+        .map(|q| tracker.ready[q.as_usize()])
+        .min()
+        .unwrap_or(Tick::ZERO);
+    let Some(pair) = segment_ops
+        .iter()
+        .find(|op| map.is_remote(op))
+        .map(|op| node_pair(map, op))
+    else {
+        return VariantKind::Original; // no remote gates in the segment
+    };
+    let e = match services.supply_for(pair) {
+        Supply::Background(service) => {
+            service.advance_to(t_probe);
+            service.available()
+        }
+        // On-demand generation banks nothing; adaptive designs are always
+        // buffered, so this arm is never reached in practice.
+        Supply::OnDemand(_) => 0,
+    };
+    if e > m {
+        VariantKind::Asap
+    } else if e == 0 {
+        VariantKind::Alap
+    } else {
+        VariantKind::Original
+    }
+}
+
+/// Obtains one Bell link from a supply no earlier than `t`, returning the
+/// grant time and the link's fidelity at that time.
+fn take_link(supply: &mut Supply, t: Tick) -> Result<(Tick, f64), EvaluateError> {
+    match supply {
+        Supply::Background(service) => {
+            let t_link = service.time_of_next_available(t);
+            if t_link == Tick::MAX {
+                return Err(EvaluateError::NoEntanglementPossible);
+            }
+            let start = t.max(t_link);
+            let link = service
+                .try_take(start)
+                .expect("service reported availability at this time");
+            Ok((start, link.fidelity))
+        }
+        Supply::OnDemand(gen) => Ok(gen.request(t)),
+    }
+}
+
+fn node_pair(map: &QubitMap, op: &Operation) -> (NodeId, NodeId) {
+    let qs = op.qubits();
+    let (a, b) = (map.node_of(qs[0]), map.node_of(qs[1]));
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Entanglement supply for one node pair.
+///
+/// Buffered designs run the continuous background [`EntanglementService`];
+/// the bufferless `original` design *cannot* run generation as a
+/// background service (the paper's §III-B layering argument: without
+/// buffer qubits there is nowhere to park a success), so it generates **on
+/// demand**: when a remote gate requests a pair, all communication qubits
+/// attempt until the first success, and surplus successes of that round
+/// are wasted.
+enum Supply {
+    Background(EntanglementService),
+    OnDemand(OnDemandGenerator),
+}
+
+/// On-demand generation for the `original` design.
+struct OnDemandGenerator {
+    pairs: usize,
+    success_probability: f64,
+    cycle: Tick,
+    initial_fidelity: f64,
+    /// The communication hardware serves one outstanding request at a
+    /// time; overlapping requests queue.
+    busy_until: Tick,
+    stats: dqc_entanglement::ServiceStats,
+    rng: rand_chacha::ChaCha8Rng,
+}
+
+impl OnDemandGenerator {
+    /// Serves one remote-gate request issued at `t`: returns the time the
+    /// link is heralded and its (fresh) fidelity.
+    fn request(&mut self, t: Tick) -> (Tick, f64) {
+        use rand::RngExt;
+        let start = t.max(self.busy_until);
+        let mut rounds: i64 = 0;
+        loop {
+            rounds += 1;
+            let mut successes = 0u64;
+            for _ in 0..self.pairs {
+                self.stats.attempts += 1;
+                if self.rng.random_bool(self.success_probability.clamp(0.0, 1.0)) {
+                    successes += 1;
+                }
+            }
+            if successes > 0 {
+                self.stats.successes += successes;
+                self.stats.wasted += successes - 1; // no storage: surplus lost
+                self.stats.consumed += 1;
+                break;
+            }
+        }
+        let done = start + self.cycle * rounds;
+        self.busy_until = done;
+        (done, self.initial_fidelity)
+    }
+}
+
+/// One entanglement supply per node pair (a two-node system has exactly
+/// one).
+struct ServicePool {
+    supplies: HashMap<(NodeId, NodeId), Supply>,
+    config: SystemConfig,
+    design: Design,
+    seed: u64,
+}
+
+impl ServicePool {
+    fn new(config: &SystemConfig, design: Design, seed: u64) -> Self {
+        Self { supplies: HashMap::new(), config: config.clone(), design, seed }
+    }
+
+    fn supply_for(&mut self, pair: (NodeId, NodeId)) -> &mut Supply {
+        let config = &self.config;
+        let design = self.design;
+        let seed = self.seed;
+        self.supplies.entry(pair).or_insert_with(|| {
+            // With more than two nodes, each node's communication qubits
+            // are split across its links.
+            let links_per_node = (config.num_nodes - 1).max(1);
+            let pairs = (config.comm_qubits_per_node / links_per_node).max(1);
+            let pair_salt =
+                (pair.0.index() as u64) << 32 | ((pair.1.index() as u64) << 16) | 0xD0C;
+            if design.uses_buffer() {
+                let pattern = design.generation_pattern(config.async_groups);
+                let mut service_config = config.service_config(pattern, true);
+                service_config.num_comm_pairs = pairs;
+                let mut service = EntanglementService::new(service_config, seed ^ pair_salt);
+                if design.preinitializes() {
+                    service.preinitialize(config.buffer_qubits_per_node);
+                }
+                Supply::Background(service)
+            } else {
+                Supply::OnDemand(OnDemandGenerator {
+                    pairs,
+                    success_probability: config.success_probability,
+                    cycle: config.latencies.epr_cycle,
+                    initial_fidelity: config.fidelities.epr,
+                    busy_until: Tick::ZERO,
+                    stats: dqc_entanglement::ServiceStats::default(),
+                    rng: <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
+                        seed ^ pair_salt,
+                    ),
+                })
+            }
+        })
+    }
+
+    fn merged_stats(&self) -> dqc_entanglement::ServiceStats {
+        let mut total = dqc_entanglement::ServiceStats::default();
+        for s in self.supplies.values() {
+            let st = match s {
+                Supply::Background(svc) => *svc.stats(),
+                Supply::OnDemand(gen) => gen.stats,
+            };
+            total.attempts += st.attempts;
+            total.successes += st.successes;
+            total.consumed += st.consumed;
+            total.wasted += st.wasted;
+            total.preinitialized += st.preinitialized;
+            total.total_consumed_age += st.total_consumed_age;
+            total.peak_buffered = total.peak_buffered.max(st.peak_buffered);
+        }
+        total
+    }
+}
+
+/// Per-qubit schedule tracker plus fidelity bookkeeping.
+struct Tracker {
+    ready: Vec<Tick>,
+    busy: Vec<Tick>,
+    used: Vec<bool>,
+    makespan: Tick,
+    local_fidelity: Fidelity,
+    remote_fidelity: Fidelity,
+    remote_gates: usize,
+    total_link_wait: Tick,
+    rng: rand_chacha::ChaCha8Rng,
+}
+
+impl Tracker {
+    fn new(num_qubits: u32, _config: &SystemConfig) -> Self {
+        Self::with_seed(num_qubits, 0)
+    }
+
+    fn with_seed(num_qubits: u32, seed: u64) -> Self {
+        Self {
+            ready: vec![Tick::ZERO; num_qubits as usize],
+            busy: vec![Tick::ZERO; num_qubits as usize],
+            used: vec![false; num_qubits as usize],
+            makespan: Tick::ZERO,
+            local_fidelity: Fidelity::PERFECT,
+            remote_fidelity: Fidelity::PERFECT,
+            remote_gates: 0,
+            total_link_wait: Tick::ZERO,
+            rng: <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
+                seed ^ 0x7EAC_4E12,
+            ),
+        }
+    }
+
+    fn issue(
+        &mut self,
+        op: &Operation,
+        map: &QubitMap,
+        services: &mut ServicePool,
+        table: &RemoteFidelityTable,
+        config: &SystemConfig,
+    ) -> Result<(), EvaluateError> {
+        if map.is_remote(op) {
+            self.issue_remote(op, map, services, table, config)
+        } else {
+            self.issue_local(op, config);
+            Ok(())
+        }
+    }
+
+    fn deps_ready(&self, op: &Operation) -> Tick {
+        op.qubits()
+            .iter()
+            .map(|q| self.ready[q.as_usize()])
+            .max()
+            .unwrap_or(Tick::ZERO)
+    }
+
+    fn occupy(&mut self, op: &Operation, start: Tick, duration: Tick) {
+        let end = start + duration;
+        for q in op.qubits() {
+            self.ready[q.as_usize()] = end;
+            self.busy[q.as_usize()] += duration;
+            self.used[q.as_usize()] = true;
+        }
+        self.makespan = self.makespan.max(end);
+    }
+
+    fn issue_local(&mut self, op: &Operation, config: &SystemConfig) {
+        let gate = op.gate();
+        let (duration, fidelity) = match gate {
+            Gate::Measure => (config.latencies.measurement, config.fidelities.measurement),
+            Gate::Swap => (
+                config.latencies.two_qubit * 3,
+                config.fidelities.two_qubit.powi(3),
+            ),
+            g if g.arity() == 2 => (config.latencies.two_qubit, config.fidelities.two_qubit),
+            _ => (config.latencies.one_qubit, config.fidelities.one_qubit),
+        };
+        let start = self.deps_ready(op);
+        self.occupy(op, start, duration);
+        self.local_fidelity *= Fidelity::new(fidelity);
+    }
+
+    fn issue_remote(
+        &mut self,
+        op: &Operation,
+        map: &QubitMap,
+        services: &mut ServicePool,
+        table: &RemoteFidelityTable,
+        config: &SystemConfig,
+    ) -> Result<(), EvaluateError> {
+        let t_deps = self.deps_ready(op);
+        let pair = node_pair(map, op);
+        match config.remote_protocol {
+            crate::RemoteProtocol::GateTeleport => {
+                let (start, link_fidelity) = if config.purify_links {
+                    self.purified_link(services.supply_for(pair), t_deps, config)?
+                } else {
+                    take_link(services.supply_for(pair), t_deps)?
+                };
+                self.total_link_wait += start - t_deps;
+                self.remote_gates += 1;
+                self.occupy(op, start, config.remote_gate_latency());
+                // Remote-gate quality: the process fidelity of the
+                // teleported CNOT on the decayed link, reported as average
+                // gate fidelity (d = 4), the scalar convention of Table II.
+                let process = table.gate_fidelity(link_fidelity).value();
+                self.remote_fidelity *=
+                    Fidelity::new(dqc_sim::average_gate_fidelity(process, 4));
+            }
+            crate::RemoteProtocol::StateTeleport => {
+                // Teledata: hop out (link 1), local gate, hop back (link 2).
+                let (start, f_link1) = take_link(services.supply_for(pair), t_deps)?;
+                self.total_link_wait += start - t_deps;
+                let hop = config.state_teleport_latency();
+                let after_gate = start + hop + config.latencies.two_qubit;
+                let (back_start, f_link2) =
+                    take_link(services.supply_for(pair), after_gate)?;
+                self.total_link_wait += back_start - after_gate;
+                let end = back_start + hop;
+                self.remote_gates += 1;
+                self.occupy(op, start, end - start);
+                let f_out = table.state_teleport_fidelity(f_link1).value();
+                let f_back = table.state_teleport_fidelity(f_link2).value();
+                let hops = dqc_sim::average_gate_fidelity(f_out, 2)
+                    * dqc_sim::average_gate_fidelity(f_back, 2);
+                self.remote_fidelity *=
+                    Fidelity::new(hops * config.fidelities.two_qubit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes links two at a time, purifying (BBPSSW) until a round
+    /// succeeds, and returns the grant time and the purified fidelity.
+    fn purified_link(
+        &mut self,
+        supply: &mut Supply,
+        t: Tick,
+        config: &SystemConfig,
+    ) -> Result<(Tick, f64), EvaluateError> {
+        use rand::RngExt;
+        let mut now = t;
+        loop {
+            let (t1, f1) = take_link(supply, now)?;
+            let (t2, f2) = take_link(supply, t1)?;
+            let round_done = t2 + config.purification_latency();
+            let outcome = dqc_sim::purify_werner(f1.clamp(0.25, 1.0), f2.clamp(0.25, 1.0));
+            if self.rng.random_bool(outcome.success_probability.clamp(0.0, 1.0)) {
+                return Ok((round_done, outcome.fidelity));
+            }
+            now = round_done; // both links lost; try again
+        }
+    }
+
+    fn into_report(
+        self,
+        design: Design,
+        ideal_makespan: Tick,
+        service_stats: Option<dqc_entanglement::ServiceStats>,
+        variant_counts: (usize, usize, usize),
+        config: &SystemConfig,
+    ) -> ExecutionReport {
+        // Idling decoherence (§IV-B): mean idle time of the participating
+        // data qubits, decayed at κ. Idle = wall-clock span minus busy.
+        let used_qubits = self.used.iter().filter(|u| **u).count().max(1);
+        let total_idle: Tick = self
+            .ready
+            .iter()
+            .zip(&self.busy)
+            .zip(&self.used)
+            .filter(|(_, used)| **used)
+            .map(|((_, busy), _)| self.makespan.saturating_sub(*busy) - Tick::ZERO)
+            .sum();
+        let mean_idle = total_idle.ticks() as f64 / used_qubits as f64;
+        // Two-sided depolarizing decay, the same 2κ convention as the
+        // Werner-link law of §IV-C (an idling data qubit degrades jointly
+        // with the partner it is entangled to).
+        let idle_fidelity =
+            Fidelity::new((-2.0 * config.kappa_per_tick * mean_idle).exp());
+        let fidelity = self.local_fidelity * self.remote_fidelity * idle_fidelity;
+        let mean_link_wait = if self.remote_gates == 0 {
+            0.0
+        } else {
+            self.total_link_wait.ticks() as f64 / self.remote_gates as f64
+        };
+        ExecutionReport {
+            design,
+            makespan: self.makespan,
+            ideal_makespan,
+            fidelity,
+            local_fidelity: self.local_fidelity,
+            remote_fidelity: self.remote_fidelity,
+            idle_fidelity,
+            remote_gates: self.remote_gates,
+            service_stats,
+            mean_link_wait,
+            variant_counts,
+        }
+    }
+}
+
+/// Schedules the circuit as if on a monolithic all-to-all device.
+fn ideal_schedule(circuit: &Circuit, config: &SystemConfig) -> Tracker {
+    let mut tracker = Tracker::new(circuit.num_qubits(), config);
+    for op in circuit.operations() {
+        tracker.issue_local(op, config);
+    }
+    tracker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_workloads::{qft, tlim, PaperBenchmark, TlimParams};
+
+    fn config() -> SystemConfig {
+        SystemConfig::paper_two_node_32()
+    }
+
+    #[test]
+    fn ideal_matches_timed_depth() {
+        let c = tlim(32, 10, TlimParams::default());
+        let r = evaluate(&c, &config(), Design::Ideal, 0).unwrap();
+        assert_eq!(r.makespan, c.timed_depth());
+        assert_eq!(r.remote_gates, 0);
+        assert!(r.depth_relative_to_ideal() == 1.0);
+    }
+
+    #[test]
+    fn distributed_designs_are_slower_than_ideal() {
+        let c = tlim(32, 10, TlimParams::default());
+        for design in Design::DISTRIBUTED {
+            let r = evaluate(&c, &config(), design, 3).unwrap();
+            assert!(
+                r.makespan > r.ideal_makespan,
+                "{design} should pay for remote gates"
+            );
+            assert_eq!(r.remote_gates, 10, "{design}: TLIM has 10 remote gates");
+        }
+    }
+
+    #[test]
+    fn buffering_reduces_depth() {
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let orig = evaluate(&c, &config(), Design::Original, 7).unwrap();
+        let sync = evaluate(&c, &config(), Design::SyncBuf, 7).unwrap();
+        assert!(
+            sync.makespan < orig.makespan,
+            "sync_buf {} vs original {}",
+            sync.depth_cnot_units(),
+            orig.depth_cnot_units()
+        );
+    }
+
+    #[test]
+    fn async_not_worse_than_sync_on_average() {
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let sync = evaluate_many(&c, &config(), Design::SyncBuf, 10, 100).unwrap();
+        let asyn = evaluate_many(&c, &config(), Design::AsyncBuf, 10, 100).unwrap();
+        assert!(
+            asyn.mean_depth <= sync.mean_depth * 1.02,
+            "async {} vs sync {}",
+            asyn.mean_depth,
+            sync.mean_depth
+        );
+    }
+
+    #[test]
+    fn init_buf_serves_first_gates_immediately() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let adapt = evaluate_many(&c, &config(), Design::AdaptBuf, 10, 40).unwrap();
+        let init = evaluate_many(&c, &config(), Design::InitBuf, 10, 40).unwrap();
+        assert!(
+            init.mean_depth <= adapt.mean_depth,
+            "init {} vs adapt {}",
+            init.mean_depth,
+            adapt.mean_depth
+        );
+        assert!(init.mean_link_wait <= adapt.mean_link_wait);
+    }
+
+    #[test]
+    fn fidelity_orderings_match_paper() {
+        // Paper §V-A (QAOA-r8-32): original < sync_buf < async_buf < ideal.
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let orig = evaluate_many(&c, &config(), Design::Original, 10, 0).unwrap();
+        let sync = evaluate_many(&c, &config(), Design::SyncBuf, 10, 0).unwrap();
+        let asyn = evaluate_many(&c, &config(), Design::AsyncBuf, 10, 0).unwrap();
+        let ideal = evaluate_many(&c, &config(), Design::Ideal, 1, 0).unwrap();
+        assert!(
+            orig.mean_fidelity < sync.mean_fidelity,
+            "original {} vs sync {}",
+            orig.mean_fidelity,
+            sync.mean_fidelity
+        );
+        // The async fidelity edge is small in our model (its advantage
+        // shows in depth and cutoff waste); allow 5% slack either way.
+        assert!(
+            sync.mean_fidelity <= asyn.mean_fidelity * 1.05,
+            "sync {} vs async {}",
+            sync.mean_fidelity,
+            asyn.mean_fidelity
+        );
+        assert!(asyn.mean_fidelity < ideal.mean_fidelity);
+    }
+
+    #[test]
+    fn depth_orderings_match_paper() {
+        // Paper Fig. 5 shape on the remote-heavy benchmark.
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let mut depths = std::collections::HashMap::new();
+        for design in Design::ALL {
+            let r = evaluate_many(&c, &config(), design, 10, 7).unwrap();
+            depths.insert(design, r.mean_depth);
+        }
+        assert!(depths[&Design::Original] > depths[&Design::SyncBuf] * 2.0,
+            "buffering should cut depth by more than half: orig {} sync {}",
+            depths[&Design::Original], depths[&Design::SyncBuf]);
+        assert!(depths[&Design::SyncBuf] > depths[&Design::AsyncBuf],
+            "async smooths arrivals: sync {} async {}",
+            depths[&Design::SyncBuf], depths[&Design::AsyncBuf]);
+        assert!(depths[&Design::AsyncBuf] >= depths[&Design::AdaptBuf] * 0.99);
+        assert!(depths[&Design::AdaptBuf] >= depths[&Design::InitBuf] * 0.99);
+        assert!(depths[&Design::InitBuf] > depths[&Design::Ideal]);
+    }
+
+    #[test]
+    fn adaptive_uses_variants() {
+        let c = qft(32);
+        let r = evaluate(&c, &config(), Design::AdaptBuf, 5).unwrap();
+        let (orig, asap, alap) = r.variant_counts;
+        assert!(orig + asap + alap > 0, "QFT must be segmented");
+        assert!(asap + alap > 0, "controller should pick non-default variants sometimes");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let a = evaluate(&c, &config(), Design::AsyncBuf, 9).unwrap();
+        let b = evaluate(&c, &config(), Design::AsyncBuf, 9).unwrap();
+        assert_eq!(a, b);
+        let c2 = evaluate(&c, &config(), Design::AsyncBuf, 10).unwrap();
+        assert_ne!(a.makespan, c2.makespan);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let c = qft(64);
+        let err = evaluate(&c, &config(), Design::AsyncBuf, 0).unwrap_err();
+        assert!(matches!(err, EvaluateError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn no_comm_qubits_rejected() {
+        let mut cfg = config();
+        cfg.comm_qubits_per_node = 0;
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let err = evaluate(&c, &cfg, Design::SyncBuf, 0).unwrap_err();
+        assert_eq!(err, EvaluateError::NoEntanglementPossible);
+    }
+
+    #[test]
+    fn more_comm_qubits_reduce_depth() {
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let small = evaluate_many(&c, &config(), Design::InitBuf, 8, 0).unwrap();
+        let large =
+            evaluate_many(&c, &config().with_comm_and_buffer(20), Design::InitBuf, 8, 0)
+                .unwrap();
+        assert!(
+            large.mean_depth < small.mean_depth,
+            "20 comm {} vs 10 comm {}",
+            large.mean_depth,
+            small.mean_depth
+        );
+    }
+
+    #[test]
+    fn state_teleport_consumes_two_links_per_gate() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let mut cfg = config();
+        cfg.remote_protocol = crate::RemoteProtocol::StateTeleport;
+        let tele = evaluate(&c, &cfg, Design::AsyncBuf, 4).unwrap();
+        let gate = evaluate(&c, &config(), Design::AsyncBuf, 4).unwrap();
+        assert_eq!(tele.remote_gates, gate.remote_gates);
+        let tele_links = tele.service_stats.unwrap().consumed;
+        let gate_links = gate.service_stats.unwrap().consumed;
+        assert_eq!(tele_links, 2 * gate_links, "teledata uses 2 EPR pairs per gate");
+    }
+
+    #[test]
+    fn gate_teleport_dominates_state_teleport() {
+        // The paper (after AutoComm) assumes gate teleportation; the
+        // teledata alternative must cost more depth (2 links + 2 hops) and
+        // more fidelity (2 noisy hops) — reproducing that design wisdom.
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let mut cfg = config();
+        cfg.remote_protocol = crate::RemoteProtocol::StateTeleport;
+        let tele = evaluate_many(&c, &cfg, Design::AsyncBuf, 8, 0).unwrap();
+        let gate = evaluate_many(&c, &config(), Design::AsyncBuf, 8, 0).unwrap();
+        assert!(
+            tele.mean_depth > gate.mean_depth,
+            "teledata {} should be slower than telegate {}",
+            tele.mean_depth,
+            gate.mean_depth
+        );
+        assert!(
+            tele.mean_fidelity < gate.mean_fidelity,
+            "teledata {} should be noisier than telegate {}",
+            tele.mean_fidelity,
+            gate.mean_fidelity
+        );
+    }
+
+    #[test]
+    fn purification_trades_depth_for_remote_fidelity() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let mut cfg = config();
+        cfg.purify_links = true;
+        let purified = evaluate_many(&c, &cfg, Design::AsyncBuf, 8, 0).unwrap();
+        let plain = evaluate_many(&c, &config(), Design::AsyncBuf, 8, 0).unwrap();
+        assert!(
+            purified.mean_depth > plain.mean_depth,
+            "purification costs depth: {} vs {}",
+            purified.mean_depth,
+            plain.mean_depth
+        );
+        // Remote-gate quality must improve (per-gate), even if the extra
+        // idling eats some of it at the circuit level.
+        let purified_remote = evaluate(&c, &cfg, Design::AsyncBuf, 3).unwrap().remote_fidelity;
+        let plain_remote = evaluate(&c, &config(), Design::AsyncBuf, 3).unwrap().remote_fidelity;
+        assert!(
+            purified_remote.value() > plain_remote.value(),
+            "purified remote product {} vs plain {}",
+            purified_remote.value(),
+            plain_remote.value()
+        );
+    }
+
+    #[test]
+    fn fidelity_components_multiply() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let r = evaluate(&c, &config(), Design::AsyncBuf, 2).unwrap();
+        let product = r.local_fidelity * r.remote_fidelity * r.idle_fidelity;
+        assert!((product.value() - r.fidelity.value()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's primary contribution: a distributed-quantum-computing
+//! architecture co-designing **entanglement buffering**, **asynchronous
+//! generation**, and **adaptive remote-gate scheduling**, with the
+//! event-driven executor that evaluates it.
+//!
+//! The crate models the full §III architecture:
+//!
+//! * [`SystemConfig`] — node layout, Table II latencies/fidelities,
+//!   `psucc`, κ (§IV-A).
+//! * [`Design`] — the six §V designs (`original`, `sync_buf`, `async_buf`,
+//!   `adapt_buf`, `init_buf`, `ideal`).
+//! * [`segment_sequence`] / [`SegmentVariants`] — the §III-D segmentation
+//!   and pre-compiled ASAP/ALAP variants.
+//! * [`RemoteFidelityTable`] — the §IV-C remote-gate fidelity from the
+//!   density-matrix teleportation evaluation, via the exact affine law.
+//! * [`evaluate`] / [`evaluate_many`] — one run / a 50-run average of a
+//!   benchmark on a design, yielding [`ExecutionReport`]s.
+//!
+//! # Examples
+//!
+//! Reproduce one bar of the paper's Figure 5:
+//!
+//! ```
+//! use dqc_core::{evaluate_many, Design, SystemConfig};
+//! use dqc_workloads::PaperBenchmark;
+//!
+//! # fn main() -> Result<(), dqc_core::EvaluateError> {
+//! let circuit = PaperBenchmark::QaoaR4_32.circuit();
+//! let config = SystemConfig::paper_two_node_32();
+//! let avg = evaluate_many(&circuit, &config, Design::AsyncBuf, 10, 0)?;
+//! println!("async_buf: {:.2}x ideal depth", avg.mean_depth_relative);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod design;
+mod executor;
+mod remote;
+mod report;
+mod segment;
+mod variants;
+
+pub use config::{OperationFidelities, OperationLatencies, RemoteProtocol, SystemConfig};
+pub use design::Design;
+pub use executor::{evaluate, evaluate_many, EvaluateError};
+pub use remote::RemoteFidelityTable;
+pub use report::{AveragedReport, ExecutionReport};
+pub use segment::{remote_count, segment_sequence};
+pub use variants::{alap_variant, asap_variant, SegmentVariants, VariantKind};

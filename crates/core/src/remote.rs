@@ -1,0 +1,142 @@
+//! Remote-gate fidelity as a function of the consumed link's fidelity.
+
+use crate::OperationFidelities;
+use dqc_sim::{state_teleportation_fidelity, teleported_cnot_fidelity, TeleportNoise};
+use dqc_types::Fidelity;
+
+/// Precomputed map from Bell-link fidelity to the process fidelity of the
+/// teleported remote gate (paper §IV-C).
+///
+/// The teleportation pipeline is a completely positive map that is
+/// **linear in the resource state**, and a Werner state is affine in its
+/// fidelity parameter, so the teleported gate's process fidelity is an
+/// *affine* function of the link fidelity:
+/// `F_gate(F_link) = slope · F_link + intercept`.
+/// Two density-matrix evaluations (at `F_link = 1` and `F_link = 0.25`)
+/// therefore determine the exact curve — no interpolation error.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::{OperationFidelities, RemoteFidelityTable};
+///
+/// let table = RemoteFidelityTable::new(&OperationFidelities::default());
+/// let fresh = table.gate_fidelity(0.99);
+/// let stale = table.gate_fidelity(0.90);
+/// assert!(fresh > stale);
+/// assert!(fresh.value() > 0.95);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteFidelityTable {
+    slope: f64,
+    intercept: f64,
+    st_slope: f64,
+    st_intercept: f64,
+}
+
+impl RemoteFidelityTable {
+    /// Evaluates the teleportation circuits at the two Werner extremes and
+    /// fits the exact affine laws (for both the telegate and the
+    /// state-teleportation hop).
+    pub fn new(fidelities: &OperationFidelities) -> Self {
+        let noise = TeleportNoise {
+            bell_fidelity: 1.0,
+            local_cnot_fidelity: fidelities.two_qubit,
+            measurement_fidelity: fidelities.measurement,
+            single_qubit_fidelity: fidelities.one_qubit,
+        };
+        let at_one = teleported_cnot_fidelity(&noise).value();
+        let at_quarter =
+            teleported_cnot_fidelity(&noise.with_bell_fidelity(0.25)).value();
+        let slope = (at_one - at_quarter) / 0.75;
+        let st_at_one = state_teleportation_fidelity(&noise).value();
+        let st_at_quarter =
+            state_teleportation_fidelity(&noise.with_bell_fidelity(0.25)).value();
+        let st_slope = (st_at_one - st_at_quarter) / 0.75;
+        Self {
+            slope,
+            intercept: at_one - slope,
+            st_slope,
+            st_intercept: st_at_one - st_slope,
+        }
+    }
+
+    /// Process fidelity of a telegate remote gate consuming a link of the
+    /// given fidelity (clamped to the valid Werner range `[0.25, 1]`).
+    pub fn gate_fidelity(&self, link_fidelity: f64) -> Fidelity {
+        let f = link_fidelity.clamp(0.25, 1.0);
+        Fidelity::new(self.slope * f + self.intercept)
+    }
+
+    /// Process fidelity of one state-teleportation hop over a link of the
+    /// given fidelity.
+    pub fn state_teleport_fidelity(&self, link_fidelity: f64) -> Fidelity {
+        let f = link_fidelity.clamp(0.25, 1.0);
+        Fidelity::new(self.st_slope * f + self.st_intercept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RemoteFidelityTable {
+        RemoteFidelityTable::new(&OperationFidelities::default())
+    }
+
+    #[test]
+    fn affine_law_matches_direct_evaluation() {
+        // The linearity argument must hold against the density engine at
+        // an interior point.
+        let t = table();
+        let noise = TeleportNoise::table_ii().with_bell_fidelity(0.7);
+        let direct = teleported_cnot_fidelity(&noise).value();
+        let via_table = t.gate_fidelity(0.7).value();
+        assert!(
+            (direct - via_table).abs() < 1e-9,
+            "affine: {via_table}, direct: {direct}"
+        );
+    }
+
+    #[test]
+    fn fresh_table_ii_link_fidelity_band() {
+        let f = table().gate_fidelity(0.99).value();
+        assert!(f > 0.97 && f < 0.995, "f = {f}");
+    }
+
+    #[test]
+    fn monotone_in_link_fidelity() {
+        let t = table();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let link = 0.25 + 0.75 * i as f64 / 20.0;
+            let f = t.gate_fidelity(link).value();
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_links() {
+        let t = table();
+        assert_eq!(t.gate_fidelity(0.1), t.gate_fidelity(0.25));
+        assert_eq!(t.gate_fidelity(1.5), t.gate_fidelity(1.0));
+    }
+
+    #[test]
+    fn perfect_operations_give_identity_law() {
+        let perfect = OperationFidelities {
+            one_qubit: 1.0,
+            two_qubit: 1.0,
+            measurement: 1.0,
+            epr: 1.0,
+        };
+        let t = RemoteFidelityTable::new(&perfect);
+        for link in [0.25, 0.5, 0.75, 1.0] {
+            assert!(
+                (t.gate_fidelity(link).value() - link).abs() < 1e-9,
+                "perfect locals: F_gate = F_link"
+            );
+        }
+    }
+}

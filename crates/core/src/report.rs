@@ -1,0 +1,197 @@
+//! Execution reports and multi-run aggregation.
+
+use crate::Design;
+use dqc_entanglement::ServiceStats;
+use dqc_types::{Fidelity, Tick};
+use std::fmt;
+
+/// Outcome of executing one circuit on one design (one random run).
+///
+/// Depths are in ticks; use [`ExecutionReport::depth_cnot_units`] for the
+/// paper's unit (one local CNOT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// The design that was executed.
+    pub design: Design,
+    /// Total makespan.
+    pub makespan: Tick,
+    /// Makespan of the same circuit on the ideal monolithic device.
+    pub ideal_makespan: Tick,
+    /// Estimated output fidelity (product of all factors below).
+    pub fidelity: Fidelity,
+    /// Product of local gate fidelities.
+    pub local_fidelity: Fidelity,
+    /// Product of remote (teleported) gate fidelities.
+    pub remote_fidelity: Fidelity,
+    /// Idling-decoherence factor `exp(−κ · mean data-qubit idle)`.
+    pub idle_fidelity: Fidelity,
+    /// Number of remote gates executed.
+    pub remote_gates: usize,
+    /// Entanglement-service counters (absent for the ideal design).
+    pub service_stats: Option<ServiceStats>,
+    /// Mean time a remote gate waited for a link, in ticks.
+    pub mean_link_wait: f64,
+    /// Number of segments scheduled per variant `(original, asap, alap)`
+    /// — all zeros for non-adaptive designs.
+    pub variant_counts: (usize, usize, usize),
+}
+
+impl ExecutionReport {
+    /// Makespan in the paper's depth unit (local CNOT latency).
+    pub fn depth_cnot_units(&self) -> f64 {
+        self.makespan.as_cnot_units()
+    }
+
+    /// Depth relative to the ideal monolithic execution (the y-axis of
+    /// Figures 5, 7, 8).
+    pub fn depth_relative_to_ideal(&self) -> f64 {
+        if self.ideal_makespan.is_zero() {
+            1.0
+        } else {
+            self.makespan.ticks() as f64 / self.ideal_makespan.ticks() as f64
+        }
+    }
+
+    /// Output fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: depth {:.1} ({}x ideal), fidelity {:.4} ({} remote gates)",
+            self.design,
+            self.depth_cnot_units(),
+            format_args!("{:.2}", self.depth_relative_to_ideal()),
+            self.fidelity.value(),
+            self.remote_gates
+        )
+    }
+}
+
+/// Mean metrics across many seeded runs (the paper averages 50).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedReport {
+    /// The design evaluated.
+    pub design: Design,
+    /// Number of runs averaged.
+    pub runs: usize,
+    /// Mean makespan in CNOT units.
+    pub mean_depth: f64,
+    /// Mean depth relative to ideal.
+    pub mean_depth_relative: f64,
+    /// Mean output fidelity.
+    pub mean_fidelity: f64,
+    /// Mean remote-gate count (constant across seeds for a fixed map).
+    pub mean_remote_gates: f64,
+    /// Mean link wait per remote gate, in ticks.
+    pub mean_link_wait: f64,
+    /// Mean number of links wasted by cutoff per run.
+    pub mean_wasted: f64,
+}
+
+impl AveragedReport {
+    /// Averages a non-empty set of reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or mixed designs.
+    pub fn from_runs(reports: &[ExecutionReport]) -> Self {
+        assert!(!reports.is_empty(), "need at least one run");
+        let design = reports[0].design;
+        assert!(
+            reports.iter().all(|r| r.design == design),
+            "cannot average across designs"
+        );
+        let n = reports.len() as f64;
+        Self {
+            design,
+            runs: reports.len(),
+            mean_depth: reports.iter().map(|r| r.depth_cnot_units()).sum::<f64>() / n,
+            mean_depth_relative: reports.iter().map(|r| r.depth_relative_to_ideal()).sum::<f64>()
+                / n,
+            mean_fidelity: reports.iter().map(|r| r.fidelity.value()).sum::<f64>() / n,
+            mean_remote_gates: reports.iter().map(|r| r.remote_gates as f64).sum::<f64>() / n,
+            mean_link_wait: reports.iter().map(|r| r.mean_link_wait).sum::<f64>() / n,
+            mean_wasted: reports
+                .iter()
+                .map(|r| r.service_stats.map_or(0.0, |s| s.wasted as f64))
+                .sum::<f64>()
+                / n,
+        }
+    }
+}
+
+impl fmt::Display for AveragedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<9} depth {:>8.1} ({:>5.2}x ideal)  fidelity {:.4}  [{} runs]",
+            self.design.name(),
+            self.mean_depth,
+            self.mean_depth_relative,
+            self.mean_fidelity,
+            self.runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(design: Design, makespan: i64, fidelity: f64) -> ExecutionReport {
+        ExecutionReport {
+            design,
+            makespan: Tick::new(makespan),
+            ideal_makespan: Tick::new(100),
+            fidelity: Fidelity::new(fidelity),
+            local_fidelity: Fidelity::new(fidelity),
+            remote_fidelity: Fidelity::PERFECT,
+            idle_fidelity: Fidelity::PERFECT,
+            remote_gates: 5,
+            service_stats: None,
+            mean_link_wait: 10.0,
+            variant_counts: (0, 0, 0),
+        }
+    }
+
+    #[test]
+    fn relative_depth_ratio() {
+        let r = report(Design::SyncBuf, 250, 0.9);
+        assert!((r.depth_relative_to_ideal() - 2.5).abs() < 1e-12);
+        assert!((r.depth_cnot_units() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_means() {
+        let runs = vec![
+            report(Design::SyncBuf, 200, 0.8),
+            report(Design::SyncBuf, 400, 0.6),
+        ];
+        let avg = AveragedReport::from_runs(&runs);
+        assert_eq!(avg.runs, 2);
+        assert!((avg.mean_depth - 30.0).abs() < 1e-12);
+        assert!((avg.mean_fidelity - 0.7).abs() < 1e-12);
+        assert!((avg.mean_depth_relative - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "across designs")]
+    fn averaging_rejects_mixed_designs() {
+        let _ = AveragedReport::from_runs(&[
+            report(Design::SyncBuf, 200, 0.8),
+            report(Design::AsyncBuf, 200, 0.8),
+        ]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = report(Design::AdaptBuf, 300, 0.75).to_string();
+        assert!(text.contains("adapt_buf"));
+        assert!(text.contains("30.0"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Circuit segmentation for the adaptive controller (§III-D).
+
+use dqc_circuit::Operation;
+use dqc_partition::QubitMap;
+use std::ops::Range;
+
+/// Splits a gate sequence into contiguous segments, each containing at
+/// most `m` remote gates (every segment except possibly the last contains
+/// exactly `m`).
+///
+/// The paper sets `m` to the product of the communication-qubit count and
+/// the per-attempt success probability — the expected number of EPR pairs
+/// arriving per generation cycle — so one segment's demand matches one
+/// cycle's supply.
+///
+/// # Panics
+///
+/// Panics when `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::Circuit;
+/// use dqc_core::segment_sequence;
+/// use dqc_partition::QubitMap;
+///
+/// let mut c = Circuit::new(4);
+/// c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 2).h(0);
+/// let map = QubitMap::contiguous(4, 2); // qubits 0,1 | 2,3
+/// let segments = segment_sequence(c.operations(), &map, 1);
+/// // Remote gates: cx(1,2) and cx(0,2) → two segments with one each.
+/// assert_eq!(segments.len(), 2);
+/// ```
+pub fn segment_sequence(
+    ops: &[Operation],
+    map: &QubitMap,
+    m: usize,
+) -> Vec<Range<usize>> {
+    assert!(m > 0, "segment size must be positive");
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut remote_in_segment = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        if map.is_remote(op) {
+            if remote_in_segment == m {
+                segments.push(start..i);
+                start = i;
+                remote_in_segment = 0;
+            }
+            remote_in_segment += 1;
+        }
+    }
+    if start < ops.len() {
+        segments.push(start..ops.len());
+    }
+    segments
+}
+
+/// Counts the remote gates within a segment.
+pub fn remote_count(ops: &[Operation], map: &QubitMap, segment: &Range<usize>) -> usize {
+    ops[segment.clone()].iter().filter(|op| map.is_remote(op)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::Circuit;
+
+    fn remote_heavy_circuit() -> (Circuit, QubitMap) {
+        // 4 qubits on 2 nodes (0,1 | 2,3); cx(1,2) is remote.
+        let mut c = Circuit::new(4);
+        for _ in 0..7 {
+            c.cx(0, 1); // local
+            c.cx(1, 2); // remote
+            c.h(3);
+        }
+        (c, QubitMap::contiguous(4, 2))
+    }
+
+    #[test]
+    fn segments_cover_all_ops_contiguously() {
+        let (c, map) = remote_heavy_circuit();
+        for m in 1..5 {
+            let segs = segment_sequence(c.operations(), &map, m);
+            assert_eq!(segs[0].start, 0);
+            assert_eq!(segs.last().unwrap().end, c.len());
+            for w in segs.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "no gaps or overlaps");
+            }
+        }
+    }
+
+    #[test]
+    fn each_full_segment_has_exactly_m_remote() {
+        let (c, map) = remote_heavy_circuit(); // 7 remote gates
+        let segs = segment_sequence(c.operations(), &map, 3);
+        let counts: Vec<usize> =
+            segs.iter().map(|s| remote_count(c.operations(), &map, s)).collect();
+        assert_eq!(counts, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn all_local_circuit_is_one_segment() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).h(0);
+        let map = QubitMap::contiguous(4, 2);
+        let segs = segment_sequence(c.operations(), &map, 2);
+        assert_eq!(segs, vec![0..3]);
+    }
+
+    #[test]
+    fn empty_sequence_has_no_segments() {
+        let map = QubitMap::contiguous(2, 2);
+        assert!(segment_sequence(&[], &map, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_m_panics() {
+        let map = QubitMap::contiguous(2, 2);
+        let _ = segment_sequence(&[], &map, 0);
+    }
+}

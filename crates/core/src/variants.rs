@@ -1,0 +1,223 @@
+//! ASAP / ALAP segment variants via remote-gate commutation (§III-D).
+
+use dqc_circuit::{commutes, Operation};
+use dqc_partition::QubitMap;
+
+/// The scheduling flavour of a pre-compiled segment variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantKind {
+    /// The segment exactly as compiled (program order).
+    Original,
+    /// Remote gates commuted as early as possible — consume buffered EPR
+    /// pairs now, freeing time to regenerate before the next segment.
+    Asap,
+    /// Remote gates commuted as late as possible — buy time for the
+    /// generator when no EPR pairs are banked.
+    Alap,
+}
+
+impl VariantKind {
+    /// All variants, in lookup-table order.
+    pub const ALL: [VariantKind; 3] = [VariantKind::Original, VariantKind::Asap, VariantKind::Alap];
+}
+
+/// Pre-compiled variants of one circuit segment.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::Circuit;
+/// use dqc_core::{SegmentVariants, VariantKind};
+/// use dqc_partition::QubitMap;
+///
+/// let mut c = Circuit::new(4);
+/// c.rz(2, 0.3).rzz(1, 2, 0.5).h(3); // rzz(1,2) is remote and diagonal
+/// let map = QubitMap::contiguous(4, 2);
+/// let variants = SegmentVariants::compile(c.operations(), &map);
+/// // ASAP hoists the remote rzz ahead of the rz it commutes with:
+/// let asap = variants.sequence(VariantKind::Asap);
+/// assert_eq!(asap[0].gate().name(), "rzz");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentVariants {
+    original: Vec<Operation>,
+    asap: Vec<Operation>,
+    alap: Vec<Operation>,
+}
+
+impl SegmentVariants {
+    /// Compiles the three variants of a segment under the given qubit map.
+    pub fn compile(ops: &[Operation], map: &QubitMap) -> Self {
+        Self {
+            original: ops.to_vec(),
+            asap: asap_variant(ops, map),
+            alap: alap_variant(ops, map),
+        }
+    }
+
+    /// The gate sequence of the requested variant.
+    pub fn sequence(&self, kind: VariantKind) -> &[Operation] {
+        match kind {
+            VariantKind::Original => &self.original,
+            VariantKind::Asap => &self.asap,
+            VariantKind::Alap => &self.alap,
+        }
+    }
+}
+
+/// Commutes every remote gate as far towards the front of the segment as
+/// the conservative commutation rules allow, preserving the relative order
+/// of the remote gates themselves.
+pub fn asap_variant(ops: &[Operation], map: &QubitMap) -> Vec<Operation> {
+    let mut seq: Vec<Operation> = ops.to_vec();
+    let mut remote: Vec<bool> = seq.iter().map(|op| map.is_remote(op)).collect();
+    for i in 0..seq.len() {
+        if !remote[i] {
+            continue;
+        }
+        // Bubble left past commuting local gates.
+        let mut j = i;
+        while j > 0 && !remote[j - 1] && commutes(&seq[j], &seq[j - 1]) {
+            seq.swap(j, j - 1);
+            remote.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+    seq
+}
+
+/// Commutes every remote gate as far towards the end of the segment as
+/// the commutation rules allow.
+pub fn alap_variant(ops: &[Operation], map: &QubitMap) -> Vec<Operation> {
+    let mut seq: Vec<Operation> = ops.to_vec();
+    let mut remote: Vec<bool> = seq.iter().map(|op| map.is_remote(op)).collect();
+    for i in (0..seq.len()).rev() {
+        if !remote[i] {
+            continue;
+        }
+        let mut j = i;
+        while j + 1 < seq.len() && !remote[j + 1] && commutes(&seq[j], &seq[j + 1]) {
+            seq.swap(j, j + 1);
+            remote.swap(j, j + 1);
+            j += 1;
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::Circuit;
+    use dqc_sim::Statevector;
+
+    /// QAOA-like segment: remote rzz gates commute with everything
+    /// diagonal around them.
+    fn qaoa_segment() -> (Circuit, QubitMap) {
+        let mut c = Circuit::new(4);
+        c.rz(0, 0.1)
+            .rzz(0, 1, 0.2) // local
+            .rzz(1, 2, 0.3) // remote
+            .rz(2, 0.4)
+            .rzz(2, 3, 0.5) // local
+            .rzz(0, 2, 0.6); // remote
+        (c, QubitMap::contiguous(4, 2))
+    }
+
+    fn apply_all(ops: &[Operation], n: u32) -> Statevector {
+        // Use a non-trivial input so diagonal reorderings are tested
+        // meaningfully: start in |+...+⟩.
+        let mut sv = Statevector::zero_state(n);
+        for q in 0..n {
+            sv.apply(&Operation::one(dqc_circuit::Gate::H, dqc_types::QubitId::new(q)))
+                .unwrap();
+        }
+        for op in ops {
+            sv.apply(op).unwrap();
+        }
+        sv
+    }
+
+    #[test]
+    fn variants_preserve_the_unitary() {
+        let (c, map) = qaoa_segment();
+        let reference = apply_all(c.operations(), 4);
+        for kind in VariantKind::ALL {
+            let variants = SegmentVariants::compile(c.operations(), &map);
+            let out = apply_all(variants.sequence(kind), 4);
+            assert!(
+                (reference.fidelity(&out) - 1.0).abs() < 1e-10,
+                "{kind:?} changed the circuit"
+            );
+        }
+    }
+
+    #[test]
+    fn asap_moves_remote_gates_earlier() {
+        let (c, map) = qaoa_segment();
+        let asap = asap_variant(c.operations(), &map);
+        let first_remote_original =
+            c.operations().iter().position(|op| map.is_remote(op)).unwrap();
+        let first_remote_asap = asap.iter().position(|op| map.is_remote(op)).unwrap();
+        assert!(first_remote_asap < first_remote_original);
+        // Fully diagonal segment: remote gates reach the very front.
+        assert!(map.is_remote(&asap[0]), "asap[0] = {}", asap[0]);
+        assert!(map.is_remote(&asap[1]), "asap[1] = {}", asap[1]);
+    }
+
+    #[test]
+    fn alap_moves_remote_gates_later() {
+        let (c, map) = qaoa_segment();
+        let alap = alap_variant(c.operations(), &map);
+        let n = alap.len();
+        assert!(map.is_remote(&alap[n - 1]));
+        assert!(map.is_remote(&alap[n - 2]));
+    }
+
+    #[test]
+    fn remote_relative_order_is_preserved() {
+        let (c, map) = qaoa_segment();
+        for seq in [asap_variant(c.operations(), &map), alap_variant(c.operations(), &map)] {
+            let remotes: Vec<String> = seq
+                .iter()
+                .filter(|op| map.is_remote(op))
+                .map(|op| op.to_string())
+                .collect();
+            assert_eq!(remotes, vec!["rzz(0.3000) q1, q2", "rzz(0.6000) q0, q2"]);
+        }
+    }
+
+    #[test]
+    fn non_commuting_barriers_stop_motion() {
+        // An H on the remote gate's qubit blocks hoisting.
+        let mut c = Circuit::new(4);
+        c.h(1).rzz(1, 2, 0.3);
+        let map = QubitMap::contiguous(4, 2);
+        let asap = asap_variant(c.operations(), &map);
+        assert_eq!(asap[0].gate().name(), "h", "H does not commute with rzz on q1");
+        assert_eq!(asap[1].gate().name(), "rzz");
+    }
+
+    #[test]
+    fn multiset_of_gates_unchanged() {
+        let (c, map) = qaoa_segment();
+        for seq in [asap_variant(c.operations(), &map), alap_variant(c.operations(), &map)] {
+            assert_eq!(seq.len(), c.len());
+            let mut names_orig: Vec<String> =
+                c.operations().iter().map(|o| o.to_string()).collect();
+            let mut names_var: Vec<String> = seq.iter().map(|o| o.to_string()).collect();
+            names_orig.sort();
+            names_var.sort();
+            assert_eq!(names_orig, names_var);
+        }
+    }
+
+    #[test]
+    fn all_local_segment_is_untouched() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.2);
+        let map = QubitMap::contiguous(2, 1); // single node: nothing remote
+        let asap = asap_variant(c.operations(), &map);
+        assert_eq!(asap, c.operations());
+    }
+}

@@ -1,0 +1,124 @@
+//! Entangled links and their idling decay.
+
+use dqc_types::Tick;
+
+/// A heralded Bell pair held between two nodes.
+///
+/// A link is born in Werner form with `initial_fidelity` (paper §IV-C) and
+/// decays while idling — both halves depolarize at rate κ, giving
+/// `F(t) = F₀·e^{−2κ·t} + (1 − e^{−2κ·t})/4`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_entanglement::EntangledLink;
+/// use dqc_types::Tick;
+///
+/// let link = EntangledLink::new(Tick::new(100), 0.99);
+/// // Fresh at birth:
+/// assert_eq!(link.fidelity_at(Tick::new(100), 2e-4), 0.99);
+/// // Decayed after idling:
+/// assert!(link.fidelity_at(Tick::new(1100), 2e-4) < 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntangledLink {
+    created_at: Tick,
+    initial_fidelity: f64,
+}
+
+impl EntangledLink {
+    /// Creates a link heralded at `created_at` with the given initial
+    /// Werner fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.25 ≤ initial_fidelity ≤ 1`.
+    pub fn new(created_at: Tick, initial_fidelity: f64) -> Self {
+        assert!(
+            (0.25..=1.0).contains(&initial_fidelity),
+            "initial fidelity out of range: {initial_fidelity}"
+        );
+        Self { created_at, initial_fidelity }
+    }
+
+    /// When the link was heralded.
+    pub fn created_at(&self) -> Tick {
+        self.created_at
+    }
+
+    /// The fidelity at creation.
+    pub fn initial_fidelity(&self) -> f64 {
+        self.initial_fidelity
+    }
+
+    /// Idle age at time `now` (zero before creation).
+    pub fn age(&self, now: Tick) -> Tick {
+        now.saturating_sub(self.created_at)
+    }
+
+    /// Werner fidelity after idling until `now`, for per-tick decoherence
+    /// rate `kappa_per_tick` (the paper's two-sided depolarizing decay).
+    pub fn fidelity_at(&self, now: Tick, kappa_per_tick: f64) -> f64 {
+        let kt = kappa_per_tick * self.age(now).ticks() as f64;
+        let decay = (-2.0 * kt).exp();
+        self.initial_fidelity * decay + (1.0 - decay) / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KAPPA: f64 = 2e-4; // 1/κ = 5000 ticks = 500 CNOT units (Table II)
+
+    #[test]
+    fn fresh_link_has_initial_fidelity() {
+        let l = EntangledLink::new(Tick::new(50), 0.97);
+        assert_eq!(l.fidelity_at(Tick::new(50), KAPPA), 0.97);
+        assert_eq!(l.age(Tick::new(50)), Tick::ZERO);
+    }
+
+    #[test]
+    fn age_clamps_before_creation() {
+        let l = EntangledLink::new(Tick::new(100), 0.99);
+        assert_eq!(l.age(Tick::new(10)), Tick::ZERO);
+        assert_eq!(l.fidelity_at(Tick::new(10), KAPPA), 0.99);
+    }
+
+    #[test]
+    fn decay_matches_analytic_law() {
+        let l = EntangledLink::new(Tick::ZERO, 0.99);
+        let f = l.fidelity_at(Tick::new(5000), KAPPA);
+        let expected = dqc_sim_formula(0.99, KAPPA * 5000.0);
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    fn dqc_sim_formula(f0: f64, kt: f64) -> f64 {
+        let d = (-2.0 * kt).exp();
+        f0 * d + (1.0 - d) / 4.0
+    }
+
+    #[test]
+    fn long_idle_converges_to_quarter() {
+        let l = EntangledLink::new(Tick::ZERO, 0.99);
+        let f = l.fidelity_at(Tick::new(1_000_000), KAPPA);
+        assert!((f - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decay() {
+        let l = EntangledLink::new(Tick::ZERO, 0.95);
+        let mut prev = 1.0;
+        for t in (0..10_000).step_by(500) {
+            let f = l.fidelity_at(Tick::new(t), KAPPA);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_fidelity() {
+        let _ = EntangledLink::new(Tick::ZERO, 0.1);
+    }
+}

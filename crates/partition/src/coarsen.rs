@@ -1,0 +1,193 @@
+//! Heavy-edge-matching coarsening (the "multilevel" in multilevel
+//! partitioning).
+
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One level of coarsening: the coarse graph plus the fine→coarse vertex
+/// map.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The contracted graph.
+    pub coarse: Graph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<u32>,
+}
+
+/// Contracts a maximal heavy-edge matching: vertices are visited in random
+/// order and greedily matched to the unmatched neighbour with the heaviest
+/// connecting edge (METIS's HEM rule). Matched pairs merge into one coarse
+/// vertex whose weight is the pair's sum; parallel edges accumulate.
+///
+/// Vertices heavier than `max_vertex_weight` are left unmatched so that the
+/// coarsest graph still admits a balanced bisection.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{coarsen_once, Graph};
+/// use rand::SeedableRng;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 10);
+/// g.add_edge(2, 3, 10);
+/// g.add_edge(1, 2, 1);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let level = coarsen_once(&g, u64::MAX, &mut rng);
+/// assert_eq!(level.coarse.num_vertices(), 2); // both heavy edges contract
+/// ```
+pub fn coarsen_once<R: Rng + ?Sized>(
+    graph: &Graph,
+    max_vertex_weight: u64,
+    rng: &mut R,
+) -> Coarsening {
+    let n = graph.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        // Heaviest unmatched neighbour whose merged weight stays in bounds.
+        let best = graph
+            .neighbors(v)
+            .iter()
+            .filter(|(u, _)| {
+                mate[*u as usize] == UNMATCHED
+                    && graph.vertex_weight(v) + graph.vertex_weight(*u) <= max_vertex_weight
+            })
+            .max_by_key(|(u, w)| (*w, std::cmp::Reverse(*u)));
+        match best {
+            Some(&(u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // stays a singleton
+        }
+    }
+
+    // Assign coarse ids: each pair (or singleton) gets one id, smaller
+    // endpoint first for determinism.
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+
+    let mut weights = vec![0u64; next as usize];
+    for v in 0..n as u32 {
+        weights[map[v as usize] as usize] += graph.vertex_weight(v);
+    }
+    let mut coarse = Graph::with_vertex_weights(weights);
+    for v in 0..n as u32 {
+        for &(u, w) in graph.neighbors(v) {
+            if v < u {
+                let (cv, cu) = (map[v as usize], map[u as usize]);
+                if cv != cu {
+                    coarse.add_edge(cv, cu, w);
+                }
+            }
+        }
+    }
+    Coarsening { coarse, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n as u32 - 1 {
+            g.add_edge(i, i + 1, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn coarsening_halves_or_better() {
+        let g = path(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let level = coarsen_once(&g, u64::MAX, &mut rng);
+        let nc = level.coarse.num_vertices();
+        assert!((8..16).contains(&nc), "coarse size {nc}");
+    }
+
+    #[test]
+    fn vertex_weight_is_conserved() {
+        let g = path(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let level = coarsen_once(&g, u64::MAX, &mut rng);
+        assert_eq!(level.coarse.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn edge_weight_outside_matching_is_conserved() {
+        // Total edge weight = matched (disappears) + cross (conserved).
+        let g = path(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let level = coarsen_once(&g, u64::MAX, &mut rng);
+        let contracted = g.num_vertices() - level.coarse.num_vertices();
+        assert_eq!(
+            level.coarse.total_edge_weight(),
+            g.total_edge_weight() - contracted as u64
+        );
+    }
+
+    #[test]
+    fn heavy_edges_contract_first() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 100);
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let level = coarsen_once(&g, u64::MAX, &mut rng);
+            assert_eq!(level.coarse.num_vertices(), 2);
+            assert_eq!(level.map[0], level.map[1], "heavy pair (0,1) merged");
+            assert_eq!(level.map[2], level.map[3], "heavy pair (2,3) merged");
+        }
+    }
+
+    #[test]
+    fn weight_cap_prevents_monster_vertices() {
+        let mut g = Graph::with_vertex_weights(vec![3, 3, 1, 1]);
+        g.add_edge(0, 1, 50);
+        g.add_edge(2, 3, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let level = coarsen_once(&g, 4, &mut rng);
+        // 0 and 1 (weight 6 > 4) must not merge.
+        assert_ne!(level.map[0], level.map[1]);
+        for v in 0..level.coarse.num_vertices() as u32 {
+            assert!(level.coarse.vertex_weight(v) <= 4);
+        }
+    }
+
+    #[test]
+    fn map_is_total_and_dense() {
+        let g = path(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let level = coarsen_once(&g, u64::MAX, &mut rng);
+        let nc = level.coarse.num_vertices() as u32;
+        assert!(level.map.iter().all(|&c| c < nc));
+        let mut used = vec![false; nc as usize];
+        for &c in &level.map {
+            used[c as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u), "every coarse id is used");
+    }
+}

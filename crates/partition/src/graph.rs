@@ -1,0 +1,170 @@
+//! Weighted undirected graphs for partitioning.
+
+use dqc_circuit::Circuit;
+
+/// An undirected graph with weighted edges and weighted vertices, in
+/// adjacency-list form.
+///
+/// This is the input format of the multilevel partitioner. Qubit
+/// interaction graphs are built with [`Graph::from_circuit`]: one vertex
+/// per qubit, one edge per interacting pair, weighted by the number of
+/// two-qubit gates between them (cutting it costs that many remote gates).
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::Circuit;
+/// use dqc_partition::Graph;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1).cx(0, 1).cz(1, 2);
+/// let g = Graph::from_circuit(&c);
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.edge_weight(0, 1), Some(2));
+/// assert_eq!(g.total_edge_weight(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<(u32, u64)>>,
+    vertex_weights: Vec<u64>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` unit-weight vertices.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], vertex_weights: vec![1; n] }
+    }
+
+    /// Creates an edgeless graph with explicit vertex weights.
+    pub fn with_vertex_weights(weights: Vec<u64>) -> Self {
+        Self { adj: vec![Vec::new(); weights.len()], vertex_weights: weights }
+    }
+
+    /// Builds the qubit-interaction graph of a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut g = Self::new(circuit.num_qubits() as usize);
+        for (a, b, w) in circuit.interactions() {
+            g.add_edge(a.index(), b.index(), w);
+        }
+        g
+    }
+
+    /// Adds `weight` to the edge `(a, b)`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or an out-of-range endpoint.
+    pub fn add_edge(&mut self, a: u32, b: u32, weight: u64) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        let n = self.adj.len() as u32;
+        assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} vertices");
+        for (dir_a, dir_b) in [(a, b), (b, a)] {
+            let list = &mut self.adj[dir_a as usize];
+            match list.iter_mut().find(|(v, _)| *v == dir_b) {
+                Some((_, w)) => *w += weight,
+                None => list.push((dir_b, weight)),
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The neighbours of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> &[(u32, u64)] {
+        &self.adj[v as usize]
+    }
+
+    /// The weight of edge `(a, b)`, if present.
+    pub fn edge_weight(&self, a: u32, b: u32) -> Option<u64> {
+        self.adj[a as usize].iter().find(|(v, _)| *v == b).map(|(_, w)| *w)
+    }
+
+    /// The weight of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> u64 {
+        self.vertex_weights[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adj
+            .iter()
+            .flat_map(|l| l.iter().map(|(_, w)| *w))
+            .sum::<u64>()
+            / 2
+    }
+
+    /// Weighted degree of `v` (sum of incident edge weights).
+    pub fn weighted_degree(&self, v: u32) -> u64 {
+        self.adj[v as usize].iter().map(|(_, w)| *w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_accumulates_weight() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 0, 3);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 0), Some(5));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_circuit_counts_interactions() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 0).rzz(2, 3, 0.5);
+        let g = Graph::from_circuit(&c);
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+        assert_eq!(g.edge_weight(2, 3), Some(1));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 2, 7);
+        assert_eq!(g.weighted_degree(0), 9);
+        assert_eq!(g.weighted_degree(1), 2);
+        assert_eq!(g.total_edge_weight(), 9);
+    }
+
+    #[test]
+    fn vertex_weights_default_to_one() {
+        let g = Graph::new(5);
+        assert_eq!(g.total_vertex_weight(), 5);
+        let g = Graph::with_vertex_weights(vec![2, 3]);
+        assert_eq!(g.total_vertex_weight(), 5);
+        assert_eq!(g.vertex_weight(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        Graph::new(2).add_edge(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        Graph::new(2).add_edge(0, 5, 1);
+    }
+}

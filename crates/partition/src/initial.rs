@@ -1,0 +1,135 @@
+//! Initial bisection of the coarsest graph (greedy graph growing).
+
+use crate::{cut_weight, Graph};
+use rand::{Rng, RngExt};
+
+/// Produces an initial bisection by greedy graph growing (METIS's GGGP):
+/// grow a region from a random seed vertex, repeatedly absorbing the
+/// frontier vertex with the strongest connection to the region, until side
+/// `false` reaches `target0` total weight as closely as possible.
+///
+/// Several random seeds are tried; the best resulting cut wins.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{grow_bisection, Graph};
+/// use rand::SeedableRng;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 9);
+/// g.add_edge(2, 3, 9);
+/// g.add_edge(1, 2, 1);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let side = grow_bisection(&g, 2, &mut rng, 4);
+/// assert_eq!(side.iter().filter(|s| !**s).count(), 2);
+/// ```
+pub fn grow_bisection<R: Rng + ?Sized>(
+    graph: &Graph,
+    target0: u64,
+    rng: &mut R,
+    trials: usize,
+) -> Vec<bool> {
+    let n = graph.num_vertices();
+    assert!(n > 0, "cannot bisect an empty graph");
+    let mut best: Option<(u64, u64, Vec<bool>)> = None; // (imbalance, cut, side)
+    for _ in 0..trials.max(1) {
+        let seed = rng.random_range(0..n as u32);
+        let side = grow_from(graph, target0, seed);
+        let w0: u64 =
+            (0..n as u32).filter(|&v| !side[v as usize]).map(|v| graph.vertex_weight(v)).sum();
+        let key = (w0.abs_diff(target0), cut_weight(graph, &side));
+        if best.as_ref().is_none_or(|(bi, bc, _)| key < (*bi, *bc)) {
+            best = Some((key.0, key.1, side));
+        }
+    }
+    best.expect("at least one trial ran").2
+}
+
+fn grow_from(graph: &Graph, target0: u64, seed: u32) -> Vec<bool> {
+    let n = graph.num_vertices();
+    // side false = the grown region.
+    let mut in_region = vec![false; n];
+    let mut weight = 0u64;
+    // Connection strength of each vertex to the region.
+    let mut attraction = vec![0u64; n];
+    let mut current = Some(seed);
+    while let Some(v) = current {
+        in_region[v as usize] = true;
+        weight += graph.vertex_weight(v);
+        if weight >= target0 {
+            break;
+        }
+        for &(u, w) in graph.neighbors(v) {
+            if !in_region[u as usize] {
+                attraction[u as usize] += w;
+            }
+        }
+        // Next: the frontier vertex with max attraction that fits; if the
+        // frontier is empty (disconnected graph), any unvisited vertex.
+        current = (0..n as u32)
+            .filter(|&u| {
+                !in_region[u as usize] && weight + graph.vertex_weight(u) <= target0.max(weight + 1)
+            })
+            .max_by_key(|&u| (attraction[u as usize], std::cmp::Reverse(u)));
+    }
+    in_region.iter().map(|r| !r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn grows_to_target_weight() {
+        let mut g = Graph::new(8);
+        for i in 0..7u32 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let side = grow_bisection(&g, 4, &mut rng, 8);
+        assert_eq!(side.iter().filter(|s| !**s).count(), 4);
+    }
+
+    #[test]
+    fn region_is_connected_on_a_path() {
+        // Growing on a path yields a contiguous block, hence cut = 1.
+        let mut g = Graph::new(10);
+        for i in 0..9u32 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let side = grow_bisection(&g, 5, &mut rng, 10);
+        assert_eq!(cut_weight(&g, &side), 1);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        // vertices 4, 5 isolated
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let side = grow_bisection(&g, 3, &mut rng, 6);
+        assert_eq!(side.iter().filter(|s| !**s).count(), 3);
+    }
+
+    #[test]
+    fn weighted_target_respected() {
+        let mut g = Graph::with_vertex_weights(vec![2, 2, 1, 1]);
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        g.add_edge(1, 2, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let side = grow_bisection(&g, 3, &mut rng, 8);
+        let w0: u64 =
+            (0..4u32).filter(|&v| !side[v as usize]).map(|v| g.vertex_weight(v)).sum();
+        assert!(w0.abs_diff(3) <= 1, "w0 = {w0}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Multilevel bisection and recursive k-way partitioning.
+
+use crate::{coarsen_once, fm_refine, grow_bisection, Graph};
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the partitioning entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// `parts` must be at least 1 and at most the vertex count.
+    InvalidPartCount {
+        /// Requested part count.
+        parts: usize,
+        /// Number of vertices available.
+        vertices: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::EmptyGraph => write!(f, "cannot partition an empty graph"),
+            PartitionError::InvalidPartCount { parts, vertices } => {
+                write!(f, "cannot split {vertices} vertices into {parts} parts")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// Result of a k-way partitioning: one part id per vertex plus the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[v]` is the part id of vertex `v` (in `0..parts`).
+    pub assignment: Vec<u32>,
+    /// Total weight of edges whose endpoints lie in different parts.
+    pub cut: u64,
+    /// Number of parts.
+    pub parts: usize,
+}
+
+impl Partition {
+    /// The total vertex weight of each part.
+    pub fn part_weights(&self, graph: &Graph) -> Vec<u64> {
+        let mut weights = vec![0u64; self.parts];
+        for v in 0..graph.num_vertices() as u32 {
+            weights[self.assignment[v as usize] as usize] += graph.vertex_weight(v);
+        }
+        weights
+    }
+}
+
+/// Multilevel two-way partition (METIS-style): heavy-edge-matching
+/// coarsening to ≤ 24 vertices, greedy-growing initial bisection, then
+/// FM refinement at every level on the way back up.
+///
+/// `target0` is the desired total vertex weight of side `false`;
+/// `tolerance` the allowed deviation (0 demands exact balance, achievable
+/// whenever vertex weights permit).
+///
+/// # Errors
+///
+/// Returns [`PartitionError::EmptyGraph`] for an empty graph.
+pub fn bisect<R: Rng + ?Sized>(
+    graph: &Graph,
+    target0: u64,
+    tolerance: u64,
+    rng: &mut R,
+) -> Result<Vec<bool>, PartitionError> {
+    if graph.num_vertices() == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    Ok(bisect_recursive(graph, target0, tolerance, rng, 0))
+}
+
+const COARSEST_SIZE: usize = 24;
+const MAX_LEVELS: usize = 24;
+const FM_PASSES: usize = 8;
+
+fn bisect_recursive<R: Rng + ?Sized>(
+    graph: &Graph,
+    target0: u64,
+    tolerance: u64,
+    rng: &mut R,
+    depth: usize,
+) -> Vec<bool> {
+    let n = graph.num_vertices();
+    if n <= COARSEST_SIZE || depth >= MAX_LEVELS {
+        let mut side = grow_bisection(graph, target0, rng, 4 + n.min(8));
+        fm_refine(graph, &mut side, target0, tolerance, FM_PASSES);
+        return side;
+    }
+    // Cap merged weight so a balanced bisection stays representable.
+    let max_w = (graph.total_vertex_weight() / 6).max(2);
+    let level = coarsen_once(graph, max_w, rng);
+    if level.coarse.num_vertices() >= n {
+        // Coarsening stalled (e.g. all-heavy vertices): solve directly.
+        let mut side = grow_bisection(graph, target0, rng, 8);
+        fm_refine(graph, &mut side, target0, tolerance, FM_PASSES);
+        return side;
+    }
+    // Solve coarse problem with slack one max-vertex, then refine tight.
+    let coarse_side =
+        bisect_recursive(&level.coarse, target0, tolerance.max(max_w), rng, depth + 1);
+    let mut side: Vec<bool> =
+        (0..n).map(|v| coarse_side[level.map[v] as usize]).collect();
+    fm_refine(graph, &mut side, target0, tolerance, FM_PASSES);
+    side
+}
+
+/// Recursive-bisection k-way partitioning with near-equal part weights
+/// (each part within ±`tolerance` of its proportional share at every
+/// bisection step).
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] for an empty graph or an invalid part count.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{partition_graph, Graph};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), dqc_partition::PartitionError> {
+/// let mut g = Graph::new(8);
+/// for i in 0..7 {
+///     g.add_edge(i, i + 1, 1);
+/// }
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let p = partition_graph(&g, 2, 0, &mut rng)?;
+/// assert_eq!(p.cut, 1, "a path splits with one cut edge");
+/// assert_eq!(p.part_weights(&g), vec![4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_graph<R: Rng + ?Sized>(
+    graph: &Graph,
+    parts: usize,
+    tolerance: u64,
+    rng: &mut R,
+) -> Result<Partition, PartitionError> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    if parts == 0 || parts > n {
+        return Err(PartitionError::InvalidPartCount { parts, vertices: n });
+    }
+    let mut assignment = vec![0u32; n];
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    split(graph, &vertices, parts, 0, tolerance, rng, &mut assignment);
+    let cut = {
+        let mut c = 0;
+        for v in 0..n as u32 {
+            for &(u, w) in graph.neighbors(v) {
+                if v < u && assignment[v as usize] != assignment[u as usize] {
+                    c += w;
+                }
+            }
+        }
+        c
+    };
+    Ok(Partition { assignment, cut, parts })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split<R: Rng + ?Sized>(
+    graph: &Graph,
+    vertices: &[u32],
+    parts: usize,
+    first_part: u32,
+    tolerance: u64,
+    rng: &mut R,
+    assignment: &mut [u32],
+) {
+    if parts == 1 {
+        for &v in vertices {
+            assignment[v as usize] = first_part;
+        }
+        return;
+    }
+    // Induced subgraph on `vertices`.
+    let mut index = vec![u32::MAX; graph.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        index[v as usize] = i as u32;
+    }
+    let mut sub = Graph::with_vertex_weights(
+        vertices.iter().map(|&v| graph.vertex_weight(v)).collect(),
+    );
+    for &v in vertices {
+        for &(u, w) in graph.neighbors(v) {
+            if v < u && index[u as usize] != u32::MAX {
+                sub.add_edge(index[v as usize], index[u as usize], w);
+            }
+        }
+    }
+    let k0 = parts / 2;
+    let k1 = parts - k0;
+    let target0 = sub.total_vertex_weight() * k0 as u64 / parts as u64;
+    let side = bisect(&sub, target0, tolerance, rng).expect("non-empty by construction");
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for (i, &v) in vertices.iter().enumerate() {
+        if side[i] {
+            right.push(v);
+        } else {
+            left.push(v);
+        }
+    }
+    split(graph, &left, k0, first_part, tolerance, rng, assignment);
+    split(graph, &right, k1, first_part + k0 as u32, tolerance, rng, assignment);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n as u32 {
+            g.add_edge(i, (i + 1) % n as u32, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn ring_bisection_is_two_cuts() {
+        let g = ring(32);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = partition_graph(&g, 2, 0, &mut rng).unwrap();
+        assert_eq!(p.cut, 2, "a ring cannot split with fewer than 2 cut edges");
+        assert_eq!(p.part_weights(&g), vec![16, 16]);
+    }
+
+    #[test]
+    fn clustered_graph_finds_clusters() {
+        // Four 8-cliques chained by single light edges.
+        let mut g = Graph::new(32);
+        for c in 0..4u32 {
+            let base = c * 8;
+            for i in base..base + 8 {
+                for j in i + 1..base + 8 {
+                    g.add_edge(i, j, 10);
+                }
+            }
+        }
+        for c in 0..3u32 {
+            g.add_edge(c * 8 + 7, (c + 1) * 8, 1);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p2 = partition_graph(&g, 2, 0, &mut rng).unwrap();
+        assert_eq!(p2.cut, 1, "2-way should cut one bridge");
+        let p4 = partition_graph(&g, 4, 0, &mut rng).unwrap();
+        assert_eq!(p4.cut, 3, "4-way should cut all three bridges");
+        assert_eq!(p4.part_weights(&g), vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn exact_balance_enforced_on_even_graphs() {
+        let g = ring(64);
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let p = partition_graph(&g, 2, 0, &mut rng).unwrap();
+            assert_eq!(p.part_weights(&g), vec![32, 32], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partition_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            partition_graph(&Graph::new(0), 2, 0, &mut rng).unwrap_err(),
+            PartitionError::EmptyGraph
+        );
+        assert!(matches!(
+            partition_graph(&ring(4), 0, 0, &mut rng).unwrap_err(),
+            PartitionError::InvalidPartCount { .. }
+        ));
+        assert!(matches!(
+            partition_graph(&ring(4), 5, 0, &mut rng).unwrap_err(),
+            PartitionError::InvalidPartCount { .. }
+        ));
+    }
+
+    #[test]
+    fn single_part_assigns_everything_to_zero() {
+        let g = ring(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = partition_graph(&g, 1, 0, &mut rng).unwrap();
+        assert!(p.assignment.iter().all(|&a| a == 0));
+        assert_eq!(p.cut, 0);
+    }
+
+    #[test]
+    fn three_way_split_of_path() {
+        let mut g = Graph::new(9);
+        for i in 0..8u32 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let p = partition_graph(&g, 3, 0, &mut rng).unwrap();
+        assert_eq!(p.cut, 2, "path into 3 blocks cuts 2 edges");
+        assert_eq!(p.part_weights(&g), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = ring(40);
+        let a = partition_graph(&g, 2, 0, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let b = partition_graph(&g, 2, 0, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

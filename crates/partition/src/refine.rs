@@ -1,0 +1,272 @@
+//! Fiduccia–Mattheyses refinement of a two-way partition.
+
+use crate::Graph;
+
+/// Weighted cut of a two-way partition.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{cut_weight, Graph};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 4);
+/// g.add_edge(1, 2, 1);
+/// assert_eq!(cut_weight(&g, &[false, false, true]), 1);
+/// assert_eq!(cut_weight(&g, &[false, true, true]), 4);
+/// ```
+pub fn cut_weight(graph: &Graph, side: &[bool]) -> u64 {
+    let mut cut = 0;
+    for v in 0..graph.num_vertices() as u32 {
+        for &(u, w) in graph.neighbors(v) {
+            if v < u && side[v as usize] != side[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Weight of side `false` of a partition.
+fn side0_weight(graph: &Graph, side: &[bool]) -> u64 {
+    (0..graph.num_vertices() as u32)
+        .filter(|&v| !side[v as usize])
+        .map(|v| graph.vertex_weight(v))
+        .sum()
+}
+
+/// Refines a bisection in place with Fiduccia–Mattheyses passes, returning
+/// the final cut weight.
+///
+/// Side `false` is driven towards `target0` total vertex weight, with
+/// `tolerance` slack. Each pass tentatively moves every vertex once in
+/// best-gain order (repairing imbalance first when out of tolerance) and
+/// rolls back to the best *balanced* prefix; passes repeat until no
+/// improvement.
+///
+/// # Panics
+///
+/// Panics when `side.len()` differs from the vertex count.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{cut_weight, fm_refine, Graph};
+///
+/// // Two triangles joined by one light edge; start from a bad split.
+/// let mut g = Graph::new(6);
+/// for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+///     g.add_edge(a, b, 10);
+/// }
+/// g.add_edge(2, 3, 1);
+/// let mut side = vec![false, true, false, true, false, true];
+/// let cut = fm_refine(&g, &mut side, 3, 0, 8);
+/// assert_eq!(cut, 1, "FM should recover the natural split");
+/// ```
+pub fn fm_refine(
+    graph: &Graph,
+    side: &mut [bool],
+    target0: u64,
+    tolerance: u64,
+    max_passes: usize,
+) -> u64 {
+    let n = graph.num_vertices();
+    assert_eq!(side.len(), n, "side vector size mismatch");
+    if n == 0 {
+        return 0;
+    }
+    let mut cut = cut_weight(graph, side);
+
+    for _ in 0..max_passes {
+        let improved = fm_pass(graph, side, target0, tolerance, &mut cut);
+        if !improved {
+            break;
+        }
+    }
+    cut
+}
+
+/// Distance of side-0 weight from its target.
+fn imbalance(w0: u64, target0: u64) -> u64 {
+    w0.abs_diff(target0)
+}
+
+fn fm_pass(
+    graph: &Graph,
+    side: &mut [bool],
+    target0: u64,
+    tolerance: u64,
+    cut: &mut u64,
+) -> bool {
+    let n = graph.num_vertices();
+    // gain[v] = cut reduction if v switches sides.
+    let mut gain = vec![0i64; n];
+    for v in 0..n as u32 {
+        for &(u, w) in graph.neighbors(v) {
+            if side[v as usize] != side[u as usize] {
+                gain[v as usize] += w as i64;
+            } else {
+                gain[v as usize] -= w as i64;
+            }
+        }
+    }
+
+    let mut locked = vec![false; n];
+    let mut w0 = side0_weight(graph, side);
+    let start_cut = *cut;
+    let mut running_cut = *cut;
+    let mut best_cut = if imbalance(w0, target0) <= tolerance { *cut } else { u64::MAX };
+    let mut best_prefix = 0usize;
+    let mut moves: Vec<u32> = Vec::with_capacity(n);
+    // Mid-pass, imbalance may temporarily exceed the tolerance by one
+    // vertex (the hallmark of FM); only balanced prefixes are recorded.
+    let max_vw = (0..n as u32).map(|v| graph.vertex_weight(v)).max().unwrap_or(1);
+    let pass_tolerance = tolerance + max_vw;
+
+    for _ in 0..n {
+        // Candidate = unlocked vertex whose move keeps (or restores)
+        // balance feasibility; among those, maximize gain.
+        let out_of_balance = imbalance(w0, target0) > tolerance;
+        let mut best: Option<(i64, std::cmp::Reverse<u32>, u32)> = None;
+        for v in 0..n as u32 {
+            if locked[v as usize] {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            let new_w0 = if side[v as usize] { w0 + vw } else { w0 - vw };
+            let feasible = if out_of_balance {
+                imbalance(new_w0, target0) < imbalance(w0, target0)
+            } else {
+                imbalance(new_w0, target0) <= pass_tolerance
+            };
+            if !feasible {
+                continue;
+            }
+            let key = (gain[v as usize], std::cmp::Reverse(v), v);
+            if best.is_none_or(|b| (key.0, key.1) > (b.0, b.1)) {
+                best = Some(key);
+            }
+        }
+        let Some((g, _, v)) = best else { break };
+
+        // Apply the move.
+        let vw = graph.vertex_weight(v);
+        w0 = if side[v as usize] { w0 + vw } else { w0 - vw };
+        side[v as usize] = !side[v as usize];
+        locked[v as usize] = true;
+        running_cut = (running_cut as i64 - g) as u64;
+        moves.push(v);
+        // Update neighbour gains.
+        for &(u, w) in graph.neighbors(v) {
+            if locked[u as usize] {
+                continue;
+            }
+            if side[u as usize] == side[v as usize] {
+                // u was across, now together: moving u away gains more.
+                gain[u as usize] -= 2 * w as i64;
+            } else {
+                gain[u as usize] += 2 * w as i64;
+            }
+        }
+        if imbalance(w0, target0) <= tolerance && running_cut < best_cut {
+            best_cut = running_cut;
+            best_prefix = moves.len();
+        }
+    }
+
+    // Roll back to the best balanced prefix.
+    for &v in moves[best_prefix..].iter().rev() {
+        side[v as usize] = !side[v as usize];
+    }
+    if best_cut == u64::MAX {
+        // Never reached balance; keep whatever the prefix produced.
+        *cut = cut_weight(graph, side);
+        return false;
+    }
+    *cut = best_cut;
+    best_cut < start_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques(bridge_weight: u64) -> Graph {
+        let mut g = Graph::new(8);
+        for part in [0u32, 4] {
+            for i in part..part + 4 {
+                for j in i + 1..part + 4 {
+                    g.add_edge(i, j, 10);
+                }
+            }
+        }
+        g.add_edge(3, 4, bridge_weight);
+        g
+    }
+
+    #[test]
+    fn recovers_natural_bisection_from_random_start() {
+        let g = two_cliques(1);
+        let mut side = vec![false, true, false, true, true, false, true, false];
+        let cut = fm_refine(&g, &mut side, 4, 0, 10);
+        assert_eq!(cut, 1);
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[4], side[5]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn repairs_imbalance_before_optimizing() {
+        let g = two_cliques(1);
+        // All on one side: grossly imbalanced.
+        let mut side = vec![false; 8];
+        let cut = fm_refine(&g, &mut side, 4, 0, 10);
+        let w0 = side.iter().filter(|s| !**s).count();
+        assert_eq!(w0, 4, "exact balance restored");
+        assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn respects_tolerance_zero_with_odd_weights() {
+        // 3 vertices, target 1, tolerance 1: any single vertex alone is ok.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        let mut side = vec![false, false, true];
+        let cut = fm_refine(&g, &mut side, 1, 1, 4);
+        assert!(cut <= 2);
+        let w0 = side.iter().filter(|s| !**s).count() as u64;
+        assert!(imbalance(w0, 1) <= 1);
+    }
+
+    #[test]
+    fn cut_weight_empty_graph_is_zero() {
+        let g = Graph::new(4);
+        assert_eq!(cut_weight(&g, &[false, true, false, true]), 0);
+        let mut side = vec![false, true, false, true];
+        assert_eq!(fm_refine(&g, &mut side, 2, 0, 3), 0);
+    }
+
+    #[test]
+    fn never_worsens_a_balanced_start() {
+        let g = two_cliques(5);
+        let mut side = vec![false, false, false, false, true, true, true, true];
+        let before = cut_weight(&g, &side);
+        let after = fm_refine(&g, &mut side, 4, 0, 10);
+        assert!(after <= before);
+        assert_eq!(after, 5, "optimal cut is the bridge");
+    }
+
+    #[test]
+    fn weighted_vertices_respected() {
+        // Vertex 0 weighs 3; a 3-vs-3 split must put it alone.
+        let mut g = Graph::with_vertex_weights(vec![3, 1, 1, 1]);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 5);
+        g.add_edge(2, 3, 5);
+        let mut side = vec![false, true, false, true];
+        let cut = fm_refine(&g, &mut side, 3, 0, 10);
+        let w0: u64 = (0..4u32).filter(|&v| !side[v as usize]).map(|v| g.vertex_weight(v)).sum();
+        assert_eq!(w0, 3);
+        assert_eq!(cut, 1, "best 3/3 split cuts only the light edge");
+    }
+}

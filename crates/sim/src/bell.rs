@@ -1,0 +1,210 @@
+//! Bell states, Werner states, and their idling dynamics.
+
+use crate::{DensityMatrix, Matrix, Statevector, C64};
+
+/// One of the four maximally entangled two-qubit Bell states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BellState {
+    /// `|Φ⁺⟩ = (|00⟩ + |11⟩)/√2`
+    PhiPlus,
+    /// `|Φ⁻⟩ = (|00⟩ − |11⟩)/√2`
+    PhiMinus,
+    /// `|Ψ⁺⟩ = (|01⟩ + |10⟩)/√2`
+    PsiPlus,
+    /// `|Ψ⁻⟩ = (|01⟩ − |10⟩)/√2`
+    PsiMinus,
+}
+
+impl BellState {
+    /// All four Bell states.
+    pub const ALL: [BellState; 4] =
+        [BellState::PhiPlus, BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
+
+    /// The statevector of this Bell state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_sim::BellState;
+    /// let psi = BellState::PhiPlus.statevector();
+    /// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn statevector(self) -> Statevector {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let (a, b, sign) = match self {
+            BellState::PhiPlus => (0b00, 0b11, 1.0),
+            BellState::PhiMinus => (0b00, 0b11, -1.0),
+            BellState::PsiPlus => (0b01, 0b10, 1.0),
+            BellState::PsiMinus => (0b01, 0b10, -1.0),
+        };
+        let mut amps = vec![C64::ZERO; 4];
+        amps[a] = C64::real(s);
+        amps[b] = C64::real(s * sign);
+        Statevector::from_amplitudes(amps)
+    }
+
+    /// The pure density operator of this Bell state.
+    pub fn density(self) -> DensityMatrix {
+        DensityMatrix::from_pure(&self.statevector())
+    }
+}
+
+/// A Werner state: `p·|Φ⁺⟩⟨Φ⁺| + (1−p)·I/4`, parameterized by its fidelity
+/// `F = ⟨Φ⁺|ρ|Φ⁺⟩` with the ideal Bell state (`p = (4F − 1)/3`).
+///
+/// This is the form the paper assumes for freshly generated entanglement
+/// (§IV-C).
+///
+/// # Panics
+///
+/// Panics unless `0.25 ≤ fidelity ≤ 1` (below 1/4 the state stops being a
+/// valid Werner mixture in this parameterization).
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::{werner, BellState};
+/// let rho = werner(0.95);
+/// let f = rho.fidelity_with_pure(&BellState::PhiPlus.statevector());
+/// assert!((f - 0.95).abs() < 1e-12);
+/// ```
+pub fn werner(fidelity: f64) -> DensityMatrix {
+    assert!((0.25..=1.0).contains(&fidelity), "werner fidelity out of range: {fidelity}");
+    let p = (4.0 * fidelity - 1.0) / 3.0;
+    let bell = BellState::PhiPlus.density();
+    let mixed = DensityMatrix::maximally_mixed(2);
+    let rho = &bell.operator().scale(C64::real(p))
+        + &mixed.operator().scale(C64::real(1.0 - p));
+    DensityMatrix::from_operator(2, rho)
+}
+
+/// The paper's idling-decay law for a buffered Bell pair (§IV-C): both
+/// halves depolarize at rate `κ`, giving
+/// `F(t) = F₀·e^{−2κt} + (1 − e^{−2κt})/4`.
+///
+/// `kappa_t` is the dimensionless product `κ·t`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::werner_fidelity_after;
+/// // No idling, no decay:
+/// assert_eq!(werner_fidelity_after(0.99, 0.0), 0.99);
+/// // Long idling converges to the fully mixed value 1/4:
+/// assert!((werner_fidelity_after(0.99, 100.0) - 0.25).abs() < 1e-6);
+/// ```
+pub fn werner_fidelity_after(f0: f64, kappa_t: f64) -> f64 {
+    let decay = (-2.0 * kappa_t).exp();
+    f0 * decay + (1.0 - decay) / 4.0
+}
+
+/// The two-qubit operator basis `{I, X, Y, Z}⊗{I, X, Y, Z}` entry at the
+/// given indices — convenient for Pauli-twirling analyses in tests.
+pub fn two_qubit_pauli(i: usize, j: usize) -> Matrix {
+    let p = |k: usize| match k {
+        0 => Matrix::identity(2),
+        1 => Matrix::pauli_x(),
+        2 => Matrix::pauli_y(),
+        3 => Matrix::pauli_z(),
+        _ => panic!("pauli index out of range"),
+    };
+    p(i).kron(&p(j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KrausChannel;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn bell_states_are_orthonormal() {
+        for (i, a) in BellState::ALL.iter().enumerate() {
+            for (j, b) in BellState::ALL.iter().enumerate() {
+                let f = a.statevector().fidelity(&b.statevector());
+                if i == j {
+                    assert!((f - 1.0).abs() < TOL);
+                } else {
+                    assert!(f < TOL, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn werner_of_unit_fidelity_is_pure_bell() {
+        let rho = werner(1.0);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn werner_of_quarter_fidelity_is_maximally_mixed() {
+        let rho = werner(0.25);
+        assert!(rho
+            .operator()
+            .approx_eq(DensityMatrix::maximally_mixed(2).operator(), TOL));
+    }
+
+    #[test]
+    fn werner_fidelity_is_the_parameter() {
+        for f in [0.3, 0.5, 0.75, 0.99] {
+            let rho = werner(f);
+            let measured = rho.fidelity_with_pure(&BellState::PhiPlus.statevector());
+            assert!((measured - f).abs() < TOL);
+        }
+    }
+
+    /// The analytic decay law must match an explicit channel simulation:
+    /// applying a depolarizing channel with Pauli-error probability
+    /// `p = 3(1 − e^{−κt})/4... ` — concretely, per-qubit white noise
+    /// `D_λ(ρ) = (1−λ)ρ + λ·I/2 ⊗ tr(ρ)` with `λ = 1 − e^{−κt}` — to both
+    /// halves of a Werner state reproduces `werner_fidelity_after`.
+    #[test]
+    fn decay_law_matches_channel_simulation() {
+        let f0 = 0.97;
+        for kappa_t in [0.0f64, 0.05, 0.2, 1.0] {
+            let lambda = 1.0 - (-kappa_t).exp();
+            // White-noise channel in Pauli form: p_total = 3λ/4 split evenly.
+            let p = 3.0 * lambda / 4.0;
+            let ch = KrausChannel::pauli(p / 3.0, p / 3.0, p / 3.0);
+            let mut rho = werner(f0);
+            ch.apply(&mut rho, &[0]);
+            ch.apply(&mut rho, &[1]);
+            let f_sim = rho.fidelity_with_pure(&BellState::PhiPlus.statevector());
+            let f_analytic = werner_fidelity_after(f0, kappa_t);
+            assert!(
+                (f_sim - f_analytic).abs() < 1e-9,
+                "κt = {kappa_t}: sim {f_sim} vs analytic {f_analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_is_monotone_and_bounded() {
+        let mut prev = 1.0;
+        for step in 0..50 {
+            let f = werner_fidelity_after(1.0, step as f64 * 0.1);
+            assert!(f <= prev + TOL);
+            assert!(f >= 0.25 - TOL);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn pauli_basis_entries_are_unitary_hermitian() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let m = two_qubit_pauli(i, j);
+                assert!(m.is_unitary(TOL));
+                assert!(m.approx_eq(&m.dagger(), TOL));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn werner_rejects_invalid_fidelity() {
+        let _ = werner(0.1);
+    }
+}

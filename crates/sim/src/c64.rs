@@ -1,0 +1,276 @@
+//! Minimal complex arithmetic.
+//!
+//! The workspace deliberately avoids external linear-algebra crates; this
+//! module provides the small, fully tested complex type the simulators
+//! need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert!((C64::from_polar(1.0, std::f64::consts::PI).re + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a real number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Creates the unit phase `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// Returns true when both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C64::I * C64::I).approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(3.0, -2.0);
+        let b = C64::new(-1.0, 4.0);
+        assert!(((a * b) / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let z = C64::new(1.5, 2.5);
+        assert_eq!(z.conj(), C64::new(1.5, -2.5));
+        assert!((z * z.conj()).approx_eq(C64::real(z.norm_sqr()), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < TOL);
+        assert!((z.im.atan2(z.re) - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for theta in [0.0, 0.5, 1.0, 3.0, -2.0] {
+            assert!((C64::cis(theta).norm() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1.0000-2.0000i");
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1.0000+2.0000i");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: C64 = [C64::ONE, C64::I, C64::new(1.0, 1.0)].into_iter().sum();
+        assert!(total.approx_eq(C64::new(2.0, 2.0), TOL));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_is_commutative(
+            ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+            br in -10.0f64..10.0, bi in -10.0f64..10.0,
+        ) {
+            let a = C64::new(ar, ai);
+            let b = C64::new(br, bi);
+            prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        }
+
+        #[test]
+        fn prop_norm_is_multiplicative(
+            ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+            br in -10.0f64..10.0, bi in -10.0f64..10.0,
+        ) {
+            let a = C64::new(ar, ai);
+            let b = C64::new(br, bi);
+            prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_add_mul_distribute(
+            ar in -5.0f64..5.0, ai in -5.0f64..5.0,
+            br in -5.0f64..5.0, bi in -5.0f64..5.0,
+            cr in -5.0f64..5.0, ci in -5.0f64..5.0,
+        ) {
+            let (a, b, c) = (C64::new(ar, ai), C64::new(br, bi), C64::new(cr, ci));
+            prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Unitary matrices for the `dqc-circuit` gate set.
+
+use crate::{Matrix, C64};
+use dqc_circuit::Gate;
+
+/// Returns the unitary matrix of a gate: 2×2 for single-qubit gates, 4×4
+/// for two-qubit gates in `(first operand ⊗ second operand)` ordering with
+/// the first operand as the most significant bit.
+///
+/// # Panics
+///
+/// Panics for [`Gate::Measure`], which is not a unitary.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_circuit::Gate;
+/// use dqc_sim::gate_matrix;
+///
+/// let u = gate_matrix(Gate::H);
+/// assert!(u.is_unitary(1e-12));
+/// assert_eq!(gate_matrix(Gate::Cx).dim(), 4);
+/// ```
+pub fn gate_matrix(gate: Gate) -> Matrix {
+    use std::f64::consts::FRAC_PI_4;
+    match gate {
+        Gate::I => Matrix::identity(2),
+        Gate::H => Matrix::hadamard(),
+        Gate::X => Matrix::pauli_x(),
+        Gate::Y => Matrix::pauli_y(),
+        Gate::Z => Matrix::pauli_z(),
+        Gate::S => phase_matrix(std::f64::consts::FRAC_PI_2),
+        Gate::Sdg => phase_matrix(-std::f64::consts::FRAC_PI_2),
+        Gate::T => phase_matrix(FRAC_PI_4),
+        Gate::Tdg => phase_matrix(-FRAC_PI_4),
+        Gate::Rx(t) => rotation(Matrix::pauli_x(), t),
+        Gate::Ry(t) => rotation(Matrix::pauli_y(), t),
+        Gate::Rz(t) => rotation(Matrix::pauli_z(), t),
+        Gate::Phase(t) => phase_matrix(t),
+        Gate::Cx => Matrix::from_real_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ]),
+        Gate::Cz => {
+            let mut m = Matrix::identity(4);
+            m[(3, 3)] = C64::real(-1.0);
+            m
+        }
+        Gate::CPhase(t) => {
+            let mut m = Matrix::identity(4);
+            m[(3, 3)] = C64::cis(t);
+            m
+        }
+        Gate::Rzz(t) => {
+            // exp(-i θ/2 · Z⊗Z) = diag(e^{-iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{-iθ/2})
+            let mut m = Matrix::zeros(4);
+            let minus = C64::cis(-t / 2.0);
+            let plus = C64::cis(t / 2.0);
+            m[(0, 0)] = minus;
+            m[(1, 1)] = plus;
+            m[(2, 2)] = plus;
+            m[(3, 3)] = minus;
+            m
+        }
+        Gate::Swap => Matrix::from_real_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]),
+        Gate::Measure => panic!("measurement has no unitary matrix"),
+    }
+}
+
+/// `diag(1, e^{iθ})`.
+fn phase_matrix(theta: f64) -> Matrix {
+    let mut m = Matrix::identity(2);
+    m[(1, 1)] = C64::cis(theta);
+    m
+}
+
+/// `exp(-i θ/2 · P)` for a Pauli `P` (P² = I), via
+/// `cos(θ/2)·I − i·sin(θ/2)·P`.
+fn rotation(pauli: Matrix, theta: f64) -> Matrix {
+    let half = theta / 2.0;
+    let cos_part = Matrix::identity(2).scale(C64::real(half.cos()));
+    let sin_part = pauli.scale(C64::new(0.0, -half.sin()));
+    &cos_part + &sin_part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::{commutes, Operation};
+    use dqc_types::QubitId;
+
+    const TOL: f64 = 1e-10;
+
+    fn all_unitaries() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.37),
+            Gate::Ry(0.91),
+            Gate::Rz(1.23),
+            Gate::Phase(0.61),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::CPhase(0.45),
+            Gate::Rzz(0.83),
+            Gate::Swap,
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in all_unitaries() {
+            assert!(gate_matrix(g).is_unitary(TOL), "{g}");
+        }
+    }
+
+    #[test]
+    fn dagger_gate_gives_dagger_matrix() {
+        for g in all_unitaries() {
+            let u = gate_matrix(g);
+            let udg = gate_matrix(g.dagger());
+            assert!(u.dagger().approx_eq(&udg, TOL), "{g}");
+        }
+    }
+
+    #[test]
+    fn z_diagonal_gates_have_diagonal_matrices() {
+        for g in all_unitaries() {
+            let u = gate_matrix(g);
+            let mut diagonal = true;
+            for r in 0..u.dim() {
+                for c in 0..u.dim() {
+                    if r != c && u[(r, c)].norm() > TOL {
+                        diagonal = false;
+                    }
+                }
+            }
+            assert_eq!(g.is_z_diagonal(), diagonal, "{g}");
+        }
+    }
+
+    #[test]
+    fn x_diagonal_gates_commute_with_x() {
+        let x = Matrix::pauli_x();
+        for g in all_unitaries().into_iter().filter(|g| g.arity() == 1) {
+            let u = gate_matrix(g);
+            assert_eq!(g.is_x_diagonal(), u.commutes_with(&x, TOL), "{g}");
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s = gate_matrix(Gate::S);
+        let t = gate_matrix(Gate::T);
+        assert!((&s * &s).approx_eq(&gate_matrix(Gate::Z), TOL));
+        assert!((&t * &t).approx_eq(&s, TOL));
+    }
+
+    #[test]
+    fn rzz_equals_cx_rz_cx() {
+        // The OpenQASM decomposition used in qasm.rs must be exact.
+        let theta = 0.73;
+        let cx = gate_matrix(Gate::Cx);
+        let rz_on_target = Matrix::identity(2).kron(&gate_matrix(Gate::Rz(theta)));
+        let composed = &(&cx * &rz_on_target) * &cx;
+        assert!(composed.approx_eq(&gate_matrix(Gate::Rzz(theta)), TOL));
+    }
+
+    #[test]
+    fn swap_conjugation_exchanges_operands() {
+        let swap = gate_matrix(Gate::Swap);
+        let cx = gate_matrix(Gate::Cx);
+        let reversed = &(&swap * &cx) * &swap; // cx with control/target swapped
+        // Must differ from cx but square to identity.
+        assert!(!reversed.approx_eq(&cx, TOL));
+        assert!((&reversed * &reversed).approx_eq(&Matrix::identity(4), TOL));
+    }
+
+    /// Embeds a 1- or 2-qubit operation into a 3-qubit unitary (qubit 0 is
+    /// the most significant bit), for validating commutation rules.
+    fn embed3(op: &Operation) -> Matrix {
+        let u = gate_matrix(op.gate());
+        let qs: Vec<usize> = op.qubits().iter().map(|q| q.as_usize()).collect();
+        let dim = 8;
+        let mut out = Matrix::zeros(dim);
+        for row in 0..dim {
+            for col in 0..dim {
+                // Extract sub-indices on the op's qubits; others must match.
+                let bit = |x: usize, q: usize| (x >> (2 - q)) & 1;
+                let mut matches = true;
+                for q in 0..3 {
+                    if !qs.contains(&q) && bit(row, q) != bit(col, q) {
+                        matches = false;
+                    }
+                }
+                if !matches {
+                    continue;
+                }
+                let (r_sub, c_sub) = match qs.len() {
+                    1 => (bit(row, qs[0]), bit(col, qs[0])),
+                    2 => (
+                        bit(row, qs[0]) * 2 + bit(row, qs[1]),
+                        bit(col, qs[0]) * 2 + bit(col, qs[1]),
+                    ),
+                    _ => unreachable!(),
+                };
+                out[(row, col)] = u[(r_sub, c_sub)];
+            }
+        }
+        out
+    }
+
+    /// The conservative rule set in `dqc-circuit` must be *sound*: whenever
+    /// it claims two operations commute, their embedded unitaries commute.
+    #[test]
+    fn commutation_rules_are_sound_against_matrices() {
+        let q = QubitId::new;
+        let mut pool: Vec<Operation> = Vec::new();
+        for g in [Gate::H, Gate::X, Gate::Z, Gate::S, Gate::T, Gate::Rx(0.3), Gate::Rz(0.7)] {
+            for wire in 0..3 {
+                pool.push(Operation::one(g, q(wire)));
+            }
+        }
+        for (a, b) in [(0u32, 1u32), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)] {
+            pool.push(Operation::two(Gate::Cx, q(a), q(b)));
+            pool.push(Operation::two(Gate::Cz, q(a), q(b)));
+            pool.push(Operation::two(Gate::Rzz(0.5), q(a), q(b)));
+            pool.push(Operation::two(Gate::CPhase(0.4), q(a), q(b)));
+        }
+        let mut claimed = 0;
+        for a in &pool {
+            for b in &pool {
+                if commutes(a, b) {
+                    claimed += 1;
+                    let ua = embed3(a);
+                    let ub = embed3(b);
+                    assert!(
+                        ua.commutes_with(&ub, 1e-9),
+                        "rules claim {a} and {b} commute but matrices disagree"
+                    );
+                }
+            }
+        }
+        // Sanity: the rule set is not vacuous.
+        assert!(claimed > pool.len(), "rule set should find many commuting pairs");
+    }
+}

@@ -1,0 +1,297 @@
+//! Pauli operators and Pauli strings.
+
+use crate::Matrix;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The 2×2 matrix of this Pauli.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::pauli_x(),
+            Pauli::Y => Matrix::pauli_y(),
+            Pauli::Z => Matrix::pauli_z(),
+        }
+    }
+
+    /// Returns true when the two Paulis commute (they anticommute exactly
+    /// when both are non-identity and distinct).
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Product `self · other` as `(phase_power_of_i, pauli)`, i.e.
+    /// `self · other = i^k · pauli`.
+    ///
+    /// Named `product` (not `mul`) because the result carries a phase and
+    /// so cannot implement [`std::ops::Mul`] directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_sim::Pauli;
+    /// // X·Y = iZ
+    /// assert_eq!(Pauli::X.product(Pauli::Y), (1, Pauli::Z));
+    /// // Y·X = -iZ = i³Z
+    /// assert_eq!(Pauli::Y.product(Pauli::X), (3, Pauli::Z));
+    /// ```
+    pub fn product(self, other: Pauli) -> (u8, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (0, p),
+            (X, X) | (Y, Y) | (Z, Z) => (0, I),
+            (X, Y) => (1, Z),
+            (Y, X) => (3, Z),
+            (Y, Z) => (1, X),
+            (Z, Y) => (3, X),
+            (Z, X) => (1, Y),
+            (X, Z) => (3, Y),
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// An `n`-qubit Pauli string with a sign (`+1` or `−1`), e.g. `-XZI`.
+///
+/// Phases of `±i` cannot arise for the Hermitian Pauli strings tracked by
+/// stabilizer formalism, so only the sign bit is stored.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::{Pauli, PauliString};
+///
+/// let zz = PauliString::from_paulis(&[Pauli::Z, Pauli::Z]);
+/// let xx = PauliString::from_paulis(&[Pauli::X, Pauli::X]);
+/// assert!(zz.commutes_with(&xx)); // both stabilize |Φ⁺⟩
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+    negative: bool,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self { paulis: vec![Pauli::I; n], negative: false }
+    }
+
+    /// Builds a positive-sign string from per-qubit Paulis.
+    pub fn from_paulis(paulis: &[Pauli]) -> Self {
+        Self { paulis: paulis.to_vec(), negative: false }
+    }
+
+    /// Flips the sign.
+    pub fn negated(mut self) -> Self {
+        self.negative = !self.negative;
+        self
+    }
+
+    /// Returns true when the sign is negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// The per-qubit Paulis.
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// Returns true for a zero-qubit string.
+    pub fn is_empty(&self) -> bool {
+        self.paulis.is_empty()
+    }
+
+    /// Number of non-identity entries.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| **p != Pauli::I).count()
+    }
+
+    /// Returns true when the strings commute: Pauli strings commute iff
+    /// they anticommute on an even number of positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn commutes_with(&self, other: &Self) -> bool {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let anticommuting = self
+            .paulis
+            .iter()
+            .zip(&other.paulis)
+            .filter(|(a, b)| !a.commutes_with(**b))
+            .count();
+        anticommuting % 2 == 0
+    }
+
+    /// Product of two strings. The result's sign accounts for the `i`
+    /// phases accumulated per position (which always total `±1` when the
+    /// product is Hermitian; a residual `±i` phase panics — it cannot
+    /// happen when multiplying commuting stabilizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a non-Hermitian (±i-phased) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let mut phase = 0u8;
+        let mut paulis = Vec::with_capacity(self.len());
+        for (a, b) in self.paulis.iter().zip(&other.paulis) {
+            let (k, p) = a.product(*b);
+            phase = (phase + k) % 4;
+            paulis.push(p);
+        }
+        assert!(phase.is_multiple_of(2), "non-Hermitian pauli product");
+        Self {
+            paulis,
+            negative: self.negative ^ other.negative ^ (phase == 2),
+        }
+    }
+
+    /// The full `2ⁿ × 2ⁿ` matrix (for small `n`, in tests).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for p in &self.paulis {
+            m = m.kron(&p.matrix());
+        }
+        if self.negative {
+            m = m.scale(crate::C64::real(-1.0));
+        }
+        m
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.negative { "-" } else { "+" })?;
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn single_pauli_products_match_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (k, p) = a.product(b);
+                let lhs = &a.matrix() * &b.matrix();
+                let phase = match k {
+                    0 => crate::C64::ONE,
+                    1 => crate::C64::I,
+                    2 => crate::C64::real(-1.0),
+                    3 => -crate::C64::I,
+                    _ => unreachable!(),
+                };
+                let rhs = p.matrix().scale(phase);
+                assert!(lhs.approx_eq(&rhs, TOL), "{a}·{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                assert_eq!(
+                    a.commutes_with(b),
+                    a.matrix().commutes_with(&b.matrix(), TOL),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn string_commutation_parity_rule() {
+        let xx = PauliString::from_paulis(&[Pauli::X, Pauli::X]);
+        let zz = PauliString::from_paulis(&[Pauli::Z, Pauli::Z]);
+        let zi = PauliString::from_paulis(&[Pauli::Z, Pauli::I]);
+        assert!(xx.commutes_with(&zz));
+        assert!(!xx.commutes_with(&zi));
+        assert!(xx.matrix().commutes_with(&zz.matrix(), TOL));
+        assert!(!xx.matrix().commutes_with(&zi.matrix(), TOL));
+    }
+
+    #[test]
+    fn string_product_sign() {
+        // (XX)·(ZZ) = (XZ)⊗(XZ) = (-iY)(-iY) = -YY.
+        let xx = PauliString::from_paulis(&[Pauli::X, Pauli::X]);
+        let zz = PauliString::from_paulis(&[Pauli::Z, Pauli::Z]);
+        let prod = xx.mul(&zz);
+        assert_eq!(prod.paulis(), &[Pauli::Y, Pauli::Y]);
+        assert!(prod.is_negative());
+        assert!(prod.matrix().approx_eq(&(&xx.matrix() * &zz.matrix()), TOL));
+    }
+
+    #[test]
+    fn weight_counts_support() {
+        let s = PauliString::from_paulis(&[Pauli::I, Pauli::X, Pauli::I, Pauli::Z]);
+        assert_eq!(s.weight(), 2);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = PauliString::from_paulis(&[Pauli::X, Pauli::I, Pauli::Z]).negated();
+        assert_eq!(s.to_string(), "-XIZ");
+    }
+
+    #[test]
+    fn bell_stabilizers_commute_pairwise() {
+        // |Φ⁺⟩ is stabilized by {XX, ZZ, -YY}; all must commute.
+        let gens = [
+            PauliString::from_paulis(&[Pauli::X, Pauli::X]),
+            PauliString::from_paulis(&[Pauli::Z, Pauli::Z]),
+            PauliString::from_paulis(&[Pauli::Y, Pauli::Y]).negated(),
+        ];
+        for a in &gens {
+            for b in &gens {
+                assert!(a.commutes_with(b));
+            }
+        }
+        // And XX·ZZ = -YY.
+        assert_eq!(gens[0].mul(&gens[1]), gens[2]);
+    }
+}

@@ -1,0 +1,407 @@
+//! Pure-state (statevector) simulator.
+
+use crate::{gate_matrix, C64};
+use dqc_circuit::{Circuit, Gate, Operation};
+use rand::{Rng, RngExt};
+
+/// A pure quantum state over `n` qubits as a dense amplitude vector.
+///
+/// Basis-state indices use **qubit 0 as the most significant bit**, i.e.
+/// the bit of qubit `q` within index `i` of an `n`-qubit state is
+/// `(i >> (n-1-q)) & 1`. This matches the operand ordering of
+/// [`gate_matrix`].
+///
+/// # Examples
+///
+/// Prepare a Bell pair and check the amplitudes:
+///
+/// ```
+/// use dqc_circuit::Circuit;
+/// use dqc_sim::Statevector;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut psi = Statevector::zero_state(2);
+/// psi.apply_circuit(&bell).expect("no measurements");
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: u32,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 26 (the dense representation would
+    /// exceed a gigabyte).
+    pub fn zero_state(num_qubits: u32) -> Self {
+        assert!(num_qubits <= 26, "statevector too large: {num_qubits} qubits");
+        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        amps[0] = C64::ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn basis_state(num_qubits: u32, index: usize) -> Self {
+        let mut sv = Self::zero_state(num_qubits);
+        assert!(index < sv.amps.len(), "basis index out of range");
+        sv.amps[0] = C64::ZERO;
+        sv.amps[index] = C64::ONE;
+        sv
+    }
+
+    /// Builds a state from raw amplitudes (must be a power-of-two length
+    /// and normalized to within `1e-9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-power-of-two length or an unnormalized vector.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "amplitudes not normalized: {norm}");
+        let num_qubits = amps.len().trailing_zeros();
+        Self { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The dense amplitude vector, indexed with qubit 0 as the most
+    /// significant bit.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Probability of observing basis state `index` on a full measurement.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit counts differ.
+    pub fn inner_product(&self, other: &Self) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    fn bit_shift(&self, qubit: usize) -> usize {
+        (self.num_qubits as usize - 1) - qubit
+    }
+
+    /// Applies a single-qubit unitary given by a 2×2 matrix to `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range or the matrix is not 2×2.
+    pub fn apply_1q(&mut self, m: &crate::Matrix, qubit: usize) {
+        assert!(qubit < self.num_qubits as usize, "qubit out of range");
+        assert_eq!(m.dim(), 2, "expected 2x2 matrix");
+        let stride = 1usize << self.bit_shift(qubit);
+        let n = self.amps.len();
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let mut base = 0;
+        while base < n {
+            for i in base..base + stride {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + stride];
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[i + stride] = m10 * a0 + m11 * a1;
+            }
+            base += stride * 2;
+        }
+    }
+
+    /// Applies a two-qubit unitary given by a 4×4 matrix to the ordered
+    /// pair `(a, b)` (with `a` the most significant sub-index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range, the qubits coincide, or the
+    /// matrix is not 4×4.
+    pub fn apply_2q(&mut self, m: &crate::Matrix, a: usize, b: usize) {
+        let nq = self.num_qubits as usize;
+        assert!(a < nq && b < nq && a != b, "bad qubit pair ({a}, {b})");
+        assert_eq!(m.dim(), 4, "expected 4x4 matrix");
+        let sa = 1usize << self.bit_shift(a);
+        let sb = 1usize << self.bit_shift(b);
+        let n = self.amps.len();
+        for i in 0..n {
+            // Visit each 4-amplitude group once, from its (a=0, b=0) member.
+            if i & sa != 0 || i & sb != 0 {
+                continue;
+            }
+            let idx = [i, i | sb, i | sa, i | sa | sb];
+            let old = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            for (r, &out_i) in idx.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (c, &o) in old.iter().enumerate() {
+                    acc += m[(r, c)] * o;
+                }
+                self.amps[out_i] = acc;
+            }
+        }
+    }
+
+    /// Applies one circuit operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for measurements (use
+    /// [`Statevector::measure`]) or out-of-range operands.
+    pub fn apply(&mut self, op: &Operation) -> Result<(), String> {
+        if op.gate() == Gate::Measure {
+            return Err("cannot apply a measurement as a unitary; use measure()".into());
+        }
+        let qs = op.qubits();
+        for q in qs {
+            if q.index() >= self.num_qubits {
+                return Err(format!("qubit {q} out of range"));
+            }
+        }
+        let m = gate_matrix(op.gate());
+        match *qs {
+            [q] => self.apply_1q(&m, q.as_usize()),
+            [a, b] => self.apply_2q(&m, a.as_usize(), b.as_usize()),
+            _ => unreachable!("gate arity is 1 or 2"),
+        }
+        Ok(())
+    }
+
+    /// Applies every operation of a measurement-free circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit contains measurements or is wider
+    /// than this state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), String> {
+        for op in circuit.operations() {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Probability that measuring `qubit` yields 1.
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        let s = 1usize << self.bit_shift(qubit);
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & s != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures `qubit` in the computational basis, collapsing
+    /// the state and returning the outcome.
+    pub fn measure<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.prob_one(qubit);
+        let outcome = rng.random_bool(p1.clamp(0.0, 1.0));
+        self.project(qubit, outcome);
+        outcome
+    }
+
+    /// Projects `qubit` onto `outcome` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the outcome has zero probability.
+    pub fn project(&mut self, qubit: usize, outcome: bool) {
+        let s = 1usize << self.bit_shift(qubit);
+        let mut norm = 0.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & s) != 0) != outcome {
+                *a = C64::ZERO;
+            } else {
+                norm += a.norm_sqr();
+            }
+        }
+        assert!(norm > 1e-12, "projection onto zero-probability outcome");
+        let scale = 1.0 / norm.sqrt();
+        for a in &mut self.amps {
+            *a = a.scale(scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = Statevector::zero_state(3);
+        assert_eq!(sv.probability(0), 1.0);
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_msb_convention() {
+        // X on qubit 0 of 2 qubits: |00> -> |10> = index 0b10 = 2.
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Operation::one(Gate::X, dqc_types::QubitId::new(0))).unwrap();
+        assert!((sv.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_respects_control_target_order() {
+        // X on q1, then cx(q1 -> q0): |01> -> |11>.
+        let mut c = Circuit::new(2);
+        c.x(1).cx(1, 0);
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_circuit(&c).unwrap();
+        assert!((sv.probability(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut sv = Statevector::zero_state(3);
+        sv.apply_circuit(&c).unwrap();
+        assert!((sv.probability(0b000) - 0.5).abs() < TOL);
+        assert!((sv.probability(0b111) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn qft_of_basis_state_matches_analytic_dft() {
+        // QFT |x> = (1/√N) Σ_y ω^{xy} |y> with ω = e^{2πi/N}, taking qubit 0
+        // as the most significant bit of x and the standard QFT circuit
+        // including the final bit-reversal swaps.
+        let n = 4u32;
+        let size = 1usize << n;
+        let x = 0b1011usize;
+        let mut circuit = Circuit::new(n);
+        for j in 0..n {
+            circuit.h(j);
+            for k in (j + 1)..n {
+                let angle = std::f64::consts::PI / (1 << (k - j)) as f64;
+                circuit.cp(k, j, angle);
+            }
+        }
+        for j in 0..n / 2 {
+            circuit.swap(j, n - 1 - j);
+        }
+        let mut sv = Statevector::basis_state(n, x);
+        sv.apply_circuit(&circuit).unwrap();
+        let omega = 2.0 * std::f64::consts::PI / size as f64;
+        let scale = 1.0 / (size as f64).sqrt();
+        for y in 0..size {
+            let expected = C64::from_polar(scale, omega * (x * y) as f64);
+            assert!(
+                sv.amplitudes()[y].approx_eq(expected, 1e-9),
+                "amp[{y}] = {} expected {expected}",
+                sv.amplitudes()[y]
+            );
+        }
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).rzz(1, 2, 0.7).ry(3, 1.1).cp(2, 3, 0.4).swap(0, 3);
+        let mut sv = Statevector::zero_state(4);
+        sv.apply_circuit(&c).unwrap();
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2);
+        let mut a = Statevector::zero_state(3);
+        a.apply_circuit(&c).unwrap();
+        assert!((a.fidelity(&a) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = Statevector::basis_state(2, 0);
+        let b = Statevector::basis_state(2, 3);
+        assert!(a.fidelity(&b) < TOL);
+    }
+
+    #[test]
+    fn measurement_collapses_bell_pair() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut c = Circuit::new(2);
+            c.h(0).cx(0, 1);
+            let mut sv = Statevector::zero_state(2);
+            sv.apply_circuit(&c).unwrap();
+            let m0 = sv.measure(0, &mut rng);
+            let m1 = sv.measure(1, &mut rng);
+            assert_eq!(m0, m1, "bell pair outcomes must correlate");
+        }
+    }
+
+    #[test]
+    fn prob_one_of_plus_state_is_half() {
+        let mut sv = Statevector::zero_state(1);
+        sv.apply_1q(&Matrix::hadamard(), 0);
+        assert!((sv.prob_one(0) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_rejects_measurement() {
+        let mut sv = Statevector::zero_state(1);
+        let err = sv
+            .apply(&Operation::one(Gate::Measure, dqc_types::QubitId::new(0)))
+            .unwrap_err();
+        assert!(err.contains("measurement"));
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut sv = Statevector::basis_state(2, 0b10);
+        sv.apply(&Operation::two(
+            Gate::Swap,
+            dqc_types::QubitId::new(0),
+            dqc_types::QubitId::new(1),
+        ))
+        .unwrap();
+        assert!((sv.probability(0b01) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_validates_norm() {
+        let _ = Statevector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+}

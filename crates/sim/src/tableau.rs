@@ -1,0 +1,501 @@
+//! Stabilizer tableau (CHP) simulator for Clifford circuits.
+//!
+//! Implements the Aaronson–Gottesman binary tableau with destabilizers,
+//! supporting H/S/CNOT natively and the remaining Clifford gates of
+//! [`dqc_circuit::Gate`] by decomposition. Measurements sample genuinely
+//! random outcomes for unstabilized observables, which lets integration
+//! tests verify teleportation protocols — Pauli-frame corrections and all —
+//! at a scale the dense simulators cannot reach.
+
+use dqc_circuit::{Gate, Operation};
+use rand::{Rng, RngExt};
+
+/// A stabilizer state over `n` qubits in tableau form.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::Tableau;
+/// use rand::SeedableRng;
+///
+/// let mut t = Tableau::new(2);
+/// t.h(0);
+/// t.cx(0, 1);
+/// // A Bell pair's parity is deterministic:
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = t.measure(0, &mut rng);
+/// let b = t.measure(1, &mut rng);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    /// `2n + 1` rows (destabilizers, stabilizers, scratch) × `n` X bits.
+    x: Vec<Vec<bool>>,
+    /// Matching Z bits.
+    z: Vec<Vec<bool>>,
+    /// Sign bits.
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// The `|0…0⟩` stabilizer state on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        let rows = 2 * n + 1;
+        let mut t = Self {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.x[i][i] = true; // destabilizer X_i
+            t.z[n + i][i] = true; // stabilizer Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a Hadamard to `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
+        }
+    }
+
+    /// Applies the phase gate S to `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c == t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "cnot needs distinct qubits");
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][c] && self.z[i][t] && (self.x[i][t] == self.z[i][c]);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// Applies Pauli-X (`= H·Z·H`).
+    pub fn x_gate(&mut self, q: usize) {
+        self.h(q);
+        self.z_gate(q);
+        self.h(q);
+    }
+
+    /// Applies Pauli-Z (`= S²`).
+    pub fn z_gate(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies Pauli-Y (`= Z·X` up to global phase).
+    pub fn y_gate(&mut self, q: usize) {
+        self.z_gate(q);
+        self.x_gate(q);
+    }
+
+    /// Applies S† (`= S³`).
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies a controlled-Z (`= H_t · CX · H_t`).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// Applies a SWAP (three CNOTs).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Applies a Clifford circuit operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the gate when it is not Clifford (or is a
+    /// measurement — use [`Tableau::measure`]).
+    pub fn apply(&mut self, op: &Operation) -> Result<(), String> {
+        let qs: Vec<usize> = op.qubits().iter().map(|q| q.as_usize()).collect();
+        match op.gate() {
+            Gate::I => {}
+            Gate::H => self.h(qs[0]),
+            Gate::S => self.s(qs[0]),
+            Gate::Sdg => self.sdg(qs[0]),
+            Gate::X => self.x_gate(qs[0]),
+            Gate::Y => self.y_gate(qs[0]),
+            Gate::Z => self.z_gate(qs[0]),
+            Gate::Cx => self.cx(qs[0], qs[1]),
+            Gate::Cz => self.cz(qs[0], qs[1]),
+            Gate::Swap => self.swap(qs[0], qs[1]),
+            g => return Err(format!("gate {g} is not supported by the stabilizer simulator")),
+        }
+        Ok(())
+    }
+
+    /// The Aaronson–Gottesman row product: row `h` ← row `h` · row `i`,
+    /// tracking the sign via the phase function `g`.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = if self.r[h] { 2 } else { 0 };
+        phase += if self.r[i] { 2 } else { 0 };
+        for j in 0..self.n {
+            phase += g_phase(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    /// Returns the deterministic Z-measurement outcome of `q`, or `None`
+    /// when the outcome would be random.
+    pub fn deterministic_outcome(&self, q: usize) -> Option<bool> {
+        let some_random = (self.n..2 * self.n).any(|p| self.x[p][q]);
+        if some_random {
+            return None;
+        }
+        let mut scratch = self.clone();
+        let s = 2 * scratch.n;
+        for j in 0..scratch.n {
+            scratch.x[s][j] = false;
+            scratch.z[s][j] = false;
+        }
+        scratch.r[s] = false;
+        for i in 0..scratch.n {
+            if scratch.x[i][q] {
+                scratch.rowsum(s, i + scratch.n);
+            }
+        }
+        Some(scratch.r[s])
+    }
+
+    /// Measures `q` in the computational basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        // Find a stabilizer anticommuting with Z_q.
+        if let Some(p) = (self.n..2 * self.n).find(|&p| self.x[p][q]) {
+            // Random outcome.
+            for i in 0..2 * self.n {
+                if i != p && self.x[i][q] {
+                    self.rowsum(i, p);
+                }
+            }
+            // Destabilizer row p−n becomes the old stabilizer row p.
+            self.x[p - self.n] = self.x[p].clone();
+            self.z[p - self.n] = self.z[p].clone();
+            self.r[p - self.n] = self.r[p];
+            // New stabilizer: ±Z_q with a random sign.
+            let outcome = rng.random_bool(0.5);
+            for j in 0..self.n {
+                self.x[p][j] = false;
+                self.z[p][j] = false;
+            }
+            self.z[p][q] = true;
+            self.r[p] = outcome;
+            outcome
+        } else {
+            self.deterministic_outcome(q)
+                .expect("no anticommuting stabilizer implies determinism")
+        }
+    }
+
+    /// Forces qubit `q` to `|0⟩` by measuring and applying X on a 1
+    /// outcome — a reset, useful for reusing communication qubits.
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            self.x_gate(q);
+        }
+    }
+}
+
+/// The phase function `g(x1, z1, x2, z2)` from Aaronson–Gottesman: the
+/// exponent of `i` produced when multiplying the single-qubit Paulis
+/// `(x1, z1) · (x2, z2)`.
+fn g_phase(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => (z2 as i32) - (x2 as i32),
+        (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+        (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_state_measures_all_zero() {
+        let mut t = Tableau::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in 0..4 {
+            assert_eq!(t.deterministic_outcome(q), Some(false));
+            assert!(!t.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_deterministic_outcome() {
+        let mut t = Tableau::new(2);
+        t.x_gate(1);
+        assert_eq!(t.deterministic_outcome(0), Some(false));
+        assert_eq!(t.deterministic_outcome(1), Some(true));
+    }
+
+    #[test]
+    fn plus_state_is_random_then_repeatable() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut zeros = 0;
+        for trial in 0..100 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            assert_eq!(t.deterministic_outcome(0), None, "trial {trial}");
+            let first = t.measure(0, &mut rng);
+            // Post-measurement the outcome is pinned.
+            assert_eq!(t.deterministic_outcome(0), Some(first));
+            assert_eq!(t.measure(0, &mut rng), first);
+            if !first {
+                zeros += 1;
+            }
+        }
+        assert!((30..=70).contains(&zeros), "plus state should be ~50/50, got {zeros}");
+    }
+
+    #[test]
+    fn bell_pair_outcomes_correlate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let a = t.measure(0, &mut rng);
+            let b = t.measure(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_outcomes_all_agree() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let mut t = Tableau::new(5);
+            t.h(0);
+            for i in 0..4 {
+                t.cx(i, i + 1);
+            }
+            let first = t.measure(0, &mut rng);
+            for q in 1..5 {
+                assert_eq!(t.measure(q, &mut rng), first);
+            }
+        }
+    }
+
+    #[test]
+    fn cz_matches_h_cx_h() {
+        // CZ|++⟩ measured in X basis on qubit 1 reveals qubit 0's Z value.
+        // Simpler structural check: CZ is symmetric.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut a = Tableau::new(2);
+            a.h(0);
+            a.h(1);
+            a.cz(0, 1);
+            let mut b = Tableau::new(2);
+            b.h(0);
+            b.h(1);
+            b.cz(1, 0);
+            // Both give cluster states; parity checks agree:
+            // measure in X on qubit 0, Z on qubit 1: correlated.
+            a.h(0);
+            b.h(0);
+            let (a0, a1) = (a.measure(0, &mut rng), a.measure(1, &mut rng));
+            let (b0, b1) = (b.measure(0, &mut rng), b.measure(1, &mut rng));
+            assert!(!(a0 ^ a1), "X₀Z₁... cluster parity");
+            assert!(!(b0 ^ b1));
+        }
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut t = Tableau::new(3);
+        t.x_gate(0);
+        t.swap(0, 2);
+        assert_eq!(t.deterministic_outcome(0), Some(false));
+        assert_eq!(t.deterministic_outcome(2), Some(true));
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        t.reset(0, &mut rng);
+        assert_eq!(t.deterministic_outcome(0), Some(false));
+    }
+
+    /// State teleportation (paper Fig. 1(b)) with live Pauli-frame
+    /// corrections: teleport a random stabilizer state from qubit 0 to
+    /// qubit 2 and verify by uncomputing the preparation.
+    #[test]
+    fn state_teleportation_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..50 {
+            // Random single-qubit Clifford preparation on the data qubit.
+            let prep: Vec<u8> = (0..6).map(|_| rng.random_range(0..3u8)).collect();
+            let mut t = Tableau::new(3);
+            for &g in &prep {
+                match g {
+                    0 => t.h(0),
+                    1 => t.s(0),
+                    _ => t.x_gate(0),
+                }
+            }
+            // Bell pair on (1, 2).
+            t.h(1);
+            t.cx(1, 2);
+            // Bell measurement on (0, 1).
+            t.cx(0, 1);
+            t.h(0);
+            let m_z = t.measure(0, &mut rng);
+            let m_x = t.measure(1, &mut rng);
+            // Corrections on the receiving qubit.
+            if m_x {
+                t.x_gate(2);
+            }
+            if m_z {
+                t.z_gate(2);
+            }
+            // Uncompute the preparation on qubit 2; must land in |0⟩.
+            for &g in prep.iter().rev() {
+                match g {
+                    0 => t.h(2),
+                    1 => t.sdg(2),
+                    _ => t.x_gate(2),
+                }
+            }
+            assert_eq!(
+                t.deterministic_outcome(2),
+                Some(false),
+                "teleportation failed on trial {trial} (prep {prep:?})"
+            );
+        }
+    }
+
+    /// CNOT gate teleportation (paper Fig. 1(c)) against a direct CNOT
+    /// reference, over random two-qubit stabilizer inputs.
+    #[test]
+    fn cnot_teleportation_matches_direct_cnot() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..50 {
+            // Random 2-qubit Clifford preparation as a gate list.
+            let mut prep: Vec<(u8, usize, usize)> = Vec::new();
+            for _ in 0..8 {
+                match rng.random_range(0..4u8) {
+                    0 => prep.push((0, rng.random_range(0..2), 0)),
+                    1 => prep.push((1, rng.random_range(0..2), 0)),
+                    2 => prep.push((2, 0, 1)),
+                    _ => prep.push((2, 1, 0)),
+                }
+            }
+            let apply_prep = |t: &mut Tableau, d0: usize, d1: usize| {
+                for &(kind, a, b) in &prep {
+                    let map = |q: usize| if q == 0 { d0 } else { d1 };
+                    match kind {
+                        0 => t.h(map(a)),
+                        1 => t.s(map(a)),
+                        _ => t.cx(map(a), map(b)),
+                    }
+                }
+            };
+            let unapply_prep = |t: &mut Tableau, d0: usize, d1: usize| {
+                for &(kind, a, b) in prep.iter().rev() {
+                    let map = |q: usize| if q == 0 { d0 } else { d1 };
+                    match kind {
+                        0 => t.h(map(a)),
+                        1 => t.sdg(map(a)),
+                        _ => t.cx(map(a), map(b)),
+                    }
+                }
+            };
+
+            // Teleported version: qubits d0=0, d1=1, bell (2, 3).
+            let mut t = Tableau::new(4);
+            apply_prep(&mut t, 0, 1);
+            t.h(2);
+            t.cx(2, 3);
+            // Telegate protocol.
+            t.cx(0, 2);
+            let m1 = t.measure(2, &mut rng);
+            if m1 {
+                t.x_gate(3);
+            }
+            t.cx(3, 1);
+            t.h(3);
+            let m2 = t.measure(3, &mut rng);
+            if m2 {
+                t.z_gate(0);
+            }
+            // Undo the *reference* computation: CNOT then preparation.
+            t.cx(0, 1);
+            unapply_prep(&mut t, 0, 1);
+            for q in 0..2 {
+                assert_eq!(
+                    t.deterministic_outcome(q),
+                    Some(false),
+                    "trial {trial}: teleported CNOT disagrees with direct CNOT"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_rejects_non_clifford() {
+        let mut t = Tableau::new(1);
+        let op = Operation::one(Gate::T, dqc_types::QubitId::new(0));
+        assert!(t.apply(&op).is_err());
+    }
+
+    #[test]
+    fn apply_routes_all_clifford_gates() {
+        let q = dqc_types::QubitId::new;
+        let mut t = Tableau::new(2);
+        for op in [
+            Operation::one(Gate::H, q(0)),
+            Operation::one(Gate::S, q(0)),
+            Operation::one(Gate::Sdg, q(0)),
+            Operation::one(Gate::X, q(1)),
+            Operation::one(Gate::Y, q(1)),
+            Operation::one(Gate::Z, q(1)),
+            Operation::one(Gate::I, q(1)),
+            Operation::two(Gate::Cx, q(0), q(1)),
+            Operation::two(Gate::Cz, q(0), q(1)),
+            Operation::two(Gate::Swap, q(0), q(1)),
+        ] {
+            t.apply(&op).unwrap();
+        }
+    }
+}

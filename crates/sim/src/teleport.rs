@@ -1,0 +1,304 @@
+//! Density-matrix evaluation of teleported remote gates.
+//!
+//! The paper (§IV-C) estimates the fidelity of a remote gate "through the
+//! evaluation of the gate teleportation circuit which includes a noisy Bell
+//! state, noisy local 2-qubit gates, and a noisy single-qubit measurement".
+//! This module performs exactly that evaluation, using the Choi–Jamiołkowski
+//! trick: reference qubits are maximally entangled with the data qubits, the
+//! noisy teleported gate plus the ideal inverse gate are applied, and the
+//! overlap with the initial state yields the **entanglement (process)
+//! fidelity** of the implemented operation.
+
+use crate::{
+    depolarizing_prob_for_fidelity, gate_matrix, werner, KrausChannel, Statevector,
+};
+use dqc_circuit::{Circuit, Gate};
+use dqc_types::Fidelity;
+
+/// Noise parameters of a teleported gate, mirroring the paper's Table II.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::TeleportNoise;
+///
+/// let noise = TeleportNoise::table_ii();
+/// assert_eq!(noise.bell_fidelity, 0.99);
+/// let ideal = TeleportNoise::noiseless();
+/// assert_eq!(ideal.local_cnot_fidelity, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeleportNoise {
+    /// Fidelity of the consumed (possibly decayed) Werner Bell pair.
+    pub bell_fidelity: f64,
+    /// Fidelity of each local CNOT in the teleportation circuit.
+    pub local_cnot_fidelity: f64,
+    /// Readout fidelity of each single-qubit measurement.
+    pub measurement_fidelity: f64,
+    /// Fidelity of each local single-qubit gate (basis changes and
+    /// classically conditioned Pauli corrections).
+    pub single_qubit_fidelity: f64,
+}
+
+impl TeleportNoise {
+    /// The paper's Table II values: EPR 99 %, CNOT 99.9 %, measurement
+    /// 99.8 %, single-qubit 99.99 %.
+    pub fn table_ii() -> Self {
+        Self {
+            bell_fidelity: 0.99,
+            local_cnot_fidelity: 0.999,
+            measurement_fidelity: 0.998,
+            single_qubit_fidelity: 0.9999,
+        }
+    }
+
+    /// All operations perfect — useful for validating the protocol itself.
+    pub fn noiseless() -> Self {
+        Self {
+            bell_fidelity: 1.0,
+            local_cnot_fidelity: 1.0,
+            measurement_fidelity: 1.0,
+            single_qubit_fidelity: 1.0,
+        }
+    }
+
+    /// Replaces the Bell-pair fidelity (e.g. after buffer idling decay).
+    pub fn with_bell_fidelity(mut self, f: f64) -> Self {
+        self.bell_fidelity = f;
+        self
+    }
+}
+
+impl Default for TeleportNoise {
+    fn default() -> Self {
+        Self::table_ii()
+    }
+}
+
+/// Entanglement (process) fidelity of a CNOT implemented by gate
+/// teleportation over a noisy Bell pair — the "telegate" protocol of
+/// Fig. 1(c).
+///
+/// Protocol (control `d0` on node A, target `d1` on node B, Bell halves
+/// `b0`/`b1`):
+///
+/// 1. local CNOT `d0 → b0` on A,
+/// 2. Z-measurement of `b0`, classically conditioned X on `b1`,
+/// 3. local CNOT `b1 → d1` on B,
+/// 4. H on `b1`, Z-measurement of `b1`, classically conditioned Z on `d0`.
+///
+/// Measurements plus classical conditioning are simulated with the deferred
+/// measurement principle (a CNOT/CZ from the measured qubit followed by a
+/// partial trace), with readout noise as a preceding bit-flip channel.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::{teleported_cnot_fidelity, TeleportNoise};
+///
+/// // A perfect Bell pair and perfect local operations teleport exactly:
+/// let f = teleported_cnot_fidelity(&TeleportNoise::noiseless());
+/// assert!((f.value() - 1.0).abs() < 1e-9);
+///
+/// // Table II noise gives a high but subunit fidelity:
+/// let f = teleported_cnot_fidelity(&TeleportNoise::table_ii());
+/// assert!(f.value() > 0.95 && f.value() < 1.0);
+/// ```
+pub fn teleported_cnot_fidelity(noise: &TeleportNoise) -> Fidelity {
+    // Qubit layout: r0=0, d0=1, r1=2, d1=3, b0=4, b1=5.
+    let (r0, d0, r1, d1, b0, b1) = (0usize, 1usize, 2usize, 3usize, 4usize, 5usize);
+
+    // Reference pairs (r0,d0) and (r1,d1) in |Φ⁺⟩; Werner Bell pair (b0,b1).
+    let phi = crate::BellState::PhiPlus.density();
+    let init = phi.tensor(&phi).tensor(&werner(noise.bell_fidelity));
+    let mut rho = init;
+
+    let p_cnot = depolarizing_prob_for_fidelity(noise.local_cnot_fidelity, 4);
+    let p_1q = depolarizing_prob_for_fidelity(noise.single_qubit_fidelity, 2);
+    let p_meas = 1.0 - noise.measurement_fidelity;
+    let cnot_noise = KrausChannel::depolarizing2(p_cnot);
+    let oneq_noise = KrausChannel::depolarizing1(p_1q);
+    let meas_noise = KrausChannel::bit_flip(p_meas);
+    let cx = gate_matrix(Gate::Cx);
+    let cz = gate_matrix(Gate::Cz);
+    let h = gate_matrix(Gate::H);
+
+    // 1. Local CNOT d0 → b0 at node A.
+    rho.apply_unitary(&cx, &[d0, b0]);
+    cnot_noise.apply(&mut rho, &[d0, b0]);
+
+    // 2. Noisy Z-measurement of b0, conditioned X on b1 (deferred).
+    meas_noise.apply(&mut rho, &[b0]);
+    rho.apply_unitary(&cx, &[b0, b1]);
+    oneq_noise.apply(&mut rho, &[b1]); // the conditional X is a local gate
+
+    // 3. Local CNOT b1 → d1 at node B.
+    rho.apply_unitary(&cx, &[b1, d1]);
+    cnot_noise.apply(&mut rho, &[b1, d1]);
+
+    // 4. H on b1; noisy Z-measurement of b1; conditioned Z on d0 (deferred).
+    rho.apply_unitary(&h, &[b1]);
+    oneq_noise.apply(&mut rho, &[b1]);
+    meas_noise.apply(&mut rho, &[b1]);
+    rho.apply_unitary(&cz, &[b1, d0]);
+    oneq_noise.apply(&mut rho, &[d0]); // the conditional Z is a local gate
+
+    // Undo with the ideal CNOT(d0 → d1); a perfect protocol restores the
+    // double-Φ⁺ reference state.
+    rho.apply_unitary(&cx, &[d0, d1]);
+
+    let reduced = rho.partial_trace(&[b0, b1]);
+
+    // Reference: |Φ⁺⟩_{r0,d0} ⊗ |Φ⁺⟩_{r1,d1} over the remaining 4 qubits.
+    let mut reference = Circuit::new(4);
+    reference.h(0).cx(0, 1).h(2).cx(2, 3);
+    let mut psi = Statevector::zero_state(4);
+    psi.apply_circuit(&reference).expect("reference circuit is unitary");
+    let _ = (r0, r1); // layout documented above
+    Fidelity::new(reduced.fidelity_with_pure(&psi))
+}
+
+/// Entanglement fidelity of single-qubit *state* teleportation (Fig. 1(b))
+/// over a noisy Bell pair: Bell measurement on (data, b0) at node A, Pauli
+/// corrections on b1 at node B.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::{state_teleportation_fidelity, TeleportNoise};
+/// let f = state_teleportation_fidelity(&TeleportNoise::noiseless());
+/// assert!((f.value() - 1.0).abs() < 1e-9);
+/// ```
+pub fn state_teleportation_fidelity(noise: &TeleportNoise) -> Fidelity {
+    // Layout: r=0 (reference), d=1 (data at A), b0=2 (A), b1=3 (B).
+    let (r, d, b0, b1) = (0usize, 1usize, 2usize, 3usize);
+    let phi = crate::BellState::PhiPlus.density();
+    let mut rho = phi.tensor(&werner(noise.bell_fidelity));
+
+    let p_cnot = depolarizing_prob_for_fidelity(noise.local_cnot_fidelity, 4);
+    let p_1q = depolarizing_prob_for_fidelity(noise.single_qubit_fidelity, 2);
+    let p_meas = 1.0 - noise.measurement_fidelity;
+    let cnot_noise = KrausChannel::depolarizing2(p_cnot);
+    let oneq_noise = KrausChannel::depolarizing1(p_1q);
+    let meas_noise = KrausChannel::bit_flip(p_meas);
+    let cx = gate_matrix(Gate::Cx);
+    let cz = gate_matrix(Gate::Cz);
+    let h = gate_matrix(Gate::H);
+
+    // Bell measurement on (d, b0): CNOT d → b0, H on d, measure both.
+    rho.apply_unitary(&cx, &[d, b0]);
+    cnot_noise.apply(&mut rho, &[d, b0]);
+    rho.apply_unitary(&h, &[d]);
+    oneq_noise.apply(&mut rho, &[d]);
+
+    // Deferred noisy measurements with conditioned corrections on b1:
+    // X^{m(b0)} and Z^{m(d)}.
+    meas_noise.apply(&mut rho, &[b0]);
+    rho.apply_unitary(&cx, &[b0, b1]);
+    oneq_noise.apply(&mut rho, &[b1]);
+    meas_noise.apply(&mut rho, &[d]);
+    rho.apply_unitary(&cz, &[d, b1]);
+    oneq_noise.apply(&mut rho, &[b1]);
+
+    // The teleported qubit lives on b1; reference pair is (r, b1).
+    let reduced = rho.partial_trace(&[d, b0]);
+    let mut reference = Circuit::new(2);
+    reference.h(0).cx(0, 1);
+    let mut psi = Statevector::zero_state(2);
+    psi.apply_circuit(&reference).expect("reference circuit is unitary");
+    let _ = r;
+    Fidelity::new(reduced.fidelity_with_pure(&psi))
+}
+
+/// Converts an entanglement (process) fidelity into the average gate
+/// fidelity over Haar-random inputs: `F_avg = (d·F_e + 1)/(d + 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::average_gate_fidelity;
+/// assert!((average_gate_fidelity(1.0, 4) - 1.0).abs() < 1e-12);
+/// assert!((average_gate_fidelity(0.0, 2) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn average_gate_fidelity(entanglement_fidelity: f64, dim: usize) -> f64 {
+    let d = dim as f64;
+    (d * entanglement_fidelity + 1.0) / (d + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_protocols_are_exact() {
+        assert!((teleported_cnot_fidelity(&TeleportNoise::noiseless()).value() - 1.0).abs() < 1e-9);
+        assert!(
+            (state_teleportation_fidelity(&TeleportNoise::noiseless()).value() - 1.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn werner_resource_with_perfect_locals_gives_bell_fidelity() {
+        // With ideal local operations, the teleported gate's process
+        // fidelity equals the Werner parameter structure of the resource:
+        // for state teleportation F_e = F_bell exactly.
+        for f_bell in [0.6, 0.8, 0.95, 1.0] {
+            let noise = TeleportNoise::noiseless().with_bell_fidelity(f_bell);
+            let f = state_teleportation_fidelity(&noise).value();
+            assert!((f - f_bell).abs() < 1e-9, "f_bell={f_bell}: got {f}");
+            let f_gate = teleported_cnot_fidelity(&noise).value();
+            assert!((f_gate - f_bell).abs() < 1e-9, "gate: f_bell={f_bell}: got {f_gate}");
+        }
+    }
+
+    #[test]
+    fn fidelity_decreases_monotonically_in_each_noise_knob() {
+        let base = teleported_cnot_fidelity(&TeleportNoise::table_ii()).value();
+        let worse_bell = teleported_cnot_fidelity(
+            &TeleportNoise::table_ii().with_bell_fidelity(0.9),
+        )
+        .value();
+        assert!(worse_bell < base);
+
+        let mut worse_cnot = TeleportNoise::table_ii();
+        worse_cnot.local_cnot_fidelity = 0.99;
+        assert!(teleported_cnot_fidelity(&worse_cnot).value() < base);
+
+        let mut worse_meas = TeleportNoise::table_ii();
+        worse_meas.measurement_fidelity = 0.98;
+        assert!(teleported_cnot_fidelity(&worse_meas).value() < base);
+
+        let mut worse_1q = TeleportNoise::table_ii();
+        worse_1q.single_qubit_fidelity = 0.995;
+        assert!(teleported_cnot_fidelity(&worse_1q).value() < base);
+    }
+
+    #[test]
+    fn table_ii_remote_cnot_lands_in_expected_band() {
+        // Bell 0.99 dominates; local noise shaves a little more off. The
+        // executor relies on this being ≈ 0.98–0.99.
+        let f = teleported_cnot_fidelity(&TeleportNoise::table_ii()).value();
+        assert!(f > 0.97 && f < 0.995, "f = {f}");
+    }
+
+    #[test]
+    fn average_gate_fidelity_bounds() {
+        let fe = teleported_cnot_fidelity(&TeleportNoise::table_ii()).value();
+        let favg = average_gate_fidelity(fe, 4);
+        assert!(favg > fe, "averaging adds the +1/(d+1) floor");
+        assert!(favg <= 1.0);
+    }
+
+    #[test]
+    fn fully_mixed_resource_scrambles() {
+        let noise = TeleportNoise::noiseless().with_bell_fidelity(0.25);
+        let f = teleported_cnot_fidelity(&noise).value();
+        // Teleporting over a useless resource yields process fidelity 1/4
+        // (a fully depolarizing channel on the two data qubits would give
+        // 1/16; a Werner-1/4 resource injects uniform Paulis, giving 1/4
+        // on the pair of measurement branches) — the key property is that
+        // it is far below any useful threshold and nonnegative.
+        assert!(f < 0.3, "f = {f}");
+        assert!(f > 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Fidelity: a clamped quality metric that composes multiplicatively.
+
+use std::fmt;
+use std::iter::Product;
+use std::ops::{Mul, MulAssign};
+
+/// Fidelity of a state, gate, or whole circuit output, clamped to `[0, 1]`.
+///
+/// Per the paper's §IV-B, the circuit output fidelity is estimated as the
+/// *product* of the fidelities of every gate plus an idling-decoherence
+/// factor, so `Fidelity` implements [`Mul`] and [`Product`] with clamping.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_types::Fidelity;
+///
+/// let per_gate = Fidelity::new(0.999);
+/// let circuit: Fidelity = std::iter::repeat(per_gate).take(100).product();
+/// assert!((circuit.value() - 0.999f64.powi(100)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Fidelity(f64);
+
+impl Fidelity {
+    /// Perfect fidelity.
+    pub const PERFECT: Self = Self(1.0);
+    /// Zero fidelity (fully scrambled output).
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a fidelity, clamping the value into `[0, 1]`.
+    ///
+    /// Non-finite inputs clamp to zero, so a `Fidelity` is always a valid
+    /// probability-like quantity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_types::Fidelity;
+    /// assert_eq!(Fidelity::new(1.7).value(), 1.0);
+    /// assert_eq!(Fidelity::new(-0.2).value(), 0.0);
+    /// assert_eq!(Fidelity::new(f64::NAN).value(), 0.0);
+    /// ```
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        if value.is_finite() {
+            Self(value.clamp(0.0, 1.0))
+        } else {
+            Self(0.0)
+        }
+    }
+
+    /// Returns the numeric value in `[0, 1]`.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Raises this fidelity to an integer power — the fidelity of applying
+    /// the same noisy operation `n` times.
+    #[inline]
+    pub fn powi(self, n: i32) -> Self {
+        Self::new(self.0.powi(n))
+    }
+
+    /// Multiplies in the exponential idling-decoherence factor
+    /// `exp(-κ · t)` used in §IV-B, where `kappa_t` is the dimensionless
+    /// product of the decoherence rate and the idle duration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_types::Fidelity;
+    /// let f = Fidelity::PERFECT.decayed(0.5);
+    /// assert!((f.value() - (-0.5f64).exp()).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn decayed(self, kappa_t: f64) -> Self {
+        Self::new(self.0 * (-kappa_t).exp())
+    }
+}
+
+impl Default for Fidelity {
+    /// Defaults to [`Fidelity::PERFECT`]: multiplying in the default is a
+    /// no-op, matching `Product`'s identity element.
+    fn default() -> Self {
+        Self::PERFECT
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl Mul for Fidelity {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(self.0 * rhs.0)
+    }
+}
+
+impl MulAssign for Fidelity {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Product for Fidelity {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::PERFECT, Mul::mul)
+    }
+}
+
+impl From<Fidelity> for f64 {
+    fn from(f: Fidelity) -> Self {
+        f.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(Fidelity::new(2.0).value(), 1.0);
+        assert_eq!(Fidelity::new(-1.0).value(), 0.0);
+        assert_eq!(Fidelity::new(f64::INFINITY).value(), 0.0);
+        assert_eq!(Fidelity::new(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn identity_and_zero_elements() {
+        let f = Fidelity::new(0.87);
+        assert_eq!((f * Fidelity::PERFECT).value(), 0.87);
+        assert_eq!((f * Fidelity::ZERO).value(), 0.0);
+    }
+
+    #[test]
+    fn product_of_empty_iterator_is_perfect() {
+        let f: Fidelity = std::iter::empty().product();
+        assert_eq!(f, Fidelity::PERFECT);
+    }
+
+    #[test]
+    fn mul_assign_composes() {
+        let mut f = Fidelity::new(0.9);
+        f *= Fidelity::new(0.9);
+        assert!((f.value() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_matches_exponential() {
+        let f = Fidelity::new(0.8).decayed(1.0);
+        assert!((f.value() - 0.8 * (-1.0f64).exp()).abs() < 1e-12);
+        // Zero idle time decays nothing.
+        assert_eq!(Fidelity::new(0.8).decayed(0.0).value(), 0.8);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let f = Fidelity::new(0.999);
+        let by_pow = f.powi(5);
+        let by_mul: Fidelity = std::iter::repeat_n(f, 5).product();
+        assert!((by_pow.value() - by_mul.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_four_decimals() {
+        assert_eq!(Fidelity::new(0.5).to_string(), "0.5000");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_always_in_unit_interval(x in any::<f64>()) {
+            let f = Fidelity::new(x);
+            prop_assert!((0.0..=1.0).contains(&f.value()));
+        }
+
+        #[test]
+        fn prop_product_commutes(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let ab = Fidelity::new(a) * Fidelity::new(b);
+            let ba = Fidelity::new(b) * Fidelity::new(a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_decay_monotone_in_time(
+            f0 in 0.01f64..=1.0, t1 in 0.0f64..10.0, dt in 0.0f64..10.0
+        ) {
+            let early = Fidelity::new(f0).decayed(t1);
+            let late = Fidelity::new(f0).decayed(t1 + dt);
+            prop_assert!(late.value() <= early.value() + 1e-15);
+        }
+    }
+}

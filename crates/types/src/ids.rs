@@ -1,0 +1,224 @@
+//! Strongly typed identifiers for qubits, nodes, and gates.
+
+use std::fmt;
+
+/// Identifier of a logical (circuit-level) qubit.
+///
+/// A `QubitId` indexes a wire of a [`dqc-circuit`] circuit. It says nothing
+/// about *where* that qubit lives; the mapping onto QPU nodes is a separate
+/// concern handled by `dqc-core`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_types::QubitId;
+/// let q = QubitId::new(7);
+/// assert_eq!(q.index(), 7);
+/// assert_eq!(q.to_string(), "q7");
+/// ```
+///
+/// [`dqc-circuit`]: https://docs.rs/dqc-circuit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit identifier from its wire index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the wire index as a `u32`.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the wire index as a `usize`, convenient for slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<QubitId> for u32 {
+    fn from(id: QubitId) -> Self {
+        id.index()
+    }
+}
+
+impl From<QubitId> for usize {
+    fn from(id: QubitId) -> Self {
+        id.as_usize()
+    }
+}
+
+/// Identifier of a QPU node in a distributed system.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_types::NodeId;
+/// assert_eq!(NodeId::new(1).to_string(), "node1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the node index as a `u16`.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the node index as a `usize`, convenient for slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(index: u16) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.as_usize()
+    }
+}
+
+/// Identifier of a gate (operation) within a circuit.
+///
+/// Gate ids are assigned densely in program order by `dqc-circuit`, so they
+/// double as a stable topological tie-breaker in schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_types::GateId;
+/// let g = GateId::new(42);
+/// assert_eq!(g.index(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates a gate identifier from its program-order index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the program-order index as a `u32`.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the program-order index as a `usize`.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for GateId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<GateId> for usize {
+    fn from(id: GateId) -> Self {
+        id.as_usize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn qubit_id_round_trips_index() {
+        for i in [0, 1, 31, u32::MAX] {
+            assert_eq!(QubitId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn qubit_id_display_is_prefixed() {
+        assert_eq!(QubitId::new(0).to_string(), "q0");
+        assert_eq!(QubitId::new(15).to_string(), "q15");
+    }
+
+    #[test]
+    fn node_id_display_is_prefixed() {
+        assert_eq!(NodeId::new(2).to_string(), "node2");
+    }
+
+    #[test]
+    fn gate_id_orders_by_program_order() {
+        assert!(GateId::new(3) < GateId::new(4));
+        assert!(GateId::new(4) > GateId::new(3));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<QubitId> = (0..10).map(QubitId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let q: QubitId = 9u32.into();
+        let back: u32 = q.into();
+        assert_eq!(back, 9);
+        let idx: usize = q.into();
+        assert_eq!(idx, 9);
+        let n: NodeId = 3u16.into();
+        assert_eq!(usize::from(n), 3);
+        let g: GateId = 11u32.into();
+        assert_eq!(usize::from(g), 11);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(QubitId::default().index(), 0);
+        assert_eq!(NodeId::default().index(), 0);
+        assert_eq!(GateId::default().index(), 0);
+    }
+}

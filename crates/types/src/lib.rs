@@ -1,0 +1,39 @@
+//! Core typed quantities shared across the `dqc` workspace.
+//!
+//! This crate defines the small, dependency-free vocabulary types that
+//! every other crate in the workspace builds upon:
+//!
+//! * [`QubitId`], [`NodeId`], [`GateId`] — strongly typed identifiers that
+//!   make it impossible to confuse a circuit qubit index with a node index.
+//! * [`Tick`] — the integer simulation clock. One tick is a tenth of a
+//!   local CNOT latency, so every entry of the paper's Table II is an exact
+//!   integer (1Q gate = 1 tick, CNOT = 10, measurement = 50, one
+//!   entanglement-generation attempt cycle = 100).
+//! * [`Fidelity`] — a probability-like quality metric clamped to `[0, 1]`
+//!   that multiplies like independent error channels compose.
+//!
+//! # Examples
+//!
+//! ```
+//! use dqc_types::{Fidelity, QubitId, Tick};
+//!
+//! let q = QubitId::new(3);
+//! assert_eq!(q.index(), 3);
+//!
+//! let cnot = Tick::CNOT;
+//! assert_eq!((cnot + cnot).as_cnot_units(), 2.0);
+//!
+//! let f = Fidelity::new(0.99) * Fidelity::new(0.98);
+//! assert!((f.value() - 0.9702).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fidelity;
+mod ids;
+mod tick;
+
+pub use fidelity::Fidelity;
+pub use ids::{GateId, NodeId, QubitId};
+pub use tick::Tick;

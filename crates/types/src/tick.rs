@@ -1,0 +1,279 @@
+//! Integer simulation time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, measured in integer ticks.
+///
+/// One tick is **one tenth of a local CNOT latency**, the finest granularity
+/// appearing in the paper's Table II. With the paper's physical numbers
+/// (local CNOT = 300 ns) one tick is 30 ns. The table then becomes exact
+/// integers:
+///
+/// | operation                    | ticks                 |
+/// |------------------------------|-----------------------|
+/// | single-qubit gate            | [`Tick::ONE_QUBIT`] = 1  |
+/// | local CNOT                   | [`Tick::CNOT`] = 10      |
+/// | measurement                  | [`Tick::MEASUREMENT`] = 50 |
+/// | entanglement attempt cycle   | [`Tick::EPR_CYCLE`] = 100 |
+///
+/// Using integers (rather than `f64`) keeps event ordering in the
+/// discrete-event simulator total and platform-independent.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_types::Tick;
+///
+/// let t = Tick::CNOT + Tick::MEASUREMENT;
+/// assert_eq!(t, Tick::new(60));
+/// assert_eq!(t.as_cnot_units(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(i64);
+
+impl Tick {
+    /// The zero instant / empty duration.
+    pub const ZERO: Self = Self(0);
+    /// Duration of a single-qubit gate (0.1 CNOT units).
+    pub const ONE_QUBIT: Self = Self(1);
+    /// Duration of a local two-qubit (CNOT-class) gate.
+    pub const CNOT: Self = Self(10);
+    /// Duration of a local SWAP, decomposed as three CNOTs.
+    pub const SWAP: Self = Self(30);
+    /// Duration of a projective measurement.
+    pub const MEASUREMENT: Self = Self(50);
+    /// Duration of one heralded entanglement-generation attempt cycle
+    /// (`T_EG = 10 × T_local` per the paper's §II-A assumption).
+    pub const EPR_CYCLE: Self = Self(100);
+    /// Number of ticks in one CNOT (the paper's depth unit).
+    pub const TICKS_PER_CNOT: i64 = 10;
+    /// The maximum representable tick, usable as an "unscheduled" sentinel.
+    pub const MAX: Self = Self(i64::MAX);
+
+    /// Creates a tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Self(ticks)
+    }
+
+    /// Creates a tick count from a duration expressed in CNOT units,
+    /// rounding to the nearest tick.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_types::Tick;
+    /// assert_eq!(Tick::from_cnot_units(1.5), Tick::new(15));
+    /// ```
+    #[inline]
+    pub fn from_cnot_units(units: f64) -> Self {
+        Self((units * Self::TICKS_PER_CNOT as f64).round() as i64)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Expresses this time in CNOT units (the paper's circuit-depth unit).
+    #[inline]
+    pub fn as_cnot_units(self) -> f64 {
+        self.0 as f64 / Self::TICKS_PER_CNOT as f64
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns `self - other`, clamped at zero; useful for idle-time spans
+    /// where negative durations are meaningless.
+    #[inline]
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self((self.0 - other.0).max(0))
+    }
+
+    /// Returns true when the tick count is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Rounds this instant up to the next multiple of `period`, which is
+    /// the start of the next synchronous attempt slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_types::Tick;
+    /// assert_eq!(Tick::new(101).next_multiple_of(Tick::EPR_CYCLE), Tick::new(200));
+    /// assert_eq!(Tick::new(200).next_multiple_of(Tick::EPR_CYCLE), Tick::new(200));
+    /// ```
+    #[inline]
+    pub fn next_multiple_of(self, period: Self) -> Self {
+        assert!(period.0 > 0, "period must be positive");
+        Self(self.0.div_euclid(period.0) * period.0
+            + if self.0.rem_euclid(period.0) == 0 { 0 } else { period.0 })
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl Add for Tick {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tick {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Tick {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Sum for Tick {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|t| t.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_ii_constants_are_exact() {
+        assert_eq!(Tick::ONE_QUBIT.as_cnot_units(), 0.1);
+        assert_eq!(Tick::CNOT.as_cnot_units(), 1.0);
+        assert_eq!(Tick::MEASUREMENT.as_cnot_units(), 5.0);
+        assert_eq!(Tick::EPR_CYCLE.as_cnot_units(), 10.0);
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        assert_eq!(Tick::SWAP, Tick::CNOT * 3);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let mut t = Tick::new(5);
+        t += Tick::new(7);
+        assert_eq!(t, Tick::new(12));
+        t -= Tick::new(2);
+        assert_eq!(t, Tick::new(10));
+        assert_eq!(t * 3, Tick::new(30));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Tick::new(3).saturating_sub(Tick::new(8)), Tick::ZERO);
+        assert_eq!(Tick::new(8).saturating_sub(Tick::new(3)), Tick::new(5));
+    }
+
+    #[test]
+    fn min_max_pick_endpoints() {
+        let a = Tick::new(4);
+        let b = Tick::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn from_cnot_units_rounds() {
+        assert_eq!(Tick::from_cnot_units(0.1), Tick::ONE_QUBIT);
+        assert_eq!(Tick::from_cnot_units(5.0), Tick::MEASUREMENT);
+        assert_eq!(Tick::from_cnot_units(0.04), Tick::ZERO);
+        assert_eq!(Tick::from_cnot_units(0.06), Tick::ONE_QUBIT);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Tick = [Tick::CNOT, Tick::CNOT, Tick::ONE_QUBIT].into_iter().sum();
+        assert_eq!(total, Tick::new(21));
+    }
+
+    #[test]
+    fn next_multiple_rounds_up() {
+        let p = Tick::new(100);
+        assert_eq!(Tick::ZERO.next_multiple_of(p), Tick::ZERO);
+        assert_eq!(Tick::new(1).next_multiple_of(p), Tick::new(100));
+        assert_eq!(Tick::new(100).next_multiple_of(p), Tick::new(100));
+        assert_eq!(Tick::new(250).next_multiple_of(p), Tick::new(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn next_multiple_rejects_zero_period() {
+        let _ = Tick::new(5).next_multiple_of(Tick::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_cnot_units(ticks in -1_000_000i64..1_000_000) {
+            let t = Tick::new(ticks);
+            let back = Tick::from_cnot_units(t.as_cnot_units());
+            prop_assert_eq!(t, back);
+        }
+
+        #[test]
+        fn prop_next_multiple_is_multiple_and_not_less(
+            ticks in 0i64..1_000_000, period in 1i64..10_000
+        ) {
+            let t = Tick::new(ticks).next_multiple_of(Tick::new(period));
+            prop_assert_eq!(t.ticks() % period, 0);
+            prop_assert!(t.ticks() >= ticks);
+            prop_assert!(t.ticks() - ticks < period);
+        }
+
+        #[test]
+        fn prop_saturating_sub_never_negative(a in any::<i32>(), b in any::<i32>()) {
+            let d = Tick::new(a as i64).saturating_sub(Tick::new(b as i64));
+            prop_assert!(d.ticks() >= 0);
+        }
+    }
+}

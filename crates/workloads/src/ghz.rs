@@ -1,0 +1,101 @@
+//! GHZ-state preparation circuits (auxiliary benchmark).
+
+use dqc_circuit::Circuit;
+
+/// Builds the linear-depth GHZ preparation: `H` on qubit 0 followed by a
+/// CNOT chain — the canonical minimal-communication benchmark (one remote
+/// gate under any contiguous bipartition).
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::ghz_chain;
+/// let c = ghz_chain(8);
+/// assert_eq!(c.counts().two_qubit, 7);
+/// assert_eq!(c.depth(), 8);
+/// ```
+pub fn ghz_chain(n: u32) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut c = Circuit::with_capacity(n, n as usize);
+    c.h(0);
+    for q in 0..n.saturating_sub(1) {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// Builds the logarithmic-depth GHZ preparation using a fan-out tree of
+/// CNOTs — fewer serial dependencies, more simultaneous remote-gate
+/// pressure when split across nodes.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::ghz_tree;
+/// let c = ghz_tree(8);
+/// assert_eq!(c.counts().two_qubit, 7);
+/// assert_eq!(c.depth(), 4); // H + log2(8) CNOT rounds
+/// ```
+pub fn ghz_tree(n: u32) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut c = Circuit::with_capacity(n, n as usize);
+    c.h(0);
+    // In round r, every prepared qubit q < 2^r copies to q + 2^r.
+    let mut reach = 1u32;
+    while reach < n {
+        for q in 0..reach.min(n - reach) {
+            c.cx(q, q + reach);
+        }
+        reach *= 2;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_sim::Statevector;
+
+    fn assert_is_ghz(circuit: &Circuit, n: u32) {
+        let mut sv = Statevector::zero_state(n);
+        sv.apply_circuit(circuit).unwrap();
+        let last = (1usize << n) - 1;
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(last) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_prepares_ghz() {
+        for n in [1u32, 2, 3, 8] {
+            assert_is_ghz(&ghz_chain(n), n);
+        }
+    }
+
+    #[test]
+    fn tree_prepares_ghz() {
+        for n in [1u32, 2, 3, 5, 8, 13] {
+            assert_is_ghz(&ghz_tree(n), n);
+        }
+    }
+
+    #[test]
+    fn tree_is_shallower_than_chain() {
+        assert!(ghz_tree(16).depth() < ghz_chain(16).depth());
+    }
+
+    #[test]
+    fn both_use_n_minus_1_cnots() {
+        for n in [2u32, 7, 16] {
+            assert_eq!(ghz_chain(n).counts().two_qubit, (n - 1) as usize);
+            assert_eq!(ghz_tree(n).counts().two_qubit, (n - 1) as usize);
+        }
+    }
+}

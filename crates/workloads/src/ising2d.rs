@@ -1,0 +1,106 @@
+//! 2D transverse-field Ising model on a rectangular grid (auxiliary
+//! benchmark).
+//!
+//! Grid connectivity produces a qualitatively different interaction graph
+//! from the paper's 1D TLIM chain: a balanced bipartition must cut a whole
+//! column (or row) of bonds, which makes this the natural stress test for
+//! k > 2 node partitioning.
+
+use crate::TlimParams;
+use dqc_circuit::Circuit;
+
+/// Builds a Trotterized 2D transverse-field Ising circuit on a
+/// `rows × cols` open grid. Qubit `(r, c)` is wire `r·cols + c`. Each
+/// Trotter step applies four bond layers (horizontal even/odd, vertical
+/// even/odd) followed by the `Rx`/`Rz` field layers.
+///
+/// # Panics
+///
+/// Panics when either dimension is smaller than 2.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::{ising_2d, TlimParams};
+///
+/// let c = ising_2d(4, 8, 5, TlimParams::default());
+/// assert_eq!(c.num_qubits(), 32);
+/// // Bonds: horizontal 4·7 + vertical 3·8 = 52 per step.
+/// assert_eq!(c.counts().two_qubit, 5 * 52);
+/// ```
+pub fn ising_2d(rows: u32, cols: u32, steps: u32, params: TlimParams) -> Circuit {
+    assert!(rows >= 2 && cols >= 2, "grid needs at least 2x2 sites");
+    let n = rows * cols;
+    let wire = |r: u32, c: u32| r * cols + c;
+    let mut circuit = Circuit::with_capacity(n, (steps * 4 * n) as usize);
+    for _ in 0..steps {
+        // Horizontal bonds, even then odd columns.
+        for parity in [0, 1] {
+            for r in 0..rows {
+                let mut c = parity;
+                while c + 1 < cols {
+                    circuit.rzz(wire(r, c), wire(r, c + 1), params.zz_angle);
+                    c += 2;
+                }
+            }
+        }
+        // Vertical bonds, even then odd rows.
+        for parity in [0, 1] {
+            for c in 0..cols {
+                let mut r = parity;
+                while r + 1 < rows {
+                    circuit.rzz(wire(r, c), wire(r + 1, c), params.zz_angle);
+                    r += 2;
+                }
+            }
+        }
+        for q in 0..n {
+            circuit.rx(q, params.x_angle);
+        }
+        for q in 0..n {
+            circuit.rz(q, params.z_angle);
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bond_count_matches_grid() {
+        // rows·(cols−1) horizontal + (rows−1)·cols vertical bonds.
+        let c = ising_2d(3, 4, 2, TlimParams::default());
+        let per_step = 3 * 3 + 2 * 4;
+        assert_eq!(c.counts().two_qubit, 2 * per_step);
+        assert_eq!(c.counts().single_qubit, 2 * 2 * 12);
+    }
+
+    #[test]
+    fn depth_is_six_layers_per_step() {
+        // 4 bond layers + 2 field layers, each unit depth.
+        for steps in 1..4 {
+            let c = ising_2d(4, 4, steps, TlimParams::default());
+            assert_eq!(c.depth(), (6 * steps) as usize);
+        }
+    }
+
+    #[test]
+    fn interactions_are_grid_neighbours() {
+        let (rows, cols) = (3u32, 5u32);
+        let c = ising_2d(rows, cols, 1, TlimParams::default());
+        for (a, b, _) in c.interactions() {
+            let (ra, ca) = (a.index() / cols, a.index() % cols);
+            let (rb, cb) = (b.index() / cols, b.index() % cols);
+            let manhattan = ra.abs_diff(rb) + ca.abs_diff(cb);
+            assert_eq!(manhattan, 1, "{a}–{b} is not a grid bond");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_grid() {
+        let _ = ising_2d(1, 8, 1, TlimParams::default());
+    }
+}

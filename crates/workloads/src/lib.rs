@@ -1,0 +1,48 @@
+//! Benchmark circuit generators for the DAC 2025 DQC co-design evaluation.
+//!
+//! The paper's Table I evaluates six workloads spanning three families:
+//!
+//! * [`tlim`] — 1D transverse-longitudinal Ising model quenches (linear
+//!   connectivity, few remote gates),
+//! * [`qaoa_maxcut`] / [`qaoa_regular`] — QAOA MaxCut on random regular
+//!   graphs (medium remote fraction, degree-tunable),
+//! * [`qft`] — the quantum Fourier transform (all-to-all, remote-heavy),
+//!
+//! plus auxiliary generators ([`ghz_chain`], [`ghz_tree`],
+//! [`random_brickwork`], [`random_clifford`]) and the pinned-seed
+//! [`PaperBenchmark`] enumeration that regenerates the exact circuits used
+//! by the reproduction harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use dqc_workloads::PaperBenchmark;
+//!
+//! for bench in PaperBenchmark::FIG5 {
+//!     let c = bench.circuit();
+//!     println!("{bench}: {} ops, depth {}", c.len(), c.depth());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ghz;
+mod ising2d;
+mod paper;
+mod qaoa;
+mod qft;
+mod random;
+mod regular_graph;
+mod tlim;
+mod vqe;
+
+pub use ghz::{ghz_chain, ghz_tree};
+pub use ising2d::ising_2d;
+pub use paper::PaperBenchmark;
+pub use qaoa::{cut_value, qaoa_maxcut, qaoa_regular, QaoaAngles};
+pub use qft::{qft, qft_with_swaps};
+pub use random::{random_brickwork, random_clifford};
+pub use regular_graph::{degrees, random_regular_graph, GenerateGraphError};
+pub use tlim::{tlim, TlimParams};
+pub use vqe::vqe_ansatz;

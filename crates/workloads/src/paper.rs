@@ -1,0 +1,182 @@
+//! The six benchmarks of the paper's Table I, with pinned seeds.
+
+use crate::{qaoa_regular, qft, tlim, TlimParams};
+use dqc_circuit::Circuit;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// One of the six benchmarks evaluated in the paper (Table I).
+///
+/// Random benchmarks (the QAOA family) use pinned `ChaCha8` seeds so every
+/// build of this workspace regenerates byte-identical circuits.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::PaperBenchmark;
+///
+/// let c = PaperBenchmark::Qft32.circuit();
+/// assert_eq!(c.num_qubits(), 32);
+/// assert_eq!(PaperBenchmark::Qft32.to_string(), "QFT-32");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperBenchmark {
+    /// 32-qubit 1D transverse-longitudinal Ising model, 10 Trotter steps.
+    Tlim32,
+    /// 32-qubit QAOA MaxCut on a random 4-regular graph.
+    QaoaR4_32,
+    /// 32-qubit QAOA MaxCut on a random 8-regular graph.
+    QaoaR8_32,
+    /// 32-qubit quantum Fourier transform.
+    Qft32,
+    /// 64-qubit QAOA MaxCut on a random 4-regular graph.
+    QaoaR4_64,
+    /// 64-qubit QAOA MaxCut on a random 8-regular graph.
+    QaoaR8_64,
+}
+
+impl PaperBenchmark {
+    /// The four 32-qubit benchmarks of Figures 5 and 6, in paper order.
+    pub const FIG5: [PaperBenchmark; 4] = [
+        PaperBenchmark::Tlim32,
+        PaperBenchmark::QaoaR4_32,
+        PaperBenchmark::QaoaR8_32,
+        PaperBenchmark::Qft32,
+    ];
+
+    /// The two 64-qubit benchmarks of Figure 8, in paper order.
+    pub const FIG8: [PaperBenchmark; 2] =
+        [PaperBenchmark::QaoaR4_64, PaperBenchmark::QaoaR8_64];
+
+    /// All six benchmarks in Table I order.
+    pub const ALL: [PaperBenchmark; 6] = [
+        PaperBenchmark::Tlim32,
+        PaperBenchmark::QaoaR4_32,
+        PaperBenchmark::QaoaR8_32,
+        PaperBenchmark::Qft32,
+        PaperBenchmark::QaoaR4_64,
+        PaperBenchmark::QaoaR8_64,
+    ];
+
+    /// Number of data qubits.
+    pub const fn num_qubits(self) -> u32 {
+        match self {
+            PaperBenchmark::Tlim32
+            | PaperBenchmark::QaoaR4_32
+            | PaperBenchmark::QaoaR8_32
+            | PaperBenchmark::Qft32 => 32,
+            PaperBenchmark::QaoaR4_64 | PaperBenchmark::QaoaR8_64 => 64,
+        }
+    }
+
+    /// Generates the benchmark circuit (deterministic across runs).
+    pub fn circuit(self) -> Circuit {
+        match self {
+            PaperBenchmark::Tlim32 => tlim(32, 10, TlimParams::default()),
+            PaperBenchmark::QaoaR4_32 => {
+                qaoa_regular(32, 4, &mut ChaCha8Rng::seed_from_u64(0x51A0_4A32))
+                    .expect("valid parameters")
+            }
+            PaperBenchmark::QaoaR8_32 => {
+                qaoa_regular(32, 8, &mut ChaCha8Rng::seed_from_u64(0x51A0_8A32))
+                    .expect("valid parameters")
+            }
+            PaperBenchmark::Qft32 => qft(32),
+            PaperBenchmark::QaoaR4_64 => {
+                qaoa_regular(64, 4, &mut ChaCha8Rng::seed_from_u64(0x51A0_4A64))
+                    .expect("valid parameters")
+            }
+            PaperBenchmark::QaoaR8_64 => {
+                qaoa_regular(64, 8, &mut ChaCha8Rng::seed_from_u64(0x51A0_8A64))
+                    .expect("valid parameters")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PaperBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PaperBenchmark::Tlim32 => "TLIM-32",
+            PaperBenchmark::QaoaR4_32 => "QAOA-r4-32",
+            PaperBenchmark::QaoaR8_32 => "QAOA-r8-32",
+            PaperBenchmark::Qft32 => "QFT-32",
+            PaperBenchmark::QaoaR4_64 => "QAOA-r4-64",
+            PaperBenchmark::QaoaR8_64 => "QAOA-r8-64",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate() {
+        for b in PaperBenchmark::ALL {
+            let c = b.circuit();
+            assert_eq!(c.num_qubits(), b.num_qubits(), "{b}");
+            assert!(!c.is_empty(), "{b}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for b in PaperBenchmark::ALL {
+            assert_eq!(b.circuit(), b.circuit(), "{b} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn table_i_total_two_qubit_counts() {
+        // Table I columns: #local + #remote 2Q totals. Deterministic
+        // benchmarks match exactly; the QAOA family matches the n·d/2 edge
+        // count of a d-regular graph.
+        let expect = [
+            (PaperBenchmark::Tlim32, 310),
+            (PaperBenchmark::QaoaR4_32, 64),
+            (PaperBenchmark::QaoaR8_32, 128),
+            (PaperBenchmark::Qft32, 496),
+            (PaperBenchmark::QaoaR4_64, 128),
+            (PaperBenchmark::QaoaR8_64, 256),
+        ];
+        for (b, count) in expect {
+            assert_eq!(b.circuit().counts().two_qubit, count, "{b}");
+        }
+    }
+
+    #[test]
+    fn table_i_single_qubit_counts() {
+        let expect = [
+            (PaperBenchmark::Tlim32, 640),
+            (PaperBenchmark::QaoaR4_32, 64),
+            (PaperBenchmark::QaoaR8_32, 64),
+            (PaperBenchmark::Qft32, 32),
+            (PaperBenchmark::QaoaR4_64, 128),
+            (PaperBenchmark::QaoaR8_64, 128),
+        ];
+        for (b, count) in expect {
+            assert_eq!(b.circuit().counts().single_qubit, count, "{b}");
+        }
+    }
+
+    #[test]
+    fn table_i_depths_in_band() {
+        // Deterministic circuits match exactly; QAOA depths depend on the
+        // random graph and land near the paper's values.
+        assert_eq!(PaperBenchmark::Tlim32.circuit().depth(), 40);
+        assert_eq!(PaperBenchmark::Qft32.circuit().depth(), 63);
+        let d = PaperBenchmark::QaoaR4_32.circuit().depth();
+        assert!((10..=40).contains(&d), "QAOA-r4-32 depth {d}");
+        let d = PaperBenchmark::QaoaR8_32.circuit().depth();
+        assert!((15..=100).contains(&d), "QAOA-r8-32 depth {d}");
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(PaperBenchmark::QaoaR8_64.to_string(), "QAOA-r8-64");
+        assert_eq!(PaperBenchmark::Tlim32.to_string(), "TLIM-32");
+    }
+}

@@ -1,0 +1,100 @@
+//! Quantum Fourier Transform circuits.
+
+use dqc_circuit::Circuit;
+
+/// Builds the standard `n`-qubit QFT circuit: per qubit a Hadamard followed
+/// by controlled phases `CP(π/2^{k−j})` from every later qubit, **without**
+/// the final bit-reversal swaps (matching the paper's Table I, which counts
+/// `n` single-qubit gates and `n(n−1)/2` two-qubit gates and depth `2n−1`).
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::qft;
+///
+/// let c = qft(32);
+/// assert_eq!(c.counts().two_qubit, 32 * 31 / 2); // 496 (240 local + 256 remote)
+/// assert_eq!(c.counts().single_qubit, 32);
+/// assert_eq!(c.depth(), 63);
+/// ```
+pub fn qft(n: u32) -> Circuit {
+    let mut c = Circuit::with_capacity(n, (n * (n + 1) / 2) as usize);
+    for j in 0..n {
+        c.h(j);
+        for k in (j + 1)..n {
+            let angle = std::f64::consts::PI / f64::from(1u32 << (k - j).min(30));
+            c.cp(k, j, angle);
+        }
+    }
+    c
+}
+
+/// Builds the QFT including the final bit-reversal swap network — the form
+/// whose unitary equals the textbook DFT matrix, used by the simulator
+/// validation tests.
+pub fn qft_with_swaps(n: u32) -> Circuit {
+    let mut c = qft(n);
+    for j in 0..n / 2 {
+        c.swap(j, n - 1 - j);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_sim::{Statevector, C64};
+
+    #[test]
+    fn table_i_qft_32_properties() {
+        let c = qft(32);
+        assert_eq!(c.counts().two_qubit, 496);
+        assert_eq!(c.counts().single_qubit, 32);
+        assert_eq!(c.depth(), 63, "QFT depth is 2n−1");
+    }
+
+    #[test]
+    fn depth_follows_2n_minus_1() {
+        for n in 2..10u32 {
+            assert_eq!(qft(n).depth(), (2 * n - 1) as usize, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn full_connectivity_interactions() {
+        let c = qft(6);
+        let pairs = c.interactions();
+        assert_eq!(pairs.len(), 15, "every pair interacts once");
+        assert!(pairs.iter().all(|(_, _, w)| *w == 1));
+    }
+
+    #[test]
+    fn qft_with_swaps_matches_dft_matrix() {
+        // For every computational basis input on 5 qubits, the circuit's
+        // output must equal the DFT column.
+        let n = 5u32;
+        let size = 1usize << n;
+        let circuit = qft_with_swaps(n);
+        let omega = 2.0 * std::f64::consts::PI / size as f64;
+        for x in [0usize, 1, 7, 19, 31] {
+            let mut sv = Statevector::basis_state(n, x);
+            sv.apply_circuit(&circuit).unwrap();
+            for y in 0..size {
+                let expected = C64::from_polar(1.0 / (size as f64).sqrt(), omega * (x * y) as f64);
+                assert!(
+                    sv.amplitudes()[y].approx_eq(expected, 1e-9),
+                    "x={x} y={y}: got {} want {expected}",
+                    sv.amplitudes()[y]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_angle_saturation_avoids_overflow() {
+        // Beyond 2^30 the shift is clamped; just check nothing panics and
+        // structure holds for a wide register.
+        let c = qft(40);
+        assert_eq!(c.counts().two_qubit, 40 * 39 / 2);
+    }
+}

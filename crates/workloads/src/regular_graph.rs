@@ -1,0 +1,186 @@
+//! Random d-regular graph generation (configuration model).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a random regular graph cannot be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateGraphError {
+    /// `n · d` must be even and `d < n`.
+    InvalidParameters {
+        /// Requested vertex count.
+        vertices: usize,
+        /// Requested degree.
+        degree: usize,
+    },
+    /// The pairing model failed to produce a simple graph after the
+    /// attempt budget (astronomically unlikely for the sizes used here).
+    AttemptsExhausted {
+        /// Number of restarts performed.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GenerateGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateGraphError::InvalidParameters { vertices, degree } => write!(
+                f,
+                "cannot build a {degree}-regular graph on {vertices} vertices \
+                 (need n·d even and d < n)"
+            ),
+            GenerateGraphError::AttemptsExhausted { attempts } => {
+                write!(f, "no simple pairing found after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GenerateGraphError {}
+
+/// Generates a uniformly random simple `d`-regular graph on `n` vertices
+/// via the configuration (pairing) model with rejection of self-loops and
+/// parallel edges.
+///
+/// Returns the edge list with endpoints ordered `(min, max)` and the list
+/// sorted, so identical RNG seeds give identical circuits everywhere.
+///
+/// # Errors
+///
+/// Returns [`GenerateGraphError::InvalidParameters`] when `n·d` is odd or
+/// `d ≥ n`, and [`GenerateGraphError::AttemptsExhausted`] if no simple
+/// pairing is found after 10 000 restarts.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::random_regular_graph;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), dqc_workloads::GenerateGraphError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let edges = random_regular_graph(32, 4, &mut rng)?;
+/// assert_eq!(edges.len(), 32 * 4 / 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_regular_graph<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Vec<(u32, u32)>, GenerateGraphError> {
+    if n == 0 || d == 0 || d >= n || !(n * d).is_multiple_of(2) {
+        return Err(GenerateGraphError::InvalidParameters { vertices: n, degree: d });
+    }
+    const MAX_ATTEMPTS: usize = 10_000;
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(edges) = try_pairing(n, d, rng) {
+            return Ok(edges);
+        }
+    }
+    Err(GenerateGraphError::AttemptsExhausted { attempts: MAX_ATTEMPTS })
+}
+
+fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(u32, u32)>> {
+    // Incremental pairing with local rejection (the strategy of NetworkX's
+    // random_regular_graph): shuffle the stub pool, greedily accept valid
+    // pairs, and re-shuffle only the leftover stubs. A full pass with no
+    // progress is a dead end and triggers a restart in the caller.
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut seen = HashSet::with_capacity(n * d / 2);
+    let mut edges = Vec::with_capacity(n * d / 2);
+    while !stubs.is_empty() {
+        stubs.shuffle(rng);
+        let mut leftover = Vec::new();
+        let mut progressed = false;
+        for pair in stubs.chunks(2) {
+            if pair.len() < 2 {
+                leftover.push(pair[0]);
+                continue;
+            }
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if a == b || seen.contains(&(a, b)) {
+                leftover.extend_from_slice(pair);
+            } else {
+                seen.insert((a, b));
+                edges.push((a, b));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return None; // dead end: remaining stubs cannot pair simply
+        }
+        stubs = leftover;
+    }
+    edges.sort_unstable();
+    Some(edges)
+}
+
+/// Returns the degree of every vertex in an edge list.
+pub fn degrees(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+    let mut deg = vec![0usize; n];
+    for &(a, b) in edges {
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn produces_exact_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (n, d) in [(8, 3), (16, 4), (32, 4), (32, 8), (64, 8)] {
+            let edges = random_regular_graph(n, d, &mut rng).unwrap();
+            assert_eq!(edges.len(), n * d / 2);
+            assert!(degrees(n, &edges).iter().all(|&x| x == d), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn graph_is_simple() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let edges = random_regular_graph(32, 8, &mut rng).unwrap();
+        let set: HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len(), "no parallel edges");
+        assert!(edges.iter().all(|(a, b)| a != b), "no self-loops");
+        assert!(edges.iter().all(|(a, b)| a < b), "canonical ordering");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let e1 = random_regular_graph(32, 4, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let e2 = random_regular_graph(32, 4, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(e1, e2);
+        let e3 = random_regular_graph(32, 4, &mut ChaCha8Rng::seed_from_u64(10)).unwrap();
+        assert_ne!(e1, e3, "different seeds should differ");
+    }
+
+    #[test]
+    fn rejects_odd_stub_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let err = random_regular_graph(5, 3, &mut rng).unwrap_err();
+        assert!(matches!(err, GenerateGraphError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn rejects_degree_at_least_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(random_regular_graph(4, 4, &mut rng).is_err());
+        assert!(random_regular_graph(0, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = GenerateGraphError::InvalidParameters { vertices: 5, degree: 3 };
+        assert!(e.to_string().contains("5 vertices"));
+    }
+}

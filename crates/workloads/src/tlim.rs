@@ -1,0 +1,124 @@
+//! 1D Transverse-Longitudinal Ising Model (TLIM) quench circuits.
+//!
+//! A first-order Trotterization of
+//! `H = -J Σ ZᵢZᵢ₊₁ - hₓ Σ Xᵢ - h_z Σ Zᵢ`
+//! on an open chain, following the structure of Sopena et al. (the paper's
+//! benchmark [49]). Each Trotter step applies the even-bond `Rzz` layer,
+//! the odd-bond `Rzz` layer, an `Rx` field layer, and an `Rz` field layer —
+//! exactly four unit-depth layers per step, so `TLIM-32` with ten steps has
+//! the paper's Table I depth of 40 and `10 · 64 = 640` single-qubit gates.
+
+use dqc_circuit::Circuit;
+
+/// Physical parameters of a TLIM quench circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TlimParams {
+    /// Ising coupling angle per step (`2·J·dt`).
+    pub zz_angle: f64,
+    /// Transverse-field rotation per step (`2·hₓ·dt`).
+    pub x_angle: f64,
+    /// Longitudinal-field rotation per step (`2·h_z·dt`).
+    pub z_angle: f64,
+}
+
+impl Default for TlimParams {
+    /// A generic quench point (angles are irrelevant to scheduling but are
+    /// chosen non-trivial so simulators see real dynamics).
+    fn default() -> Self {
+        Self { zz_angle: 0.5, x_angle: 0.4, z_angle: 0.3 }
+    }
+}
+
+/// Builds a TLIM circuit on `n` qubits with the given number of Trotter
+/// steps.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_workloads::{tlim, TlimParams};
+///
+/// let c = tlim(32, 10, TlimParams::default());
+/// assert_eq!(c.depth(), 40);             // Table I
+/// assert_eq!(c.counts().two_qubit, 310); // 31 bonds × 10 steps
+/// assert_eq!(c.counts().single_qubit, 640);
+/// ```
+pub fn tlim(n: u32, steps: u32, params: TlimParams) -> Circuit {
+    assert!(n >= 2, "TLIM needs at least 2 qubits");
+    let mut c = Circuit::with_capacity(n, (steps * (3 * n - 1)) as usize);
+    for _ in 0..steps {
+        // Even bonds: (0,1), (2,3), …
+        let mut q = 0;
+        while q + 1 < n {
+            c.rzz(q, q + 1, params.zz_angle);
+            q += 2;
+        }
+        // Odd bonds: (1,2), (3,4), …
+        let mut q = 1;
+        while q + 1 < n {
+            c.rzz(q, q + 1, params.zz_angle);
+            q += 2;
+        }
+        for q in 0..n {
+            c.rx(q, params.x_angle);
+        }
+        for q in 0..n {
+            c.rz(q, params.z_angle);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_tlim_32_properties() {
+        let c = tlim(32, 10, TlimParams::default());
+        let counts = c.counts();
+        assert_eq!(c.num_qubits(), 32);
+        assert_eq!(counts.two_qubit, 310, "31 bonds × 10 steps");
+        assert_eq!(counts.single_qubit, 640);
+        assert_eq!(c.depth(), 40);
+    }
+
+    #[test]
+    fn linear_connectivity_only() {
+        let c = tlim(16, 3, TlimParams::default());
+        for (a, b, _) in c.interactions() {
+            assert_eq!(b.index() - a.index(), 1, "nearest-neighbour only");
+        }
+    }
+
+    #[test]
+    fn step_count_scales_gates_linearly() {
+        let one = tlim(8, 1, TlimParams::default()).counts();
+        let five = tlim(8, 5, TlimParams::default()).counts();
+        assert_eq!(five.two_qubit, 5 * one.two_qubit);
+        assert_eq!(five.single_qubit, 5 * one.single_qubit);
+    }
+
+    #[test]
+    fn depth_is_four_per_step() {
+        for steps in 1..5 {
+            let c = tlim(10, steps, TlimParams::default());
+            assert_eq!(c.depth(), 4 * steps as usize);
+        }
+    }
+
+    #[test]
+    fn two_qubit_chain_has_single_bond() {
+        let c = tlim(2, 2, TlimParams::default());
+        assert_eq!(c.counts().two_qubit, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_qubit_chain() {
+        let _ = tlim(1, 1, TlimParams::default());
+    }
+}

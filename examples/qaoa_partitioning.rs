@@ -1,0 +1,104 @@
+//! End-to-end domain walkthrough: solve a MaxCut instance with QAOA on a
+//! two-node distributed machine.
+//!
+//! ```sh
+//! cargo run --release --example qaoa_partitioning
+//! ```
+//!
+//! Generates a random 4-regular MaxCut instance, builds its QAOA circuit,
+//! compares the multilevel partitioner against a naive contiguous split,
+//! runs the co-designed architecture, and sanity-checks the application
+//! output with a statevector simulation of a small instance.
+
+use dqc::core::{evaluate_many, Design, SystemConfig};
+use dqc::partition::{partition_circuit, QubitMap};
+use dqc::sim::Statevector;
+use dqc::workloads::{cut_value, qaoa_maxcut, random_regular_graph, QaoaAngles};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- the MaxCut instance ------------------------------------------
+    let n = 32u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(1234);
+    let edges = random_regular_graph(n as usize, 4, &mut rng)?;
+    let circuit = qaoa_maxcut(n, &edges, &[QaoaAngles::default()]);
+    println!(
+        "MaxCut on a 4-regular graph: {} vertices, {} edges; QAOA circuit {} gates",
+        n,
+        edges.len(),
+        circuit.len()
+    );
+
+    // ---- partitioning quality -----------------------------------------
+    let smart = partition_circuit(&circuit, 2, 99)?;
+    let naive = QubitMap::contiguous(n, 2);
+    println!(
+        "remote gates: multilevel partitioner {} vs contiguous blocks {}",
+        smart.count_remote(&circuit),
+        naive.count_remote(&circuit)
+    );
+
+    // ---- distributed execution -----------------------------------------
+    let config = SystemConfig::paper_two_node_32();
+    println!("\n{:<10} {:>9} {:>10}", "design", "depth", "fidelity");
+    for design in [Design::Original, Design::SyncBuf, Design::AdaptBuf, Design::Ideal] {
+        let avg = evaluate_many(&circuit, &config, design, 15, 5)?;
+        println!(
+            "{:<10} {:>9.1} {:>10.4}",
+            design.name(),
+            avg.mean_depth,
+            avg.mean_fidelity
+        );
+    }
+
+    // ---- application-level sanity check on a small instance ------------
+    // QAOA is variational: grid-search the angles on an exactly simulable
+    // 12-qubit instance and verify the optimized expected cut beats a
+    // uniformly random assignment.
+    let small_n = 12u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let small_edges = random_regular_graph(small_n as usize, 4, &mut rng)?;
+    let expected_cut = |angles: QaoaAngles| -> f64 {
+        let circuit = qaoa_maxcut(small_n, &small_edges, &[angles]);
+        let mut sv = Statevector::zero_state(small_n);
+        sv.apply_circuit(&circuit).expect("unitary circuit");
+        (0..(1usize << small_n))
+            .map(|idx| {
+                let p = sv.probability(idx);
+                if p == 0.0 {
+                    return 0.0;
+                }
+                let assignment: Vec<bool> = (0..small_n)
+                    .map(|q| (idx >> (small_n - 1 - q)) & 1 == 1)
+                    .collect();
+                p * cut_value(&small_edges, &assignment) as f64
+            })
+            .sum()
+    };
+    let mut best = (QaoaAngles::default(), f64::MIN);
+    for gi in 1..8 {
+        for bi in 1..8 {
+            let angles = QaoaAngles {
+                gamma: gi as f64 * std::f64::consts::PI / 16.0,
+                beta: bi as f64 * std::f64::consts::PI / 16.0,
+            };
+            let value = expected_cut(angles);
+            if value > best.1 {
+                best = (angles, value);
+            }
+        }
+    }
+    let uniform_cut = small_edges.len() as f64 / 2.0;
+    println!(
+        "\n12-qubit variational check: best angles (gamma {:.2}, beta {:.2}) give \
+         expected cut {:.2} vs random {uniform_cut:.2}",
+        best.0.gamma, best.0.beta, best.1
+    );
+    assert!(
+        best.1 > uniform_cut,
+        "optimized one-round QAOA must beat a uniformly random cut"
+    );
+    println!("QAOA beats the random baseline — application output is meaningful.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # dqc — hardware-software co-design for distributed quantum computing
+//!
+//! A full-system reproduction of *"Hardware-Software Co-design for
+//! Distributed Quantum Computing"* (DAC 2025): entanglement **buffering**,
+//! **asynchronous** remote entanglement generation, and **adaptive**
+//! remote-gate scheduling, evaluated by discrete-event simulation under the
+//! paper's Table II device model.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`types`] | `dqc-types` | ids, [`types::Tick`], [`types::Fidelity`] |
+//! | [`circuit`] | `dqc-circuit` | circuit IR, DAG, commutation, QASM |
+//! | [`workloads`] | `dqc-workloads` | TLIM / QAOA / QFT generators |
+//! | [`partition`] | `dqc-partition` | METIS-style multilevel partitioner |
+//! | [`sim`] | `dqc-sim` | statevector / density / stabilizer engines |
+//! | [`entanglement`] | `dqc-entanglement` | EPR generation + buffer service |
+//! | [`core`] | `dqc-core` | the co-designed architecture + executor |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dqc::core::{Design, SystemConfig};
+//! use dqc::workloads::PaperBenchmark;
+//!
+//! # fn main() -> Result<(), dqc::core::EvaluateError> {
+//! let circuit = PaperBenchmark::QaoaR4_32.circuit();
+//! let config = SystemConfig::paper_two_node_32();
+//! let report = dqc::core::evaluate(&circuit, &config, Design::AdaptBuf, 42)?;
+//! println!(
+//!     "depth {:.1} (CNOT units), fidelity {:.3}",
+//!     report.depth_cnot_units(),
+//!     report.fidelity().value()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dqc_circuit as circuit;
+pub use dqc_core as core;
+pub use dqc_entanglement as entanglement;
+pub use dqc_partition as partition;
+pub use dqc_sim as sim;
+pub use dqc_types as types;
+pub use dqc_workloads as workloads;

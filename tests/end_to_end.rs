@@ -1,0 +1,139 @@
+//! End-to-end integration: workload generation → partitioning →
+//! distributed execution, across every design and benchmark.
+
+use dqc::core::{evaluate, evaluate_many, Design, EvaluateError, SystemConfig};
+use dqc::partition::partition_circuit;
+use dqc::workloads::PaperBenchmark;
+
+fn config_for(bench: PaperBenchmark) -> SystemConfig {
+    if bench.num_qubits() == 64 {
+        SystemConfig::paper_two_node_64()
+    } else {
+        SystemConfig::paper_two_node_32()
+    }
+}
+
+#[test]
+fn every_benchmark_runs_on_every_design() {
+    for bench in PaperBenchmark::ALL {
+        let circuit = bench.circuit();
+        let config = config_for(bench);
+        for design in Design::ALL {
+            let report = evaluate(&circuit, &config, design, 1)
+                .unwrap_or_else(|e| panic!("{bench} on {design}: {e}"));
+            assert!(report.makespan.ticks() > 0, "{bench}/{design}");
+            assert!(report.fidelity.value() >= 0.0 && report.fidelity.value() <= 1.0);
+            if design == Design::Ideal {
+                assert_eq!(report.remote_gates, 0);
+            } else {
+                assert!(report.remote_gates > 0, "{bench} must have remote gates");
+            }
+        }
+    }
+}
+
+#[test]
+fn reports_are_reproducible_per_seed() {
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    let config = SystemConfig::paper_two_node_32();
+    for design in Design::ALL {
+        let a = evaluate(&circuit, &config, design, 77).unwrap();
+        let b = evaluate(&circuit, &config, design, 77).unwrap();
+        assert_eq!(a, b, "{design} must be deterministic per seed");
+    }
+}
+
+#[test]
+fn remote_gate_counts_agree_between_partitioner_and_executor() {
+    for bench in PaperBenchmark::ALL {
+        let circuit = bench.circuit();
+        let config = config_for(bench);
+        let map = partition_circuit(&circuit, config.num_nodes, config.partition_seed).unwrap();
+        let report = evaluate(&circuit, &config, Design::AsyncBuf, 5).unwrap();
+        assert_eq!(
+            report.remote_gates,
+            map.count_remote(&circuit),
+            "{bench}: executor must run exactly the cut gates"
+        );
+    }
+}
+
+#[test]
+fn adaptive_designs_execute_all_gates_despite_reordering() {
+    // The adaptive executor permutes segments; the gate count served by
+    // the entanglement supply must equal the remote-gate count.
+    let circuit = PaperBenchmark::Qft32.circuit();
+    let config = SystemConfig::paper_two_node_32();
+    for design in [Design::AdaptBuf, Design::InitBuf] {
+        let report = evaluate(&circuit, &config, design, 3).unwrap();
+        let stats = report.service_stats.expect("distributed run has stats");
+        assert_eq!(stats.consumed as usize, report.remote_gates, "{design}");
+        assert_eq!(report.remote_gates, 256, "QFT-32 remote gates");
+    }
+}
+
+#[test]
+fn entanglement_accounting_balances() {
+    // successes = consumed + wasted + (links still banked at the end).
+    let circuit = PaperBenchmark::QaoaR8_32.circuit();
+    let config = SystemConfig::paper_two_node_32();
+    for design in Design::DISTRIBUTED {
+        let report = evaluate(&circuit, &config, design, 9).unwrap();
+        let stats = report.service_stats.unwrap();
+        assert!(
+            stats.successes + stats.preinitialized >= stats.consumed + stats.wasted,
+            "{design}: successes {} + preinit {} < consumed {} + wasted {}",
+            stats.successes,
+            stats.preinitialized,
+            stats.consumed,
+            stats.wasted
+        );
+        assert!(stats.attempts >= stats.successes);
+        assert_eq!(stats.consumed as usize, report.remote_gates);
+    }
+}
+
+#[test]
+fn averaging_runs_reduces_variance() {
+    let circuit = PaperBenchmark::QaoaR4_32.circuit();
+    let config = SystemConfig::paper_two_node_32();
+    // Single runs vary...
+    let singles: Vec<f64> = (0..6)
+        .map(|s| evaluate(&circuit, &config, Design::AsyncBuf, s).unwrap().depth_cnot_units())
+        .collect();
+    let spread = singles.iter().cloned().fold(f64::MIN, f64::max)
+        - singles.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 0.0, "independent seeds should differ: {singles:?}");
+    // ...while two averaged estimates over disjoint seed blocks agree better.
+    let a = evaluate_many(&circuit, &config, Design::AsyncBuf, 25, 0).unwrap().mean_depth;
+    let b = evaluate_many(&circuit, &config, Design::AsyncBuf, 25, 1000).unwrap().mean_depth;
+    assert!(
+        (a - b).abs() <= spread,
+        "averaged means should be closer than the single-run spread"
+    );
+}
+
+#[test]
+fn four_node_system_executes() {
+    // Beyond the paper: the same machinery on a 4-node system.
+    let circuit = PaperBenchmark::Tlim32.circuit();
+    let mut config = SystemConfig::paper_two_node_32();
+    config.num_nodes = 4;
+    config.data_qubits_per_node = 8;
+    let report = evaluate(&circuit, &config, Design::AsyncBuf, 2).unwrap();
+    assert!(report.remote_gates >= 3, "a 4-way chain split cuts at least 3 bonds");
+    assert!(report.makespan > report.ideal_makespan);
+}
+
+#[test]
+fn errors_surface_cleanly() {
+    let circuit = PaperBenchmark::QaoaR4_64.circuit();
+    let config = SystemConfig::paper_two_node_32(); // too small
+    match evaluate(&circuit, &config, Design::AsyncBuf, 0) {
+        Err(EvaluateError::CircuitTooWide { qubits, capacity }) => {
+            assert_eq!(qubits, 64);
+            assert_eq!(capacity, 32);
+        }
+        other => panic!("expected CircuitTooWide, got {other:?}"),
+    }
+}

@@ -1,0 +1,222 @@
+//! Cross-crate correctness: scheduling transformations must never change
+//! the computation. Verified against the dense simulators.
+
+use dqc::circuit::{commutes, Circuit, Gate, Operation};
+use dqc::core::{alap_variant, asap_variant, segment_sequence};
+use dqc::partition::QubitMap;
+use dqc::sim::{gate_matrix, Statevector};
+use dqc::types::QubitId;
+use proptest::prelude::*;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random QAOA-flavoured circuit: rich in diagonal gates (which commute)
+/// with occasional mixers (which block motion).
+fn random_segment(n: u32, gates: usize, seed: u64) -> Circuit {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        match rng.random_range(0..6u8) {
+            0 => {
+                c.rz(rng.random_range(0..n), rng.random_range(0.1..1.0));
+            }
+            1 => {
+                c.rx(rng.random_range(0..n), rng.random_range(0.1..1.0));
+            }
+            2 | 3 => {
+                let a = rng.random_range(0..n);
+                let mut b = rng.random_range(0..n);
+                while b == a {
+                    b = rng.random_range(0..n);
+                }
+                c.rzz(a, b, rng.random_range(0.1..1.0));
+            }
+            4 => {
+                let a = rng.random_range(0..n);
+                let mut b = rng.random_range(0..n);
+                while b == a {
+                    b = rng.random_range(0..n);
+                }
+                c.cx(a, b);
+            }
+            _ => {
+                c.h(rng.random_range(0..n));
+            }
+        }
+    }
+    c
+}
+
+fn state_after(ops: &[Operation], n: u32) -> Statevector {
+    // A non-classical input state makes diagonal reorderings observable.
+    let mut sv = Statevector::zero_state(n);
+    for q in 0..n {
+        sv.apply(&Operation::one(Gate::H, QubitId::new(q))).unwrap();
+        sv.apply(&Operation::one(Gate::T, QubitId::new(q))).unwrap();
+    }
+    for op in ops {
+        sv.apply(op).unwrap();
+    }
+    sv
+}
+
+#[test]
+fn variants_preserve_unitaries_on_random_circuits() {
+    let map = QubitMap::contiguous(6, 2); // qubits 0-2 | 3-5
+    for seed in 0..30 {
+        let circuit = random_segment(6, 24, seed);
+        let reference = state_after(circuit.operations(), 6);
+        let asap = asap_variant(circuit.operations(), &map);
+        let alap = alap_variant(circuit.operations(), &map);
+        for (label, variant) in [("asap", &asap), ("alap", &alap)] {
+            let out = state_after(variant, 6);
+            let fid = reference.fidelity(&out);
+            assert!(
+                (fid - 1.0).abs() < 1e-9,
+                "seed {seed}: {label} variant changed the circuit (fidelity {fid})"
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_concatenation_covers_whole_circuit() {
+    let map = QubitMap::contiguous(6, 2);
+    for seed in 0..10 {
+        let circuit = random_segment(6, 40, seed + 100);
+        for m in [1usize, 3, 7] {
+            let segments = segment_sequence(circuit.operations(), &map, m);
+            let total: usize = segments.iter().map(|s| s.len()).sum();
+            assert_eq!(total, circuit.len());
+            // Applying each segment's ASAP variant in order is still the
+            // same circuit.
+            let mut permuted: Vec<Operation> = Vec::new();
+            for seg in &segments {
+                permuted.extend(asap_variant(&circuit.operations()[seg.clone()], &map));
+            }
+            let reference = state_after(circuit.operations(), 6);
+            let out = state_after(&permuted, 6);
+            assert!(
+                (reference.fidelity(&out) - 1.0).abs() < 1e-9,
+                "seed {seed}, m {m}: segmented ASAP execution diverged"
+            );
+        }
+    }
+}
+
+/// At statevector-infeasible scale, verify the variant machinery on
+/// Clifford circuits with the stabilizer tableau: run variant ∘ inverse
+/// (original) and check the result is the identity on |0…0⟩ plus random
+/// stabilizer probes.
+#[test]
+fn variants_preserve_clifford_circuits_at_32_qubits() {
+    let n = 32u32;
+    let map = QubitMap::contiguous(n, 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(404);
+    for trial in 0..5 {
+        let circuit = dqc::workloads::random_clifford(n, 160, 0.0, &mut rng);
+        let inverse = circuit.inverse().expect("no measurements");
+        for variant in [
+            asap_variant(circuit.operations(), &map),
+            alap_variant(circuit.operations(), &map),
+        ] {
+            let mut t = dqc::sim::Tableau::new(n as usize);
+            // Random stabilizer probe state.
+            let mut probe_rng = ChaCha8Rng::seed_from_u64(trial);
+            let probe = dqc::workloads::random_clifford(n, 64, 0.0, &mut probe_rng);
+            for op in probe.operations() {
+                t.apply(op).unwrap();
+            }
+            // variant followed by inverse(original) must be the identity.
+            for op in &variant {
+                t.apply(op).unwrap();
+            }
+            for op in inverse.operations() {
+                t.apply(op).unwrap();
+            }
+            // Undo the probe; the state must collapse back to |0…0⟩.
+            for op in probe.inverse().unwrap().operations() {
+                t.apply(op).unwrap();
+            }
+            for q in 0..n as usize {
+                assert_eq!(
+                    t.deterministic_outcome(q),
+                    Some(false),
+                    "trial {trial}: variant is not unitarily equivalent at 32 qubits"
+                );
+            }
+        }
+    }
+}
+
+/// QASM round trip preserves semantics: export, re-import, and compare
+/// statevectors on random circuits.
+#[test]
+fn qasm_round_trip_preserves_semantics() {
+    for seed in 0..10 {
+        let circuit = random_segment(5, 20, seed + 900);
+        let qasm = dqc::circuit::to_qasm(&circuit);
+        let reimported = dqc::circuit::from_qasm(&qasm).expect("own output parses");
+        let a = state_after(circuit.operations(), 5);
+        let b = state_after(reimported.operations(), 5);
+        let fid = a.fidelity(&b);
+        assert!(
+            (fid - 1.0).abs() < 1e-9,
+            "seed {seed}: round trip changed the circuit (fidelity {fid})\n{qasm}"
+        );
+    }
+}
+
+/// Embeds an operation into an `n`-qubit unitary (qubit 0 = MSB).
+fn embed(op: &Operation, n: u32) -> dqc::sim::Matrix {
+    dqc::sim::embed_unitary(
+        &gate_matrix(op.gate()),
+        &op.qubits().iter().map(|q| q.as_usize()).collect::<Vec<_>>(),
+        n as usize,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of the commutation oracle on random operation pairs: a
+    /// `true` answer implies the 3-qubit embedded unitaries commute.
+    #[test]
+    fn prop_commutation_rules_sound(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let circuit = random_segment(3, 2, rng.random());
+        let ops = circuit.operations();
+        if ops.len() == 2 && commutes(&ops[0], &ops[1]) {
+            let ua = embed(&ops[0], 3);
+            let ub = embed(&ops[1], 3);
+            prop_assert!(
+                ua.commutes_with(&ub, 1e-9),
+                "{} vs {} claimed commuting", ops[0], ops[1]
+            );
+        }
+    }
+
+    /// ASAP never moves a remote gate later, ALAP never earlier.
+    #[test]
+    fn prop_variant_motion_is_directional(seed in 0u64..5_000) {
+        let map = QubitMap::contiguous(4, 2);
+        let circuit = random_segment(4, 12, seed);
+        let remote_positions = |ops: &[Operation]| -> Vec<usize> {
+            ops.iter()
+                .enumerate()
+                .filter(|(_, op)| map.is_remote(op))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let orig = remote_positions(circuit.operations());
+        let asap = remote_positions(&asap_variant(circuit.operations(), &map));
+        let alap = remote_positions(&alap_variant(circuit.operations(), &map));
+        prop_assert_eq!(orig.len(), asap.len());
+        for (o, a) in orig.iter().zip(&asap) {
+            prop_assert!(a <= o, "asap moved a remote gate later: {o} -> {a}");
+        }
+        for (o, l) in orig.iter().zip(&alap) {
+            prop_assert!(l >= o, "alap moved a remote gate earlier: {o} -> {l}");
+        }
+    }
+}
