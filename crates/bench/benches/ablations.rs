@@ -2,7 +2,7 @@
 //! cutoff age, attempt success probability, and adaptive segment size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_core::{CompiledCircuit, Design, SystemConfig};
 use dqc_entanglement::CutoffPolicy;
 use dqc_types::Tick;
 use dqc_workloads::PaperBenchmark;
@@ -14,11 +14,12 @@ fn bench_cutoff(c: &mut Criterion) {
     for cutoff in [100i64, 150, 500] {
         let mut config = SystemConfig::paper_two_node_32();
         config.cutoff = CutoffPolicy::MaxAge(Tick::new(cutoff));
+        let compiled = CompiledCircuit::compile(&circuit, &config).expect("compiles");
         group.bench_function(format!("{cutoff}t"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(evaluate(&circuit, &config, Design::AsyncBuf, seed).expect("evaluates"))
+                black_box(compiled.run(Design::AsyncBuf, seed).expect("evaluates"))
             });
         });
     }
@@ -31,11 +32,12 @@ fn bench_psucc(c: &mut Criterion) {
     for psucc in [0.2f64, 0.4, 0.8] {
         let mut config = SystemConfig::paper_two_node_32();
         config.success_probability = psucc;
+        let compiled = CompiledCircuit::compile(&circuit, &config).expect("compiles");
         group.bench_function(format!("p{psucc}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(evaluate(&circuit, &config, Design::AsyncBuf, seed).expect("evaluates"))
+                black_box(compiled.run(Design::AsyncBuf, seed).expect("evaluates"))
             });
         });
     }

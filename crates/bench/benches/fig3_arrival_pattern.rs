@@ -12,7 +12,10 @@ fn bench_patterns(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3/arrivals");
     for (label, pattern) in [
         ("synchronous", GenerationPattern::Synchronous),
-        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+        (
+            "asynchronous",
+            GenerationPattern::Asynchronous { groups: 10 },
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| black_box(fig3_data(pattern, 50, 3)));

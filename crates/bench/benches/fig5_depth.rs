@@ -1,25 +1,38 @@
 //! Fig. 5: circuit depth across designs and 32-qubit benchmarks.
 //!
-//! Times one full executor run per (benchmark, design) pair, then prints
-//! the regenerated depth series (10-run averages; use the `repro` binary
-//! with `--runs 50` for the paper's averaging).
+//! Times the engine's two halves separately — `CompiledCircuit::compile`
+//! (once per circuit × config) and `CompiledCircuit::run` (once per seed)
+//! — then prints the regenerated depth series (10-run averages; use the
+//! `repro` binary with `--runs 50` for the paper's averaging).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_core::{CompiledCircuit, Design, SystemConfig};
 use dqc_workloads::PaperBenchmark;
 use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let config = SystemConfig::paper_two_node_32();
+    let mut group = c.benchmark_group("fig5/compile");
+    for bench in PaperBenchmark::FIG5 {
+        let circuit = bench.circuit();
+        group.bench_function(bench.to_string(), |b| {
+            b.iter(|| black_box(CompiledCircuit::compile(&circuit, &config).expect("compiles")));
+        });
+    }
+    group.finish();
+}
 
 fn bench_designs(c: &mut Criterion) {
     let config = SystemConfig::paper_two_node_32();
     for bench in PaperBenchmark::FIG5 {
-        let circuit = bench.circuit();
-        let mut group = c.benchmark_group(format!("fig5/{bench}"));
+        let compiled = CompiledCircuit::compile(&bench.circuit(), &config).expect("compiles");
+        let mut group = c.benchmark_group(format!("fig5/run/{bench}"));
         for design in Design::ALL {
             group.bench_function(design.name(), |b| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
-                    black_box(evaluate(&circuit, &config, design, seed).expect("evaluates"))
+                    black_box(compiled.run(design, seed).expect("evaluates"))
                 });
             });
         }
@@ -34,6 +47,6 @@ fn print_figure(_c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_designs, print_figure
+    targets = bench_compile, bench_designs, print_figure
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! fidelity series.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dqc_core::{evaluate, Design, OperationFidelities, RemoteFidelityTable, SystemConfig};
+use dqc_core::{CompiledCircuit, Design, OperationFidelities, RemoteFidelityTable, SystemConfig};
 use dqc_workloads::PaperBenchmark;
 use std::hint::black_box;
 
@@ -19,13 +19,14 @@ fn bench_fidelity_runs(c: &mut Criterion) {
     let config = SystemConfig::paper_two_node_32();
     let mut group = c.benchmark_group("fig6/evaluate");
     for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
-        let circuit = bench.circuit();
+        let compiled = CompiledCircuit::compile(&bench.circuit(), &config).expect("compiles");
         group.bench_function(bench.to_string(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 black_box(
-                    evaluate(&circuit, &config, Design::AdaptBuf, seed)
+                    compiled
+                        .run(Design::AdaptBuf, seed)
                         .expect("evaluates")
                         .fidelity,
                 )

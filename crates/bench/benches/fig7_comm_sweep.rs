@@ -4,7 +4,7 @@
 //! regenerated sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_core::{CompiledCircuit, Design, SystemConfig};
 use dqc_workloads::PaperBenchmark;
 use std::hint::black_box;
 
@@ -13,11 +13,12 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7/comm_qubits");
     for n in [10usize, 15, 20] {
         let config = SystemConfig::paper_two_node_32().with_comm_and_buffer(n);
+        let compiled = CompiledCircuit::compile(&circuit, &config).expect("compiles");
         group.bench_function(format!("init_buf/comm{n}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(evaluate(&circuit, &config, Design::InitBuf, seed).expect("evaluates"))
+                black_box(compiled.run(Design::InitBuf, seed).expect("evaluates"))
             });
         });
     }

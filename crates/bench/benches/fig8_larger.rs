@@ -4,21 +4,21 @@
 //! depth comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dqc_core::{evaluate, Design, SystemConfig};
+use dqc_core::{CompiledCircuit, Design, SystemConfig};
 use dqc_workloads::PaperBenchmark;
 use std::hint::black_box;
 
 fn bench_larger_system(c: &mut Criterion) {
     let config = SystemConfig::paper_two_node_64();
     for bench in PaperBenchmark::FIG8 {
-        let circuit = bench.circuit();
+        let compiled = CompiledCircuit::compile(&bench.circuit(), &config).expect("compiles");
         let mut group = c.benchmark_group(format!("fig8/{bench}"));
         for design in [Design::Original, Design::SyncBuf, Design::InitBuf] {
             group.bench_function(design.name(), |b| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
-                    black_box(evaluate(&circuit, &config, design, seed).expect("evaluates"))
+                    black_box(compiled.run(design, seed).expect("evaluates"))
                 });
             });
         }

@@ -2,17 +2,81 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro [table1|table2|fig3|fig5|fig6|fig7|fig8|ablations|all] [--runs N] [--seed S]
+//! repro [TARGET...] [--runs N] [--seed S]
+//!
+//! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
+//!       | ablate-cutoff | ablate-psucc | ablate-segment
+//!       | ablate-protocol | ablate-purification
+//!       | ablations (all five) | all
+//!
+//! `fig56` prints Figures 5 and 6 from one shared sweep; `all` uses it
+//! in place of running `fig5` and `fig6` separately.
 //! ```
 //!
 //! Without arguments it runs everything with the paper's 50-run averages.
+//! Figure and ablation targets execute as parallel `Sweep` grids.
 
-use dqc_core::SystemConfig;
+use dqc_core::{DqcError, SystemConfig};
 use std::process::ExitCode;
+
+/// A target's runner: (runs, seed) → outcome.
+type Runner = fn(usize, u64) -> Result<(), DqcError>;
+
+/// Every runnable target, in `all` execution order.
+const TARGETS: &[(&str, Runner)] = &[
+    ("table1", |_, _| {
+        dqc_bench::print_table1(&dqc_bench::table1_data());
+        Ok(())
+    }),
+    ("table2", |_, _| {
+        dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
+        Ok(())
+    }),
+    ("fig3", |_, seed| {
+        dqc_bench::print_fig3(seed);
+        Ok(())
+    }),
+    ("fig5", dqc_bench::run_fig5),
+    ("fig6", dqc_bench::run_fig6),
+    ("fig56", dqc_bench::run_fig56),
+    ("fig7", dqc_bench::run_fig7),
+    ("fig8", dqc_bench::run_fig8),
+    ("ablate-cutoff", dqc_bench::run_cutoff_ablation),
+    ("ablate-psucc", dqc_bench::run_psucc_ablation),
+    ("ablate-segment", dqc_bench::run_segment_ablation),
+    ("ablate-protocol", dqc_bench::run_protocol_ablation),
+    ("ablate-purification", dqc_bench::run_purification_ablation),
+];
+
+/// Expands one CLI word into the targets it names.
+fn expand(name: &str) -> Option<Vec<&'static str>> {
+    match name {
+        // Figures 5 and 6 render the same sweep, so `all` takes the
+        // combined `fig56` target and pays for that grid only once.
+        "all" => Some(
+            TARGETS
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| *n != "fig5" && *n != "fig6")
+                .collect(),
+        ),
+        "ablations" => Some(
+            TARGETS
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| n.starts_with("ablate-"))
+                .collect(),
+        ),
+        _ => TARGETS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(n, _)| vec![*n]),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut targets: Vec<String> = Vec::new();
+    let mut targets: Vec<&'static str> = Vec::new();
     let mut runs = dqc_bench::PAPER_RUNS;
     let mut seed = dqc_bench::BASE_SEED;
 
@@ -31,84 +95,29 @@ fn main() -> ExitCode {
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
             }
-            other => targets.push(other.to_string()),
+            other => match expand(other) {
+                Some(expanded) => targets.extend(expanded),
+                None => return usage(&format!("unknown target {other}")),
+            },
         }
     }
     if targets.is_empty() {
-        targets.push("all".to_string());
+        targets = expand("all").expect("all is always a target");
     }
 
-    for target in &targets {
-        let outcome = match target.as_str() {
-            "table1" => {
-                dqc_bench::print_table1(&dqc_bench::table1_data());
-                Ok(())
-            }
-            "table2" => {
-                dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
-                Ok(())
-            }
-            "fig3" => {
-                dqc_bench::print_fig3(seed);
-                Ok(())
-            }
-            "fig5" => dqc_bench::run_fig5(runs, seed),
-            "fig6" => dqc_bench::run_fig6(runs, seed),
-            "fig7" => dqc_bench::run_fig7(runs, seed),
-            "fig8" => dqc_bench::run_fig8(runs, seed),
-            "ablations" => dqc_bench::run_cutoff_ablation(runs, seed)
-                .and_then(|()| dqc_bench::run_psucc_ablation(runs, seed))
-                .and_then(|()| dqc_bench::run_segment_ablation(runs, seed))
-                .and_then(|()| dqc_bench::run_protocol_ablation(runs, seed))
-                .and_then(|()| dqc_bench::run_purification_ablation(runs, seed)),
-            "all" => {
-                dqc_bench::print_table1(&dqc_bench::table1_data());
-                println!();
-                dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
-                println!();
-                dqc_bench::print_fig3(seed);
-                println!();
-                dqc_bench::run_fig5(runs, seed)
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_fig6(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_fig7(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_fig8(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_cutoff_ablation(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_psucc_ablation(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_segment_ablation(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_protocol_ablation(runs, seed)
-                    })
-                    .and_then(|()| {
-                        println!();
-                        dqc_bench::run_purification_ablation(runs, seed)
-                    })
-            }
-            other => return usage(&format!("unknown target {other}")),
-        };
-        if let Err(e) = outcome {
+    for (i, target) in targets.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let runner = TARGETS
+            .iter()
+            .find(|(n, _)| n == target)
+            .map(|(_, f)| *f)
+            .expect("expanded targets are valid");
+        if let Err(e) = runner(runs, seed) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
-        println!();
     }
     ExitCode::SUCCESS
 }
@@ -118,8 +127,11 @@ fn usage(message: &str) -> ExitCode {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: repro [table1|table2|fig3|fig5|fig6|fig7|fig8|ablations|all] \
-         [--runs N] [--seed S]"
+        "usage: repro [TARGET...] [--runs N] [--seed S]\n\
+         targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
+         \x20        ablate-cutoff ablate-psucc ablate-segment\n\
+         \x20        ablate-protocol ablate-purification\n\
+         \x20        ablations (all five ablations) | all (everything)"
     );
     if message.is_empty() {
         ExitCode::SUCCESS

@@ -2,7 +2,11 @@
 //! evaluation (§IV–V).
 //!
 //! Each `*_data` function regenerates the numbers behind one artifact;
-//! each `print_*` function renders them in the layout of the paper. The
+//! each `print_*` function renders them in the layout of the paper. Every
+//! figure and ablation runner is one [`Sweep`] — the grid of {benchmark ×
+//! design × config} cells runs through the engine's thread-parallel,
+//! compile-once runner, so a full `repro all` compiles each benchmark
+//! once per configuration instead of once per seed. The
 //! [`repro` binary](../repro/index.html) drives them from the command
 //! line, and the Criterion benches under `benches/` time the underlying
 //! computations.
@@ -18,7 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dqc_core::{evaluate_many, AveragedReport, Design, EvaluateError, SystemConfig};
+use dqc_core::{AveragedReport, Design, DqcError, Experiment, Sweep, SweepResult, SystemConfig};
 use dqc_entanglement::{EntanglementService, GenerationPattern};
 use dqc_partition::partition_circuit;
 use dqc_types::Tick;
@@ -94,10 +98,26 @@ pub fn print_table2(config: &SystemConfig) {
     println!("TABLE II: QUANTUM OPERATION PROPERTIES");
     println!("{:<22} {:>9} {:>10}", "Name", "Latency", "Fidelity");
     let rows = [
-        ("1Q gates", config.latencies.one_qubit, config.fidelities.one_qubit),
-        ("Local CNOT gates", config.latencies.two_qubit, config.fidelities.two_qubit),
-        ("Measurement", config.latencies.measurement, config.fidelities.measurement),
-        ("EPR pair preparation", config.latencies.epr_cycle, config.fidelities.epr),
+        (
+            "1Q gates",
+            config.latencies.one_qubit,
+            config.fidelities.one_qubit,
+        ),
+        (
+            "Local CNOT gates",
+            config.latencies.two_qubit,
+            config.fidelities.two_qubit,
+        ),
+        (
+            "Measurement",
+            config.latencies.measurement,
+            config.fidelities.measurement,
+        ),
+        (
+            "EPR pair preparation",
+            config.latencies.epr_cycle,
+            config.fidelities.epr,
+        ),
     ];
     for (name, latency, fidelity) in rows {
         println!(
@@ -147,7 +167,10 @@ pub fn print_fig3(seed: u64) {
     println!("FIG 3: ENTANGLEMENT ARRIVALS PER T_local (10 comm pairs, psucc = 0.4)");
     for (label, pattern) in [
         ("synchronous", GenerationPattern::Synchronous),
-        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+        (
+            "asynchronous",
+            GenerationPattern::Asynchronous { groups: 10 },
+        ),
     ] {
         let hist = fig3_data(pattern, 10, seed);
         let line: String = hist
@@ -159,7 +182,9 @@ pub fn print_fig3(seed: u64) {
         println!("{label:>13}: {line}");
         println!(
             "{:>13}  total {total} links in {} buckets ({} buckets occupied)",
-            "", hist.len(), occupied
+            "",
+            hist.len(),
+            occupied
         );
     }
 }
@@ -167,22 +192,33 @@ pub fn print_fig3(seed: u64) {
 // ------------------------------------------------------------- Fig. 5 / 6
 
 /// Depth and fidelity of every design on one benchmark (one panel of
-/// Figures 5 and 6).
+/// Figures 5 and 6): one compilation shared by all designs.
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
+/// Propagates [`DqcError`] from the engine.
 pub fn design_sweep(
     bench: PaperBenchmark,
     config: &SystemConfig,
     designs: &[Design],
     runs: usize,
     seed: u64,
-) -> Result<Vec<AveragedReport>, EvaluateError> {
-    let circuit = bench.circuit();
+) -> Result<Vec<AveragedReport>, DqcError> {
+    let experiment = Experiment::new(&bench.circuit(), config)?
+        .runs(runs)
+        .base_seed(seed);
     designs
         .iter()
-        .map(|&design| evaluate_many(&circuit, config, design, runs, seed))
+        .map(|&design| experiment.clone().design(design).run())
+        .collect()
+}
+
+/// Extracts one benchmark panel (all designs, grid order) from a sweep.
+fn panel_reports(result: &SweepResult, bench: PaperBenchmark, config: &str) -> Vec<AveragedReport> {
+    result
+        .panel(&bench.to_string(), config)
+        .into_iter()
+        .map(|cell| cell.report.clone())
         .collect()
 }
 
@@ -237,18 +273,43 @@ fn relative_to_ideal(reports: &[AveragedReport], r: &AveragedReport) -> f64 {
     }
 }
 
+/// The shared Fig. 5/6 grid: the four 32-qubit benchmarks × all six
+/// designs on the paper configuration, as one parallel sweep.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn fig56_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
+    Sweep::new()
+        .benchmarks(PaperBenchmark::FIG5)
+        .config("paper", SystemConfig::paper_two_node_32())
+        .designs(&Design::ALL)
+        .runs(runs)
+        .base_seed(seed)
+        .run()
+}
+
+fn print_fig5_from(result: &SweepResult, runs: usize) {
+    println!("FIG 5: CIRCUIT DEPTH ACROSS DESIGNS ({runs}-run averages)");
+    for bench in PaperBenchmark::FIG5 {
+        print_depth_panel(bench, &panel_reports(result, bench, "paper"));
+    }
+}
+
+fn print_fig6_from(result: &SweepResult, runs: usize) {
+    println!("FIG 6: CIRCUIT FIDELITY ACROSS DESIGNS ({runs}-run averages)");
+    for bench in PaperBenchmark::FIG5 {
+        print_fidelity_panel(bench, &panel_reports(result, bench, "paper"));
+    }
+}
+
 /// Runs and prints the full Figure 5 (depth, 4 × 32-qubit benchmarks).
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_fig5(runs: usize, seed: u64) -> Result<(), EvaluateError> {
-    println!("FIG 5: CIRCUIT DEPTH ACROSS DESIGNS ({runs}-run averages)");
-    let config = SystemConfig::paper_two_node_32();
-    for bench in PaperBenchmark::FIG5 {
-        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
-        print_depth_panel(bench, &reports);
-    }
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig5(runs: usize, seed: u64) -> Result<(), DqcError> {
+    print_fig5_from(&fig56_sweep(runs, seed)?, runs);
     Ok(())
 }
 
@@ -256,35 +317,56 @@ pub fn run_fig5(runs: usize, seed: u64) -> Result<(), EvaluateError> {
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_fig6(runs: usize, seed: u64) -> Result<(), EvaluateError> {
-    println!("FIG 6: CIRCUIT FIDELITY ACROSS DESIGNS ({runs}-run averages)");
-    let config = SystemConfig::paper_two_node_32();
-    for bench in PaperBenchmark::FIG5 {
-        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
-        print_fidelity_panel(bench, &reports);
-    }
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig6(runs: usize, seed: u64) -> Result<(), DqcError> {
+    print_fig6_from(&fig56_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// Runs the shared Fig. 5/6 grid **once** and prints both figures —
+/// Figures 5 and 6 are two renderings of the same experiments, so the
+/// `all` reproduction path uses this instead of paying the sweep twice.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig56(runs: usize, seed: u64) -> Result<(), DqcError> {
+    let result = fig56_sweep(runs, seed)?;
+    print_fig5_from(&result, runs);
+    println!();
+    print_fig6_from(&result, runs);
     Ok(())
 }
 
 // ----------------------------------------------------------------- Fig. 7
 
 /// Runs and prints Figure 7: QAOA-r8-32 depth with 10/15/20 communication
-/// and buffer qubits (buffered designs + ideal).
+/// and buffer qubits (buffered designs + ideal), as one sweep over the
+/// configuration axis.
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_fig7(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("FIG 7: QAOA-r8-32 DEPTH vs COMMUNICATION/BUFFER QUBITS ({runs}-run averages)");
     let mut designs = Design::BUFFERED.to_vec();
     designs.push(Design::Ideal);
+    let mut sweep = Sweep::new()
+        .benchmark(PaperBenchmark::QaoaR8_32)
+        .designs(&designs)
+        .runs(runs)
+        .base_seed(seed);
+    for n in [10usize, 15, 20] {
+        sweep = sweep.config(
+            format!("comm{n}"),
+            SystemConfig::paper_two_node_32().with_comm_and_buffer(n),
+        );
+    }
+    let result = sweep.run()?;
     for n in [10usize, 15, 20] {
         println!("-- #comm_qb = {n}, #buff_qb = {n}");
-        let config = SystemConfig::paper_two_node_32().with_comm_and_buffer(n);
-        let reports =
-            design_sweep(PaperBenchmark::QaoaR8_32, &config, &designs, runs, seed)?;
-        for r in &reports {
+        for cell in result.panel(&PaperBenchmark::QaoaR8_32.to_string(), &format!("comm{n}")) {
+            let r = &cell.report;
             println!(
                 "  {:<9} depth {:>8.1}  ({:>6.2}x ideal)  fidelity {:.4}",
                 r.design.name(),
@@ -304,13 +386,18 @@ pub fn run_fig7(runs: usize, seed: u64) -> Result<(), EvaluateError> {
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_fig8(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig8(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("FIG 8: 64-QUBIT SYSTEM DEPTH ACROSS DESIGNS ({runs}-run averages)");
-    let config = SystemConfig::paper_two_node_64();
+    let result = Sweep::new()
+        .benchmarks(PaperBenchmark::FIG8)
+        .config("paper64", SystemConfig::paper_two_node_64())
+        .designs(&Design::ALL)
+        .runs(runs)
+        .base_seed(seed)
+        .run()?;
     for bench in PaperBenchmark::FIG8 {
-        let reports = design_sweep(bench, &config, &Design::ALL, runs, seed)?;
-        print_depth_panel(bench, &reports);
+        print_depth_panel(bench, &panel_reports(&result, bench, "paper64"));
     }
     Ok(())
 }
@@ -322,17 +409,26 @@ pub fn run_fig8(runs: usize, seed: u64) -> Result<(), EvaluateError> {
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("ABLATION: BUFFER CUTOFF AGE (QAOA-r8-32, async_buf, {runs}-run averages)");
-    let circuit = PaperBenchmark::QaoaR8_32.circuit();
-    for cutoff_ticks in [50i64, 100, 150, 250, 500, 1000] {
+    let cutoffs = [50i64, 100, 150, 250, 500, 1000];
+    let mut sweep = Sweep::new()
+        .benchmark(PaperBenchmark::QaoaR8_32)
+        .designs(&[Design::AsyncBuf])
+        .runs(runs)
+        .base_seed(seed);
+    for t in cutoffs {
         let mut config = SystemConfig::paper_two_node_32();
-        config.cutoff = dqc_entanglement::CutoffPolicy::MaxAge(Tick::new(cutoff_ticks));
-        let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+        config.cutoff = dqc_entanglement::CutoffPolicy::MaxAge(Tick::new(t));
+        sweep = sweep.config(format!("{t}"), config);
+    }
+    let result = sweep.run()?;
+    for (t, cell) in cutoffs.iter().zip(&result.cells) {
+        let r = &cell.report;
         println!(
             "  cutoff {:>5}t: depth {:>7.1}  fidelity {:.4}  wasted {:>6.1}",
-            cutoff_ticks, r.mean_depth, r.mean_fidelity, r.mean_wasted
+            t, r.mean_depth, r.mean_fidelity, r.mean_wasted
         );
     }
     Ok(())
@@ -343,17 +439,33 @@ pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> 
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("ABLATION: SUCCESS PROBABILITY (QAOA-r8-32, {runs}-run averages)");
-    let circuit = PaperBenchmark::QaoaR8_32.circuit();
-    for psucc in [0.1, 0.2, 0.4, 0.6, 0.8] {
+    let psuccs = [0.1, 0.2, 0.4, 0.6, 0.8];
+    let mut sweep = Sweep::new()
+        .benchmark(PaperBenchmark::QaoaR8_32)
+        .designs(&[Design::Original, Design::AsyncBuf])
+        .runs(runs)
+        .base_seed(seed);
+    for p in psuccs {
         let mut config = SystemConfig::paper_two_node_32();
-        config.success_probability = psucc;
-        let orig = evaluate_many(&circuit, &config, Design::Original, runs, seed)?;
-        let asyn = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+        config.success_probability = p;
+        sweep = sweep.config(format!("{p}"), config);
+    }
+    let result = sweep.run()?;
+    let name = PaperBenchmark::QaoaR8_32.to_string();
+    for p in psuccs {
+        let orig = &result
+            .cell(&name, &format!("{p}"), Design::Original)
+            .unwrap()
+            .report;
+        let asyn = &result
+            .cell(&name, &format!("{p}"), Design::AsyncBuf)
+            .unwrap()
+            .report;
         println!(
-            "  psucc {psucc:.1}: original {:>7.1}  async_buf {:>7.1}  (gain {:>5.2}x)",
+            "  psucc {p:.1}: original {:>7.1}  async_buf {:>7.1}  (gain {:>5.2}x)",
             orig.mean_depth,
             asyn.mean_depth,
             orig.mean_depth / asyn.mean_depth
@@ -367,17 +479,34 @@ pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("ABLATION: REMOTE-GATE PROTOCOL (async_buf, {runs}-run averages)");
+    let protocols = [
+        dqc_core::RemoteProtocol::GateTeleport,
+        dqc_core::RemoteProtocol::StateTeleport,
+    ];
+    let mut sweep = Sweep::new()
+        .benchmarks([PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32])
+        .designs(&[Design::AsyncBuf])
+        .runs(runs)
+        .base_seed(seed);
+    for protocol in protocols {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.remote_protocol = protocol;
+        sweep = sweep.config(format!("{protocol:?}"), config);
+    }
+    let result = sweep.run()?;
     for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
-        let circuit = bench.circuit();
-        for protocol in
-            [dqc_core::RemoteProtocol::GateTeleport, dqc_core::RemoteProtocol::StateTeleport]
-        {
-            let mut config = SystemConfig::paper_two_node_32();
-            config.remote_protocol = protocol;
-            let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+        for protocol in protocols {
+            let r = &result
+                .cell(
+                    &bench.to_string(),
+                    &format!("{protocol:?}"),
+                    Design::AsyncBuf,
+                )
+                .unwrap()
+                .report;
             println!(
                 "  {bench:<11} {:?}: depth {:>7.1}  fidelity {:.4}  ({} links/gate)",
                 protocol,
@@ -396,15 +525,26 @@ pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("ABLATION: BBPSSW PURIFY-ON-CONSUME (async_buf, {runs}-run averages)");
+    let mut sweep = Sweep::new()
+        .benchmarks([PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32])
+        .designs(&[Design::AsyncBuf])
+        .runs(runs)
+        .base_seed(seed);
+    for purify in [false, true] {
+        let mut config = SystemConfig::paper_two_node_32();
+        config.purify_links = purify;
+        sweep = sweep.config(format!("{purify}"), config);
+    }
+    let result = sweep.run()?;
     for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
-        let circuit = bench.circuit();
         for purify in [false, true] {
-            let mut config = SystemConfig::paper_two_node_32();
-            config.purify_links = purify;
-            let r = evaluate_many(&circuit, &config, Design::AsyncBuf, runs, seed)?;
+            let r = &result
+                .cell(&bench.to_string(), &format!("{purify}"), Design::AsyncBuf)
+                .unwrap()
+                .report;
             println!(
                 "  {bench:<11} purify={purify:<5}: depth {:>7.1}  fidelity {:.4}",
                 r.mean_depth, r.mean_fidelity
@@ -419,21 +559,32 @@ pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), EvaluateE
 ///
 /// # Errors
 ///
-/// Propagates [`EvaluateError`] from the executor.
-pub fn run_segment_ablation(runs: usize, seed: u64) -> Result<(), EvaluateError> {
+/// Propagates [`DqcError`] from the engine.
+pub fn run_segment_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
     println!("ABLATION: ADAPTIVE SEGMENT SIZE m (QFT-32, adapt_buf, {runs}-run averages)");
-    let circuit = PaperBenchmark::Qft32.circuit();
     let base = SystemConfig::paper_two_node_32();
     println!("  (paper default m = {})", base.segment_remote_gates());
-    for m in [1usize, 2, 4, 8, 16] {
+    let ms = [1usize, 2, 4, 8, 16];
+    let mut sweep = Sweep::new()
+        .benchmark(PaperBenchmark::Qft32)
+        .designs(&[Design::AdaptBuf])
+        .runs(runs)
+        .base_seed(seed);
+    let mut comms = Vec::new();
+    for m in ms {
         let mut config = base.clone();
         // Scale comm qubits so m = ceil(comm · psucc) hits the target.
         config.comm_qubits_per_node = (m as f64 / config.success_probability).ceil() as usize;
         config.buffer_qubits_per_node = config.comm_qubits_per_node;
-        let r = evaluate_many(&circuit, &config, Design::AdaptBuf, runs, seed)?;
+        comms.push(config.comm_qubits_per_node);
+        sweep = sweep.config(format!("m{m}"), config);
+    }
+    let result = sweep.run()?;
+    for ((m, comm), cell) in ms.iter().zip(comms).zip(&result.cells) {
+        let r = &cell.report;
         println!(
             "  m = {:>2} (comm = {:>2}): depth {:>8.1}  fidelity {:.4}",
-            m, config.comm_qubits_per_node, r.mean_depth, r.mean_fidelity
+            m, comm, r.mean_depth, r.mean_fidelity
         );
     }
     Ok(())
@@ -475,9 +626,31 @@ mod tests {
     #[test]
     fn design_sweep_produces_one_report_per_design() {
         let config = SystemConfig::paper_two_node_32();
-        let reports =
-            design_sweep(PaperBenchmark::Tlim32, &config, &Design::ALL, 2, 0).unwrap();
+        let reports = design_sweep(PaperBenchmark::Tlim32, &config, &Design::ALL, 2, 0).unwrap();
         assert_eq!(reports.len(), Design::ALL.len());
         assert!(reports.iter().all(|r| r.runs == 2));
+    }
+
+    #[test]
+    fn fig56_sweep_compiles_once_per_benchmark() {
+        let result = fig56_sweep(1, 0).unwrap();
+        assert_eq!(result.compilations, PaperBenchmark::FIG5.len());
+        assert_eq!(
+            result.cells.len(),
+            PaperBenchmark::FIG5.len() * Design::ALL.len()
+        );
+    }
+
+    #[test]
+    fn sweep_panels_match_design_sweep() {
+        // The Sweep-based figure path and the Experiment-based panel path
+        // must agree exactly: same engine, same seeds.
+        let result = fig56_sweep(2, 7).unwrap();
+        let config = SystemConfig::paper_two_node_32();
+        for bench in PaperBenchmark::FIG5 {
+            let direct = design_sweep(bench, &config, &Design::ALL, 2, 7).unwrap();
+            let from_sweep = panel_reports(&result, bench, "paper");
+            assert_eq!(direct, from_sweep, "{bench}");
+        }
     }
 }

@@ -38,12 +38,18 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` wires.
     pub fn new(num_qubits: u32) -> Self {
-        Self { num_qubits, ops: Vec::new() }
+        Self {
+            num_qubits,
+            ops: Vec::new(),
+        }
     }
 
     /// Creates an empty circuit with space reserved for `capacity` gates.
     pub fn with_capacity(num_qubits: u32, capacity: usize) -> Self {
-        Self { num_qubits, ops: Vec::with_capacity(capacity) }
+        Self {
+            num_qubits,
+            ops: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of qubit wires.
@@ -78,7 +84,10 @@ impl Circuit {
 
     /// Iterates over `(GateId, &Operation)` pairs in program order.
     pub fn iter(&self) -> impl Iterator<Item = (GateId, &Operation)> {
-        self.ops.iter().enumerate().map(|(i, op)| (GateId::new(i as u32), op))
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (GateId::new(i as u32), op))
     }
 
     /// Appends a gate with checked operands.
@@ -107,11 +116,17 @@ impl Circuit {
     /// ```
     pub fn push(&mut self, gate: Gate, qubits: &[QubitId]) -> Result<GateId, CircuitError> {
         if qubits.len() != gate.arity() {
-            return Err(CircuitError::ArityMismatch { expected: gate.arity(), got: qubits.len() });
+            return Err(CircuitError::ArityMismatch {
+                expected: gate.arity(),
+                got: qubits.len(),
+            });
         }
         for &q in qubits {
             if q.index() >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         let op = match *qubits {
@@ -152,7 +167,10 @@ impl Circuit {
     ///
     /// Panics if `other` uses more qubits than this circuit has.
     pub fn append(&mut self, other: &Circuit) -> &mut Self {
-        assert!(other.num_qubits <= self.num_qubits, "appended circuit too wide");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit too wide"
+        );
         self.ops.extend_from_slice(&other.ops);
         self
     }
@@ -309,7 +327,13 @@ impl Circuit {
         let mut level = vec![0usize; self.num_qubits as usize];
         let mut depth = 0;
         for op in &self.ops {
-            let l = op.qubits().iter().map(|q| level[q.as_usize()]).max().unwrap_or(0) + 1;
+            let l = op
+                .qubits()
+                .iter()
+                .map(|q| level[q.as_usize()])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for q in op.qubits() {
                 level[q.as_usize()] = l;
             }
@@ -359,7 +383,12 @@ impl Circuit {
         let mut level = vec![0usize; self.num_qubits as usize];
         let mut layers: Vec<Vec<GateId>> = Vec::new();
         for (i, op) in self.ops.iter().enumerate() {
-            let l = op.qubits().iter().map(|q| level[q.as_usize()]).max().unwrap_or(0);
+            let l = op
+                .qubits()
+                .iter()
+                .map(|q| level[q.as_usize()])
+                .max()
+                .unwrap_or(0);
             for q in op.qubits() {
                 level[q.as_usize()] = l + 1;
             }
@@ -388,7 +417,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} ops]", self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} ops]",
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for (id, op) in self.iter() {
             writeln!(f, "  {id}: {op}")?;
         }
@@ -419,14 +453,27 @@ mod tests {
     fn push_validates_arity() {
         let mut c = Circuit::new(2);
         let err = c.push(Gate::Cx, &[QubitId::new(0)]).unwrap_err();
-        assert_eq!(err, CircuitError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            CircuitError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn push_validates_duplicates() {
         let mut c = Circuit::new(2);
-        let err = c.push(Gate::Cx, &[QubitId::new(1), QubitId::new(1)]).unwrap_err();
-        assert_eq!(err, CircuitError::DuplicateOperand { qubit: QubitId::new(1) });
+        let err = c
+            .push(Gate::Cx, &[QubitId::new(1), QubitId::new(1)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::DuplicateOperand {
+                qubit: QubitId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -536,7 +583,10 @@ mod tests {
     fn inverse_rejects_measurements() {
         let mut c = Circuit::new(1);
         c.h(0).measure(0);
-        assert_eq!(c.inverse().unwrap_err(), CircuitError::IrreversibleOperation);
+        assert_eq!(
+            c.inverse().unwrap_err(),
+            CircuitError::IrreversibleOperation
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl CircuitDag {
                 roots.push(id);
             }
         }
-        Self { preds, succs, roots }
+        Self {
+            preds,
+            succs,
+            roots,
+        }
     }
 
     /// Number of operations in the underlying circuit.
@@ -226,7 +230,10 @@ mod tests {
         let asap = dag.asap_levels();
         let alap = dag.alap_levels();
         assert_eq!(asap[0], 0);
-        assert_eq!(alap[0], 1, "h(0) only needs to finish before cx(0,1) at level 2");
+        assert_eq!(
+            alap[0], 1,
+            "h(0) only needs to finish before cx(0,1) at level 2"
+        );
         for i in 0..c.len() {
             assert!(asap[i] <= alap[i], "asap must not exceed alap for gate {i}");
         }

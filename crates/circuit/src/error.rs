@@ -34,7 +34,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "duplicate operand {qubit} in multi-qubit gate")
@@ -57,11 +60,19 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_informative() {
-        let e = CircuitError::QubitOutOfRange { qubit: QubitId::new(9), num_qubits: 4 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: QubitId::new(9),
+            num_qubits: 4,
+        };
         assert_eq!(e.to_string(), "qubit q9 out of range for 4-qubit circuit");
-        let e = CircuitError::DuplicateOperand { qubit: QubitId::new(2) };
+        let e = CircuitError::DuplicateOperand {
+            qubit: QubitId::new(2),
+        };
         assert_eq!(e.to_string(), "duplicate operand q2 in multi-qubit gate");
-        let e = CircuitError::ArityMismatch { expected: 2, got: 1 };
+        let e = CircuitError::ArityMismatch {
+            expected: 2,
+            got: 1,
+        };
         assert_eq!(e.to_string(), "gate expects 2 operand(s), got 1");
     }
 

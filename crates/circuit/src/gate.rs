@@ -152,7 +152,11 @@ impl Gate {
     /// Returns the gate's continuous parameter (rotation angle), if any.
     pub const fn param(&self) -> Option<f64> {
         match self {
-            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::CPhase(t)
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::Phase(t)
+            | Gate::CPhase(t)
             | Gate::Rzz(t) => Some(*t),
             _ => None,
         }

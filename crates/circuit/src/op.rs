@@ -36,7 +36,10 @@ impl Operation {
     /// [`Circuit::push`](crate::Circuit::push) for checked construction.
     pub fn one(gate: Gate, qubit: QubitId) -> Self {
         assert_eq!(gate.arity(), 1, "gate {gate} is not single-qubit");
-        Self { gate, qubits: [qubit, qubit] }
+        Self {
+            gate,
+            qubits: [qubit, qubit],
+        }
     }
 
     /// Creates a two-qubit operation; for controlled gates `a` is the
@@ -49,7 +52,10 @@ impl Operation {
     pub fn two(gate: Gate, a: QubitId, b: QubitId) -> Self {
         assert_eq!(gate.arity(), 2, "gate {gate} is not two-qubit");
         assert_ne!(a, b, "two-qubit gate operands must be distinct");
-        Self { gate, qubits: [a, b] }
+        Self {
+            gate,
+            qubits: [a, b],
+        }
     }
 
     /// The gate being applied.

@@ -47,7 +47,12 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                 let _ = writeln!(out, "u1({theta}) q[{}];", qs[0].index());
             }
             Gate::CPhase(theta) => {
-                let _ = writeln!(out, "cu1({theta}) q[{}],q[{}];", qs[0].index(), qs[1].index());
+                let _ = writeln!(
+                    out,
+                    "cu1({theta}) q[{}],q[{}];",
+                    qs[0].index(),
+                    qs[1].index()
+                );
             }
             g => {
                 let name = g.name();
@@ -93,7 +98,10 @@ mod tests {
         c.rzz(0, 1, 0.5);
         let qasm = to_qasm(&c);
         let body: Vec<&str> = qasm.lines().skip(4).collect();
-        assert_eq!(body, vec!["cx q[0],q[1];", "rz(0.5) q[1];", "cx q[0],q[1];"]);
+        assert_eq!(
+            body,
+            vec!["cx q[0],q[1];", "rz(0.5) q[1];", "cx q[0],q[1];"]
+        );
     }
 
     #[test]
@@ -106,13 +114,31 @@ mod tests {
     #[test]
     fn every_gate_kind_serializes() {
         let mut c = Circuit::new(3);
-        c.h(0).x(1).y(2).z(0).s(1).t(2).rx(0, 0.1).ry(1, 0.2).rz(2, 0.3);
-        c.p(0, 0.4).cx(0, 1).cz(1, 2).cp(0, 2, 0.5).rzz(0, 1, 0.6).swap(1, 2);
+        c.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .t(2)
+            .rx(0, 0.1)
+            .ry(1, 0.2)
+            .rz(2, 0.3);
+        c.p(0, 0.4)
+            .cx(0, 1)
+            .cz(1, 2)
+            .cp(0, 2, 0.5)
+            .rzz(0, 1, 0.6)
+            .swap(1, 2);
         c.measure(0);
         let qasm = to_qasm(&c);
-        for needle in
-            ["h q[0];", "x q[1];", "swap q[1],q[2];", "cu1(0.5)", "u1(0.4)", "measure q[0] -> c[0];"]
-        {
+        for needle in [
+            "h q[0];",
+            "x q[1];",
+            "swap q[1],q[2];",
+            "cu1(0.5)",
+            "u1(0.4)",
+            "measure q[0] -> c[0];",
+        ] {
             assert!(qasm.contains(needle), "missing {needle} in:\n{qasm}");
         }
     }

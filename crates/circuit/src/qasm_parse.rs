@@ -15,7 +15,10 @@ pub struct ParseQasmError {
 
 impl ParseQasmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number of the offending statement.
@@ -26,7 +29,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -127,8 +134,12 @@ fn parse_statement(
 
 fn parse_register_size(text: &str, line: usize) -> Result<u32, ParseQasmError> {
     // e.g. "q[5]"
-    let open = text.find('[').ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
-    let close = text.find(']').ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
+    let open = text
+        .find('[')
+        .ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
+    let close = text
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(line, "malformed qreg"))?;
     text[open + 1..close]
         .parse()
         .map_err(|_| ParseQasmError::new(line, "bad register size"))
@@ -182,7 +193,10 @@ fn parse_gate<'a>(
         ("rzz", Some(a)) => Gate::Rzz(a),
         ("swap", None) => Gate::Swap,
         (unknown, _) => {
-            return Err(ParseQasmError::new(line, format!("unsupported gate {unknown}")))
+            return Err(ParseQasmError::new(
+                line,
+                format!("unsupported gate {unknown}"),
+            ))
         }
     };
     Ok((gate, operands))
@@ -213,7 +227,10 @@ fn parse_angle(text: &str, line: usize) -> Result<f64, ParseQasmError> {
             return Ok(sign * k * pi);
         }
     }
-    Err(ParseQasmError::new(line, format!("cannot parse angle {text}")))
+    Err(ParseQasmError::new(
+        line,
+        format!("cannot parse angle {text}"),
+    ))
 }
 
 #[cfg(test)]
@@ -247,7 +264,11 @@ mod tests {
     fn parses_pi_expressions() {
         let src = "qreg q[1]; rz(pi) q[0]; rz(pi/2) q[0]; rz(-pi/4) q[0]; rz(2*pi) q[0];";
         let c = from_qasm(src).unwrap();
-        let angles: Vec<f64> = c.operations().iter().filter_map(|op| op.gate().param()).collect();
+        let angles: Vec<f64> = c
+            .operations()
+            .iter()
+            .filter_map(|op| op.gate().param())
+            .collect();
         let pi = std::f64::consts::PI;
         assert_eq!(angles, vec![pi, pi / 2.0, -pi / 4.0, 2.0 * pi]);
     }
@@ -262,8 +283,21 @@ mod tests {
     #[test]
     fn export_import_round_trip_preserves_structure() {
         let mut original = Circuit::new(4);
-        original.h(0).x(1).s(2).t(3).rx(0, 0.1).ry(1, 0.2).rz(2, 0.3).p(3, 0.4);
-        original.cx(0, 1).cz(1, 2).cp(2, 3, 0.5).swap(0, 3).measure(1);
+        original
+            .h(0)
+            .x(1)
+            .s(2)
+            .t(3)
+            .rx(0, 0.1)
+            .ry(1, 0.2)
+            .rz(2, 0.3)
+            .p(3, 0.4);
+        original
+            .cx(0, 1)
+            .cz(1, 2)
+            .cp(2, 3, 0.5)
+            .swap(0, 3)
+            .measure(1);
         let round = from_qasm(&to_qasm(&original)).unwrap();
         // rzz is absent, so everything maps 1:1.
         assert_eq!(round.len(), original.len());

@@ -112,8 +112,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 1).rzz(2, 3, 0.5).measure(3);
         let art = render(&c);
-        let widths: Vec<usize> =
-            art.trim_end().lines().map(|l| l.chars().count()).collect();
+        let widths: Vec<usize> = art.trim_end().lines().map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}\n{art}");
     }
 

@@ -66,7 +66,12 @@ pub struct OperationFidelities {
 
 impl Default for OperationFidelities {
     fn default() -> Self {
-        Self { one_qubit: 0.9999, two_qubit: 0.999, measurement: 0.998, epr: 0.99 }
+        Self {
+            one_qubit: 0.9999,
+            two_qubit: 0.999,
+            measurement: 0.998,
+            epr: 0.99,
+        }
     }
 }
 
@@ -159,7 +164,11 @@ impl SystemConfig {
     /// Returns a copy with `n` communication and `n` buffer qubits per
     /// node (the Fig. 7 sweep).
     pub fn with_comm_and_buffer(&self, n: usize) -> Self {
-        Self { comm_qubits_per_node: n, buffer_qubits_per_node: n, ..self.clone() }
+        Self {
+            comm_qubits_per_node: n,
+            buffer_qubits_per_node: n,
+            ..self.clone()
+        }
     }
 
     /// Total data qubits across all nodes.
@@ -210,14 +219,14 @@ impl SystemConfig {
 
     /// Builds the entanglement-service configuration for this system under
     /// the given generation pattern and buffering mode.
-    pub fn service_config(
-        &self,
-        pattern: GenerationPattern,
-        buffered: bool,
-    ) -> ServiceConfig {
+    pub fn service_config(&self, pattern: GenerationPattern, buffered: bool) -> ServiceConfig {
         ServiceConfig {
             num_comm_pairs: self.comm_qubits_per_node,
-            buffer_capacity: if buffered { self.buffer_qubits_per_node } else { 0 },
+            buffer_capacity: if buffered {
+                self.buffer_qubits_per_node
+            } else {
+                0
+            },
             success_probability: self.success_probability,
             attempt_cycle: self.latencies.epr_cycle,
             initial_fidelity: self.fidelities.epr,

@@ -53,8 +53,12 @@ impl Design {
     ];
 
     /// The four buffered designs shown in the Fig. 7 sweep.
-    pub const BUFFERED: [Design; 4] =
-        [Design::SyncBuf, Design::AsyncBuf, Design::AdaptBuf, Design::InitBuf];
+    pub const BUFFERED: [Design; 4] = [
+        Design::SyncBuf,
+        Design::AsyncBuf,
+        Design::AdaptBuf,
+        Design::InitBuf,
+    ];
 
     /// Whether successful links are swapped into buffer qubits.
     pub const fn uses_buffer(self) -> bool {
@@ -80,7 +84,9 @@ impl Design {
     /// number of stagger groups.
     pub fn generation_pattern(self, async_groups: usize) -> GenerationPattern {
         if self.asynchronous_generation() {
-            GenerationPattern::Asynchronous { groups: async_groups.max(1) }
+            GenerationPattern::Asynchronous {
+                groups: async_groups.max(1),
+            }
         } else {
             GenerationPattern::Synchronous
         }
@@ -127,7 +133,14 @@ mod tests {
         let names: Vec<&str> = Design::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
-            vec!["original", "sync_buf", "async_buf", "adapt_buf", "init_buf", "ideal"]
+            vec![
+                "original",
+                "sync_buf",
+                "async_buf",
+                "adapt_buf",
+                "init_buf",
+                "ideal"
+            ]
         );
     }
 

@@ -1,0 +1,111 @@
+//! The workspace-wide evaluation error type.
+
+use dqc_partition::PartitionError;
+use std::error::Error;
+use std::fmt;
+
+/// Unified error for the evaluation engine: everything that can go wrong
+/// between accepting a circuit and producing an [`crate::ExecutionReport`],
+/// consolidating the former `EvaluateError` and the partitioner's
+/// [`PartitionError`] behind one workspace-facade type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DqcError {
+    /// The circuit uses more qubits than the system hosts.
+    CircuitTooWide {
+        /// Qubits the circuit needs.
+        qubits: u32,
+        /// Data qubits the system provides.
+        capacity: usize,
+    },
+    /// The qubit partitioner failed.
+    Partition(PartitionError),
+    /// A remote gate can never be served (no communication qubits).
+    NoEntanglementPossible,
+    /// An experiment or sweep was asked for zero runs.
+    ///
+    /// The legacy `evaluate_many` silently clamped `runs == 0` to one run;
+    /// the engine rejects it instead, because a silently invented run is
+    /// indistinguishable from a real measurement in downstream averages.
+    ZeroRuns,
+    /// A sweep grid axis is empty, so the grid contains no cells.
+    EmptySweep {
+        /// Which axis was empty: `"circuits"`, `"configs"`, or `"designs"`.
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for DqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DqcError::CircuitTooWide { qubits, capacity } => {
+                write!(
+                    f,
+                    "circuit needs {qubits} qubits but the system hosts {capacity}"
+                )
+            }
+            DqcError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            DqcError::NoEntanglementPossible => {
+                write!(
+                    f,
+                    "remote gates present but no communication qubits configured"
+                )
+            }
+            DqcError::ZeroRuns => {
+                write!(
+                    f,
+                    "experiment requested zero runs; at least one is required"
+                )
+            }
+            DqcError::EmptySweep { axis } => {
+                write!(f, "sweep grid has no cells: the `{axis}` axis is empty")
+            }
+        }
+    }
+}
+
+impl Error for DqcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DqcError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PartitionError> for DqcError {
+    fn from(e: PartitionError) -> Self {
+        DqcError::Partition(e)
+    }
+}
+
+/// Former name of [`DqcError`], kept so downstream code and doctests keep
+/// compiling.
+#[deprecated(since = "0.2.0", note = "renamed to `DqcError`")]
+pub type EvaluateError = DqcError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DqcError::CircuitTooWide {
+            qubits: 64,
+            capacity: 32,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("32"));
+        assert!(DqcError::ZeroRuns.to_string().contains("zero runs"));
+        assert!(DqcError::EmptySweep { axis: "designs" }
+            .to_string()
+            .contains("designs"));
+    }
+
+    #[test]
+    fn partition_errors_chain_as_source() {
+        use std::error::Error;
+        let e = DqcError::Partition(PartitionError::EmptyGraph);
+        assert!(e.source().is_some());
+        assert!(DqcError::NoEntanglementPossible.source().is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! The `Experiment` builder: one circuit, one system, one design, many
+//! seeded runs — compiled once.
+
+use crate::{AveragedReport, CompiledCircuit, Design, DqcError, ExecutionReport, SystemConfig};
+use dqc_circuit::Circuit;
+use std::sync::Arc;
+
+/// A configured evaluation of one circuit on one design: the compile-once,
+/// run-many replacement for the deprecated `evaluate_many` free function.
+///
+/// The expensive, seed-independent preparation (partitioning, segmentation,
+/// variant compilation — see [`CompiledCircuit`]) happens exactly once, in
+/// [`Experiment::new`]. Changing the design or seed range afterwards is
+/// free, and experiments built with [`Experiment::with_compiled`] share one
+/// compilation across designs.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::{Design, Experiment, SystemConfig};
+/// use dqc_workloads::PaperBenchmark;
+///
+/// # fn main() -> Result<(), dqc_core::DqcError> {
+/// let circuit = PaperBenchmark::QaoaR4_32.circuit();
+/// let config = SystemConfig::paper_two_node_32();
+/// let avg = Experiment::new(&circuit, &config)?
+///     .design(Design::AsyncBuf)
+///     .runs(10)
+///     .run()?;
+/// println!("async_buf: {:.2}x ideal depth", avg.mean_depth_relative);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    compiled: Arc<CompiledCircuit>,
+    design: Design,
+    runs: usize,
+    base_seed: u64,
+}
+
+impl Experiment {
+    /// Compiles `circuit` for `config` and wraps it in an experiment with
+    /// the defaults: [`Design::AdaptBuf`] (the paper's proposal), one run,
+    /// base seed 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledCircuit::compile`] errors (circuit too wide,
+    /// partitioning failure).
+    pub fn new(circuit: &Circuit, config: &SystemConfig) -> Result<Self, DqcError> {
+        Ok(Self::with_compiled(Arc::new(CompiledCircuit::compile(
+            circuit, config,
+        )?)))
+    }
+
+    /// Builds an experiment over an existing compilation without
+    /// recompiling — the sharing primitive behind [`crate::Sweep`] and any
+    /// multi-design comparison.
+    pub fn with_compiled(compiled: Arc<CompiledCircuit>) -> Self {
+        Self {
+            compiled,
+            design: Design::AdaptBuf,
+            runs: 1,
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the design to execute.
+    #[must_use]
+    pub fn design(mut self, design: Design) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Sets the number of seeded runs to average (the paper uses 50).
+    #[must_use]
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the first seed; run `i` uses `base_seed + i`.
+    #[must_use]
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// The shared compilation backing this experiment.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.compiled
+    }
+
+    /// Executes one run with an explicit seed (ignores the configured seed
+    /// range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledCircuit::run`] errors.
+    pub fn run_one(&self, seed: u64) -> Result<ExecutionReport, DqcError> {
+        self.compiled.run(self.design, seed)
+    }
+
+    /// Executes every configured run and returns the individual reports,
+    /// in seed order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DqcError::ZeroRuns`] when zero runs are configured
+    /// (unlike the deprecated `evaluate_many`, which silently clamped to
+    /// one); otherwise propagates the first run error.
+    pub fn reports(&self) -> Result<Vec<ExecutionReport>, DqcError> {
+        if self.runs == 0 {
+            return Err(DqcError::ZeroRuns);
+        }
+        (0..self.runs)
+            .map(|i| {
+                self.compiled
+                    .run(self.design, self.base_seed.wrapping_add(i as u64))
+            })
+            .collect()
+    }
+
+    /// Executes every configured run and averages.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Experiment::reports`].
+    pub fn run(&self) -> Result<AveragedReport, DqcError> {
+        Ok(AveragedReport::from_runs(&self.reports()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_workloads::PaperBenchmark;
+
+    fn config() -> SystemConfig {
+        SystemConfig::paper_two_node_32()
+    }
+
+    #[test]
+    fn zero_runs_is_an_error() {
+        let c = PaperBenchmark::Tlim32.circuit();
+        let err = Experiment::new(&c, &config())
+            .unwrap()
+            .runs(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, DqcError::ZeroRuns);
+    }
+
+    #[test]
+    fn reports_are_in_seed_order_and_deterministic() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let exp = Experiment::new(&c, &config())
+            .unwrap()
+            .design(Design::AsyncBuf)
+            .runs(4);
+        let reports = exp.reports().unwrap();
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(
+                *r,
+                exp.run_one(i as u64).unwrap(),
+                "run {i} must match its seed"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_compilation_serves_all_designs() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let compiled = Experiment::new(&c, &config()).unwrap().compiled().clone();
+        for design in Design::ALL {
+            let avg = Experiment::with_compiled(compiled.clone())
+                .design(design)
+                .runs(2)
+                .run()
+                .unwrap();
+            assert_eq!(avg.design, design);
+            assert_eq!(avg.runs, 2);
+        }
+    }
+
+    #[test]
+    fn base_seed_shifts_the_sample() {
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let exp = Experiment::new(&c, &config())
+            .unwrap()
+            .design(Design::AsyncBuf)
+            .runs(3);
+        let a = exp.clone().base_seed(0).reports().unwrap();
+        let b = exp.base_seed(1).reports().unwrap();
+        // Overlapping seeds line up exactly: run i of b is run i+1 of a.
+        assert_eq!(a[1], b[0]);
+        assert_eq!(a[2], b[1]);
+    }
+}

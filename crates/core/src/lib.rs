@@ -1,7 +1,7 @@
 //! The paper's primary contribution: a distributed-quantum-computing
 //! architecture co-designing **entanglement buffering**, **asynchronous
 //! generation**, and **adaptive remote-gate scheduling**, with the
-//! event-driven executor that evaluates it.
+//! compile-once/run-many evaluation engine that measures it.
 //!
 //! The crate models the full §III architecture:
 //!
@@ -9,26 +9,55 @@
 //!   `psucc`, κ (§IV-A).
 //! * [`Design`] — the six §V designs (`original`, `sync_buf`, `async_buf`,
 //!   `adapt_buf`, `init_buf`, `ideal`).
-//! * [`segment_sequence`] / [`SegmentVariants`] — the §III-D segmentation
-//!   and pre-compiled ASAP/ALAP variants.
+//! * [`CompiledCircuit`] — everything about a (circuit, config) pair that
+//!   is seed- and design-independent: partition map, §III-D segments,
+//!   pre-compiled ASAP/ALAP [`SegmentVariants`], the ideal schedule. Built
+//!   once, shared immutably.
+//! * [`Experiment`] — builder running one design over a seed range against
+//!   one compilation, yielding [`ExecutionReport`]s / an
+//!   [`AveragedReport`].
+//! * [`Sweep`] — a cartesian {benchmark × config × design} grid executed
+//!   by a thread-based parallel runner with deterministic per-cell seeding
+//!   and ordered collection.
 //! * [`RemoteFidelityTable`] — the §IV-C remote-gate fidelity from the
 //!   density-matrix teleportation evaluation, via the exact affine law.
-//! * [`evaluate`] / [`evaluate_many`] — one run / a 50-run average of a
-//!   benchmark on a design, yielding [`ExecutionReport`]s.
+//! * [`DqcError`] — the unified error type of the whole engine.
 //!
 //! # Examples
 //!
-//! Reproduce one bar of the paper's Figure 5:
+//! Reproduce one bar of the paper's Figure 5 (compile once, run 10 seeds):
 //!
 //! ```
-//! use dqc_core::{evaluate_many, Design, SystemConfig};
+//! use dqc_core::{Design, Experiment, SystemConfig};
 //! use dqc_workloads::PaperBenchmark;
 //!
-//! # fn main() -> Result<(), dqc_core::EvaluateError> {
+//! # fn main() -> Result<(), dqc_core::DqcError> {
 //! let circuit = PaperBenchmark::QaoaR4_32.circuit();
 //! let config = SystemConfig::paper_two_node_32();
-//! let avg = evaluate_many(&circuit, &config, Design::AsyncBuf, 10, 0)?;
+//! let avg = Experiment::new(&circuit, &config)?
+//!     .design(Design::AsyncBuf)
+//!     .runs(10)
+//!     .run()?;
 //! println!("async_buf: {:.2}x ideal depth", avg.mean_depth_relative);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Reproduce a whole figure as one parallel [`Sweep`]:
+//!
+//! ```
+//! use dqc_core::{Design, Sweep, SystemConfig};
+//! use dqc_workloads::PaperBenchmark;
+//!
+//! # fn main() -> Result<(), dqc_core::DqcError> {
+//! let result = Sweep::new()
+//!     .benchmarks([PaperBenchmark::Tlim32, PaperBenchmark::QaoaR4_32])
+//!     .config("paper", SystemConfig::paper_two_node_32())
+//!     .designs(&Design::ALL)
+//!     .runs(5)
+//!     .run()?;
+//! assert_eq!(result.cells.len(), 2 * 6);
+//! assert_eq!(result.compilations, 2); // one per (circuit, config)
 //! # Ok(())
 //! # }
 //! ```
@@ -36,18 +65,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod config;
 mod design;
+mod error;
 mod executor;
+mod experiment;
 mod remote;
 mod report;
 mod segment;
+mod sweep;
 mod variants;
 
+pub use compile::{compile_count, CompiledCircuit};
 pub use config::{OperationFidelities, OperationLatencies, RemoteProtocol, SystemConfig};
 pub use design::Design;
-pub use executor::{evaluate, evaluate_many, EvaluateError};
+pub use error::DqcError;
+#[allow(deprecated)]
+pub use error::EvaluateError;
+#[allow(deprecated)]
+pub use executor::{evaluate, evaluate_many};
+pub use experiment::Experiment;
 pub use remote::RemoteFidelityTable;
 pub use report::{AveragedReport, ExecutionReport};
 pub use segment::{remote_count, segment_sequence};
+pub use sweep::{Sweep, SweepCell, SweepResult};
 pub use variants::{alap_variant, asap_variant, SegmentVariants, VariantKind};

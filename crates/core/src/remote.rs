@@ -46,12 +46,10 @@ impl RemoteFidelityTable {
             single_qubit_fidelity: fidelities.one_qubit,
         };
         let at_one = teleported_cnot_fidelity(&noise).value();
-        let at_quarter =
-            teleported_cnot_fidelity(&noise.with_bell_fidelity(0.25)).value();
+        let at_quarter = teleported_cnot_fidelity(&noise.with_bell_fidelity(0.25)).value();
         let slope = (at_one - at_quarter) / 0.75;
         let st_at_one = state_teleportation_fidelity(&noise).value();
-        let st_at_quarter =
-            state_teleportation_fidelity(&noise.with_bell_fidelity(0.25)).value();
+        let st_at_quarter = state_teleportation_fidelity(&noise.with_bell_fidelity(0.25)).value();
         let st_slope = (st_at_one - st_at_quarter) / 0.75;
         Self {
             slope,

@@ -111,7 +111,10 @@ impl AveragedReport {
             design,
             runs: reports.len(),
             mean_depth: reports.iter().map(|r| r.depth_cnot_units()).sum::<f64>() / n,
-            mean_depth_relative: reports.iter().map(|r| r.depth_relative_to_ideal()).sum::<f64>()
+            mean_depth_relative: reports
+                .iter()
+                .map(|r| r.depth_relative_to_ideal())
+                .sum::<f64>()
                 / n,
             mean_fidelity: reports.iter().map(|r| r.fidelity.value()).sum::<f64>() / n,
             mean_remote_gates: reports.iter().map(|r| r.remote_gates as f64).sum::<f64>() / n,

@@ -31,11 +31,7 @@ use std::ops::Range;
 /// // Remote gates: cx(1,2) and cx(0,2) → two segments with one each.
 /// assert_eq!(segments.len(), 2);
 /// ```
-pub fn segment_sequence(
-    ops: &[Operation],
-    map: &QubitMap,
-    m: usize,
-) -> Vec<Range<usize>> {
+pub fn segment_sequence(ops: &[Operation], map: &QubitMap, m: usize) -> Vec<Range<usize>> {
     assert!(m > 0, "segment size must be positive");
     let mut segments = Vec::new();
     let mut start = 0usize;
@@ -58,7 +54,10 @@ pub fn segment_sequence(
 
 /// Counts the remote gates within a segment.
 pub fn remote_count(ops: &[Operation], map: &QubitMap, segment: &Range<usize>) -> usize {
-    ops[segment.clone()].iter().filter(|op| map.is_remote(op)).count()
+    ops[segment.clone()]
+        .iter()
+        .filter(|op| map.is_remote(op))
+        .count()
 }
 
 #[cfg(test)]
@@ -94,8 +93,10 @@ mod tests {
     fn each_full_segment_has_exactly_m_remote() {
         let (c, map) = remote_heavy_circuit(); // 7 remote gates
         let segs = segment_sequence(c.operations(), &map, 3);
-        let counts: Vec<usize> =
-            segs.iter().map(|s| remote_count(c.operations(), &map, s)).collect();
+        let counts: Vec<usize> = segs
+            .iter()
+            .map(|s| remote_count(c.operations(), &map, s))
+            .collect();
         assert_eq!(counts, vec![3, 3, 1]);
     }
 

@@ -1,0 +1,402 @@
+//! Cartesian evaluation grids with a thread-based parallel runner.
+//!
+//! The paper's evaluation is a grid: {benchmark × design × configuration}
+//! × 50 seeds. [`Sweep`] executes that grid with three guarantees:
+//!
+//! 1. **Compile-once** — each (circuit, config) pair is compiled into a
+//!    [`CompiledCircuit`] exactly once and shared (via [`Arc`]) by every
+//!    design and seed that uses it.
+//! 2. **Deterministic seeding** — every cell runs seeds
+//!    `base_seed .. base_seed + runs`, exactly the seeds the sequential
+//!    legacy loop used, so parallel results are identical to sequential
+//!    ones.
+//! 3. **Ordered collection** — results come back in grid order (circuit ×
+//!    config × design, row-major) no matter which worker finished first.
+
+use crate::{AveragedReport, CompiledCircuit, Design, DqcError, Experiment, SystemConfig};
+use dqc_circuit::Circuit;
+use std::sync::{Arc, Mutex};
+
+/// A worker-pool result slot: `None` until the owning worker fills it.
+type Slot<T> = Mutex<Option<Result<T, DqcError>>>;
+
+/// One completed cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Label of the circuit axis entry (e.g. the benchmark name).
+    pub circuit: String,
+    /// Label of the configuration axis entry.
+    pub config: String,
+    /// The design this cell evaluated.
+    pub design: Design,
+    /// The averaged result over the cell's seed range.
+    pub report: AveragedReport,
+}
+
+/// Results of a completed sweep, in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One cell per (circuit, config, design), row-major in that order.
+    pub cells: Vec<SweepCell>,
+    /// Number of `CompiledCircuit`s built: always exactly
+    /// `circuits × configs`, independent of designs, runs, and threads.
+    pub compilations: usize,
+}
+
+impl SweepResult {
+    /// The cells of one (circuit, config) panel, in design order — one
+    /// figure panel of the paper.
+    pub fn panel(&self, circuit: &str, config: &str) -> Vec<&SweepCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.circuit == circuit && c.config == config)
+            .collect()
+    }
+
+    /// Looks up a single cell.
+    pub fn cell(&self, circuit: &str, config: &str, design: Design) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.circuit == circuit && c.config == config && c.design == design)
+    }
+}
+
+/// A cartesian grid of benchmarks × configurations × designs, executed by
+/// a thread pool with deterministic per-cell seeding.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::{Design, Sweep, SystemConfig};
+/// use dqc_workloads::PaperBenchmark;
+///
+/// # fn main() -> Result<(), dqc_core::DqcError> {
+/// let result = Sweep::new()
+///     .benchmark(PaperBenchmark::Tlim32)
+///     .config("paper", SystemConfig::paper_two_node_32())
+///     .designs(&[Design::Original, Design::AsyncBuf, Design::Ideal])
+///     .runs(5)
+///     .run()?;
+/// assert_eq!(result.cells.len(), 3);
+/// assert_eq!(result.compilations, 1); // one circuit × one config
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    circuits: Vec<(String, Circuit)>,
+    configs: Vec<(String, SystemConfig)>,
+    designs: Vec<Design>,
+    runs: usize,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl Default for Sweep {
+    /// Same as [`Sweep::new`] — in particular, one run per cell, so a
+    /// default-constructed sweep is runnable once its axes are filled.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// Starts an empty sweep: no axes, one run per cell, base seed 0,
+    /// thread count chosen from the machine's available parallelism.
+    pub fn new() -> Self {
+        Self {
+            circuits: Vec::new(),
+            configs: Vec::new(),
+            designs: Vec::new(),
+            runs: 1,
+            base_seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Adds a labelled circuit to the benchmark axis.
+    #[must_use]
+    pub fn circuit(mut self, label: impl Into<String>, circuit: Circuit) -> Self {
+        self.circuits.push((label.into(), circuit));
+        self
+    }
+
+    /// Adds a paper benchmark to the benchmark axis (label = paper name).
+    #[must_use]
+    pub fn benchmark(self, bench: dqc_workloads::PaperBenchmark) -> Self {
+        self.circuit(bench.to_string(), bench.circuit())
+    }
+
+    /// Adds several paper benchmarks.
+    #[must_use]
+    pub fn benchmarks(
+        mut self,
+        benches: impl IntoIterator<Item = dqc_workloads::PaperBenchmark>,
+    ) -> Self {
+        for b in benches {
+            self = self.benchmark(b);
+        }
+        self
+    }
+
+    /// Adds a labelled system configuration to the config axis.
+    #[must_use]
+    pub fn config(mut self, label: impl Into<String>, config: SystemConfig) -> Self {
+        self.configs.push((label.into(), config));
+        self
+    }
+
+    /// Sets the design axis.
+    #[must_use]
+    pub fn designs(mut self, designs: &[Design]) -> Self {
+        self.designs = designs.to_vec();
+        self
+    }
+
+    /// Sets the seeded runs averaged per cell.
+    #[must_use]
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base seed; every cell runs seeds
+    /// `base_seed .. base_seed + runs`.
+    #[must_use]
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Caps the worker thread count (0 = use available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Executes the grid and collects results in grid order.
+    ///
+    /// # Errors
+    ///
+    /// [`DqcError::EmptySweep`] when an axis is empty,
+    /// [`DqcError::ZeroRuns`] when `runs == 0`, any compile error from the
+    /// compile phase, and otherwise the first cell error **in grid order**
+    /// (deterministic regardless of thread scheduling).
+    pub fn run(&self) -> Result<SweepResult, DqcError> {
+        if self.circuits.is_empty() {
+            return Err(DqcError::EmptySweep { axis: "circuits" });
+        }
+        if self.configs.is_empty() {
+            return Err(DqcError::EmptySweep { axis: "configs" });
+        }
+        if self.designs.is_empty() {
+            return Err(DqcError::EmptySweep { axis: "designs" });
+        }
+        if self.runs == 0 {
+            return Err(DqcError::ZeroRuns);
+        }
+
+        // Compile phase: exactly once per (circuit, config) pair. The
+        // compilations are independent and dominate wall-clock for small
+        // run counts, so they go through the same worker-pool pattern as
+        // the cells; errors still surface in grid order.
+        let pairs: Vec<(usize, usize)> = (0..self.circuits.len())
+            .flat_map(|ci| (0..self.configs.len()).map(move |ki| (ci, ki)))
+            .collect();
+        let compile_slots: Vec<Slot<Arc<CompiledCircuit>>> =
+            pairs.iter().map(|_| Mutex::new(None)).collect();
+        let next_pair = std::sync::atomic::AtomicUsize::new(0);
+        let compile_workers = self.worker_count(pairs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..compile_workers {
+                scope.spawn(|| loop {
+                    let i = next_pair.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(ci, ki)) = pairs.get(i) else { break };
+                    let outcome =
+                        CompiledCircuit::compile(&self.circuits[ci].1, &self.configs[ki].1)
+                            .map(Arc::new);
+                    *compile_slots[i]
+                        .lock()
+                        .expect("no worker panics while holding the slot") = Some(outcome);
+                });
+            }
+        });
+        let mut compiled: Vec<Arc<CompiledCircuit>> = Vec::with_capacity(pairs.len());
+        for slot in compile_slots {
+            compiled.push(
+                slot.into_inner()
+                    .expect("slot lock cannot be poisoned after scope join")
+                    .expect("every pair was claimed by a worker")?,
+            );
+        }
+        let compilations = compiled.len();
+
+        // Cell descriptors in grid order; the workers fill `slots` by
+        // index, so collection order never depends on scheduling.
+        struct Cell {
+            circuit_idx: usize,
+            config_idx: usize,
+            design: Design,
+        }
+        let mut cells = Vec::new();
+        for circuit_idx in 0..self.circuits.len() {
+            for config_idx in 0..self.configs.len() {
+                for &design in &self.designs {
+                    cells.push(Cell {
+                        circuit_idx,
+                        config_idx,
+                        design,
+                    });
+                }
+            }
+        }
+
+        let slots: Vec<Slot<AveragedReport>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.worker_count(cells.len());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let shared =
+                        compiled[cell.circuit_idx * self.configs.len() + cell.config_idx].clone();
+                    let outcome = Experiment::with_compiled(shared)
+                        .design(cell.design)
+                        .runs(self.runs)
+                        .base_seed(self.base_seed)
+                        .run();
+                    *slots[i]
+                        .lock()
+                        .expect("no worker panics while holding the slot") = Some(outcome);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(cells.len());
+        for (cell, slot) in cells.iter().zip(slots) {
+            let report = slot
+                .into_inner()
+                .expect("slot lock cannot be poisoned after scope join")
+                .expect("every cell was claimed by a worker")?;
+            out.push(SweepCell {
+                circuit: self.circuits[cell.circuit_idx].0.clone(),
+                config: self.configs[cell.config_idx].0.clone(),
+                design: cell.design,
+                report,
+            });
+        }
+        Ok(SweepResult {
+            cells: out,
+            compilations,
+        })
+    }
+
+    fn worker_count(&self, cells: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let cap = if self.threads == 0 { hw } else { self.threads };
+        cap.clamp(1, cells.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_workloads::PaperBenchmark;
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let base = Sweep::new()
+            .benchmark(PaperBenchmark::Tlim32)
+            .config("paper", SystemConfig::paper_two_node_32())
+            .designs(&[Design::Ideal]);
+        assert_eq!(
+            Sweep::new().run().unwrap_err(),
+            DqcError::EmptySweep { axis: "circuits" }
+        );
+        assert_eq!(
+            base.clone().designs(&[]).run().unwrap_err(),
+            DqcError::EmptySweep { axis: "designs" }
+        );
+        assert_eq!(base.runs(0).run().unwrap_err(), DqcError::ZeroRuns);
+    }
+
+    #[test]
+    fn grid_order_is_row_major() {
+        let result = Sweep::new()
+            .benchmarks([PaperBenchmark::Tlim32, PaperBenchmark::Qft32])
+            .config("paper", SystemConfig::paper_two_node_32())
+            .designs(&[Design::Original, Design::Ideal])
+            .runs(1)
+            .run()
+            .unwrap();
+        let order: Vec<(String, Design)> = result
+            .cells
+            .iter()
+            .map(|c| (c.circuit.clone(), c.design))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("TLIM-32".to_string(), Design::Original),
+                ("TLIM-32".to_string(), Design::Ideal),
+                ("QFT-32".to_string(), Design::Original),
+                ("QFT-32".to_string(), Design::Ideal),
+            ]
+        );
+        assert_eq!(result.compilations, 2);
+    }
+
+    #[test]
+    fn parallel_and_single_threaded_agree() {
+        let grid = || {
+            Sweep::new()
+                .benchmarks([PaperBenchmark::Tlim32, PaperBenchmark::QaoaR4_32])
+                .config("paper", SystemConfig::paper_two_node_32())
+                .designs(&Design::ALL)
+                .runs(3)
+                .base_seed(11)
+        };
+        let parallel = grid().threads(8).run().unwrap();
+        let serial = grid().threads(1).run().unwrap();
+        assert_eq!(parallel.cells.len(), serial.cells.len());
+        for (p, s) in parallel.cells.iter().zip(&serial.cells) {
+            assert_eq!(p.design, s.design);
+            assert_eq!(p.report, s.report, "{}/{}", p.circuit, p.design);
+        }
+    }
+
+    #[test]
+    fn first_error_in_grid_order_wins() {
+        // QFT-64 does not fit the 32-qubit system: its cells fail at
+        // compile time, before any thread runs.
+        let err = Sweep::new()
+            .circuit("qft64", dqc_workloads::qft(64))
+            .config("small", SystemConfig::paper_two_node_32())
+            .designs(&[Design::Ideal])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DqcError::CircuitTooWide { qubits: 64, .. }));
+    }
+
+    #[test]
+    fn panel_lookup_filters_cells() {
+        let result = Sweep::new()
+            .benchmark(PaperBenchmark::Tlim32)
+            .config("a", SystemConfig::paper_two_node_32())
+            .config(
+                "b",
+                SystemConfig::paper_two_node_32().with_comm_and_buffer(20),
+            )
+            .designs(&[Design::AsyncBuf, Design::Ideal])
+            .runs(2)
+            .run()
+            .unwrap();
+        let panel = result.panel("TLIM-32", "b");
+        assert_eq!(panel.len(), 2);
+        assert!(result.cell("TLIM-32", "a", Design::AsyncBuf).is_some());
+        assert!(result.cell("TLIM-32", "a", Design::AdaptBuf).is_none());
+    }
+}

@@ -129,8 +129,11 @@ mod tests {
         // meaningfully: start in |+...+⟩.
         let mut sv = Statevector::zero_state(n);
         for q in 0..n {
-            sv.apply(&Operation::one(dqc_circuit::Gate::H, dqc_types::QubitId::new(q)))
-                .unwrap();
+            sv.apply(&Operation::one(
+                dqc_circuit::Gate::H,
+                dqc_types::QubitId::new(q),
+            ))
+            .unwrap();
         }
         for op in ops {
             sv.apply(op).unwrap();
@@ -156,8 +159,11 @@ mod tests {
     fn asap_moves_remote_gates_earlier() {
         let (c, map) = qaoa_segment();
         let asap = asap_variant(c.operations(), &map);
-        let first_remote_original =
-            c.operations().iter().position(|op| map.is_remote(op)).unwrap();
+        let first_remote_original = c
+            .operations()
+            .iter()
+            .position(|op| map.is_remote(op))
+            .unwrap();
         let first_remote_asap = asap.iter().position(|op| map.is_remote(op)).unwrap();
         assert!(first_remote_asap < first_remote_original);
         // Fully diagonal segment: remote gates reach the very front.
@@ -177,7 +183,10 @@ mod tests {
     #[test]
     fn remote_relative_order_is_preserved() {
         let (c, map) = qaoa_segment();
-        for seq in [asap_variant(c.operations(), &map), alap_variant(c.operations(), &map)] {
+        for seq in [
+            asap_variant(c.operations(), &map),
+            alap_variant(c.operations(), &map),
+        ] {
             let remotes: Vec<String> = seq
                 .iter()
                 .filter(|op| map.is_remote(op))
@@ -194,14 +203,21 @@ mod tests {
         c.h(1).rzz(1, 2, 0.3);
         let map = QubitMap::contiguous(4, 2);
         let asap = asap_variant(c.operations(), &map);
-        assert_eq!(asap[0].gate().name(), "h", "H does not commute with rzz on q1");
+        assert_eq!(
+            asap[0].gate().name(),
+            "h",
+            "H does not commute with rzz on q1"
+        );
         assert_eq!(asap[1].gate().name(), "rzz");
     }
 
     #[test]
     fn multiset_of_gates_unchanged() {
         let (c, map) = qaoa_segment();
-        for seq in [asap_variant(c.operations(), &map), alap_variant(c.operations(), &map)] {
+        for seq in [
+            asap_variant(c.operations(), &map),
+            alap_variant(c.operations(), &map),
+        ] {
             assert_eq!(seq.len(), c.len());
             let mut names_orig: Vec<String> =
                 c.operations().iter().map(|o| o.to_string()).collect();

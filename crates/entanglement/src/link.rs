@@ -38,7 +38,10 @@ impl EntangledLink {
             (0.25..=1.0).contains(&initial_fidelity),
             "initial fidelity out of range: {initial_fidelity}"
         );
-        Self { created_at, initial_fidelity }
+        Self {
+            created_at,
+            initial_fidelity,
+        }
     }
 
     /// When the link was heralded.

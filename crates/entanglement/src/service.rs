@@ -202,7 +202,10 @@ impl EntanglementService {
     /// Panics if called after time has advanced.
     pub fn preinitialize(&mut self, n: usize) {
         assert!(self.now.is_zero(), "preinitialization must happen at t = 0");
-        let room = self.config.buffer_capacity.saturating_sub(self.buffer.len());
+        let room = self
+            .config
+            .buffer_capacity
+            .saturating_sub(self.buffer.len());
         for _ in 0..n.min(room) {
             self.buffer.push(BufferedLink {
                 link: EntangledLink::new(Tick::ZERO, self.config.initial_fidelity),
@@ -276,7 +279,10 @@ impl EntanglementService {
         let age = link.age(self.now);
         self.stats.consumed += 1;
         self.stats.total_consumed_age += age;
-        Some(TakenLink { fidelity: link.fidelity_at(self.now, self.config.kappa_per_tick), age })
+        Some(TakenLink {
+            fidelity: link.fidelity_at(self.now, self.config.kappa_per_tick),
+            age,
+        })
     }
 
     /// Returns the earliest time `≥ from` at which a link is available,
@@ -320,7 +326,10 @@ impl EntanglementService {
         }
         if let CutoffPolicy::MaxAge(max) = self.config.cutoff {
             for (i, b) in self.buffer.iter().enumerate() {
-                consider(b.link.created_at() + max + Tick::new(1), EventKind::BufferExpiry(i));
+                consider(
+                    b.link.created_at() + max + Tick::new(1),
+                    EventKind::BufferExpiry(i),
+                );
             }
         }
         // Buffered links still being swapped in become available later;
@@ -352,7 +361,9 @@ impl EntanglementService {
 
     fn complete_attempt(&mut self, i: usize, time: Tick) {
         self.stats.attempts += 1;
-        let success = self.rng.random_bool(self.config.success_probability.clamp(0.0, 1.0));
+        let success = self
+            .rng
+            .random_bool(self.config.success_probability.clamp(0.0, 1.0));
         if !success {
             self.pairs[i] = PairState::Attempting(time + self.config.attempt_cycle);
             return;
@@ -416,7 +427,10 @@ impl EntanglementService {
             .min_by_key(|(created, i, _)| (*created, *i));
         if let Some((_, i, link)) = held {
             let ready = self.allocate_swap(self.now);
-            self.buffer.push(BufferedLink { link, ready_at: ready });
+            self.buffer.push(BufferedLink {
+                link,
+                ready_at: ready,
+            });
             self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffer.len());
             self.resume_pair(i, ready);
         }
@@ -436,7 +450,10 @@ mod tests {
     use super::*;
 
     fn sync_config() -> ServiceConfig {
-        ServiceConfig { pattern: GenerationPattern::Synchronous, ..ServiceConfig::default() }
+        ServiceConfig {
+            pattern: GenerationPattern::Synchronous,
+            ..ServiceConfig::default()
+        }
     }
 
     #[test]
@@ -454,7 +471,10 @@ mod tests {
     #[test]
     fn synchronous_arrivals_are_bursty() {
         // Large buffer so pairs never stall while nobody consumes.
-        let cfg = ServiceConfig { buffer_capacity: 1000, ..sync_config() };
+        let cfg = ServiceConfig {
+            buffer_capacity: 1000,
+            ..sync_config()
+        };
         let mut svc = EntanglementService::new(cfg, 2);
         svc.advance_to(Tick::new(2000));
         for &a in svc.arrivals() {
@@ -483,8 +503,7 @@ mod tests {
         };
         let mut svc = EntanglementService::new(cfg, 3);
         svc.advance_to(Tick::new(5000));
-        let mut seen_offsets: std::collections::HashSet<i64> =
-            std::collections::HashSet::new();
+        let mut seen_offsets: std::collections::HashSet<i64> = std::collections::HashSet::new();
         for &a in svc.arrivals() {
             seen_offsets.insert(a.ticks() % 100);
         }
@@ -550,7 +569,11 @@ mod tests {
         // A failure retries next cycle; a success also costs the swap, so
         // the expected attempt spacing is ≈ 0.6·T + 0.4·2T = 1.4·T, giving
         // ≈ 4 · 10000/140 ≈ 285 attempts. The point: no long-term stall.
-        assert!(svc.stats().attempts >= 240, "attempts = {}", svc.stats().attempts);
+        assert!(
+            svc.stats().attempts >= 240,
+            "attempts = {}",
+            svc.stats().attempts
+        );
         assert!(svc.available() > 10);
     }
 
@@ -590,7 +613,10 @@ mod tests {
     #[test]
     fn consumed_fidelity_decays_with_wait() {
         // No generation: only the two pre-initialized links exist.
-        let cfg = ServiceConfig { num_comm_pairs: 0, ..ServiceConfig::default() };
+        let cfg = ServiceConfig {
+            num_comm_pairs: 0,
+            ..ServiceConfig::default()
+        };
         let mut svc = EntanglementService::new(cfg, 10);
         svc.preinitialize(2);
         let fresh = svc.try_take(Tick::ZERO).unwrap();
@@ -601,7 +627,10 @@ mod tests {
 
     #[test]
     fn oldest_first_ordering() {
-        let cfg = ServiceConfig { consume_order: ConsumeOrder::OldestFirst, ..Default::default() };
+        let cfg = ServiceConfig {
+            consume_order: ConsumeOrder::OldestFirst,
+            ..Default::default()
+        };
         let mut svc = EntanglementService::new(cfg, 11);
         let t1 = svc.time_of_next_available(Tick::ZERO);
         let t2 = svc.time_of_next_available(t1 + Tick::new(500));
@@ -613,7 +642,10 @@ mod tests {
 
     #[test]
     fn no_pairs_means_never_available() {
-        let cfg = ServiceConfig { num_comm_pairs: 0, ..Default::default() };
+        let cfg = ServiceConfig {
+            num_comm_pairs: 0,
+            ..Default::default()
+        };
         let mut svc = EntanglementService::new(cfg, 12);
         assert_eq!(svc.time_of_next_available(Tick::ZERO), Tick::MAX);
         assert!(svc.try_take(Tick::new(100)).is_none());

@@ -91,7 +91,11 @@ impl QubitMap {
     /// Counts the remote two-qubit gates of a circuit under this map —
     /// the paper's Table I "#remote 2Q" column.
     pub fn count_remote(&self, circuit: &Circuit) -> usize {
-        circuit.operations().iter().filter(|op| self.is_remote(op)).count()
+        circuit
+            .operations()
+            .iter()
+            .filter(|op| self.is_remote(op))
+            .count()
     }
 
     /// Counts the local two-qubit gates — Table I's "#local 2Q" column.
@@ -147,7 +151,11 @@ pub fn partition_circuit(
     seed: u64,
 ) -> Result<QubitMap, PartitionError> {
     let graph = Graph::from_circuit(circuit);
-    let tolerance = if (circuit.num_qubits() as usize).is_multiple_of(num_nodes.max(1)) { 0 } else { 1 };
+    let tolerance = if (circuit.num_qubits() as usize).is_multiple_of(num_nodes.max(1)) {
+        0
+    } else {
+        1
+    };
     // A few restarts with distinct seeds; keep the best cut.
     let mut best: Option<(u64, QubitMap)> = None;
     for attempt in 0..4u64 {

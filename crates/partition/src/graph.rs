@@ -32,12 +32,18 @@ pub struct Graph {
 impl Graph {
     /// Creates an edgeless graph on `n` unit-weight vertices.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], vertex_weights: vec![1; n] }
+        Self {
+            adj: vec![Vec::new(); n],
+            vertex_weights: vec![1; n],
+        }
     }
 
     /// Creates an edgeless graph with explicit vertex weights.
     pub fn with_vertex_weights(weights: Vec<u64>) -> Self {
-        Self { adj: vec![Vec::new(); weights.len()], vertex_weights: weights }
+        Self {
+            adj: vec![Vec::new(); weights.len()],
+            vertex_weights: weights,
+        }
     }
 
     /// Builds the qubit-interaction graph of a circuit.
@@ -57,7 +63,10 @@ impl Graph {
     pub fn add_edge(&mut self, a: u32, b: u32, weight: u64) {
         assert_ne!(a, b, "self-loops are not allowed");
         let n = self.adj.len() as u32;
-        assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} vertices");
+        assert!(
+            a < n && b < n,
+            "edge ({a}, {b}) out of range for {n} vertices"
+        );
         for (dir_a, dir_b) in [(a, b), (b, a)] {
             let list = &mut self.adj[dir_a as usize];
             match list.iter_mut().find(|(v, _)| *v == dir_b) {
@@ -84,7 +93,10 @@ impl Graph {
 
     /// The weight of edge `(a, b)`, if present.
     pub fn edge_weight(&self, a: u32, b: u32) -> Option<u64> {
-        self.adj[a as usize].iter().find(|(v, _)| *v == b).map(|(_, w)| *w)
+        self.adj[a as usize]
+            .iter()
+            .find(|(v, _)| *v == b)
+            .map(|(_, w)| *w)
     }
 
     /// The weight of vertex `v`.

@@ -1,7 +1,7 @@
 //! Initial bisection of the coarsest graph (greedy graph growing).
 
 use crate::{cut_weight, Graph};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Produces an initial bisection by greedy graph growing (METIS's GGGP):
 /// grow a region from a random seed vertex, repeatedly absorbing the
@@ -40,8 +40,10 @@ pub fn grow_bisection<R: Rng + ?Sized>(
     for _ in 0..trials.max(1) {
         let seed = rng.random_range(0..n as u32);
         let side = grow_from(graph, target0, seed);
-        let w0: u64 =
-            (0..n as u32).filter(|&v| !side[v as usize]).map(|v| graph.vertex_weight(v)).sum();
+        let w0: u64 = (0..n as u32)
+            .filter(|&v| !side[v as usize])
+            .map(|v| graph.vertex_weight(v))
+            .sum();
         let key = (w0.abs_diff(target0), cut_weight(graph, &side));
         if best.as_ref().is_none_or(|(bi, bc, _)| key < (*bi, *bc)) {
             best = Some((key.0, key.1, side));
@@ -128,8 +130,10 @@ mod tests {
         g.add_edge(1, 2, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let side = grow_bisection(&g, 3, &mut rng, 8);
-        let w0: u64 =
-            (0..4u32).filter(|&v| !side[v as usize]).map(|v| g.vertex_weight(v)).sum();
+        let w0: u64 = (0..4u32)
+            .filter(|&v| !side[v as usize])
+            .map(|v| g.vertex_weight(v))
+            .sum();
         assert!(w0.abs_diff(3) <= 1, "w0 = {w0}");
     }
 }

@@ -106,8 +106,7 @@ fn bisect_recursive<R: Rng + ?Sized>(
     // Solve coarse problem with slack one max-vertex, then refine tight.
     let coarse_side =
         bisect_recursive(&level.coarse, target0, tolerance.max(max_w), rng, depth + 1);
-    let mut side: Vec<bool> =
-        (0..n).map(|v| coarse_side[level.map[v] as usize]).collect();
+    let mut side: Vec<bool> = (0..n).map(|v| coarse_side[level.map[v] as usize]).collect();
     fm_refine(graph, &mut side, target0, tolerance, FM_PASSES);
     side
 }
@@ -165,7 +164,11 @@ pub fn partition_graph<R: Rng + ?Sized>(
         }
         c
     };
-    Ok(Partition { assignment, cut, parts })
+    Ok(Partition {
+        assignment,
+        cut,
+        parts,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -189,9 +192,8 @@ fn split<R: Rng + ?Sized>(
     for (i, &v) in vertices.iter().enumerate() {
         index[v as usize] = i as u32;
     }
-    let mut sub = Graph::with_vertex_weights(
-        vertices.iter().map(|&v| graph.vertex_weight(v)).collect(),
-    );
+    let mut sub =
+        Graph::with_vertex_weights(vertices.iter().map(|&v| graph.vertex_weight(v)).collect());
     for &v in vertices {
         for &(u, w) in graph.neighbors(v) {
             if v < u && index[u as usize] != u32::MAX {
@@ -212,7 +214,15 @@ fn split<R: Rng + ?Sized>(
         }
     }
     split(graph, &left, k0, first_part, tolerance, rng, assignment);
-    split(graph, &right, k1, first_part + k0 as u32, tolerance, rng, assignment);
+    split(
+        graph,
+        &right,
+        k1,
+        first_part + k0 as u32,
+        tolerance,
+        rng,
+        assignment,
+    );
 }
 
 #[cfg(test)]

@@ -90,13 +90,7 @@ fn imbalance(w0: u64, target0: u64) -> u64 {
     w0.abs_diff(target0)
 }
 
-fn fm_pass(
-    graph: &Graph,
-    side: &mut [bool],
-    target0: u64,
-    tolerance: u64,
-    cut: &mut u64,
-) -> bool {
+fn fm_pass(graph: &Graph, side: &mut [bool], target0: u64, tolerance: u64, cut: &mut u64) -> bool {
     let n = graph.num_vertices();
     // gain[v] = cut reduction if v switches sides.
     let mut gain = vec![0i64; n];
@@ -114,12 +108,19 @@ fn fm_pass(
     let mut w0 = side0_weight(graph, side);
     let start_cut = *cut;
     let mut running_cut = *cut;
-    let mut best_cut = if imbalance(w0, target0) <= tolerance { *cut } else { u64::MAX };
+    let mut best_cut = if imbalance(w0, target0) <= tolerance {
+        *cut
+    } else {
+        u64::MAX
+    };
     let mut best_prefix = 0usize;
     let mut moves: Vec<u32> = Vec::with_capacity(n);
     // Mid-pass, imbalance may temporarily exceed the tolerance by one
     // vertex (the hallmark of FM); only balanced prefixes are recorded.
-    let max_vw = (0..n as u32).map(|v| graph.vertex_weight(v)).max().unwrap_or(1);
+    let max_vw = (0..n as u32)
+        .map(|v| graph.vertex_weight(v))
+        .max()
+        .unwrap_or(1);
     let pass_tolerance = tolerance + max_vw;
 
     for _ in 0..n {
@@ -265,7 +266,10 @@ mod tests {
         g.add_edge(2, 3, 5);
         let mut side = vec![false, true, false, true];
         let cut = fm_refine(&g, &mut side, 3, 0, 10);
-        let w0: u64 = (0..4u32).filter(|&v| !side[v as usize]).map(|v| g.vertex_weight(v)).sum();
+        let w0: u64 = (0..4u32)
+            .filter(|&v| !side[v as usize])
+            .map(|v| g.vertex_weight(v))
+            .sum();
         assert_eq!(w0, 3);
         assert_eq!(cut, 1, "best 3/3 split cuts only the light edge");
     }

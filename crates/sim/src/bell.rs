@@ -17,8 +17,12 @@ pub enum BellState {
 
 impl BellState {
     /// All four Bell states.
-    pub const ALL: [BellState; 4] =
-        [BellState::PhiPlus, BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
+    pub const ALL: [BellState; 4] = [
+        BellState::PhiPlus,
+        BellState::PhiMinus,
+        BellState::PsiPlus,
+        BellState::PsiMinus,
+    ];
 
     /// The statevector of this Bell state.
     ///
@@ -69,12 +73,14 @@ impl BellState {
 /// assert!((f - 0.95).abs() < 1e-12);
 /// ```
 pub fn werner(fidelity: f64) -> DensityMatrix {
-    assert!((0.25..=1.0).contains(&fidelity), "werner fidelity out of range: {fidelity}");
+    assert!(
+        (0.25..=1.0).contains(&fidelity),
+        "werner fidelity out of range: {fidelity}"
+    );
     let p = (4.0 * fidelity - 1.0) / 3.0;
     let bell = BellState::PhiPlus.density();
     let mixed = DensityMatrix::maximally_mixed(2);
-    let rho = &bell.operator().scale(C64::real(p))
-        + &mixed.operator().scale(C64::real(1.0 - p));
+    let rho = &bell.operator().scale(C64::real(p)) + &mixed.operator().scale(C64::real(1.0 - p));
     DensityMatrix::from_operator(2, rho)
 }
 

@@ -50,7 +50,10 @@ impl C64 {
     /// Creates `r·e^{iθ}`.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self { re: r * theta.cos(), im: r * theta.sin() }
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Creates the unit phase `e^{iθ}`.
@@ -62,7 +65,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -80,7 +86,10 @@ impl C64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Returns true when both components are within `tol` of `other`'s.
@@ -94,7 +103,10 @@ impl Add for C64 {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -110,7 +122,10 @@ impl Sub for C64 {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -164,7 +179,10 @@ impl Neg for C64 {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -193,7 +211,7 @@ impl fmt::Display for C64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     const TOL: f64 = 1e-12;
 
@@ -242,35 +260,38 @@ mod tests {
         assert!(total.approx_eq(C64::new(2.0, 2.0), TOL));
     }
 
-    proptest! {
-        #[test]
-        fn prop_mul_is_commutative(
-            ar in -10.0f64..10.0, ai in -10.0f64..10.0,
-            br in -10.0f64..10.0, bi in -10.0f64..10.0,
-        ) {
-            let a = C64::new(ar, ai);
-            let b = C64::new(br, bi);
-            prop_assert!((a * b).approx_eq(b * a, 1e-9));
-        }
+    fn random_c64(rng: &mut StdRng, span: f64) -> C64 {
+        C64::new(rng.random_range(-span..span), rng.random_range(-span..span))
+    }
 
-        #[test]
-        fn prop_norm_is_multiplicative(
-            ar in -10.0f64..10.0, ai in -10.0f64..10.0,
-            br in -10.0f64..10.0, bi in -10.0f64..10.0,
-        ) {
-            let a = C64::new(ar, ai);
-            let b = C64::new(br, bi);
-            prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6);
+    #[test]
+    fn mul_is_commutative() {
+        let mut rng = StdRng::seed_from_u64(0xC601);
+        for _ in 0..256 {
+            let a = random_c64(&mut rng, 10.0);
+            let b = random_c64(&mut rng, 10.0);
+            assert!((a * b).approx_eq(b * a, 1e-9));
         }
+    }
 
-        #[test]
-        fn prop_add_mul_distribute(
-            ar in -5.0f64..5.0, ai in -5.0f64..5.0,
-            br in -5.0f64..5.0, bi in -5.0f64..5.0,
-            cr in -5.0f64..5.0, ci in -5.0f64..5.0,
-        ) {
-            let (a, b, c) = (C64::new(ar, ai), C64::new(br, bi), C64::new(cr, ci));
-            prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
+    #[test]
+    fn norm_is_multiplicative() {
+        let mut rng = StdRng::seed_from_u64(0xC602);
+        for _ in 0..256 {
+            let a = random_c64(&mut rng, 10.0);
+            let b = random_c64(&mut rng, 10.0);
+            assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_mul_distribute() {
+        let mut rng = StdRng::seed_from_u64(0xC603);
+        for _ in 0..256 {
+            let a = random_c64(&mut rng, 5.0);
+            let b = random_c64(&mut rng, 5.0);
+            let c = random_c64(&mut rng, 5.0);
+            assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
         }
     }
 }

@@ -36,7 +36,10 @@ impl DensityMatrix {
                 rho[(r, c)] = psi.amplitudes()[r] * psi.amplitudes()[c].conj();
             }
         }
-        Self { num_qubits: psi.num_qubits(), rho }
+        Self {
+            num_qubits: psi.num_qubits(),
+            rho,
+        }
     }
 
     /// The maximally mixed state `I / 2ⁿ`.
@@ -46,7 +49,10 @@ impl DensityMatrix {
     /// Panics if `num_qubits` exceeds 13 (the dense operator would exceed
     /// a gigabyte).
     pub fn maximally_mixed(num_qubits: u32) -> Self {
-        assert!(num_qubits <= 13, "density matrix too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 13,
+            "density matrix too large: {num_qubits} qubits"
+        );
         let dim = 1usize << num_qubits;
         Self {
             num_qubits,
@@ -57,7 +63,11 @@ impl DensityMatrix {
     /// Builds a state from a raw operator (trusted constructor for tests
     /// and channels; trace and positivity are the caller's responsibility).
     pub fn from_operator(num_qubits: u32, rho: Matrix) -> Self {
-        assert_eq!(rho.dim(), 1usize << num_qubits, "operator dimension mismatch");
+        assert_eq!(
+            rho.dim(),
+            1usize << num_qubits,
+            "operator dimension mismatch"
+        );
         Self { num_qubits, rho }
     }
 
@@ -173,7 +183,10 @@ impl DensityMatrix {
                 out[(r, c)] = acc;
             }
         }
-        Self { num_qubits: kn as u32, rho: out }
+        Self {
+            num_qubits: kn as u32,
+            rho: out,
+        }
     }
 
     /// Applies a (not necessarily trace-preserving) operator `m` on the
@@ -191,9 +204,18 @@ impl DensityMatrix {
         let full = embed_unitary(m, qubits, self.num_qubits as usize);
         let unnormalized = &(&full * &self.rho) * &full.dagger();
         let probability = unnormalized.trace().re;
-        assert!(probability > 1e-15, "post-selected outcome has zero probability");
+        assert!(
+            probability > 1e-15,
+            "post-selected outcome has zero probability"
+        );
         let rho = unnormalized.scale(C64::real(1.0 / probability));
-        (probability.clamp(0.0, 1.0), Self { num_qubits: self.num_qubits, rho })
+        (
+            probability.clamp(0.0, 1.0),
+            Self {
+                num_qubits: self.num_qubits,
+                rho,
+            },
+        )
     }
 
     /// Fidelity `⟨ψ|ρ|ψ⟩` against a pure reference state.
@@ -306,7 +328,10 @@ mod tests {
         for traced in [0usize, 1] {
             let reduced = rho.partial_trace(&[traced]);
             assert_eq!(reduced.num_qubits(), 1);
-            assert!((reduced.purity() - 0.5).abs() < TOL, "tracing qubit {traced}");
+            assert!(
+                (reduced.purity() - 0.5).abs() < TOL,
+                "tracing qubit {traced}"
+            );
         }
     }
 

@@ -185,7 +185,7 @@ mod tests {
         let swap = gate_matrix(Gate::Swap);
         let cx = gate_matrix(Gate::Cx);
         let reversed = &(&swap * &cx) * &swap; // cx with control/target swapped
-        // Must differ from cx but square to identity.
+                                               // Must differ from cx but square to identity.
         assert!(!reversed.approx_eq(&cx, TOL));
         assert!((&reversed * &reversed).approx_eq(&Matrix::identity(4), TOL));
     }
@@ -230,7 +230,15 @@ mod tests {
     fn commutation_rules_are_sound_against_matrices() {
         let q = QubitId::new;
         let mut pool: Vec<Operation> = Vec::new();
-        for g in [Gate::H, Gate::X, Gate::Z, Gate::S, Gate::T, Gate::Rx(0.3), Gate::Rz(0.7)] {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.3),
+            Gate::Rz(0.7),
+        ] {
             for wire in 0..3 {
                 pool.push(Operation::one(g, q(wire)));
             }
@@ -256,6 +264,9 @@ mod tests {
             }
         }
         // Sanity: the rule set is not vacuous.
-        assert!(claimed > pool.len(), "rule set should find many commuting pairs");
+        assert!(
+            claimed > pool.len(),
+            "rule set should find many commuting pairs"
+        );
     }
 }

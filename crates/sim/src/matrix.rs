@@ -30,7 +30,10 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `dim × dim` zero matrix.
     pub fn zeros(dim: usize) -> Self {
-        Self { dim, data: vec![C64::ZERO; dim * dim] }
+        Self {
+            dim,
+            data: vec![C64::ZERO; dim * dim],
+        }
     }
 
     /// Creates the `dim × dim` identity.
@@ -96,7 +99,10 @@ impl Matrix {
 
     /// Multiplies every entry by a complex scalar.
     pub fn scale(&self, s: C64) -> Self {
-        Self { dim: self.dim, data: self.data.iter().map(|&z| z * s).collect() }
+        Self {
+            dim: self.dim,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
     }
 
     /// Kronecker product `self ⊗ other`.
@@ -236,7 +242,12 @@ impl Add for &Matrix {
         assert_eq!(self.dim, rhs.dim, "dimension mismatch");
         Matrix {
             dim: self.dim,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -247,7 +258,12 @@ impl Sub for &Matrix {
         assert_eq!(self.dim, rhs.dim, "dimension mismatch");
         Matrix {
             dim: self.dim,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }

@@ -102,12 +102,18 @@ pub struct PauliString {
 impl PauliString {
     /// The identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Self { paulis: vec![Pauli::I; n], negative: false }
+        Self {
+            paulis: vec![Pauli::I; n],
+            negative: false,
+        }
     }
 
     /// Builds a positive-sign string from per-qubit Paulis.
     pub fn from_paulis(paulis: &[Pauli]) -> Self {
-        Self { paulis: paulis.to_vec(), negative: false }
+        Self {
+            paulis: paulis.to_vec(),
+            negative: false,
+        }
     }
 
     /// Flips the sign.

@@ -48,12 +48,21 @@ pub struct PurificationOutcome {
 /// assert!(bad.fidelity < 0.4, "below threshold purification hurts");
 /// ```
 pub fn purify_werner(f1: f64, f2: f64) -> PurificationOutcome {
-    assert!((0.25..=1.0).contains(&f1), "fidelity out of Werner range: {f1}");
-    assert!((0.25..=1.0).contains(&f2), "fidelity out of Werner range: {f2}");
+    assert!(
+        (0.25..=1.0).contains(&f1),
+        "fidelity out of Werner range: {f1}"
+    );
+    assert!(
+        (0.25..=1.0).contains(&f2),
+        "fidelity out of Werner range: {f2}"
+    );
     let (e1, e2) = ((1.0 - f1) / 3.0, (1.0 - f2) / 3.0);
     let success_probability = f1 * f2 + f1 * e2 + f2 * e1 + 5.0 * e1 * e2;
     let fidelity = (f1 * f2 + e1 * e2) / success_probability;
-    PurificationOutcome { fidelity, success_probability }
+    PurificationOutcome {
+        fidelity,
+        success_probability,
+    }
 }
 
 /// Simulates one BBPSSW round exactly on the density-matrix engine and
@@ -77,7 +86,10 @@ pub fn purify_werner_numeric(f1: f64, f2: f64) -> PurificationOutcome {
     let (success_probability, conditioned) = rho.postselect(&parity, &[2, 3]);
     let kept = conditioned.partial_trace(&[2, 3]);
     let fidelity = kept.fidelity_with_pure(&BellState::PhiPlus.statevector());
-    PurificationOutcome { fidelity, success_probability }
+    PurificationOutcome {
+        fidelity,
+        success_probability,
+    }
 }
 
 /// Number of purification rounds (pairwise tournament) needed to lift a

@@ -2,7 +2,7 @@
 
 use crate::{gate_matrix, C64};
 use dqc_circuit::{Circuit, Gate, Operation};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A pure quantum state over `n` qubits as a dense amplitude vector.
 ///
@@ -40,7 +40,10 @@ impl Statevector {
     /// Panics if `num_qubits` exceeds 26 (the dense representation would
     /// exceed a gigabyte).
     pub fn zero_state(num_qubits: u32) -> Self {
-        assert!(num_qubits <= 26, "statevector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 26,
+            "statevector too large: {num_qubits} qubits"
+        );
         let mut amps = vec![C64::ZERO; 1usize << num_qubits];
         amps[0] = C64::ONE;
         Self { num_qubits, amps }
@@ -66,9 +69,15 @@ impl Statevector {
     ///
     /// Panics on a non-power-of-two length or an unnormalized vector.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-9, "amplitudes not normalized: {norm}");
+        assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "amplitudes not normalized: {norm}"
+        );
         let num_qubits = amps.len().trailing_zeros();
         Self { num_qubits, amps }
     }
@@ -163,7 +172,12 @@ impl Statevector {
                 continue;
             }
             let idx = [i, i | sb, i | sa, i | sa | sb];
-            let old = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            let old = [
+                self.amps[idx[0]],
+                self.amps[idx[1]],
+                self.amps[idx[2]],
+                self.amps[idx[3]],
+            ];
             for (r, &out_i) in idx.iter().enumerate() {
                 let mut acc = C64::ZERO;
                 for (c, &o) in old.iter().enumerate() {
@@ -275,7 +289,8 @@ mod tests {
     fn x_flips_msb_convention() {
         // X on qubit 0 of 2 qubits: |00> -> |10> = index 0b10 = 2.
         let mut sv = Statevector::zero_state(2);
-        sv.apply(&Operation::one(Gate::X, dqc_types::QubitId::new(0))).unwrap();
+        sv.apply(&Operation::one(Gate::X, dqc_types::QubitId::new(0)))
+            .unwrap();
         assert!((sv.probability(0b10) - 1.0).abs() < TOL);
     }
 
@@ -335,7 +350,12 @@ mod tests {
     #[test]
     fn unitarity_preserves_norm() {
         let mut c = Circuit::new(4);
-        c.h(0).cx(0, 1).rzz(1, 2, 0.7).ry(3, 1.1).cp(2, 3, 0.4).swap(0, 3);
+        c.h(0)
+            .cx(0, 1)
+            .rzz(1, 2, 0.7)
+            .ry(3, 1.1)
+            .cp(2, 3, 0.4)
+            .swap(0, 3);
         let mut sv = Statevector::zero_state(4);
         sv.apply_circuit(&c).unwrap();
         assert!((sv.norm_sqr() - 1.0).abs() < TOL);

@@ -8,7 +8,7 @@
 //! at a scale the dense simulators cannot reach.
 
 use dqc_circuit::{Gate, Operation};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A stabilizer state over `n` qubits in tableau form.
 ///
@@ -149,7 +149,11 @@ impl Tableau {
             Gate::Cx => self.cx(qs[0], qs[1]),
             Gate::Cz => self.cz(qs[0], qs[1]),
             Gate::Swap => self.swap(qs[0], qs[1]),
-            g => return Err(format!("gate {g} is not supported by the stabilizer simulator")),
+            g => {
+                return Err(format!(
+                    "gate {g} is not supported by the stabilizer simulator"
+                ))
+            }
         }
         Ok(())
     }
@@ -281,7 +285,10 @@ mod tests {
                 zeros += 1;
             }
         }
-        assert!((30..=70).contains(&zeros), "plus state should be ~50/50, got {zeros}");
+        assert!(
+            (30..=70).contains(&zeros),
+            "plus state should be ~50/50, got {zeros}"
+        );
     }
 
     #[test]

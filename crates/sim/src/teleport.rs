@@ -9,9 +9,7 @@
 //! overlap with the initial state yields the **entanglement (process)
 //! fidelity** of the implemented operation.
 
-use crate::{
-    depolarizing_prob_for_fidelity, gate_matrix, werner, KrausChannel, Statevector,
-};
+use crate::{depolarizing_prob_for_fidelity, gate_matrix, werner, KrausChannel, Statevector};
 use dqc_circuit::{Circuit, Gate};
 use dqc_types::Fidelity;
 
@@ -153,7 +151,8 @@ pub fn teleported_cnot_fidelity(noise: &TeleportNoise) -> Fidelity {
     let mut reference = Circuit::new(4);
     reference.h(0).cx(0, 1).h(2).cx(2, 3);
     let mut psi = Statevector::zero_state(4);
-    psi.apply_circuit(&reference).expect("reference circuit is unitary");
+    psi.apply_circuit(&reference)
+        .expect("reference circuit is unitary");
     let _ = (r0, r1); // layout documented above
     Fidelity::new(reduced.fidelity_with_pure(&psi))
 }
@@ -205,7 +204,8 @@ pub fn state_teleportation_fidelity(noise: &TeleportNoise) -> Fidelity {
     let mut reference = Circuit::new(2);
     reference.h(0).cx(0, 1);
     let mut psi = Statevector::zero_state(2);
-    psi.apply_circuit(&reference).expect("reference circuit is unitary");
+    psi.apply_circuit(&reference)
+        .expect("reference circuit is unitary");
     let _ = r;
     Fidelity::new(reduced.fidelity_with_pure(&psi))
 }
@@ -247,17 +247,18 @@ mod tests {
             let f = state_teleportation_fidelity(&noise).value();
             assert!((f - f_bell).abs() < 1e-9, "f_bell={f_bell}: got {f}");
             let f_gate = teleported_cnot_fidelity(&noise).value();
-            assert!((f_gate - f_bell).abs() < 1e-9, "gate: f_bell={f_bell}: got {f_gate}");
+            assert!(
+                (f_gate - f_bell).abs() < 1e-9,
+                "gate: f_bell={f_bell}: got {f_gate}"
+            );
         }
     }
 
     #[test]
     fn fidelity_decreases_monotonically_in_each_noise_knob() {
         let base = teleported_cnot_fidelity(&TeleportNoise::table_ii()).value();
-        let worse_bell = teleported_cnot_fidelity(
-            &TeleportNoise::table_ii().with_bell_fidelity(0.9),
-        )
-        .value();
+        let worse_bell =
+            teleported_cnot_fidelity(&TeleportNoise::table_ii().with_bell_fidelity(0.9)).value();
         assert!(worse_bell < base);
 
         let mut worse_cnot = TeleportNoise::table_ii();

@@ -126,8 +126,14 @@ impl Tick {
     #[inline]
     pub fn next_multiple_of(self, period: Self) -> Self {
         assert!(period.0 > 0, "period must be positive");
-        Self(self.0.div_euclid(period.0) * period.0
-            + if self.0.rem_euclid(period.0) == 0 { 0 } else { period.0 })
+        Self(
+            self.0.div_euclid(period.0) * period.0
+                + if self.0.rem_euclid(period.0) == 0 {
+                    0
+                } else {
+                    period.0
+                },
+        )
     }
 }
 
@@ -184,7 +190,7 @@ impl Sum for Tick {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn table_ii_constants_are_exact() {
@@ -252,28 +258,38 @@ mod tests {
         let _ = Tick::new(5).next_multiple_of(Tick::ZERO);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip_cnot_units(ticks in -1_000_000i64..1_000_000) {
+    #[test]
+    fn round_trip_cnot_units_on_random_ticks() {
+        let mut rng = StdRng::seed_from_u64(0x71C4);
+        for _ in 0..256 {
+            let ticks = rng.random_range(-1_000_000i64..1_000_000);
             let t = Tick::new(ticks);
             let back = Tick::from_cnot_units(t.as_cnot_units());
-            prop_assert_eq!(t, back);
+            assert_eq!(t, back);
         }
+    }
 
-        #[test]
-        fn prop_next_multiple_is_multiple_and_not_less(
-            ticks in 0i64..1_000_000, period in 1i64..10_000
-        ) {
+    #[test]
+    fn next_multiple_is_multiple_and_not_less() {
+        let mut rng = StdRng::seed_from_u64(0x71C5);
+        for _ in 0..256 {
+            let ticks = rng.random_range(0i64..1_000_000);
+            let period = rng.random_range(1i64..10_000);
             let t = Tick::new(ticks).next_multiple_of(Tick::new(period));
-            prop_assert_eq!(t.ticks() % period, 0);
-            prop_assert!(t.ticks() >= ticks);
-            prop_assert!(t.ticks() - ticks < period);
+            assert_eq!(t.ticks() % period, 0);
+            assert!(t.ticks() >= ticks);
+            assert!(t.ticks() - ticks < period);
         }
+    }
 
-        #[test]
-        fn prop_saturating_sub_never_negative(a in any::<i32>(), b in any::<i32>()) {
+    #[test]
+    fn saturating_sub_never_negative() {
+        let mut rng = StdRng::seed_from_u64(0x71C6);
+        for _ in 0..256 {
+            let a = rng.next_u64() as u32 as i32;
+            let b = rng.next_u64() as u32 as i32;
             let d = Tick::new(a as i64).saturating_sub(Tick::new(b as i64));
-            prop_assert!(d.ticks() >= 0);
+            assert!(d.ticks() >= 0);
         }
     }
 }

@@ -46,8 +46,7 @@ impl PaperBenchmark {
     ];
 
     /// The two 64-qubit benchmarks of Figure 8, in paper order.
-    pub const FIG8: [PaperBenchmark; 2] =
-        [PaperBenchmark::QaoaR4_64, PaperBenchmark::QaoaR8_64];
+    pub const FIG8: [PaperBenchmark; 2] = [PaperBenchmark::QaoaR4_64, PaperBenchmark::QaoaR8_64];
 
     /// All six benchmarks in Table I order.
     pub const ALL: [PaperBenchmark; 6] = [

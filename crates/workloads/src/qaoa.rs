@@ -15,7 +15,10 @@ pub struct QaoaAngles {
 
 impl Default for QaoaAngles {
     fn default() -> Self {
-        Self { gamma: 0.35, beta: 0.62 }
+        Self {
+            gamma: 0.35,
+            beta: 0.62,
+        }
     }
 }
 
@@ -39,10 +42,7 @@ impl Default for QaoaAngles {
 /// assert_eq!(c.counts().single_qubit, 8); // 4 H + 4 Rx
 /// ```
 pub fn qaoa_maxcut(n: u32, edges: &[(u32, u32)], angles: &[QaoaAngles]) -> Circuit {
-    let mut c = Circuit::with_capacity(
-        n,
-        n as usize + angles.len() * (edges.len() + n as usize),
-    );
+    let mut c = Circuit::with_capacity(n, n as usize + angles.len() * (edges.len() + n as usize));
     for q in 0..n {
         c.h(q);
     }
@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn rounds_scale_gate_counts() {
         let edges = [(0u32, 1u32), (1, 2)];
-        let two_rounds =
-            qaoa_maxcut(3, &edges, &[QaoaAngles::default(), QaoaAngles::default()]);
+        let two_rounds = qaoa_maxcut(3, &edges, &[QaoaAngles::default(), QaoaAngles::default()]);
         let counts = two_rounds.counts();
         assert_eq!(counts.two_qubit, 4);
         assert_eq!(counts.single_qubit, 3 + 6); // H layer + 2 mixer layers

@@ -1,7 +1,7 @@
 //! Random circuit generators for stress tests and benchmarks.
 
 use dqc_circuit::Circuit;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Builds a random brickwork circuit: alternating layers of random
 /// single-qubit rotations and nearest-neighbour entanglers — a common

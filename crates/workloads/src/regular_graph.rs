@@ -73,7 +73,10 @@ pub fn random_regular_graph<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<(u32, u32)>, GenerateGraphError> {
     if n == 0 || d == 0 || d >= n || !(n * d).is_multiple_of(2) {
-        return Err(GenerateGraphError::InvalidParameters { vertices: n, degree: d });
+        return Err(GenerateGraphError::InvalidParameters {
+            vertices: n,
+            degree: d,
+        });
     }
     const MAX_ATTEMPTS: usize = 10_000;
     for _ in 0..MAX_ATTEMPTS {
@@ -81,7 +84,9 @@ pub fn random_regular_graph<R: Rng + ?Sized>(
             return Ok(edges);
         }
     }
-    Err(GenerateGraphError::AttemptsExhausted { attempts: MAX_ATTEMPTS })
+    Err(GenerateGraphError::AttemptsExhausted {
+        attempts: MAX_ATTEMPTS,
+    })
 }
 
 fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(u32, u32)>> {
@@ -89,7 +94,9 @@ fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(
     // random_regular_graph): shuffle the stub pool, greedily accept valid
     // pairs, and re-shuffle only the leftover stubs. A full pass with no
     // progress is a dead end and triggers a restart in the caller.
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     let mut seen = HashSet::with_capacity(n * d / 2);
     let mut edges = Vec::with_capacity(n * d / 2);
     while !stubs.is_empty() {
@@ -180,7 +187,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = GenerateGraphError::InvalidParameters { vertices: 5, degree: 3 };
+        let e = GenerateGraphError::InvalidParameters {
+            vertices: 5,
+            degree: 3,
+        };
         assert!(e.to_string().contains("5 vertices"));
     }
 }

@@ -25,7 +25,11 @@ impl Default for TlimParams {
     /// A generic quench point (angles are irrelevant to scheduling but are
     /// chosen non-trivial so simulators see real dynamics).
     fn default() -> Self {
-        Self { zz_angle: 0.5, x_angle: 0.4, z_angle: 0.3 }
+        Self {
+            zz_angle: 0.5,
+            x_angle: 0.4,
+            z_angle: 0.3,
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! ansatz for such studies.
 
 use dqc_circuit::Circuit;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Builds a hardware-efficient VQE ansatz: per layer, `Ry`/`Rz` rotations
 /// on every qubit followed by a CNOT entangling ladder, with a final

@@ -7,11 +7,10 @@
 
 use dqc::circuit::render;
 use dqc::circuit::Circuit;
-use dqc::core::{
-    asap_variant, alap_variant, evaluate, segment_sequence, Design, SystemConfig,
-};
+use dqc::core::{alap_variant, asap_variant, segment_sequence};
 use dqc::partition::QubitMap;
 use dqc::workloads::PaperBenchmark;
+use dqc::{CompiledCircuit, Design, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     variant_compilation();
@@ -74,8 +73,10 @@ fn runtime_lookup() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Runtime variant lookup (e > m -> ASAP, e = 0 -> ALAP)");
     let config = SystemConfig::paper_two_node_32();
     for bench in [PaperBenchmark::QaoaR8_32, PaperBenchmark::Qft32] {
-        let circuit = bench.circuit();
-        let report = evaluate(&circuit, &config, Design::AdaptBuf, 11)?;
+        // The compilation carries the segment table and variants; the
+        // controller only consults the buffer level at run time.
+        let compiled = CompiledCircuit::compile(&bench.circuit(), &config)?;
+        let report = compiled.run(Design::AdaptBuf, 11)?;
         let (orig, asap, alap) = report.variant_counts;
         println!(
             "  {bench}: {orig} original / {asap} ASAP / {alap} ALAP segments, \

@@ -5,9 +5,7 @@
 //! cargo run --release --example entanglement_service
 //! ```
 
-use dqc::entanglement::{
-    CutoffPolicy, EntanglementService, GenerationPattern, ServiceConfig,
-};
+use dqc::entanglement::{CutoffPolicy, EntanglementService, GenerationPattern, ServiceConfig};
 use dqc::types::Tick;
 
 fn main() {
@@ -21,7 +19,10 @@ fn arrival_patterns() {
     println!("== Arrival patterns (10 comm pairs, psucc = 0.4, T_EG = 10 T_local)");
     for (label, pattern) in [
         ("synchronous", GenerationPattern::Synchronous),
-        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+        (
+            "asynchronous",
+            GenerationPattern::Asynchronous { groups: 10 },
+        ),
     ] {
         let config = ServiceConfig {
             pattern,
@@ -53,7 +54,10 @@ fn buffer_dynamics() {
     println!("== Buffer dynamics with a remote gate every 5 T_local");
     for (label, pattern) in [
         ("synchronous", GenerationPattern::Synchronous),
-        ("asynchronous", GenerationPattern::Asynchronous { groups: 10 }),
+        (
+            "asynchronous",
+            GenerationPattern::Asynchronous { groups: 10 },
+        ),
     ] {
         let config = ServiceConfig {
             pattern,

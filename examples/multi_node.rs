@@ -9,9 +9,9 @@
 //! entanglement service per node pair). A 2D grid workload shows why this
 //! matters: its interaction graph quarters naturally.
 
-use dqc::core::{evaluate_many, Design, SystemConfig};
 use dqc::partition::partition_circuit;
 use dqc::workloads::{ising_2d, TlimParams};
+use dqc::{Design, Experiment, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8x8 grid: 64 qubits, quarters into 4 blocks of 16.
@@ -33,9 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut config = SystemConfig::paper_two_node_64();
         config.num_nodes = nodes;
         config.data_qubits_per_node = 64 / nodes;
-        println!("{:<10} {:>9} {:>12} {:>10}", "design", "depth", "vs ideal", "fidelity");
-        for design in [Design::Original, Design::SyncBuf, Design::AdaptBuf, Design::Ideal] {
-            let avg = evaluate_many(&circuit, &config, design, 10, 3)?;
+        let experiment = Experiment::new(&circuit, &config)?.runs(10).base_seed(3);
+        println!(
+            "{:<10} {:>9} {:>12} {:>10}",
+            "design", "depth", "vs ideal", "fidelity"
+        );
+        for design in [
+            Design::Original,
+            Design::SyncBuf,
+            Design::AdaptBuf,
+            Design::Ideal,
+        ] {
+            let avg = experiment.clone().design(design).run()?;
             println!(
                 "{:<10} {:>9.1} {:>11.2}x {:>10.4}",
                 design.name(),

@@ -10,10 +10,10 @@
 //! runs the co-designed architecture, and sanity-checks the application
 //! output with a statevector simulation of a small instance.
 
-use dqc::core::{evaluate_many, Design, SystemConfig};
 use dqc::partition::{partition_circuit, QubitMap};
 use dqc::sim::Statevector;
 use dqc::workloads::{cut_value, qaoa_maxcut, random_regular_graph, QaoaAngles};
+use dqc::{Design, Experiment, SystemConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -41,9 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- distributed execution -----------------------------------------
     let config = SystemConfig::paper_two_node_32();
+    let experiment = Experiment::new(&circuit, &config)?.runs(15).base_seed(5);
     println!("\n{:<10} {:>9} {:>10}", "design", "depth", "fidelity");
-    for design in [Design::Original, Design::SyncBuf, Design::AdaptBuf, Design::Ideal] {
-        let avg = evaluate_many(&circuit, &config, design, 15, 5)?;
+    for design in [
+        Design::Original,
+        Design::SyncBuf,
+        Design::AdaptBuf,
+        Design::Ideal,
+    ] {
+        let avg = experiment.clone().design(design).run()?;
         println!(
             "{:<10} {:>9.1} {:>10.4}",
             design.name(),

@@ -8,8 +8,8 @@
 //! 16-data-qubit nodes, and compares all six architecture designs on
 //! depth and fidelity.
 
-use dqc::core::{evaluate_many, Design, SystemConfig};
 use dqc::workloads::PaperBenchmark;
+use dqc::{Design, Experiment, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = PaperBenchmark::QaoaR4_32;
@@ -31,9 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.success_probability
     );
 
-    println!("{:<10} {:>10} {:>12} {:>10}", "design", "depth", "vs ideal", "fidelity");
+    // Compile once; every design below reuses the same partition map,
+    // segments, and pre-built ASAP/ALAP variants.
+    let experiment = Experiment::new(&circuit, &config)?.runs(20).base_seed(1);
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}",
+        "design", "depth", "vs ideal", "fidelity"
+    );
     for design in Design::ALL {
-        let avg = evaluate_many(&circuit, &config, design, 20, 1)?;
+        let avg = experiment.clone().design(design).run()?;
         println!(
             "{:<10} {:>10.1} {:>11.2}x {:>10.4}",
             design.name(),

@@ -103,8 +103,7 @@ fn part2_noisy_fidelity() {
             0.99,
             kappa_per_tick * (Tick::CNOT * idle_cnots).ticks() as f64,
         );
-        let gate =
-            teleported_cnot_fidelity(&TeleportNoise::table_ii().with_bell_fidelity(link));
+        let gate = teleported_cnot_fidelity(&TeleportNoise::table_ii().with_bell_fidelity(link));
         println!(
             "   idle {idle_cnots:>4} CNOT-units: link {link:.4} -> remote gate {:.4}",
             gate.value()

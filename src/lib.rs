@@ -16,23 +16,49 @@
 //! | [`partition`] | `dqc-partition` | METIS-style multilevel partitioner |
 //! | [`sim`] | `dqc-sim` | statevector / density / stabilizer engines |
 //! | [`entanglement`] | `dqc-entanglement` | EPR generation + buffer service |
-//! | [`core`] | `dqc-core` | the co-designed architecture + executor |
+//! | [`core`] | `dqc-core` | the co-designed architecture + engine |
+//!
+//! The evaluation engine's main types — [`CompiledCircuit`],
+//! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
+//! are additionally re-exported at the crate root.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use dqc::core::{Design, SystemConfig};
-//! use dqc::workloads::PaperBenchmark;
+//! Compile a benchmark once, then run any design over any seed range:
 //!
-//! # fn main() -> Result<(), dqc::core::EvaluateError> {
+//! ```
+//! use dqc::workloads::PaperBenchmark;
+//! use dqc::{Design, Experiment, SystemConfig};
+//!
+//! # fn main() -> Result<(), dqc::DqcError> {
 //! let circuit = PaperBenchmark::QaoaR4_32.circuit();
 //! let config = SystemConfig::paper_two_node_32();
-//! let report = dqc::core::evaluate(&circuit, &config, Design::AdaptBuf, 42)?;
+//! let experiment = Experiment::new(&circuit, &config)?; // compiles once
+//! let avg = experiment.clone().design(Design::AdaptBuf).runs(20).run()?;
 //! println!(
-//!     "depth {:.1} (CNOT units), fidelity {:.3}",
-//!     report.depth_cnot_units(),
-//!     report.fidelity().value()
+//!     "adapt_buf: depth {:.1} CNOT-units ({:.2}x ideal), fidelity {:.3}",
+//!     avg.mean_depth, avg.mean_depth_relative, avg.mean_fidelity
 //! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Reproduce a whole paper figure as one parallel [`Sweep`]:
+//!
+//! ```
+//! use dqc::workloads::PaperBenchmark;
+//! use dqc::{Design, Sweep, SystemConfig};
+//!
+//! # fn main() -> Result<(), dqc::DqcError> {
+//! let result = Sweep::new()
+//!     .benchmarks([PaperBenchmark::Tlim32, PaperBenchmark::QaoaR4_32])
+//!     .config("paper", SystemConfig::paper_two_node_32())
+//!     .designs(&Design::ALL)
+//!     .runs(5)
+//!     .run()?; // thread-parallel, deterministic, ordered
+//! for cell in &result.cells {
+//!     println!("{} / {}: {}", cell.circuit, cell.design, cell.report);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -47,3 +73,8 @@ pub use dqc_partition as partition;
 pub use dqc_sim as sim;
 pub use dqc_types as types;
 pub use dqc_workloads as workloads;
+
+pub use dqc_core::{
+    AveragedReport, CompiledCircuit, Design, DqcError, ExecutionReport, Experiment, Sweep,
+    SweepCell, SweepResult, SystemConfig,
+};

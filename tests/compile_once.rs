@@ -1,0 +1,53 @@
+//! Exact compile-count accounting for the engine's compile-once
+//! guarantee.
+//!
+//! `dqc::core::compile_count()` is a process-global counter, so exact
+//! before/after deltas are only meaningful when nothing else compiles
+//! concurrently. This file therefore holds a **single** test: cargo gives
+//! every integration-test file its own process, and a binary with one
+//! test has no intra-process parallelism to race against.
+
+use dqc::workloads::PaperBenchmark;
+use dqc::{Design, Experiment, Sweep, SystemConfig};
+
+#[test]
+fn compile_count_is_exactly_once_per_circuit_config_cell() {
+    // Acceptance: `CompiledCircuit` is constructed exactly once per
+    // (circuit, config) cell across all seeds and designs that share it.
+    let benches = [PaperBenchmark::Tlim32, PaperBenchmark::QaoaR8_32];
+
+    // A sweep over 2 benchmarks × 2 configs × 6 designs × 5 seeds
+    // compiles exactly 2 × 2 = 4 times.
+    let before = dqc::core::compile_count();
+    let result = Sweep::new()
+        .benchmarks(benches)
+        .config("c10", SystemConfig::paper_two_node_32())
+        .config(
+            "c20",
+            SystemConfig::paper_two_node_32().with_comm_and_buffer(20),
+        )
+        .designs(&Design::ALL)
+        .runs(5)
+        .run()
+        .unwrap();
+    let sweep_compiles = dqc::core::compile_count() - before;
+    assert_eq!(result.compilations, 4);
+    assert_eq!(
+        sweep_compiles, 4,
+        "sweep must compile once per (circuit, config), never per seed or design"
+    );
+
+    // An experiment reused across all six designs compiles exactly once.
+    let circuit = PaperBenchmark::Tlim32.circuit();
+    let config = SystemConfig::paper_two_node_32();
+    let before = dqc::core::compile_count();
+    let experiment = Experiment::new(&circuit, &config).unwrap();
+    for design in Design::ALL {
+        let _ = experiment.clone().design(design).runs(5).run().unwrap();
+    }
+    assert_eq!(
+        dqc::core::compile_count() - before,
+        1,
+        "six designs × 5 runs reuse a single compilation"
+    );
+}

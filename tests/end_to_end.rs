@@ -1,9 +1,10 @@
 //! End-to-end integration: workload generation → partitioning →
-//! distributed execution, across every design and benchmark.
+//! distributed execution, across every design and benchmark, through the
+//! compile-once engine.
 
-use dqc::core::{evaluate, evaluate_many, Design, EvaluateError, SystemConfig};
 use dqc::partition::partition_circuit;
 use dqc::workloads::PaperBenchmark;
+use dqc::{CompiledCircuit, Design, DqcError, Experiment, SystemConfig};
 
 fn config_for(bench: PaperBenchmark) -> SystemConfig {
     if bench.num_qubits() == 64 {
@@ -16,10 +17,11 @@ fn config_for(bench: PaperBenchmark) -> SystemConfig {
 #[test]
 fn every_benchmark_runs_on_every_design() {
     for bench in PaperBenchmark::ALL {
-        let circuit = bench.circuit();
-        let config = config_for(bench);
+        let compiled = CompiledCircuit::compile(&bench.circuit(), &config_for(bench))
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
         for design in Design::ALL {
-            let report = evaluate(&circuit, &config, design, 1)
+            let report = compiled
+                .run(design, 1)
                 .unwrap_or_else(|e| panic!("{bench} on {design}: {e}"));
             assert!(report.makespan.ticks() > 0, "{bench}/{design}");
             assert!(report.fidelity.value() >= 0.0 && report.fidelity.value() <= 1.0);
@@ -36,9 +38,10 @@ fn every_benchmark_runs_on_every_design() {
 fn reports_are_reproducible_per_seed() {
     let circuit = PaperBenchmark::QaoaR8_32.circuit();
     let config = SystemConfig::paper_two_node_32();
+    let compiled = CompiledCircuit::compile(&circuit, &config).unwrap();
     for design in Design::ALL {
-        let a = evaluate(&circuit, &config, design, 77).unwrap();
-        let b = evaluate(&circuit, &config, design, 77).unwrap();
+        let a = compiled.run(design, 77).unwrap();
+        let b = compiled.run(design, 77).unwrap();
         assert_eq!(a, b, "{design} must be deterministic per seed");
     }
 }
@@ -49,7 +52,13 @@ fn remote_gate_counts_agree_between_partitioner_and_executor() {
         let circuit = bench.circuit();
         let config = config_for(bench);
         let map = partition_circuit(&circuit, config.num_nodes, config.partition_seed).unwrap();
-        let report = evaluate(&circuit, &config, Design::AsyncBuf, 5).unwrap();
+        let compiled = CompiledCircuit::compile(&circuit, &config).unwrap();
+        assert_eq!(
+            compiled.remote_gates(),
+            map.count_remote(&circuit),
+            "{bench}: compilation must agree with a direct partition"
+        );
+        let report = compiled.run(Design::AsyncBuf, 5).unwrap();
         assert_eq!(
             report.remote_gates,
             map.count_remote(&circuit),
@@ -64,8 +73,9 @@ fn adaptive_designs_execute_all_gates_despite_reordering() {
     // the entanglement supply must equal the remote-gate count.
     let circuit = PaperBenchmark::Qft32.circuit();
     let config = SystemConfig::paper_two_node_32();
+    let compiled = CompiledCircuit::compile(&circuit, &config).unwrap();
     for design in [Design::AdaptBuf, Design::InitBuf] {
-        let report = evaluate(&circuit, &config, design, 3).unwrap();
+        let report = compiled.run(design, 3).unwrap();
         let stats = report.service_stats.expect("distributed run has stats");
         assert_eq!(stats.consumed as usize, report.remote_gates, "{design}");
         assert_eq!(report.remote_gates, 256, "QFT-32 remote gates");
@@ -77,8 +87,9 @@ fn entanglement_accounting_balances() {
     // successes = consumed + wasted + (links still banked at the end).
     let circuit = PaperBenchmark::QaoaR8_32.circuit();
     let config = SystemConfig::paper_two_node_32();
+    let compiled = CompiledCircuit::compile(&circuit, &config).unwrap();
     for design in Design::DISTRIBUTED {
-        let report = evaluate(&circuit, &config, design, 9).unwrap();
+        let report = compiled.run(design, 9).unwrap();
         let stats = report.service_stats.unwrap();
         assert!(
             stats.successes + stats.preinitialized >= stats.consumed + stats.wasted,
@@ -97,16 +108,30 @@ fn entanglement_accounting_balances() {
 fn averaging_runs_reduces_variance() {
     let circuit = PaperBenchmark::QaoaR4_32.circuit();
     let config = SystemConfig::paper_two_node_32();
+    let experiment = Experiment::new(&circuit, &config)
+        .unwrap()
+        .design(Design::AsyncBuf);
     // Single runs vary...
     let singles: Vec<f64> = (0..6)
-        .map(|s| evaluate(&circuit, &config, Design::AsyncBuf, s).unwrap().depth_cnot_units())
+        .map(|s| experiment.run_one(s).unwrap().depth_cnot_units())
         .collect();
     let spread = singles.iter().cloned().fold(f64::MIN, f64::max)
         - singles.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread > 0.0, "independent seeds should differ: {singles:?}");
     // ...while two averaged estimates over disjoint seed blocks agree better.
-    let a = evaluate_many(&circuit, &config, Design::AsyncBuf, 25, 0).unwrap().mean_depth;
-    let b = evaluate_many(&circuit, &config, Design::AsyncBuf, 25, 1000).unwrap().mean_depth;
+    let a = experiment
+        .clone()
+        .runs(25)
+        .base_seed(0)
+        .run()
+        .unwrap()
+        .mean_depth;
+    let b = experiment
+        .runs(25)
+        .base_seed(1000)
+        .run()
+        .unwrap()
+        .mean_depth;
     assert!(
         (a - b).abs() <= spread,
         "averaged means should be closer than the single-run spread"
@@ -120,8 +145,14 @@ fn four_node_system_executes() {
     let mut config = SystemConfig::paper_two_node_32();
     config.num_nodes = 4;
     config.data_qubits_per_node = 8;
-    let report = evaluate(&circuit, &config, Design::AsyncBuf, 2).unwrap();
-    assert!(report.remote_gates >= 3, "a 4-way chain split cuts at least 3 bonds");
+    let report = CompiledCircuit::compile(&circuit, &config)
+        .unwrap()
+        .run(Design::AsyncBuf, 2)
+        .unwrap();
+    assert!(
+        report.remote_gates >= 3,
+        "a 4-way chain split cuts at least 3 bonds"
+    );
     assert!(report.makespan > report.ideal_makespan);
 }
 
@@ -129,8 +160,8 @@ fn four_node_system_executes() {
 fn errors_surface_cleanly() {
     let circuit = PaperBenchmark::QaoaR4_64.circuit();
     let config = SystemConfig::paper_two_node_32(); // too small
-    match evaluate(&circuit, &config, Design::AsyncBuf, 0) {
-        Err(EvaluateError::CircuitTooWide { qubits, capacity }) => {
+    match CompiledCircuit::compile(&circuit, &config) {
+        Err(DqcError::CircuitTooWide { qubits, capacity }) => {
             assert_eq!(qubits, 64);
             assert_eq!(capacity, 32);
         }

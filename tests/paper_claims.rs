@@ -1,26 +1,43 @@
 //! The paper's headline quantitative claims (§V), asserted as integration
 //! tests with multi-run averages.
 
-use dqc::core::{evaluate_many, AveragedReport, Design, SystemConfig};
 use dqc::workloads::PaperBenchmark;
+use dqc::{AveragedReport, Design, Experiment, Sweep, SystemConfig};
 
 const RUNS: usize = 20;
 const SEED: u64 = 33;
 
+/// All six designs on one benchmark, through the parallel sweep runner
+/// (one compilation, one cell per design).
 fn sweep(bench: PaperBenchmark, config: &SystemConfig) -> Vec<AveragedReport> {
-    let circuit = bench.circuit();
-    Design::ALL
-        .iter()
-        .map(|&d| evaluate_many(&circuit, config, d, RUNS, SEED).unwrap())
+    Sweep::new()
+        .benchmark(bench)
+        .config("cfg", config.clone())
+        .designs(&Design::ALL)
+        .runs(RUNS)
+        .base_seed(SEED)
+        .run()
+        .unwrap()
+        .cells
+        .into_iter()
+        .map(|cell| cell.report)
         .collect()
 }
 
 fn depth_of(reports: &[AveragedReport], design: Design) -> f64 {
-    reports.iter().find(|r| r.design == design).unwrap().mean_depth
+    reports
+        .iter()
+        .find(|r| r.design == design)
+        .unwrap()
+        .mean_depth
 }
 
 fn fidelity_of(reports: &[AveragedReport], design: Design) -> f64 {
-    reports.iter().find(|r| r.design == design).unwrap().mean_fidelity
+    reports
+        .iter()
+        .find(|r| r.design == design)
+        .unwrap()
+        .mean_fidelity
 }
 
 /// §V-A: "The largest reduction of the depth is achieved by leveraging
@@ -77,7 +94,10 @@ fn preinitialization_gives_additional_depth_reduction() {
         gains.push(1.0 - init / asyn);
     }
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;
-    assert!(mean >= 0.05, "mean init_buf gain {mean:.3} below 5% (paper: 7.5%)");
+    assert!(
+        mean >= 0.05,
+        "mean init_buf gain {mean:.3} below 5% (paper: 7.5%)"
+    );
 }
 
 /// §V-A: the distributed designs order original ≥ sync ≥ async ≥ adapt ≥
@@ -124,8 +144,12 @@ fn more_comm_qubits_reduce_depth_with_flat_fidelity() {
     let mut fidelities = Vec::new();
     for n in [10usize, 15, 20] {
         let config = SystemConfig::paper_two_node_32().with_comm_and_buffer(n);
-        let init = evaluate_many(&circuit, &config, Design::InitBuf, RUNS, SEED).unwrap();
-        let sync = evaluate_many(&circuit, &config, Design::SyncBuf, RUNS, SEED).unwrap();
+        let experiment = Experiment::new(&circuit, &config)
+            .unwrap()
+            .runs(RUNS)
+            .base_seed(SEED);
+        let init = experiment.clone().design(Design::InitBuf).run().unwrap();
+        let sync = experiment.clone().design(Design::SyncBuf).run().unwrap();
         assert!(
             init.mean_depth <= sync.mean_depth,
             "comm={n}: init_buf must deliver the best depth"
@@ -175,5 +199,8 @@ fn fidelity_damage_tracks_remote_fraction() {
         fidelity_of(reports, Design::AsyncBuf) / fidelity_of(reports, Design::Ideal)
     };
     assert!(rel(&tlim) > 0.3, "TLIM keeps a usable fidelity fraction");
-    assert!(rel(&qft) < 0.01, "QFT fidelity collapses (paper: 0.08/0.50)");
+    assert!(
+        rel(&qft) < 0.01,
+        "QFT fidelity collapses (paper: 0.08/0.50)"
+    );
 }

@@ -10,8 +10,7 @@ use dqc::partition::{partition_circuit, QubitMap};
 use dqc::sim::{teleported_cnot_fidelity, TeleportNoise};
 use dqc::types::Tick;
 use dqc::workloads::{ghz_chain, qft, random_brickwork, tlim, PaperBenchmark, TlimParams};
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 #[test]
@@ -39,7 +38,11 @@ fn chain_workloads_cut_minimally() {
 
     let chain = tlim(32, 1, TlimParams::default());
     let map = partition_circuit(&chain, 2, 1).unwrap();
-    assert_eq!(map.count_remote(&chain), 1, "one Trotter step cuts one bond");
+    assert_eq!(
+        map.count_remote(&chain),
+        1,
+        "one Trotter step cuts one bond"
+    );
 }
 
 #[test]
@@ -54,39 +57,45 @@ fn qft_cut_is_invariant_to_partition() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Partitions of random brickwork circuits are always exactly balanced
-    /// and classify every gate consistently.
-    #[test]
-    fn prop_partition_balance_and_consistency(
-        n in (4u32..24).prop_map(|x| x * 2), // even qubit counts
-        layers in 2u32..8,
-        seed in 0u64..1000,
-    ) {
+/// Randomized property checks, driven by a seeded generator (the workspace
+/// carries no property-testing framework).
+#[test]
+fn partition_balance_and_consistency_on_random_brickwork() {
+    // Partitions of random brickwork circuits are always exactly balanced
+    // and classify every gate consistently.
+    let mut gen = ChaCha8Rng::seed_from_u64(0x5B57);
+    for _ in 0..24 {
+        let n = gen.random_range(4u32..24) * 2; // even qubit counts
+        let layers = gen.random_range(2u32..8);
+        let seed = gen.random_range(0u64..1000);
         let circuit = random_brickwork(n, layers, &mut ChaCha8Rng::seed_from_u64(seed));
         let map = partition_circuit(&circuit, 2, seed).unwrap();
         let per = map.qubits_per_node();
-        prop_assert_eq!(per[0], per[1], "exact balance for even n");
+        assert_eq!(per[0], per[1], "exact balance for even n = {n}");
         let remote = map.count_remote(&circuit);
         let local = map.count_local_2q(&circuit);
-        prop_assert_eq!(remote + local, circuit.counts().two_qubit);
+        assert_eq!(remote + local, circuit.counts().two_qubit);
     }
+}
 
-    /// The entanglement service never double-books: consumed + wasted
-    /// never exceeds successes, and availability is never negative after
-    /// arbitrary advance/take interleavings.
-    #[test]
-    fn prop_service_conservation(
-        comm in 1usize..12,
-        buffer in 0usize..12,
-        psucc in 0.05f64..0.95,
-        sync in any::<bool>(),
-        cutoff in prop::option::of(50i64..400),
-        steps in 1usize..40,
-        seed in 0u64..500,
-    ) {
+/// The entanglement service never double-books: consumed + wasted never
+/// exceeds successes, and availability is never negative after arbitrary
+/// advance/take interleavings.
+#[test]
+fn service_conservation_under_random_configurations() {
+    let mut gen = ChaCha8Rng::seed_from_u64(0x5EED);
+    for case in 0..24 {
+        let comm = gen.random_range(1usize..12);
+        let buffer = gen.random_range(0usize..12);
+        let psucc = gen.random_range(0.05f64..0.95);
+        let sync = gen.random_bool(0.5);
+        let cutoff = if gen.random_bool(0.5) {
+            Some(gen.random_range(50i64..400))
+        } else {
+            None
+        };
+        let steps = gen.random_range(1usize..40);
+        let seed = gen.random_range(0u64..500);
         let config = ServiceConfig {
             num_comm_pairs: comm,
             buffer_capacity: buffer,
@@ -94,7 +103,9 @@ proptest! {
             pattern: if sync {
                 GenerationPattern::Synchronous
             } else {
-                GenerationPattern::Asynchronous { groups: comm.min(10) }
+                GenerationPattern::Asynchronous {
+                    groups: comm.min(10),
+                }
             },
             cutoff: cutoff.map_or(CutoffPolicy::Keep, |t| CutoffPolicy::MaxAge(Tick::new(t))),
             consume_order: if seed % 2 == 0 {
@@ -114,22 +125,27 @@ proptest! {
             }
         }
         let s = *svc.stats();
-        prop_assert_eq!(s.consumed, taken);
-        prop_assert!(s.successes >= s.consumed + s.wasted);
-        prop_assert!(s.attempts >= s.successes);
-        prop_assert!(svc.available() <= buffer + comm);
+        assert_eq!(s.consumed, taken, "case {case}");
+        assert!(s.successes >= s.consumed + s.wasted, "case {case}");
+        assert!(s.attempts >= s.successes, "case {case}");
+        assert!(svc.available() <= buffer + comm, "case {case}");
     }
+}
 
-    /// Consumed link fidelity is always within the physical Werner range
-    /// and never exceeds the fresh fidelity.
-    #[test]
-    fn prop_consumed_fidelity_physical(seed in 0u64..300, delay in 0i64..2000) {
+/// Consumed link fidelity is always within the physical Werner range and
+/// never exceeds the fresh fidelity.
+#[test]
+fn consumed_fidelity_stays_physical() {
+    let mut gen = ChaCha8Rng::seed_from_u64(0xF1D3);
+    for _ in 0..24 {
+        let seed = gen.random_range(0u64..300);
+        let delay = gen.random_range(0i64..2000);
         let mut svc = EntanglementService::new(ServiceConfig::default(), seed);
         let t = svc.time_of_next_available(Tick::new(delay));
         if t != Tick::MAX {
             if let Some(link) = svc.try_take(t) {
-                prop_assert!(link.fidelity <= 0.99 + 1e-12);
-                prop_assert!(link.fidelity >= 0.25 - 1e-12);
+                assert!(link.fidelity <= 0.99 + 1e-12);
+                assert!(link.fidelity >= 0.25 - 1e-12);
             }
         }
     }
@@ -142,14 +158,12 @@ fn remote_fidelity_table_interpolates_exactly() {
     let fidelities = OperationFidelities::default();
     let table = RemoteFidelityTable::new(&fidelities);
     for link in [0.3, 0.55, 0.8, 0.95] {
-        let direct = teleported_cnot_fidelity(
-            &TeleportNoise {
-                bell_fidelity: link,
-                local_cnot_fidelity: fidelities.two_qubit,
-                measurement_fidelity: fidelities.measurement,
-                single_qubit_fidelity: fidelities.one_qubit,
-            },
-        );
+        let direct = teleported_cnot_fidelity(&TeleportNoise {
+            bell_fidelity: link,
+            local_cnot_fidelity: fidelities.two_qubit,
+            measurement_fidelity: fidelities.measurement,
+            single_qubit_fidelity: fidelities.one_qubit,
+        });
         let fast = table.gate_fidelity(link);
         assert!(
             (direct.value() - fast.value()).abs() < 1e-9,

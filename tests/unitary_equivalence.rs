@@ -6,8 +6,7 @@ use dqc::core::{alap_variant, asap_variant, segment_sequence};
 use dqc::partition::QubitMap;
 use dqc::sim::{gate_matrix, Statevector};
 use dqc::types::QubitId;
-use proptest::prelude::*;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// A random QAOA-flavoured circuit: rich in diagonal gates (which commute)
@@ -176,30 +175,36 @@ fn embed(op: &Operation, n: u32) -> dqc::sim::Matrix {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Soundness of the commutation oracle on random operation pairs: a
-    /// `true` answer implies the 3-qubit embedded unitaries commute.
-    #[test]
-    fn prop_commutation_rules_sound(seed in 0u64..10_000) {
+/// Soundness of the commutation oracle on random operation pairs: a
+/// `true` answer implies the 3-qubit embedded unitaries commute.
+#[test]
+fn commutation_rules_sound_on_random_pairs() {
+    let mut gen = ChaCha8Rng::seed_from_u64(0xC077);
+    for _ in 0..64 {
+        let seed = gen.random_range(0u64..10_000);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let circuit = random_segment(3, 2, rng.random());
+        let circuit = random_segment(3, 2, rng.next_u64());
         let ops = circuit.operations();
         if ops.len() == 2 && commutes(&ops[0], &ops[1]) {
             let ua = embed(&ops[0], 3);
             let ub = embed(&ops[1], 3);
-            prop_assert!(
+            assert!(
                 ua.commutes_with(&ub, 1e-9),
-                "{} vs {} claimed commuting", ops[0], ops[1]
+                "{} vs {} claimed commuting",
+                ops[0],
+                ops[1]
             );
         }
     }
+}
 
-    /// ASAP never moves a remote gate later, ALAP never earlier.
-    #[test]
-    fn prop_variant_motion_is_directional(seed in 0u64..5_000) {
-        let map = QubitMap::contiguous(4, 2);
+/// ASAP never moves a remote gate later, ALAP never earlier.
+#[test]
+fn variant_motion_is_directional() {
+    let map = QubitMap::contiguous(4, 2);
+    let mut gen = ChaCha8Rng::seed_from_u64(0xA5A9);
+    for _ in 0..64 {
+        let seed = gen.random_range(0u64..5_000);
         let circuit = random_segment(4, 12, seed);
         let remote_positions = |ops: &[Operation]| -> Vec<usize> {
             ops.iter()
@@ -211,12 +216,12 @@ proptest! {
         let orig = remote_positions(circuit.operations());
         let asap = remote_positions(&asap_variant(circuit.operations(), &map));
         let alap = remote_positions(&alap_variant(circuit.operations(), &map));
-        prop_assert_eq!(orig.len(), asap.len());
+        assert_eq!(orig.len(), asap.len());
         for (o, a) in orig.iter().zip(&asap) {
-            prop_assert!(a <= o, "asap moved a remote gate later: {o} -> {a}");
+            assert!(a <= o, "asap moved a remote gate later: {o} -> {a}");
         }
         for (o, l) in orig.iter().zip(&alap) {
-            prop_assert!(l >= o, "alap moved a remote gate earlier: {o} -> {l}");
+            assert!(l >= o, "alap moved a remote gate earlier: {o} -> {l}");
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Vendored minimal benchmarking harness exposing the slice of the
+//! `criterion` API this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurements are wall-clock means over `sample_size` samples after one
+//! warm-up sample — adequate for the relative comparisons the benches
+//! print, with none of upstream criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Times one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_size, &id.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.sample_size, &id, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream-API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(samples: usize, id: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    // Warm-up sample; also sizes the iteration count so one sample takes
+    // a measurable amount of time.
+    f(&mut bencher);
+    while bencher.elapsed_ns < 10_000.0 && bencher.iters < 1 << 20 {
+        bencher.iters *= 8;
+        f(&mut bencher);
+    }
+    let mut total_ns = 0.0;
+    for _ in 0..samples {
+        f(&mut bencher);
+        total_ns += bencher.elapsed_ns;
+    }
+    let mean_ns = total_ns / (samples as f64 * bencher.iters as f64);
+    println!(
+        "{id:<50} {:>14}/iter  ({samples} samples)",
+        format_ns(mean_ns)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream criterion's
+/// macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_bench(c: &mut Criterion) {
+        let mut calls = 0u64;
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        counting_bench(&mut c);
+        let mut group = c.benchmark_group("group");
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+
+    criterion_group!(smoke, counting_bench);
+
+    #[test]
+    fn macro_group_is_callable() {
+        smoke();
+    }
+}
