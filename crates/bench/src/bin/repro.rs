@@ -5,6 +5,7 @@
 //! repro [TARGET...] [--runs N] [--seed S]
 //!
 //! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
+//!       | topology-sweep
 //!       | ablate-cutoff | ablate-psucc | ablate-segment
 //!       | ablate-protocol | ablate-purification
 //!       | ablations (all five) | all
@@ -41,6 +42,7 @@ const TARGETS: &[(&str, Runner)] = &[
     ("fig56", dqc_bench::run_fig56),
     ("fig7", dqc_bench::run_fig7),
     ("fig8", dqc_bench::run_fig8),
+    ("topology-sweep", dqc_bench::run_topology_sweep),
     ("ablate-cutoff", dqc_bench::run_cutoff_ablation),
     ("ablate-psucc", dqc_bench::run_psucc_ablation),
     ("ablate-segment", dqc_bench::run_segment_ablation),
@@ -129,6 +131,7 @@ fn usage(message: &str) -> ExitCode {
     eprintln!(
         "usage: repro [TARGET...] [--runs N] [--seed S]\n\
          targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
+         \x20        topology-sweep\n\
          \x20        ablate-cutoff ablate-psucc ablate-segment\n\
          \x20        ablate-protocol ablate-purification\n\
          \x20        ablations (all five ablations) | all (everything)"

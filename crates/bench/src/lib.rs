@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 
 use dqc_core::{AveragedReport, Design, DqcError, Experiment, Sweep, SweepResult, SystemConfig};
-use dqc_entanglement::{EntanglementService, GenerationPattern};
+use dqc_entanglement::{EntanglementService, GenerationPattern, NetworkTopology};
 use dqc_partition::partition_circuit;
 use dqc_types::Tick;
 use dqc_workloads::PaperBenchmark;
@@ -402,6 +402,70 @@ pub fn run_fig8(runs: usize, seed: u64) -> Result<(), DqcError> {
     Ok(())
 }
 
+// --------------------------------------------------------- Topology sweep
+
+/// The topology families swept by [`run_topology_sweep`], with their
+/// device graphs for a given node count.
+fn topology_axis(nodes: usize) -> Vec<(&'static str, NetworkTopology)> {
+    let grid = match nodes {
+        4 => NetworkTopology::grid2d(2, 2),
+        8 => NetworkTopology::grid2d(2, 4),
+        n => NetworkTopology::grid2d(1, n),
+    };
+    vec![
+        ("chain", NetworkTopology::chain(nodes)),
+        ("ring", NetworkTopology::ring(nodes)),
+        ("grid", grid),
+        ("all_to_all", NetworkTopology::all_to_all(nodes)),
+    ]
+}
+
+/// The sweep grid behind the topology figure: the remote-heavy QAOA-r8-32
+/// benchmark on {chain, ring, grid, all-to-all} × node-count
+/// configurations, async-buffered design, as one compile-once [`Sweep`].
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn topology_sweep(nodes: usize, runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
+    let mut base = SystemConfig::paper_two_node_32();
+    base.data_qubits_per_node = 32 / nodes;
+    let mut sweep = Sweep::new()
+        .benchmark(PaperBenchmark::QaoaR8_32)
+        .designs(&[Design::AsyncBuf])
+        .runs(runs)
+        .base_seed(seed);
+    for (name, topology) in topology_axis(nodes) {
+        sweep = sweep.config(name, base.with_topology(topology));
+    }
+    sweep.run()
+}
+
+/// Runs and prints the network-topology sweep (extension beyond the
+/// paper): end-to-end depth and fidelity of the remote-heavy QAOA-r8-32
+/// benchmark when the implicit all-to-all network is replaced by sparse
+/// device graphs whose non-adjacent remote gates pay multi-hop swap
+/// chains.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn run_topology_sweep(runs: usize, seed: u64) -> Result<(), DqcError> {
+    println!("TOPOLOGY SWEEP: QAOA-r8-32 ACROSS NETWORK TOPOLOGIES ({runs}-run averages)");
+    for nodes in [2usize, 4] {
+        let result = topology_sweep(nodes, runs, seed)?;
+        println!("-- {nodes} nodes x {} data qubits", 32 / nodes);
+        for cell in &result.cells {
+            let r = &cell.report;
+            println!(
+                "  {:<10} depth {:>8.1}  ({:>6.2}x ideal)  fidelity {:.4}  link-wait {:>6.1}t",
+                cell.config, r.mean_depth, r.mean_depth_relative, r.mean_fidelity, r.mean_link_wait
+            );
+        }
+    }
+    Ok(())
+}
+
 // -------------------------------------------------------------- Ablations
 
 /// Sweeps the buffer cutoff age and reports depth/fidelity/waste for one
@@ -639,6 +703,39 @@ mod tests {
             result.cells.len(),
             PaperBenchmark::FIG5.len() * Design::ALL.len()
         );
+    }
+
+    #[test]
+    fn topology_sweep_orders_fidelity_by_connectivity() {
+        // The acceptance ordering: on the remote-heavy benchmark a chain
+        // pays the most swap chains, a grid fewer, the complete graph
+        // none — so end-to-end fidelity must rise with connectivity.
+        let result = topology_sweep(4, 4, BASE_SEED).unwrap();
+        let fidelity = |config: &str| {
+            result
+                .cell(
+                    &PaperBenchmark::QaoaR8_32.to_string(),
+                    config,
+                    Design::AsyncBuf,
+                )
+                .unwrap()
+                .report
+                .mean_fidelity
+        };
+        let (chain, grid, full) = (fidelity("chain"), fidelity("grid"), fidelity("all_to_all"));
+        assert!(chain < grid, "chain {chain} must trail grid {grid}");
+        assert!(grid < full, "grid {grid} must trail all-to-all {full}");
+    }
+
+    #[test]
+    fn two_node_topologies_coincide() {
+        // Every 2-node family is the single edge, so all four configs
+        // must produce identical reports.
+        let result = topology_sweep(2, 2, 7).unwrap();
+        let first = &result.cells[0].report;
+        for cell in &result.cells[1..] {
+            assert_eq!(&cell.report, first, "{}", cell.config);
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::{
     SystemConfig,
 };
 use dqc_circuit::Circuit;
-use dqc_partition::{partition_circuit, QubitMap};
+use dqc_entanglement::RoutingTable;
+use dqc_partition::{partition_circuit, partition_circuit_weighted, QubitMap};
 use dqc_types::Tick;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +70,9 @@ pub struct CompiledCircuit {
     pub(crate) variants: Vec<SegmentVariants>,
     pub(crate) remote_gates: usize,
     pub(crate) ideal_report: ExecutionReport,
+    /// All-pairs shortest routes over the configured topology; `None`
+    /// with the default all-to-all network (direct links everywhere).
+    pub(crate) routing: Option<RoutingTable>,
 }
 
 impl CompiledCircuit {
@@ -77,8 +81,10 @@ impl CompiledCircuit {
     /// # Errors
     ///
     /// Returns [`DqcError::CircuitTooWide`] when the circuit does not fit
-    /// the system's data qubits, or [`DqcError::Partition`] when the
-    /// multilevel partitioner fails.
+    /// the system's data qubits, [`DqcError::Partition`] when the
+    /// multilevel partitioner fails, and [`DqcError::TopologyMismatch`] /
+    /// [`DqcError::DisconnectedTopology`] when the configured network
+    /// cannot serve the system.
     pub fn compile(circuit: &Circuit, config: &SystemConfig) -> Result<Self, DqcError> {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let capacity = config.total_data_qubits();
@@ -88,8 +94,33 @@ impl CompiledCircuit {
                 capacity,
             });
         }
+        if let Some(topology) = &config.topology {
+            if topology.num_nodes() != config.num_nodes {
+                return Err(DqcError::TopologyMismatch {
+                    topology_nodes: topology.num_nodes(),
+                    config_nodes: config.num_nodes,
+                });
+            }
+            if config.num_nodes > 1 && !topology.is_connected() {
+                return Err(DqcError::DisconnectedTopology);
+            }
+        }
         let ideal_report = crate::executor::ideal_report(circuit, config);
-        let map = partition_circuit(circuit, config.num_nodes, config.partition_seed)?;
+        let routing = config.topology.as_ref().map(RoutingTable::new);
+        let map = match &routing {
+            // Topology-aware mode: weight cut edges by hop distance so
+            // chatty qubit groups land on adjacent nodes. The matrix is
+            // derived from the routing table the executor will follow, so
+            // partitioner and router agree by construction. With an
+            // all-to-all graph this degenerates to the unweighted path.
+            Some(table) => partition_circuit_weighted(
+                circuit,
+                config.num_nodes,
+                config.partition_seed,
+                &table.hop_distance_matrix(),
+            )?,
+            None => partition_circuit(circuit, config.num_nodes, config.partition_seed)?,
+        };
         let remote_gates = map.count_remote(circuit);
         let m = config.segment_remote_gates();
         let ops = circuit.operations();
@@ -107,6 +138,7 @@ impl CompiledCircuit {
             variants,
             remote_gates,
             ideal_report,
+            routing,
         })
     }
 
@@ -144,6 +176,12 @@ impl CompiledCircuit {
     /// Makespan of the circuit on an ideal monolithic device.
     pub fn ideal_makespan(&self) -> Tick {
         self.ideal_report.ideal_makespan
+    }
+
+    /// The routing table over the configured network topology; `None`
+    /// with the default all-to-all network.
+    pub fn routing(&self) -> Option<&RoutingTable> {
+        self.routing.as_ref()
     }
 
     /// Whether `design` can execute at all on this compilation — the

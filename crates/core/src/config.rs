@@ -1,11 +1,15 @@
 //! System configuration (the paper's §IV-A and Table II).
 
-use dqc_entanglement::{ConsumeOrder, CutoffPolicy, GenerationPattern, ServiceConfig};
+use dqc_entanglement::{
+    ConsumeOrder, CutoffPolicy, GenerationPattern, LinkParams, NetworkTopology, ServiceConfig,
+};
 use dqc_types::Tick;
 
-/// How a remote two-qubit gate is implemented (paper §II-C; the paper
-/// evaluates gate teleportation and leaves combining both as future work —
-/// this crate implements both).
+/// How a remote two-qubit gate is implemented (paper §II-C). The paper's
+/// evaluation assumes gate teleportation (following AutoComm) and leaves
+/// the combination with state teleportation as future work; this enum
+/// models both protocols so the `ablate-protocol` target can quantify the
+/// trade-off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RemoteProtocol {
     /// Telegate (Fig. 1(c)): one Bell pair teleports the *gate*.
@@ -126,6 +130,13 @@ pub struct SystemConfig {
     pub purify_links: bool,
     /// Seed for the qubit partitioner.
     pub partition_seed: u64,
+    /// The inter-node network. `None` (the default) means every node pair
+    /// shares a direct link — the paper's implicit all-to-all assumption,
+    /// and byte-for-byte the legacy behavior. With `Some(topology)`,
+    /// remote gates between non-adjacent nodes consume multi-hop swap
+    /// chains routed by `dqc-entanglement`, and the partitioner weights
+    /// cut edges by hop distance.
+    pub topology: Option<NetworkTopology>,
 }
 
 impl SystemConfig {
@@ -147,6 +158,7 @@ impl SystemConfig {
             remote_protocol: RemoteProtocol::GateTeleport,
             purify_links: false,
             partition_seed: 0xDAC5,
+            topology: None,
         }
     }
 
@@ -167,6 +179,28 @@ impl SystemConfig {
         Self {
             comm_qubits_per_node: n,
             buffer_qubits_per_node: n,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given network topology, adjusting
+    /// `num_nodes` to match the device graph. Data, communication, and
+    /// buffer qubit counts are left untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_core::SystemConfig;
+    /// use dqc_entanglement::NetworkTopology;
+    ///
+    /// let cfg = SystemConfig::paper_two_node_32().with_topology(NetworkTopology::chain(4));
+    /// assert_eq!(cfg.num_nodes, 4);
+    /// ```
+    #[must_use]
+    pub fn with_topology(&self, topology: NetworkTopology) -> Self {
+        Self {
+            num_nodes: topology.num_nodes(),
+            topology: Some(topology),
             ..self.clone()
         }
     }
@@ -197,6 +231,14 @@ impl SystemConfig {
             + self.latencies.one_qubit
             + self.latencies.measurement
             + self.latencies.one_qubit
+    }
+
+    /// Latency of one entanglement swap at an intermediate routing node:
+    /// the repeater Bell-measures its two link halves and the endpoint
+    /// applies the classically conditioned Paulis — the same circuit as a
+    /// state-teleportation hop.
+    pub fn entanglement_swap_latency(&self) -> Tick {
+        self.state_teleport_latency()
     }
 
     /// Number of comm→buffer SWAP operations a node's control system can
@@ -236,6 +278,20 @@ impl SystemConfig {
             pattern,
             cutoff: self.cutoff,
             consume_order: self.consume_order,
+        }
+    }
+
+    /// Applies a topology edge's [`LinkParams`] overrides on top of a
+    /// service configuration; `None` fields inherit the system values.
+    pub(crate) fn apply_link_params(service: &mut ServiceConfig, params: &LinkParams) {
+        if let Some(f) = params.initial_fidelity {
+            service.initial_fidelity = f;
+        }
+        if let Some(kappa) = params.kappa_per_tick {
+            service.kappa_per_tick = kappa;
+        }
+        if let Some(cycle) = params.epr_cycle {
+            service.attempt_cycle = cycle;
         }
     }
 }
@@ -288,6 +344,40 @@ mod tests {
         let cfg = SystemConfig::paper_two_node_64();
         assert_eq!(cfg.total_data_qubits(), 64);
         assert_eq!(cfg.comm_qubits_per_node, 20);
+    }
+
+    #[test]
+    fn with_topology_syncs_node_count() {
+        let cfg = SystemConfig::paper_two_node_32().with_topology(NetworkTopology::ring(4));
+        assert_eq!(cfg.num_nodes, 4);
+        assert_eq!(cfg.topology.as_ref().unwrap().num_edges(), 4);
+        assert_eq!(cfg.data_qubits_per_node, 16, "qubit counts untouched");
+        assert!(SystemConfig::default().topology.is_none());
+    }
+
+    #[test]
+    fn link_params_override_only_set_fields() {
+        let cfg = SystemConfig::default();
+        let mut sc = cfg.service_config(GenerationPattern::Synchronous, true);
+        SystemConfig::apply_link_params(&mut sc, &LinkParams::default());
+        assert_eq!(sc.initial_fidelity, cfg.fidelities.epr, "None inherits");
+        let params = LinkParams::default()
+            .with_initial_fidelity(0.93)
+            .with_epr_cycle(Tick::new(250));
+        SystemConfig::apply_link_params(&mut sc, &params);
+        assert_eq!(sc.initial_fidelity, 0.93);
+        assert_eq!(sc.attempt_cycle, Tick::new(250));
+        assert_eq!(sc.kappa_per_tick, cfg.kappa_per_tick, "unset field kept");
+    }
+
+    #[test]
+    fn swap_latency_matches_teleport_hop() {
+        let cfg = SystemConfig::default();
+        assert_eq!(
+            cfg.entanglement_swap_latency(),
+            cfg.state_teleport_latency()
+        );
+        assert_eq!(cfg.entanglement_swap_latency(), Tick::new(62));
     }
 
     #[test]

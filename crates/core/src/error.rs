@@ -32,6 +32,17 @@ pub enum DqcError {
         /// Which axis was empty: `"circuits"`, `"configs"`, or `"designs"`.
         axis: &'static str,
     },
+    /// The configured [`NetworkTopology`](dqc_entanglement::NetworkTopology)
+    /// covers a different number of nodes than the system hosts.
+    TopologyMismatch {
+        /// Nodes in the topology graph.
+        topology_nodes: usize,
+        /// Nodes in the system configuration.
+        config_nodes: usize,
+    },
+    /// The configured network topology is not connected, so some node
+    /// pairs could never establish end-to-end entanglement.
+    DisconnectedTopology,
 }
 
 impl fmt::Display for DqcError {
@@ -58,6 +69,23 @@ impl fmt::Display for DqcError {
             }
             DqcError::EmptySweep { axis } => {
                 write!(f, "sweep grid has no cells: the `{axis}` axis is empty")
+            }
+            DqcError::TopologyMismatch {
+                topology_nodes,
+                config_nodes,
+            } => {
+                write!(
+                    f,
+                    "network topology spans {topology_nodes} nodes but the system \
+                     configures {config_nodes}"
+                )
+            }
+            DqcError::DisconnectedTopology => {
+                write!(
+                    f,
+                    "network topology is disconnected: some node pairs can never \
+                     share entanglement"
+                )
             }
         }
     }
@@ -99,6 +127,14 @@ mod tests {
         assert!(DqcError::EmptySweep { axis: "designs" }
             .to_string()
             .contains("designs"));
+        let e = DqcError::TopologyMismatch {
+            topology_nodes: 4,
+            config_nodes: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        assert!(DqcError::DisconnectedTopology
+            .to_string()
+            .contains("disconnected"));
     }
 
     #[test]

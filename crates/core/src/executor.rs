@@ -8,7 +8,7 @@
 
 use crate::{CompiledCircuit, Design, DqcError, ExecutionReport, RemoteFidelityTable, VariantKind};
 use dqc_circuit::{Circuit, Gate, Operation};
-use dqc_entanglement::EntanglementService;
+use dqc_entanglement::{swap_chain_fidelity, EntanglementService, RoutingTable};
 use dqc_partition::QubitMap;
 use dqc_types::{Fidelity, NodeId, Tick};
 use std::collections::HashMap;
@@ -56,7 +56,7 @@ impl CompiledCircuit {
         }
         let config = &self.config;
         let ideal_makespan = self.ideal_report.makespan;
-        let mut services = ServicePool::new(config, design, seed);
+        let mut services = ServicePool::new(config, design, seed, self.routing.as_ref());
         let mut tracker = Tracker::with_seed(self.circuit.num_qubits(), seed);
 
         if design.adaptive_scheduling() {
@@ -171,7 +171,7 @@ pub(crate) fn ideal_report(circuit: &Circuit, config: &SystemConfig) -> Executio
 fn choose_variant(
     segment_ops: &[Operation],
     map: &QubitMap,
-    services: &mut ServicePool,
+    services: &mut ServicePool<'_>,
     tracker: &Tracker,
     m: usize,
 ) -> VariantKind {
@@ -190,15 +190,7 @@ fn choose_variant(
     else {
         return VariantKind::Original; // no remote gates in the segment
     };
-    let e = match services.supply_for(pair) {
-        Supply::Background(service) => {
-            service.advance_to(t_probe);
-            service.available()
-        }
-        // On-demand generation banks nothing; adaptive designs are always
-        // buffered, so this arm is never reached in practice.
-        Supply::OnDemand(_) => 0,
-    };
+    let e = services.buffered_available(pair, t_probe);
     if e > m {
         VariantKind::Asap
     } else if e == 0 {
@@ -225,6 +217,57 @@ fn take_link(supply: &mut Supply, t: Tick) -> Result<(Tick, f64), DqcError> {
         }
         Supply::OnDemand(gen) => Ok(gen.request(t)),
     }
+}
+
+/// Obtains one *end-to-end* Bell pair between `pair` no earlier than `t`.
+///
+/// Without a topology (or when the nodes are adjacent) this is one direct
+/// link. Otherwise the routed swap chain is assembled: one link per route
+/// edge, each requested at `t`; the chain is spliced once the last link is
+/// granted, with each of the `hops − 1` entanglement swaps adding one
+/// Bell-measurement round of latency. Every link decays (at its edge's κ)
+/// from its grant until the pair is delivered — waiting for the slowest
+/// link *and* sitting through the swap rounds — and the end-to-end
+/// fidelity is the Werner swap composition of the decayed per-hop
+/// fidelities.
+fn take_routed(
+    services: &mut ServicePool<'_>,
+    pair: (NodeId, NodeId),
+    t: Tick,
+) -> Result<(Tick, f64), DqcError> {
+    let Some(table) = services.routing else {
+        return take_link(services.supply_for(pair), t);
+    };
+    let route = table
+        .route(pair.0, pair.1)
+        .ok_or(DqcError::DisconnectedTopology)?;
+    if route.hops() <= 1 {
+        // Adjacent nodes consume their direct link, exactly as without a
+        // topology.
+        return take_link(services.supply_for(pair), t);
+    }
+    let swaps = route.swaps();
+    let edges: Vec<(NodeId, NodeId)> = route.edges().collect();
+    let mut grants = Vec::with_capacity(edges.len());
+    for &edge in &edges {
+        grants.push(take_link(services.supply_for(edge), t)?);
+    }
+    let assembled = grants
+        .iter()
+        .map(|&(granted, _)| granted)
+        .max()
+        .expect("multi-hop route has edges");
+    let ready = assembled + services.config.entanglement_swap_latency() * swaps as i64;
+    let fidelities: Vec<f64> = edges
+        .iter()
+        .zip(&grants)
+        .map(|(&edge, &(granted, fidelity))| {
+            let kappa = services.kappa_for(edge);
+            let wait = (ready - granted).ticks() as f64;
+            dqc_sim::werner_fidelity_after(fidelity.clamp(0.25, 1.0), kappa * wait)
+        })
+        .collect();
+    Ok((ready, swap_chain_fidelity(&fidelities)))
 }
 
 fn node_pair(map: &QubitMap, op: &Operation) -> (NodeId, NodeId) {
@@ -296,50 +339,77 @@ impl OnDemandGenerator {
     }
 }
 
-/// One entanglement supply per node pair (a two-node system has exactly
-/// one).
-struct ServicePool {
+/// One entanglement supply per physical link (a two-node system has
+/// exactly one). Without a topology every node pair is assumed directly
+/// linked; with one, supplies exist per topology *edge* and non-adjacent
+/// pairs are served by [`take_routed`] swap chains over them.
+struct ServicePool<'a> {
     supplies: HashMap<(NodeId, NodeId), Supply>,
-    config: SystemConfig,
+    config: &'a SystemConfig,
     design: Design,
     seed: u64,
+    routing: Option<&'a RoutingTable>,
 }
 
-impl ServicePool {
-    fn new(config: &SystemConfig, design: Design, seed: u64) -> Self {
+impl<'a> ServicePool<'a> {
+    fn new(
+        config: &'a SystemConfig,
+        design: Design,
+        seed: u64,
+        routing: Option<&'a RoutingTable>,
+    ) -> Self {
         Self {
             supplies: HashMap::new(),
-            config: config.clone(),
+            config,
             design,
             seed,
+            routing,
         }
     }
 
     fn supply_for(&mut self, pair: (NodeId, NodeId)) -> &mut Supply {
-        let config = &self.config;
+        let config = self.config;
         let design = self.design;
         let seed = self.seed;
         self.supplies.entry(pair).or_insert_with(|| {
-            // With more than two nodes, each node's communication qubits
-            // are split across its links.
-            let links_per_node = (config.num_nodes - 1).max(1);
+            // A node's communication qubits are split across its physical
+            // links: all n−1 of them on the implicit complete graph, or
+            // the node's topology degree otherwise (the busier endpoint
+            // bounds the pair budget of the edge).
+            let links_per_node = match &config.topology {
+                None => (config.num_nodes - 1).max(1),
+                Some(topology) => topology.degree(pair.0).max(topology.degree(pair.1)).max(1),
+            };
             let pairs = (config.comm_qubits_per_node / links_per_node).max(1);
+            let link_params = config
+                .topology
+                .as_ref()
+                .and_then(|t| t.link_params(pair.0, pair.1));
             let pair_salt = (pair.0.index() as u64) << 32 | ((pair.1.index() as u64) << 16) | 0xD0C;
             if design.uses_buffer() {
                 let pattern = design.generation_pattern(config.async_groups);
                 let mut service_config = config.service_config(pattern, true);
                 service_config.num_comm_pairs = pairs;
+                if let Some(params) = link_params {
+                    SystemConfig::apply_link_params(&mut service_config, params);
+                }
                 let mut service = EntanglementService::new(service_config, seed ^ pair_salt);
                 if design.preinitializes() {
                     service.preinitialize(config.buffer_qubits_per_node);
                 }
                 Supply::Background(service)
             } else {
+                let cycle = link_params
+                    .and_then(|p| p.epr_cycle)
+                    .unwrap_or(config.latencies.epr_cycle);
+                let initial_fidelity = link_params
+                    .and_then(|p| p.initial_fidelity)
+                    .unwrap_or(config.fidelities.epr);
                 Supply::OnDemand(OnDemandGenerator {
                     pairs,
                     success_probability: config.success_probability,
-                    cycle: config.latencies.epr_cycle,
-                    initial_fidelity: config.fidelities.epr,
+                    cycle,
+                    initial_fidelity,
                     busy_until: Tick::ZERO,
                     stats: dqc_entanglement::ServiceStats::default(),
                     rng: <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
@@ -348,6 +418,44 @@ impl ServicePool {
                 })
             }
         })
+    }
+
+    /// The idling decoherence rate governing links held on `edge`.
+    fn kappa_for(&self, edge: (NodeId, NodeId)) -> f64 {
+        self.config
+            .topology
+            .as_ref()
+            .and_then(|t| t.link_params(edge.0, edge.1))
+            .and_then(|p| p.kappa_per_tick)
+            .unwrap_or(self.config.kappa_per_tick)
+    }
+
+    /// Buffered links consumable for an end-to-end pair at `t_probe` —
+    /// the §III-D adaptive controller's probe. For a routed pair this is
+    /// the bottleneck (minimum) across the route's edges; on-demand
+    /// supplies bank nothing.
+    fn buffered_available(&mut self, pair: (NodeId, NodeId), t_probe: Tick) -> usize {
+        let edges: Vec<(NodeId, NodeId)> = match self.routing {
+            None => vec![pair],
+            Some(table) => match table.route(pair.0, pair.1) {
+                Some(route) if route.hops() >= 1 => route.edges().collect(),
+                _ => return 0,
+            },
+        };
+        edges
+            .into_iter()
+            .map(|edge| match self.supply_for(edge) {
+                Supply::Background(service) => {
+                    service.advance_to(t_probe);
+                    service.available()
+                }
+                // On-demand generation banks nothing; adaptive designs
+                // are always buffered, so this arm is never reached in
+                // practice.
+                Supply::OnDemand(_) => 0,
+            })
+            .min()
+            .unwrap_or(0)
     }
 
     fn merged_stats(&self) -> dqc_entanglement::ServiceStats {
@@ -405,7 +513,7 @@ impl Tracker {
         &mut self,
         op: &Operation,
         map: &QubitMap,
-        services: &mut ServicePool,
+        services: &mut ServicePool<'_>,
         table: &RemoteFidelityTable,
         config: &SystemConfig,
     ) -> Result<(), DqcError> {
@@ -455,7 +563,7 @@ impl Tracker {
         &mut self,
         op: &Operation,
         map: &QubitMap,
-        services: &mut ServicePool,
+        services: &mut ServicePool<'_>,
         table: &RemoteFidelityTable,
         config: &SystemConfig,
     ) -> Result<(), DqcError> {
@@ -464,9 +572,9 @@ impl Tracker {
         match config.remote_protocol {
             crate::RemoteProtocol::GateTeleport => {
                 let (start, link_fidelity) = if config.purify_links {
-                    self.purified_link(services.supply_for(pair), t_deps, config)?
+                    self.purified_link(services, pair, t_deps, config)?
                 } else {
-                    take_link(services.supply_for(pair), t_deps)?
+                    take_routed(services, pair, t_deps)?
                 };
                 self.total_link_wait += start - t_deps;
                 self.remote_gates += 1;
@@ -479,11 +587,11 @@ impl Tracker {
             }
             crate::RemoteProtocol::StateTeleport => {
                 // Teledata: hop out (link 1), local gate, hop back (link 2).
-                let (start, f_link1) = take_link(services.supply_for(pair), t_deps)?;
+                let (start, f_link1) = take_routed(services, pair, t_deps)?;
                 self.total_link_wait += start - t_deps;
                 let hop = config.state_teleport_latency();
                 let after_gate = start + hop + config.latencies.two_qubit;
-                let (back_start, f_link2) = take_link(services.supply_for(pair), after_gate)?;
+                let (back_start, f_link2) = take_routed(services, pair, after_gate)?;
                 self.total_link_wait += back_start - after_gate;
                 let end = back_start + hop;
                 self.remote_gates += 1;
@@ -498,19 +606,21 @@ impl Tracker {
         Ok(())
     }
 
-    /// Consumes links two at a time, purifying (BBPSSW) until a round
-    /// succeeds, and returns the grant time and the purified fidelity.
+    /// Consumes end-to-end pairs two at a time, purifying (BBPSSW) until
+    /// a round succeeds, and returns the grant time and the purified
+    /// fidelity.
     fn purified_link(
         &mut self,
-        supply: &mut Supply,
+        services: &mut ServicePool<'_>,
+        pair: (NodeId, NodeId),
         t: Tick,
         config: &SystemConfig,
     ) -> Result<(Tick, f64), DqcError> {
         use rand::RngExt;
         let mut now = t;
         loop {
-            let (t1, f1) = take_link(supply, now)?;
-            let (t2, f2) = take_link(supply, t1)?;
+            let (t1, f1) = take_routed(services, pair, now)?;
+            let (t2, f2) = take_routed(services, pair, t1)?;
             let round_done = t2 + config.purification_latency();
             let outcome = dqc_sim::purify_werner(f1.clamp(0.25, 1.0), f2.clamp(0.25, 1.0));
             if self
@@ -904,5 +1014,109 @@ mod tests {
         let r = evaluate(&c, &config(), Design::AsyncBuf, 2).unwrap();
         let product = r.local_fidelity * r.remote_fidelity * r.idle_fidelity;
         assert!((product.value() - r.fidelity.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_to_all_topology_is_bit_for_bit_default() {
+        // The explicit complete graph (with inherited link parameters)
+        // must reproduce the implicit default exactly, for every design
+        // and both node counts.
+        use dqc_entanglement::NetworkTopology;
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let baseline = config();
+        let explicit = baseline.with_topology(NetworkTopology::all_to_all(2));
+        for design in Design::ALL {
+            for seed in [0u64, 7, 1234] {
+                let a = evaluate(&c, &baseline, design, seed).unwrap();
+                let b = evaluate(&c, &explicit, design, seed).unwrap();
+                assert_eq!(a, b, "{design} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_routes_cost_fidelity_and_latency() {
+        // Needs a remote-heavy workload whose traffic spans *all* node
+        // pairs: on nearest-neighbor circuits the topology-aware
+        // partitioner routes everything one hop and a sparse network can
+        // even win (fewer links ⇒ more comm pairs per link).
+        use dqc_entanglement::NetworkTopology;
+        let c = PaperBenchmark::QaoaR8_32.circuit();
+        let mut base = config();
+        base.num_nodes = 4;
+        base.data_qubits_per_node = 8;
+        let full = base.with_topology(NetworkTopology::all_to_all(4));
+        let chain = base.with_topology(NetworkTopology::chain(4));
+        let r_full = evaluate_many(&c, &full, Design::AsyncBuf, 5, 0).unwrap();
+        let r_chain = evaluate_many(&c, &chain, Design::AsyncBuf, 5, 0).unwrap();
+        assert!(
+            r_chain.mean_fidelity < r_full.mean_fidelity,
+            "swap chains must degrade fidelity: chain {} vs full {}",
+            r_chain.mean_fidelity,
+            r_full.mean_fidelity
+        );
+        assert!(
+            r_chain.mean_depth > r_full.mean_depth,
+            "swap chains must cost makespan: chain {} vs full {}",
+            r_chain.mean_depth,
+            r_full.mean_depth
+        );
+    }
+
+    #[test]
+    fn topology_node_count_must_match() {
+        use dqc_entanglement::NetworkTopology;
+        let mut cfg = config();
+        cfg.topology = Some(NetworkTopology::chain(4)); // num_nodes still 2
+        let c = PaperBenchmark::Tlim32.circuit();
+        let err = CompiledCircuit::compile(&c, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            DqcError::TopologyMismatch {
+                topology_nodes: 4,
+                config_nodes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn disconnected_topology_rejected() {
+        use dqc_entanglement::NetworkTopology;
+        let cfg = config().with_topology(NetworkTopology::from_edges(4, &[(0, 1), (2, 3)]));
+        let c = PaperBenchmark::Tlim32.circuit();
+        let err = CompiledCircuit::compile(&c, &cfg).unwrap_err();
+        assert_eq!(err, DqcError::DisconnectedTopology);
+    }
+
+    #[test]
+    fn degraded_link_params_lower_fidelity() {
+        use dqc_entanglement::{LinkParams, NetworkTopology};
+        let c = PaperBenchmark::QaoaR4_32.circuit();
+        let clean = config().with_topology(NetworkTopology::all_to_all(2));
+        let noisy = config().with_topology(
+            NetworkTopology::all_to_all(2)
+                .with_uniform_link_params(LinkParams::default().with_initial_fidelity(0.93)),
+        );
+        let r_clean = evaluate_many(&c, &clean, Design::AsyncBuf, 5, 0).unwrap();
+        let r_noisy = evaluate_many(&c, &noisy, Design::AsyncBuf, 5, 0).unwrap();
+        assert!(
+            r_noisy.mean_fidelity < r_clean.mean_fidelity,
+            "per-edge fidelity override must bite: {} vs {}",
+            r_noisy.mean_fidelity,
+            r_clean.mean_fidelity
+        );
+    }
+
+    #[test]
+    fn routed_runs_are_deterministic_per_seed() {
+        use dqc_entanglement::NetworkTopology;
+        let c = dqc_workloads::ising_2d(8, 4, 3, dqc_workloads::TlimParams::default());
+        let mut base = config();
+        base.num_nodes = 4;
+        base.data_qubits_per_node = 8;
+        let cfg = base.with_topology(NetworkTopology::ring(4));
+        let a = evaluate(&c, &cfg, Design::AdaptBuf, 11).unwrap();
+        let b = evaluate(&c, &cfg, Design::AdaptBuf, 11).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -21,6 +21,11 @@
 //!   and ordered collection.
 //! * [`RemoteFidelityTable`] — the §IV-C remote-gate fidelity from the
 //!   density-matrix teleportation evaluation, via the exact affine law.
+//! * Network topology — [`SystemConfig::with_topology`] attaches a
+//!   `dqc-entanglement` device graph; remote gates between non-adjacent
+//!   nodes then consume routed multi-hop swap chains, and the partitioner
+//!   weights cut edges by hop distance. The default (no topology) is the
+//!   paper's implicit all-to-all network, bit-for-bit.
 //! * [`DqcError`] — the unified error type of the whole engine.
 //!
 //! # Examples

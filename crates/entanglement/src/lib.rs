@@ -11,6 +11,11 @@
 //!   attempting every `T_EG`, successes swapped into buffer qubits (or
 //!   pinning their pair when no buffer exists — the `original` design),
 //!   pre-initialization for `init_buf`, and consumption by remote gates.
+//! * [`NetworkTopology`] / [`RoutingTable`] — the inter-node device graph
+//!   (chain, ring, grid, star, heavy-hex, all-to-all, or arbitrary edge
+//!   lists with per-edge [`LinkParams`]) and deterministic shortest-path
+//!   routing with [`swap_chain_fidelity`] composition for multi-hop
+//!   entanglement.
 //!
 //! # Examples
 //!
@@ -33,8 +38,12 @@
 
 mod link;
 mod policy;
+mod routing;
 mod service;
+mod topology;
 
 pub use link::EntangledLink;
 pub use policy::{ConsumeOrder, CutoffPolicy, GenerationPattern};
+pub use routing::{swap_chain_fidelity, Route, RoutingTable};
 pub use service::{EntanglementService, ServiceConfig, ServiceStats, TakenLink};
+pub use topology::{LinkParams, NetworkTopology};

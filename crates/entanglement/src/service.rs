@@ -120,9 +120,9 @@ pub struct TakenLink {
 }
 
 /// Discrete-event simulation of heralded entanglement generation between
-/// two nodes (paper §IV-C), supporting every design of §V: buffered or
-/// not, synchronous or asynchronous, with optional pre-initialization and
-/// cutoff.
+/// two nodes (the paper's §III architecture), supporting every design of
+/// §V: buffered or not, synchronous or asynchronous, with optional
+/// pre-initialization and cutoff.
 ///
 /// # Examples
 ///

@@ -169,6 +169,180 @@ pub fn partition_circuit(
     Ok(best.expect("at least one attempt").1)
 }
 
+/// Topology-aware partitioning: like [`partition_circuit`], but every cut
+/// edge is weighted by the network hop distance between the nodes it
+/// crosses — a gate between adjacent QPUs costs one Bell pair, while one
+/// between nodes `d` hops apart costs a `d`-link swap chain.
+///
+/// `hop_distance[a][b]` is the network distance between nodes `a` and `b`
+/// (e.g. `NetworkTopology::hop_distance_matrix` from `dqc-entanglement`).
+/// Candidates from the same multilevel restarts as [`partition_circuit`]
+/// are scored by hop-weighted cut, and part labels are additionally
+/// permuted so heavily interacting parts land on nearby nodes. With a
+/// uniform (all-to-all) distance matrix the result is identical to
+/// [`partition_circuit`].
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] under the same conditions as
+/// [`partition_circuit`].
+///
+/// # Panics
+///
+/// Panics when the matrix is not `num_nodes × num_nodes`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_partition::{partition_circuit, partition_circuit_weighted};
+/// use dqc_workloads::qft;
+///
+/// # fn main() -> Result<(), dqc_partition::PartitionError> {
+/// let c = qft(16);
+/// // Uniform distances degenerate to the unweighted partitioner:
+/// let uniform = vec![vec![1u64; 2]; 2];
+/// assert_eq!(
+///     partition_circuit_weighted(&c, 2, 0, &uniform)?,
+///     partition_circuit(&c, 2, 0)?
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_circuit_weighted(
+    circuit: &Circuit,
+    num_nodes: usize,
+    seed: u64,
+    hop_distance: &[Vec<u64>],
+) -> Result<QubitMap, PartitionError> {
+    assert_eq!(hop_distance.len(), num_nodes, "distance matrix rows");
+    assert!(
+        hop_distance.iter().all(|row| row.len() == num_nodes),
+        "distance matrix must be square"
+    );
+    let graph = Graph::from_circuit(circuit);
+    let tolerance = if (circuit.num_qubits() as usize).is_multiple_of(num_nodes.max(1)) {
+        0
+    } else {
+        1
+    };
+    let mut best: Option<(u64, QubitMap)> = None;
+    for attempt in 0..4u64 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ (attempt * 0x9E37_79B9));
+        let p = partition_graph(&graph, num_nodes, tolerance, &mut rng)?;
+        let map = relabel_for_distance(&graph, &p.assignment, num_nodes, hop_distance);
+        let cost = hop_weighted_cut(&graph, &map, hop_distance);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, map));
+        }
+    }
+    Ok(best.expect("at least one attempt").1)
+}
+
+/// Hop-weighted cut of a map: `Σ w(u,v) · dist(part(u), part(v))` over
+/// cut edges of the interaction graph. Saturating arithmetic, so
+/// `u64::MAX` "unreachable" distances (a disconnected network) rank as
+/// infinitely bad instead of overflowing.
+fn hop_weighted_cut(graph: &Graph, map: &QubitMap, hop_distance: &[Vec<u64>]) -> u64 {
+    let mut cost = 0u64;
+    for v in 0..graph.num_vertices() as u32 {
+        let pv = map.node_of(QubitId::new(v)).as_usize();
+        for &(u, w) in graph.neighbors(v) {
+            if v < u {
+                let pu = map.node_of(QubitId::new(u)).as_usize();
+                if pv != pu {
+                    cost = cost.saturating_add(w.saturating_mul(hop_distance[pv][pu]));
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Searches part-label permutations for the hop-cheapest placement of an
+/// assignment onto the physical nodes, keeping the identity unless a
+/// relabeling is strictly better (so uniform distances change nothing).
+/// Exhaustive for up to 6 nodes; greedy pairwise label swaps beyond that.
+fn relabel_for_distance(
+    graph: &Graph,
+    assignment: &[u32],
+    num_nodes: usize,
+    hop_distance: &[Vec<u64>],
+) -> QubitMap {
+    // Inter-part interaction weights (symmetric, diagonal unused).
+    let mut traffic = vec![vec![0u64; num_nodes]; num_nodes];
+    for v in 0..graph.num_vertices() as u32 {
+        let pv = assignment[v as usize] as usize;
+        for &(u, w) in graph.neighbors(v) {
+            if v < u {
+                let pu = assignment[u as usize] as usize;
+                if pv != pu {
+                    traffic[pv][pu] += w;
+                    traffic[pu][pv] += w;
+                }
+            }
+        }
+    }
+    let cost_of = |perm: &[usize]| -> u64 {
+        let mut cost = 0u64;
+        for a in 0..num_nodes {
+            for b in a + 1..num_nodes {
+                cost = cost
+                    .saturating_add(traffic[a][b].saturating_mul(hop_distance[perm[a]][perm[b]]));
+            }
+        }
+        cost
+    };
+    let mut best: Vec<usize> = (0..num_nodes).collect();
+    let mut best_cost = cost_of(&best);
+    if num_nodes <= 6 {
+        let mut perm: Vec<usize> = (0..num_nodes).collect();
+        permute(&mut perm, 0, &mut |candidate| {
+            let cost = cost_of(candidate);
+            if cost < best_cost {
+                best_cost = cost;
+                best = candidate.to_vec();
+            }
+        });
+    } else {
+        // Greedy label-pair swaps to a local optimum, deterministic order.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for a in 0..num_nodes {
+                for b in a + 1..num_nodes {
+                    let mut candidate = best.clone();
+                    candidate.swap(a, b);
+                    let cost = cost_of(&candidate);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = candidate;
+                        improved = true;
+                    }
+                }
+            }
+        }
+    }
+    let relabeled: Vec<u32> = assignment
+        .iter()
+        .map(|&p| best[p as usize] as u32)
+        .collect();
+    QubitMap::from_assignment(&relabeled, num_nodes)
+}
+
+/// Visits every permutation of `items[at..]` in lexicographic-ish swap
+/// order, calling `visit` on the full slice.
+fn permute(items: &mut [usize], at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, visit);
+        items.swap(at, i);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +426,93 @@ mod tests {
         let naive = QubitMap::contiguous(n, 2).count_remote(&c);
         assert!(smart < naive, "smart {smart} vs naive {naive}");
         assert!(smart <= 3, "near-optimal cut, got {smart}");
+    }
+
+    #[test]
+    fn uniform_distances_degenerate_to_unweighted() {
+        // The all-to-all matrix must reproduce partition_circuit exactly —
+        // the engine's default-topology bit-for-bit guarantee rests on it.
+        for bench in PaperBenchmark::ALL {
+            let c = bench.circuit();
+            for (nodes, seed) in [(2usize, 0u64), (2, 0xDAC5), (4, 17)] {
+                if !(c.num_qubits() as usize).is_multiple_of(nodes) {
+                    continue;
+                }
+                let mut uniform = vec![vec![1u64; nodes]; nodes];
+                for (i, row) in uniform.iter_mut().enumerate() {
+                    row[i] = 0;
+                }
+                assert_eq!(
+                    partition_circuit_weighted(&c, nodes, seed, &uniform).unwrap(),
+                    partition_circuit(&c, nodes, seed).unwrap(),
+                    "{bench} nodes={nodes} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_weighting_never_costs_more_on_a_chain() {
+        // Four clusters with asymmetric inter-cluster traffic: on a chain
+        // network the weighted mode must do at least as well (in
+        // hop-weighted cut) as the topology-blind partition.
+        let mut c = Circuit::new(16);
+        for cluster in 0..4u32 {
+            let base = cluster * 4;
+            for i in base..base + 4 {
+                for j in i + 1..base + 4 {
+                    for _ in 0..8 {
+                        c.cz(i, j);
+                    }
+                }
+            }
+        }
+        // Heavy A↔B and C↔D coupling, light B↔C and A↔D.
+        for _ in 0..6 {
+            c.cx(0, 4).cx(8, 12);
+        }
+        c.cx(4, 8).cx(0, 12);
+        let chain_dist: Vec<Vec<u64>> = (0..4)
+            .map(|a: u64| (0..4).map(|b: u64| a.abs_diff(b)).collect())
+            .collect();
+        let blind = partition_circuit(&c, 4, 3).unwrap();
+        let aware = partition_circuit_weighted(&c, 4, 3, &chain_dist).unwrap();
+        let g = Graph::from_circuit(&c);
+        assert!(
+            hop_weighted_cut(&g, &aware, &chain_dist) <= hop_weighted_cut(&g, &blind, &chain_dist),
+            "topology-aware placement must not be worse"
+        );
+        assert_eq!(aware.qubits_per_node(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn unreachable_distances_saturate_instead_of_overflowing() {
+        // A disconnected network's matrix carries u64::MAX entries; the
+        // weighted partitioner must rank them as infinitely bad, not
+        // panic (debug) or wrap (release).
+        let c = qft(16);
+        let mut dist = vec![vec![1u64; 4]; 4];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        dist[0][3] = u64::MAX;
+        dist[3][0] = u64::MAX;
+        let map = partition_circuit_weighted(&c, 4, 0, &dist).unwrap();
+        assert_eq!(map.qubits_per_node(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn relabeling_places_heavy_traffic_on_adjacent_nodes() {
+        // Two 8-cliques, so the bisection is forced; with a 2-node system
+        // relabeling is a no-op, but the weighted cut must equal
+        // cut × distance.
+        let c = qft(8);
+        let map = partition_circuit(&c, 2, 1).unwrap();
+        let g = Graph::from_circuit(&c);
+        let far = vec![vec![0u64, 3], vec![3, 0]];
+        let weighted = hop_weighted_cut(&g, &map, &far);
+        let near = vec![vec![0u64, 1], vec![1, 0]];
+        assert_eq!(weighted, 3 * hop_weighted_cut(&g, &map, &near));
     }
 
     #[test]

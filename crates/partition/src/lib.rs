@@ -16,6 +16,9 @@
 //! [`partition_graph`] runs the full pipeline (recursive bisection for
 //! k > 2), and [`partition_circuit`] applies it to a circuit's interaction
 //! graph, yielding the [`QubitMap`] consumed by `dqc-core`.
+//! [`partition_circuit_weighted`] is the topology-aware variant: cut edges
+//! are weighted by network hop distance, so heavily interacting qubit
+//! groups land on adjacent QPU nodes.
 //!
 //! # Examples
 //!
@@ -43,7 +46,7 @@ mod initial;
 mod kway;
 mod refine;
 
-pub use assignment::{partition_circuit, QubitMap};
+pub use assignment::{partition_circuit, partition_circuit_weighted, QubitMap};
 pub use coarsen::{coarsen_once, Coarsening};
 pub use graph::Graph;
 pub use initial::grow_bisection;

@@ -15,6 +15,9 @@
 //! * [`teleported_cnot_fidelity`] / [`state_teleportation_fidelity`] — the
 //!   paper's §IV-C remote-gate fidelity evaluation (noisy Bell pair, noisy
 //!   local CNOTs, noisy measurement) via Choi states.
+//! * [`swap_werner_fidelity`] / [`entanglement_swap_chain_fidelity`] — the
+//!   Werner composition law under entanglement swapping and its
+//!   density-matrix verification, the ground truth for multi-hop routing.
 //! * [`Tableau`] — a CHP stabilizer simulator that verifies the
 //!   teleportation protocols with live Pauli-frame corrections.
 //!
@@ -43,6 +46,7 @@ mod matrix;
 mod pauli;
 mod purify;
 mod state;
+mod swap;
 mod tableau;
 mod teleport;
 
@@ -55,6 +59,9 @@ pub use matrix::Matrix;
 pub use pauli::{Pauli, PauliString};
 pub use purify::{purification_rounds, purify_werner, purify_werner_numeric, PurificationOutcome};
 pub use state::Statevector;
+pub use swap::{
+    entanglement_swap_chain_fidelity, entanglement_swap_fidelity, swap_werner_fidelity,
+};
 pub use tableau::Tableau;
 pub use teleport::{
     average_gate_fidelity, state_teleportation_fidelity, teleported_cnot_fidelity, TeleportNoise,

@@ -1,0 +1,164 @@
+//! Entanglement swapping of Werner pairs — the density-matrix ground
+//! truth behind multi-hop routing.
+//!
+//! A repeater node holding one half of two Werner pairs performs a Bell
+//! measurement on its two halves, splicing the pairs into one longer
+//! pair. For Werner states this composes in closed form: with Werner
+//! parameters `pᵢ = (4Fᵢ − 1)/3`, the spliced pair is again Werner with
+//! `p = p₁·p₂`, i.e. `F = (1 + 3·p₁·p₂)/4`. The analytic law is
+//! [`swap_werner_fidelity`]; [`entanglement_swap_fidelity`] and
+//! [`entanglement_swap_chain_fidelity`] recompute it from an explicit
+//! density-matrix simulation of the protocol, which the test suite uses
+//! to cross-validate the routing layer in `dqc-entanglement`.
+
+use crate::{gate_matrix, werner, Statevector};
+use dqc_circuit::{Circuit, Gate};
+
+/// Fidelity of the pair obtained by entanglement-swapping two Werner
+/// pairs of fidelities `f1` and `f2` with noiseless local operations:
+/// `F = (1 + 3·p₁·p₂)/4` with `pᵢ = (4Fᵢ − 1)/3`.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::swap_werner_fidelity;
+/// // Perfect pairs splice perfectly:
+/// assert!((swap_werner_fidelity(1.0, 1.0) - 1.0).abs() < 1e-12);
+/// // A useless pair poisons the chain:
+/// assert!((swap_werner_fidelity(0.25, 0.99) - 0.25).abs() < 1e-12);
+/// ```
+pub fn swap_werner_fidelity(f1: f64, f2: f64) -> f64 {
+    let p1 = (4.0 * f1 - 1.0) / 3.0;
+    let p2 = (4.0 * f2 - 1.0) / 3.0;
+    (1.0 + 3.0 * p1 * p2) / 4.0
+}
+
+/// Density-matrix evaluation of one entanglement swap: Werner pairs
+/// (A, B₁) and (B₂, C), Bell measurement on (B₁, B₂) at the repeater,
+/// classically conditioned Pauli corrections on C. Returns the fidelity
+/// of the resulting (A, C) pair with `|Φ⁺⟩`.
+///
+/// Measurements are simulated with the deferred-measurement principle
+/// (controlled corrections followed by a partial trace), exactly like the
+/// teleportation evaluations in [`crate::teleported_cnot_fidelity`].
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::{entanglement_swap_fidelity, swap_werner_fidelity};
+/// let direct = entanglement_swap_fidelity(0.95, 0.9);
+/// assert!((direct - swap_werner_fidelity(0.95, 0.9)).abs() < 1e-9);
+/// ```
+pub fn entanglement_swap_fidelity(f1: f64, f2: f64) -> f64 {
+    entanglement_swap_chain_fidelity(&[f1, f2])
+}
+
+/// Density-matrix evaluation of a whole swap chain: `h` Werner pairs laid
+/// end to end (`2h` qubits), spliced by `h − 1` sequential Bell
+/// measurements at the intermediate nodes. Returns the fidelity of the
+/// final end-to-end pair with `|Φ⁺⟩`.
+///
+/// # Panics
+///
+/// Panics on an empty slice or when the chain needs more than 6 qubits
+/// (dense density matrices beyond 3 hops get needlessly large for a
+/// verification oracle).
+///
+/// # Examples
+///
+/// ```
+/// use dqc_sim::entanglement_swap_chain_fidelity;
+/// // A single hop is the link itself:
+/// assert!((entanglement_swap_chain_fidelity(&[0.93]) - 0.93).abs() < 1e-9);
+/// ```
+pub fn entanglement_swap_chain_fidelity(link_fidelities: &[f64]) -> f64 {
+    let h = link_fidelities.len();
+    assert!(h >= 1, "a chain needs at least one link");
+    assert!(h <= 3, "density-matrix oracle supports at most 3 hops");
+    // Qubit layout: pair i occupies qubits (2i, 2i+1); the end-to-end
+    // pair is (0, 2h−1).
+    let mut rho = werner(link_fidelities[0]);
+    for &f in &link_fidelities[1..] {
+        rho = rho.tensor(&werner(f));
+    }
+    let cx = gate_matrix(Gate::Cx);
+    let cz = gate_matrix(Gate::Cz);
+    let hadamard = gate_matrix(Gate::H);
+    // Swap i teleports qubit 2i+1 (the half entangled back to A) through
+    // pair (2i+2, 2i+3): Bell measurement on (2i+1, 2i+2), deferred
+    // X^{m(2i+2)} and Z^{m(2i+1)} corrections on 2i+3.
+    for i in 0..h - 1 {
+        let (d, b0, b1) = (2 * i + 1, 2 * i + 2, 2 * i + 3);
+        rho.apply_unitary(&cx, &[d, b0]);
+        rho.apply_unitary(&hadamard, &[d]);
+        rho.apply_unitary(&cx, &[b0, b1]);
+        rho.apply_unitary(&cz, &[d, b1]);
+    }
+    let traced: Vec<usize> = (1..2 * h - 1).collect();
+    let reduced = if traced.is_empty() {
+        rho
+    } else {
+        rho.partial_trace(&traced)
+    };
+    let mut reference = Circuit::new(2);
+    reference.h(0).cx(0, 1);
+    let mut psi = Statevector::zero_state(2);
+    psi.apply_circuit(&reference)
+        .expect("reference circuit is unitary");
+    reduced.fidelity_with_pure(&psi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn perfect_pairs_splice_perfectly() {
+        assert!((entanglement_swap_fidelity(1.0, 1.0) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn analytic_law_matches_density_matrix() {
+        for f1 in [0.25, 0.6, 0.85, 0.99, 1.0] {
+            for f2 in [0.3, 0.75, 0.95, 1.0] {
+                let direct = entanglement_swap_fidelity(f1, f2);
+                let analytic = swap_werner_fidelity(f1, f2);
+                assert!(
+                    (direct - analytic).abs() < TOL,
+                    "swap({f1}, {f2}): density {direct} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_hop_chain_matches_folded_law() {
+        let fs = [0.97, 0.92, 0.88];
+        let direct = entanglement_swap_chain_fidelity(&fs);
+        let folded = swap_werner_fidelity(swap_werner_fidelity(fs[0], fs[1]), fs[2]);
+        assert!(
+            (direct - folded).abs() < TOL,
+            "3-hop: density {direct} vs folded {folded}"
+        );
+    }
+
+    #[test]
+    fn swapping_never_improves_fidelity() {
+        for f1 in [0.5, 0.8, 0.99] {
+            for f2 in [0.5, 0.8, 0.99] {
+                let out = swap_werner_fidelity(f1, f2);
+                assert!(out <= f1.min(f2) + TOL, "swap({f1}, {f2}) = {out}");
+                assert!(out >= 0.25 - TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn single_link_is_identity() {
+        for f in [0.25, 0.5, 0.99] {
+            assert!((entanglement_swap_chain_fidelity(&[f]) - f).abs() < TOL);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Beyond the paper: what the network topology costs.
+//!
+//! ```sh
+//! cargo run --release --example topology
+//! ```
+//!
+//! The paper's evaluation implicitly assumes every node pair shares a
+//! direct EPR link. Real devices don't: a remote gate between
+//! non-adjacent QPUs must splice a chain of links with entanglement
+//! swaps, paying fidelity (Werner parameters multiply per hop) and
+//! latency (one Bell-measurement round per swap). This example runs two
+//! workloads on a 4-node system under a linear chain versus the complete
+//! graph and prints the gap.
+
+use dqc::workloads::{ising_2d, PaperBenchmark, TlimParams};
+use dqc::{Design, Experiment, NetworkTopology, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = [
+        (
+            "QAOA-r8-32 (remote-heavy)",
+            PaperBenchmark::QaoaR8_32.circuit(),
+        ),
+        (
+            "Ising-8x4 (nearest-neighbor)",
+            ising_2d(8, 4, 5, TlimParams::default()),
+        ),
+    ];
+    let mut base = SystemConfig::paper_two_node_32();
+    base.data_qubits_per_node = 8; // 4 nodes x 8 = 32 data qubits
+
+    for (name, circuit) in &workloads {
+        println!("== {name}");
+        let mut gap = Vec::new();
+        for (label, topology) in [
+            ("chain", NetworkTopology::chain(4)),
+            ("all_to_all", NetworkTopology::all_to_all(4)),
+        ] {
+            let config = base.with_topology(topology);
+            let avg = Experiment::new(circuit, &config)?
+                .design(Design::AsyncBuf)
+                .runs(10)
+                .base_seed(7)
+                .run()?;
+            println!(
+                "  {label:<10} depth {:>8.1} CNOT-units ({:>5.2}x ideal)   fidelity {:.4}",
+                avg.mean_depth, avg.mean_depth_relative, avg.mean_fidelity
+            );
+            gap.push((avg.mean_depth, avg.mean_fidelity));
+        }
+        let (chain, full) = (gap[0], gap[1]);
+        println!(
+            "  gap: chain pays {:.2}x the makespan and {:.2}x the infidelity\n",
+            chain.0 / full.0,
+            (1.0 - chain.1) / (1.0 - full.1).max(f64::EPSILON),
+        );
+    }
+
+    println!(
+        "Remote-heavy circuits suffer on sparse networks (multi-hop swap \
+         chains),\nwhile nearest-neighbor workloads can even come out ahead: \
+         the topology-aware\npartitioner places their traffic on adjacent \
+         nodes, and a chain's fewer links\neach get more communication qubits \
+         — the co-design trade-off in one picture."
+    );
+    Ok(())
+}

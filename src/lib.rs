@@ -20,7 +20,8 @@
 //!
 //! The evaluation engine's main types — [`CompiledCircuit`],
 //! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
-//! are additionally re-exported at the crate root.
+//! and the network-topology types ([`NetworkTopology`], [`RoutingTable`],
+//! [`LinkParams`]) are additionally re-exported at the crate root.
 //!
 //! # Quickstart
 //!
@@ -78,3 +79,4 @@ pub use dqc_core::{
     AveragedReport, CompiledCircuit, Design, DqcError, ExecutionReport, Experiment, Sweep,
     SweepCell, SweepResult, SystemConfig,
 };
+pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable};
