@@ -1,0 +1,445 @@
+//! Wall-clock benchmark harness for the engine's hot paths.
+//!
+//! ```text
+//! perf [--quick] [--out DIR] [--check BASELINE.json] [--max-ratio R] [--seed S]
+//! ```
+//!
+//! Times the three performance-critical comparisons behind the ROADMAP's
+//! "fast as the hardware allows" goal with simple warmed timed loops (the
+//! vendored Criterion stand-in has no stable machine-readable output, so
+//! the harness measures directly):
+//!
+//! 1. **compile-once vs legacy** — the deprecated per-seed
+//!    `evaluate` (recompiles every run) against one `Experiment` sharing
+//!    a single compilation;
+//! 2. **sequential vs parallel `Sweep`** — the same grid on one worker
+//!    thread and on all available cores;
+//! 3. **routed vs all-to-all execution** — a 4-node chain (multi-hop
+//!    swap chains) against the 4-node complete graph.
+//!
+//! Results are written as `BENCH_3.json` in a stable schema (fixed keys,
+//! fixed entry names, milliseconds), so the perf trajectory can be
+//! tracked across commits. With `--check` the run additionally gates
+//! against a committed baseline: it fails (exit 1) when any tracked
+//! entry's best iteration is more than `R`× (default 2×) slower than the
+//! baseline's mean — the CI `perf-smoke` regression gate.
+
+use dqc_core::{Design, DqcError, Experiment, Sweep, SystemConfig};
+use dqc_entanglement::NetworkTopology;
+use dqc_types::{Json, JsonError};
+use dqc_workloads::PaperBenchmark;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Name of the emitted artifact; the numeric suffix tracks the PR that
+/// introduced (or last re-baselined) the schema.
+const BENCH_ID: &str = "BENCH_3";
+
+/// Schema version of the benchmark artifact.
+const SCHEMA_VERSION: i64 = 1;
+
+/// Wall-clock statistics of one timed entry, in milliseconds per
+/// iteration (one iteration = `reps` executions of the measured work).
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    /// Inner executions per timed iteration. Fast entries batch many
+    /// executions so every recorded time sits well above timer-jitter
+    /// scale and the regression gate's floor stays meaningful for them.
+    reps: usize,
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+/// Runs `f` once to warm caches, then `iters` timed iterations of
+/// `reps` executions each.
+fn time_loop(iters: usize, reps: usize, mut f: impl FnMut()) -> Stats {
+    f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let n = samples.len() as f64;
+    Stats {
+        reps,
+        mean_ms: samples.iter().sum::<f64>() / n,
+        min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ms: samples.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// The workload sizes of one harness mode.
+struct Profile {
+    mode: &'static str,
+    /// Timed repetitions per entry.
+    iters: usize,
+    /// Seeds per compile-path measurement.
+    compile_seeds: usize,
+    /// Runs per sweep cell / topology experiment.
+    runs: usize,
+}
+
+const QUICK: Profile = Profile {
+    mode: "quick",
+    iters: 3,
+    compile_seeds: 3,
+    runs: 2,
+};
+
+const FULL: Profile = Profile {
+    mode: "full",
+    iters: 7,
+    compile_seeds: 10,
+    runs: 10,
+};
+
+/// A 4-node version of the paper configuration with the given topology.
+fn four_node_config(topology: NetworkTopology) -> SystemConfig {
+    let mut config = SystemConfig::paper_two_node_32();
+    config.data_qubits_per_node = 8;
+    config.with_topology(topology)
+}
+
+/// Runs every entry of the harness, returning `(name, stats)` pairs in
+/// schema order.
+fn run_entries(profile: &Profile, seed: u64) -> Result<Vec<(&'static str, Stats)>, DqcError> {
+    let mut entries = Vec::new();
+    let config = SystemConfig::paper_two_node_32();
+    let circuit = PaperBenchmark::QaoaR4_32.circuit();
+
+    // 1. Legacy per-seed evaluation: one compilation *per run*.
+    eprintln!("timing compile_legacy_evaluate ...");
+    let seeds = profile.compile_seeds;
+    entries.push((
+        "compile_legacy_evaluate",
+        time_loop(profile.iters, 1, || {
+            #[allow(deprecated)]
+            for s in 0..seeds {
+                dqc_core::evaluate(&circuit, &config, Design::AsyncBuf, seed + s as u64)
+                    .expect("paper benchmark evaluates");
+            }
+        }),
+    ));
+
+    // ... against the engine: one compilation shared by every seed.
+    eprintln!("timing compile_once_experiment ...");
+    let experiment = Experiment::new(&circuit, &config)?
+        .design(Design::AsyncBuf)
+        .runs(seeds)
+        .base_seed(seed);
+    entries.push((
+        "compile_once_experiment",
+        // Batched: a single shared-compilation replay is tens of
+        // microseconds, far below the gate's jitter floor.
+        time_loop(profile.iters, 500, || {
+            experiment.reports().expect("paper benchmark evaluates");
+        }),
+    ));
+
+    // 2. The same sweep grid, one worker vs all cores.
+    let grid = || {
+        Sweep::new()
+            .benchmarks([PaperBenchmark::Tlim32, PaperBenchmark::QaoaR4_32])
+            .config("paper", SystemConfig::paper_two_node_32())
+            .designs(&Design::ALL)
+            .runs(profile.runs)
+            .base_seed(seed)
+    };
+    eprintln!("timing sweep_sequential ...");
+    entries.push((
+        "sweep_sequential",
+        time_loop(profile.iters, 1, || {
+            grid().threads(1).run().expect("sweep runs");
+        }),
+    ));
+    eprintln!("timing sweep_parallel ...");
+    entries.push((
+        "sweep_parallel",
+        time_loop(profile.iters, 1, || {
+            grid().run().expect("sweep runs");
+        }),
+    ));
+
+    // 3. Remote-gate execution over a routed chain vs the complete graph.
+    let remote_heavy = PaperBenchmark::QaoaR8_32.circuit();
+    let all_to_all = Experiment::new(
+        &remote_heavy,
+        &four_node_config(NetworkTopology::all_to_all(4)),
+    )?
+    .design(Design::AsyncBuf)
+    .runs(profile.runs)
+    .base_seed(seed);
+    eprintln!("timing exec_all_to_all ...");
+    entries.push((
+        "exec_all_to_all",
+        time_loop(profile.iters, 200, || {
+            all_to_all.reports().expect("topology experiment runs");
+        }),
+    ));
+    let chain = Experiment::new(&remote_heavy, &four_node_config(NetworkTopology::chain(4)))?
+        .design(Design::AsyncBuf)
+        .runs(profile.runs)
+        .base_seed(seed);
+    eprintln!("timing exec_routed_chain ...");
+    entries.push((
+        "exec_routed_chain",
+        time_loop(profile.iters, 100, || {
+            chain.reports().expect("topology experiment runs");
+        }),
+    ));
+
+    Ok(entries)
+}
+
+/// Ratio of two entries' mean times **per execution** (normalized by
+/// each entry's batching factor), as a named derived metric.
+fn ratio(entries: &[(&str, Stats)], name: &'static str, slow: &str, fast: &str) -> (String, f64) {
+    let per_exec = |n: &str| {
+        entries
+            .iter()
+            .find(|(e, _)| *e == n)
+            .map(|(_, s)| s.mean_ms / s.reps as f64)
+            .expect("entry names are fixed")
+    };
+    (name.to_string(), per_exec(slow) / per_exec(fast))
+}
+
+/// Serializes the run into the stable `BENCH_3.json` schema.
+fn to_json(profile: &Profile, entries: &[(&str, Stats)], derived: &[(String, f64)]) -> Json {
+    Json::object([
+        ("schema_version", Json::Int(SCHEMA_VERSION)),
+        ("bench", Json::from(BENCH_ID)),
+        ("mode", Json::from(profile.mode)),
+        ("iters", Json::from(profile.iters)),
+        (
+            "entries",
+            Json::Array(
+                entries
+                    .iter()
+                    .map(|(name, s)| {
+                        Json::object([
+                            ("name", Json::from(*name)),
+                            ("reps", Json::from(s.reps)),
+                            ("mean_ms", Json::float(s.mean_ms)),
+                            ("min_ms", Json::float(s.min_ms)),
+                            ("max_ms", Json::float(s.max_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "derived",
+            Json::Array(
+                derived
+                    .iter()
+                    .map(|(name, value)| {
+                        Json::object([
+                            ("name", Json::from(name.as_str())),
+                            ("value", Json::float(*value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Sub-millisecond entries sit at timer-jitter scale, where a 2× swing
+/// means nothing; the gate only fires once an entry is also at least
+/// this many milliseconds over its baseline.
+const JITTER_FLOOR_MS: f64 = 2.0;
+
+/// Gates the current run against a committed baseline document: any
+/// tracked entry whose best (min) time exceeds `max_ratio` × the
+/// baseline's mean — by more than [`JITTER_FLOOR_MS`] — fails the check.
+/// Comparing the current *best* against the baseline *mean* gives the
+/// noisy CI runner the benefit of the doubt in both directions.
+fn check_against(
+    baseline: &Json,
+    profile: &Profile,
+    entries: &[(&str, Stats)],
+    max_ratio: f64,
+) -> Result<Vec<String>, JsonError> {
+    let mut regressions = Vec::new();
+    // Quick and full mode time different workload sizes, so comparing
+    // across modes would report phantom regressions (or hide real ones).
+    let baseline_mode = baseline.str_field("mode")?;
+    if baseline_mode != profile.mode {
+        return Ok(vec![format!(
+            "baseline was recorded in {baseline_mode} mode but this run is {} mode — \
+             rerun with the matching flag or regenerate the baseline",
+            profile.mode
+        )]);
+    }
+    for item in baseline.array_field("entries")? {
+        let name = item.str_field("name")?;
+        let baseline_mean = item.f64_field("mean_ms")?;
+        let baseline_reps = item.usize_field("reps")?;
+        let Some((_, current)) = entries.iter().find(|(e, _)| *e == name) else {
+            regressions.push(format!(
+                "entry `{name}` missing from this run (schema drift)"
+            ));
+            continue;
+        };
+        if current.reps != baseline_reps {
+            regressions.push(format!(
+                "{name}: batching changed ({} reps vs baseline {baseline_reps}) — \
+                 regenerate the baseline",
+                current.reps
+            ));
+            continue;
+        }
+        if current.min_ms > max_ratio * baseline_mean + JITTER_FLOOR_MS {
+            regressions.push(format!(
+                "{name}: best {:.1} ms vs baseline mean {:.1} ms (> {max_ratio}x)",
+                current.min_ms, baseline_mean
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = &FULL;
+    let mut out_dir = PathBuf::from(".");
+    let mut baseline_path: Option<String> = None;
+    let mut max_ratio = 2.0f64;
+    let mut seed = dqc_bench::BASE_SEED;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => profile = &QUICK,
+            "--full" => profile = &FULL,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage("--out needs a directory"),
+            },
+            "--check" => match iter.next() {
+                Some(path) => baseline_path = Some(path.clone()),
+                None => return usage("--check needs a baseline file"),
+            },
+            "--max-ratio" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => max_ratio = r,
+                _ => return usage("--max-ratio needs a positive number"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let entries = match run_entries(profile, seed) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let derived = vec![
+        ratio(
+            &entries,
+            "compile_once_speedup",
+            "compile_legacy_evaluate",
+            "compile_once_experiment",
+        ),
+        ratio(
+            &entries,
+            "parallel_sweep_speedup",
+            "sweep_sequential",
+            "sweep_parallel",
+        ),
+        ratio(
+            &entries,
+            "routed_chain_overhead",
+            "exec_routed_chain",
+            "exec_all_to_all",
+        ),
+    ];
+
+    println!(
+        "{BENCH_ID} ({} mode, {} iters):",
+        profile.mode, profile.iters
+    );
+    for (name, s) in &entries {
+        println!(
+            "  {name:<26} mean {:>9.2} ms  (min {:>9.2}, max {:>9.2}, x{})",
+            s.mean_ms, s.min_ms, s.max_ms, s.reps
+        );
+    }
+    for (name, value) in &derived {
+        println!("  {name:<26} {value:>9.2}x");
+    }
+
+    let document = to_json(profile, &entries, &derived);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join(format!("{BENCH_ID}.json"));
+    if let Err(e) = std::fs::write(&path, document.to_pretty_string()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("error: cannot load baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_against(&baseline, profile, &entries, max_ratio) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "baseline check passed (no entry slower than {max_ratio}x {baseline_path})"
+                );
+            }
+            Ok(regressions) => {
+                eprintln!("performance regressions against {baseline_path}:");
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: malformed baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(message: &str) -> ExitCode {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: perf [--quick | --full] [--out DIR] [--check BASELINE.json]\n\
+         \x20           [--max-ratio R] [--seed S]\n\
+         Times the engine's hot paths and writes {BENCH_ID}.json; with\n\
+         --check, fails when any entry regresses more than R x (default 2)\n\
+         over the baseline's mean."
+    );
+    if message.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,8 +1,10 @@
 //! Command-line driver that regenerates every table and figure of the
-//! paper's evaluation.
+//! paper's evaluation, as human-readable tables or machine-readable JSON
+//! artifacts, and diffs artifacts against golden files.
 //!
 //! ```text
-//! repro [TARGET...] [--runs N] [--seed S]
+//! repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]
+//! repro diff <a.json> <b.json> [--tol EPS]
 //!
 //! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
 //!       | topology-sweep
@@ -14,13 +16,21 @@
 //! in place of running `fig5` and `fig6` separately.
 //! ```
 //!
-//! Without arguments it runs everything with the paper's 50-run averages.
-//! Figure and ablation targets execute as parallel `Sweep` grids.
+//! Without arguments it runs everything with the paper's 50-run averages
+//! in table format. With `--format json` each target's numbers are
+//! serialized as one [`dqc_bench::Artifact`] — to stdout, or to
+//! `DIR/<target>.json` when `--out` is given. `repro diff` compares two
+//! artifacts structurally, treating numbers within `EPS` (mixed
+//! absolute/relative, default 1e-9) as equal; it exits non-zero when they
+//! differ, which is the CI golden-file regression gate.
 
+use dqc_bench::Artifact;
 use dqc_core::{DqcError, SystemConfig};
+use dqc_types::json;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// A target's runner: (runs, seed) → outcome.
+/// A target's table-mode runner: (runs, seed) → outcome.
 type Runner = fn(usize, u64) -> Result<(), DqcError>;
 
 /// Every runnable target, in `all` execution order.
@@ -50,6 +60,15 @@ const TARGETS: &[(&str, Runner)] = &[
     ("ablate-purification", dqc_bench::run_purification_ablation),
 ];
 
+/// Output rendering selected by `--format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// The paper's pretty-printed terminal tables (default).
+    Table,
+    /// One JSON artifact per target.
+    Json,
+}
+
 /// Expands one CLI word into the targets it names.
 fn expand(name: &str) -> Option<Vec<&'static str>> {
     match name {
@@ -78,9 +97,15 @@ fn expand(name: &str) -> Option<Vec<&'static str>> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        return run_diff(&args[1..]);
+    }
+
     let mut targets: Vec<&'static str> = Vec::new();
     let mut runs = dqc_bench::PAPER_RUNS;
     let mut seed = dqc_bench::BASE_SEED;
+    let mut format = Format::Table;
+    let mut out_dir: Option<PathBuf> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -90,8 +115,21 @@ fn main() -> ExitCode {
                 None => return usage("--runs needs an integer"),
             },
             "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
+                // Capped at i64::MAX: larger seeds would lose precision
+                // through the artifact envelope's integer encoding, so
+                // the recorded provenance could not regenerate the data.
+                Some(v) if v <= i64::MAX as u64 => seed = v,
+                Some(_) => return usage("--seed must fit a signed 64-bit integer"),
                 None => return usage("--seed needs an integer"),
+            },
+            "--format" => match iter.next().map(String::as_str) {
+                Some("table") => format = Format::Table,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `table` or `json`"),
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => return usage("--out needs a directory"),
             },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
@@ -103,20 +141,42 @@ fn main() -> ExitCode {
             },
         }
     }
+    if out_dir.is_some() && format == Format::Table {
+        // `--out` only makes sense for artifacts; writing silently nothing
+        // would look like success.
+        return usage("--out requires --format json");
+    }
     if targets.is_empty() {
         targets = expand("all").expect("all is always a target");
     }
+    if format == Format::Json && out_dir.is_none() && targets.len() > 1 {
+        // Concatenated pretty documents would not be parseable JSON.
+        return usage("multiple --format json targets need --out (one file per target)");
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     for (i, target) in targets.iter().enumerate() {
-        if i > 0 {
-            println!();
-        }
-        let runner = TARGETS
-            .iter()
-            .find(|(n, _)| n == target)
-            .map(|(_, f)| *f)
-            .expect("expanded targets are valid");
-        if let Err(e) = runner(runs, seed) {
+        let outcome = match format {
+            Format::Table => {
+                if i > 0 {
+                    println!();
+                }
+                let runner = TARGETS
+                    .iter()
+                    .find(|(n, _)| n == target)
+                    .map(|(_, f)| *f)
+                    .expect("expanded targets are valid");
+                runner(runs, seed).map_err(|e| e.to_string())
+            }
+            Format::Json => emit_artifact(target, runs, seed, out_dir.as_deref()),
+        };
+        if let Err(e) = outcome {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
@@ -124,12 +184,109 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds one target's artifact and writes it to `DIR/<target>.json`, or
+/// prints it to stdout when no directory was given.
+fn emit_artifact(
+    target: &str,
+    runs: usize,
+    seed: u64,
+    out_dir: Option<&Path>,
+) -> Result<(), String> {
+    // Guard against registry drift: a target listed in TARGETS (table
+    // mode) but missing from the artifact dispatch must fail cleanly,
+    // not panic inside `Artifact::build`.
+    if !dqc_bench::target_names().contains(&target) {
+        return Err(format!("target {target} has no JSON artifact"));
+    }
+    let artifact = Artifact::build(target, runs, seed).map_err(|e| e.to_string())?;
+    match out_dir {
+        Some(dir) => {
+            let path = dir.join(artifact.file_name());
+            std::fs::write(&path, artifact.to_pretty_string())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        None => print!("{}", artifact.to_pretty_string()),
+    }
+    Ok(())
+}
+
+/// `repro diff a.json b.json [--tol EPS]`: the golden-file gate.
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut files: Vec<&str> = Vec::new();
+    let mut tol = 1e-9f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tol" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 0.0 => tol = v,
+                _ => return usage("--tol needs a non-negative number"),
+            },
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => files.push(other),
+        }
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        return usage("diff needs exactly two artifact files");
+    };
+
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let diffs = json::diff(&a, &b, tol);
+    if diffs.is_empty() {
+        println!("{a_path} and {b_path} match within tolerance {tol:e}");
+        return ExitCode::SUCCESS;
+    }
+    const SHOWN: usize = 25;
+    eprintln!(
+        "{a_path} and {b_path} differ ({} sites, tolerance {tol:e}):",
+        diffs.len()
+    );
+    for d in diffs.iter().take(SHOWN) {
+        eprintln!("  {d}");
+    }
+    if diffs.len() > SHOWN {
+        eprintln!("  ... and {} more", diffs.len() - SHOWN);
+    }
+    ExitCode::FAILURE
+}
+
+/// Reads one artifact file and extracts what `diff` compares: the target
+/// name and the payload. The envelope's `runs`/`seed` are provenance,
+/// not results — a deterministic target emitted at different run counts
+/// is still the same data, and for sweep targets every averaged report
+/// carries its own `runs` field inside the payload — so they are
+/// deliberately left out of the comparison. The schema version is
+/// validated here, so version skew is reported as such rather than as
+/// field-level noise.
+fn load(path: &str) -> Result<dqc_types::Json, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    match Artifact::parse(&text) {
+        Ok(artifact) => Ok(dqc_types::Json::object([
+            ("target", dqc_types::Json::from(artifact.target.as_str())),
+            ("data", artifact.data),
+        ])),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn usage(message: &str) -> ExitCode {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: repro [TARGET...] [--runs N] [--seed S]\n\
+        "usage: repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]\n\
+         \x20      repro diff <a.json> <b.json> [--tol EPS]\n\
          targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
          \x20        topology-sweep\n\
          \x20        ablate-cutoff ablate-psucc ablate-segment\n\
@@ -140,5 +297,20 @@ fn usage(message: &str) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TARGETS;
+
+    #[test]
+    fn table_and_artifact_registries_stay_in_sync() {
+        // Every table-mode target must have a JSON artifact and vice
+        // versa — a name added to one registry but not the other would
+        // work in one --format and error in the other.
+        let table: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
+        let json = dqc_bench::target_names();
+        assert_eq!(table, json, "repro TARGETS vs dqc_bench::target_names()");
     }
 }

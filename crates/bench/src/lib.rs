@@ -25,8 +25,12 @@
 use dqc_core::{AveragedReport, Design, DqcError, Experiment, Sweep, SweepResult, SystemConfig};
 use dqc_entanglement::{EntanglementService, GenerationPattern, NetworkTopology};
 use dqc_partition::partition_circuit;
-use dqc_types::Tick;
+use dqc_types::{Json, JsonError, Tick};
 use dqc_workloads::PaperBenchmark;
+
+mod artifact;
+
+pub use artifact::{target_data, target_names, Artifact, SCHEMA_VERSION};
 
 /// Number of randomized runs the paper averages per bar.
 pub const PAPER_RUNS: usize = 50;
@@ -52,6 +56,37 @@ pub struct Table1Row {
     pub one_q: usize,
     /// Unit circuit depth.
     pub depth: usize,
+}
+
+impl Table1Row {
+    /// Serializes the row for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("qubits", Json::Int(i64::from(self.qubits))),
+            ("local_2q", Json::from(self.local_2q)),
+            ("remote_2q", Json::from(self.remote_2q)),
+            ("one_q", Json::from(self.one_q)),
+            ("depth", Json::from(self.depth)),
+        ])
+    }
+
+    /// Reads a row back from [`Table1Row::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: json.str_field("name")?.to_string(),
+            qubits: u32::try_from(json.i64_field("qubits")?)
+                .map_err(|_| JsonError::schema("field `qubits`: out of range"))?,
+            local_2q: json.usize_field("local_2q")?,
+            remote_2q: json.usize_field("remote_2q")?,
+            one_q: json.usize_field("one_q")?,
+            depth: json.usize_field("depth")?,
+        })
+    }
 }
 
 /// Regenerates Table I: benchmark properties under the 2-node METIS-style
@@ -92,11 +127,31 @@ pub fn print_table1(rows: &[Table1Row]) {
 
 // --------------------------------------------------------------- Table II
 
-/// Prints Table II — the operation latencies/fidelities actually used by
-/// the executor.
-pub fn print_table2(config: &SystemConfig) {
-    println!("TABLE II: QUANTUM OPERATION PROPERTIES");
-    println!("{:<22} {:>9} {:>10}", "Name", "Latency", "Fidelity");
+/// One operation row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Operation name as printed in the paper.
+    pub name: String,
+    /// Latency in CNOT units.
+    pub latency_cnot_units: f64,
+    /// Operation fidelity in `[0, 1]`.
+    pub fidelity: f64,
+}
+
+/// Table II plus the footnote constants, extracted from a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Data {
+    /// The four operation rows.
+    pub rows: Vec<Table2Row>,
+    /// Per-attempt entanglement success probability.
+    pub psucc: f64,
+    /// Idling coherence time `1/κ` in CNOT units.
+    pub inv_kappa_cnot_units: f64,
+}
+
+/// Regenerates Table II — the operation latencies/fidelities actually used
+/// by the executor under `config`.
+pub fn table2_data(config: &SystemConfig) -> Table2Data {
     let rows = [
         (
             "1Q gates",
@@ -119,18 +174,92 @@ pub fn print_table2(config: &SystemConfig) {
             config.fidelities.epr,
         ),
     ];
-    for (name, latency, fidelity) in rows {
+    Table2Data {
+        rows: rows
+            .into_iter()
+            .map(|(name, latency, fidelity)| Table2Row {
+                name: name.to_string(),
+                latency_cnot_units: latency.as_cnot_units(),
+                fidelity,
+            })
+            .collect(),
+        psucc: config.success_probability,
+        inv_kappa_cnot_units: 1.0 / (config.kappa_per_tick * Tick::TICKS_PER_CNOT as f64),
+    }
+}
+
+impl Table2Data {
+    /// Serializes the table for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::object([
+                                ("name", Json::from(r.name.as_str())),
+                                ("latency_cnot_units", Json::float(r.latency_cnot_units)),
+                                ("fidelity", Json::float(r.fidelity)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("psucc", Json::float(self.psucc)),
+            (
+                "inv_kappa_cnot_units",
+                Json::float(self.inv_kappa_cnot_units),
+            ),
+        ])
+    }
+
+    /// Reads the table back from [`Table2Data::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            rows: json
+                .array_field("rows")?
+                .iter()
+                .map(|r| {
+                    Ok(Table2Row {
+                        name: r.str_field("name")?.to_string(),
+                        latency_cnot_units: r.f64_field("latency_cnot_units")?,
+                        fidelity: r.f64_field("fidelity")?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+            psucc: json.f64_field("psucc")?,
+            inv_kappa_cnot_units: json.f64_field("inv_kappa_cnot_units")?,
+        })
+    }
+}
+
+/// Prints Table II — the operation latencies/fidelities actually used by
+/// the executor.
+pub fn print_table2(config: &SystemConfig) {
+    print_table2_from(&table2_data(config));
+}
+
+/// Prints Table II from pre-extracted data.
+pub fn print_table2_from(data: &Table2Data) {
+    println!("TABLE II: QUANTUM OPERATION PROPERTIES");
+    println!("{:<22} {:>9} {:>10}", "Name", "Latency", "Fidelity");
+    for row in &data.rows {
         println!(
             "{:<22} {:>9.1} {:>9.2}%",
-            name,
-            latency.as_cnot_units(),
-            fidelity * 100.0
+            row.name,
+            row.latency_cnot_units,
+            row.fidelity * 100.0
         );
     }
     println!(
         "psucc = {}, 1/kappa = {:.0} CNOT units, local CNOT = 300 ns",
-        config.success_probability,
-        1.0 / (config.kappa_per_tick * Tick::TICKS_PER_CNOT as f64)
+        data.psucc, data.inv_kappa_cnot_units
     );
 }
 
@@ -162,17 +291,73 @@ pub fn fig3_data(pattern: GenerationPattern, cycles: usize, seed: u64) -> Vec<us
     histogram
 }
 
+/// Both Fig. 3 arrival histograms (links per `T_local` bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig3Histograms {
+    /// Attempt cycles simulated.
+    pub cycles: usize,
+    /// Arrivals under lockstep (synchronous) generation.
+    pub synchronous: Vec<usize>,
+    /// Arrivals under staggered (asynchronous, 10 groups) generation.
+    pub asynchronous: Vec<usize>,
+}
+
+/// Regenerates both Fig. 3 panels over the first `cycles` attempt cycles.
+pub fn fig3_histograms(cycles: usize, seed: u64) -> Fig3Histograms {
+    Fig3Histograms {
+        cycles,
+        synchronous: fig3_data(GenerationPattern::Synchronous, cycles, seed),
+        asynchronous: fig3_data(GenerationPattern::Asynchronous { groups: 10 }, cycles, seed),
+    }
+}
+
+impl Fig3Histograms {
+    /// Serializes the histograms for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        let hist = |h: &[usize]| Json::Array(h.iter().map(|&c| Json::from(c)).collect());
+        Json::object([
+            ("cycles", Json::from(self.cycles)),
+            ("synchronous", hist(&self.synchronous)),
+            ("asynchronous", hist(&self.asynchronous)),
+        ])
+    }
+
+    /// Reads histograms back from [`Fig3Histograms::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let hist = |key: &str| -> Result<Vec<usize>, JsonError> {
+            json.array_field(key)?
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .and_then(|i| usize::try_from(i).ok())
+                        .ok_or_else(|| JsonError::schema(format!("field `{key}`: expected counts")))
+                })
+                .collect()
+        };
+        Ok(Self {
+            cycles: json.usize_field("cycles")?,
+            synchronous: hist("synchronous")?,
+            asynchronous: hist("asynchronous")?,
+        })
+    }
+}
+
 /// Prints the Fig. 3 sync-vs-async arrival comparison as text sparklines.
 pub fn print_fig3(seed: u64) {
+    print_fig3_from(&fig3_histograms(10, seed));
+}
+
+/// Prints Fig. 3 from pre-computed histograms.
+pub fn print_fig3_from(data: &Fig3Histograms) {
     println!("FIG 3: ENTANGLEMENT ARRIVALS PER T_local (10 comm pairs, psucc = 0.4)");
-    for (label, pattern) in [
-        ("synchronous", GenerationPattern::Synchronous),
-        (
-            "asynchronous",
-            GenerationPattern::Asynchronous { groups: 10 },
-        ),
+    for (label, hist) in [
+        ("synchronous", &data.synchronous),
+        ("asynchronous", &data.asynchronous),
     ] {
-        let hist = fig3_data(pattern, 10, seed);
         let line: String = hist
             .iter()
             .map(|&c| char::from_digit(c.min(9) as u32, 10).unwrap_or('9'))
@@ -289,14 +474,16 @@ pub fn fig56_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
         .run()
 }
 
-fn print_fig5_from(result: &SweepResult, runs: usize) {
+/// Prints Figure 5 from a completed [`fig56_sweep`] grid.
+pub fn print_fig5_from(result: &SweepResult, runs: usize) {
     println!("FIG 5: CIRCUIT DEPTH ACROSS DESIGNS ({runs}-run averages)");
     for bench in PaperBenchmark::FIG5 {
         print_depth_panel(bench, &panel_reports(result, bench, "paper"));
     }
 }
 
-fn print_fig6_from(result: &SweepResult, runs: usize) {
+/// Prints Figure 6 from a completed [`fig56_sweep`] grid.
+pub fn print_fig6_from(result: &SweepResult, runs: usize) {
     println!("FIG 6: CIRCUIT FIDELITY ACROSS DESIGNS ({runs}-run averages)");
     for bench in PaperBenchmark::FIG5 {
         print_fidelity_panel(bench, &panel_reports(result, bench, "paper"));
@@ -340,15 +527,16 @@ pub fn run_fig56(runs: usize, seed: u64) -> Result<(), DqcError> {
 
 // ----------------------------------------------------------------- Fig. 7
 
-/// Runs and prints Figure 7: QAOA-r8-32 depth with 10/15/20 communication
-/// and buffer qubits (buffered designs + ideal), as one sweep over the
-/// configuration axis.
+/// The communication/buffer-qubit counts swept by Figure 7.
+const FIG7_COMM_COUNTS: [usize; 3] = [10, 15, 20];
+
+/// The sweep grid behind Figure 7: QAOA-r8-32 with 10/15/20 communication
+/// and buffer qubits (buffered designs + ideal), one configuration axis.
 ///
 /// # Errors
 ///
 /// Propagates [`DqcError`] from the engine.
-pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("FIG 7: QAOA-r8-32 DEPTH vs COMMUNICATION/BUFFER QUBITS ({runs}-run averages)");
+pub fn fig7_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let mut designs = Design::BUFFERED.to_vec();
     designs.push(Design::Ideal);
     let mut sweep = Sweep::new()
@@ -356,14 +544,19 @@ pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
         .designs(&designs)
         .runs(runs)
         .base_seed(seed);
-    for n in [10usize, 15, 20] {
+    for n in FIG7_COMM_COUNTS {
         sweep = sweep.config(
             format!("comm{n}"),
             SystemConfig::paper_two_node_32().with_comm_and_buffer(n),
         );
     }
-    let result = sweep.run()?;
-    for n in [10usize, 15, 20] {
+    sweep.run()
+}
+
+/// Prints Figure 7 from a completed [`fig7_sweep`] grid.
+pub fn print_fig7_from(result: &SweepResult, runs: usize) {
+    println!("FIG 7: QAOA-r8-32 DEPTH vs COMMUNICATION/BUFFER QUBITS ({runs}-run averages)");
+    for n in FIG7_COMM_COUNTS {
         println!("-- #comm_qb = {n}, #buff_qb = {n}");
         for cell in result.panel(&PaperBenchmark::QaoaR8_32.to_string(), &format!("comm{n}")) {
             let r = &cell.report;
@@ -376,6 +569,17 @@ pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
             );
         }
     }
+}
+
+/// Runs and prints Figure 7: QAOA-r8-32 depth with 10/15/20 communication
+/// and buffer qubits (buffered designs + ideal), as one sweep over the
+/// configuration axis.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
+    print_fig7_from(&fig7_sweep(runs, seed)?, runs);
     Ok(())
 }
 
@@ -388,18 +592,32 @@ pub fn run_fig7(runs: usize, seed: u64) -> Result<(), DqcError> {
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_fig8(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("FIG 8: 64-QUBIT SYSTEM DEPTH ACROSS DESIGNS ({runs}-run averages)");
-    let result = Sweep::new()
+    print_fig8_from(&fig8_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The sweep grid behind Figure 8: QAOA-r4-64 / QAOA-r8-64 × all designs
+/// on the 64-qubit system configuration.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn fig8_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
+    Sweep::new()
         .benchmarks(PaperBenchmark::FIG8)
         .config("paper64", SystemConfig::paper_two_node_64())
         .designs(&Design::ALL)
         .runs(runs)
         .base_seed(seed)
-        .run()?;
+        .run()
+}
+
+/// Prints Figure 8 from a completed [`fig8_sweep`] grid.
+pub fn print_fig8_from(result: &SweepResult, runs: usize) {
+    println!("FIG 8: 64-QUBIT SYSTEM DEPTH ACROSS DESIGNS ({runs}-run averages)");
     for bench in PaperBenchmark::FIG8 {
-        print_depth_panel(bench, &panel_reports(&result, bench, "paper64"));
+        print_depth_panel(bench, &panel_reports(result, bench, "paper64"));
     }
-    Ok(())
 }
 
 // --------------------------------------------------------- Topology sweep
@@ -451,9 +669,30 @@ pub fn topology_sweep(nodes: usize, runs: usize, seed: u64) -> Result<SweepResul
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_topology_sweep(runs: usize, seed: u64) -> Result<(), DqcError> {
+    print_topology_from(&topology_sweep_all(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The node counts covered by the topology-sweep target.
+pub const TOPOLOGY_NODE_COUNTS: [usize; 2] = [2, 4];
+
+/// Runs the topology sweep for every node count in
+/// [`TOPOLOGY_NODE_COUNTS`], pairing each count with its grid.
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn topology_sweep_all(runs: usize, seed: u64) -> Result<Vec<(usize, SweepResult)>, DqcError> {
+    TOPOLOGY_NODE_COUNTS
+        .into_iter()
+        .map(|nodes| Ok((nodes, topology_sweep(nodes, runs, seed)?)))
+        .collect()
+}
+
+/// Prints the topology sweep from completed [`topology_sweep_all`] grids.
+pub fn print_topology_from(results: &[(usize, SweepResult)], runs: usize) {
     println!("TOPOLOGY SWEEP: QAOA-r8-32 ACROSS NETWORK TOPOLOGIES ({runs}-run averages)");
-    for nodes in [2usize, 4] {
-        let result = topology_sweep(nodes, runs, seed)?;
+    for (nodes, result) in results {
         println!("-- {nodes} nodes x {} data qubits", 32 / nodes);
         for cell in &result.cells {
             let r = &cell.report;
@@ -463,7 +702,6 @@ pub fn run_topology_sweep(runs: usize, seed: u64) -> Result<(), DqcError> {
             );
         }
     }
-    Ok(())
 }
 
 // -------------------------------------------------------------- Ablations
@@ -475,7 +713,17 @@ pub fn run_topology_sweep(runs: usize, seed: u64) -> Result<(), DqcError> {
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("ABLATION: BUFFER CUTOFF AGE (QAOA-r8-32, async_buf, {runs}-run averages)");
+    print_cutoff_ablation_from(&cutoff_ablation_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The sweep grid behind the cutoff ablation (config labels are the
+/// cutoff ages in ticks).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn cutoff_ablation_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let cutoffs = [50i64, 100, 150, 250, 500, 1000];
     let mut sweep = Sweep::new()
         .benchmark(PaperBenchmark::QaoaR8_32)
@@ -487,15 +735,20 @@ pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
         config.cutoff = dqc_entanglement::CutoffPolicy::MaxAge(Tick::new(t));
         sweep = sweep.config(format!("{t}"), config);
     }
-    let result = sweep.run()?;
-    for (t, cell) in cutoffs.iter().zip(&result.cells) {
+    sweep.run()
+}
+
+/// Prints the cutoff ablation from a completed
+/// [`cutoff_ablation_sweep`] grid.
+pub fn print_cutoff_ablation_from(result: &SweepResult, runs: usize) {
+    println!("ABLATION: BUFFER CUTOFF AGE (QAOA-r8-32, async_buf, {runs}-run averages)");
+    for cell in &result.cells {
         let r = &cell.report;
         println!(
             "  cutoff {:>5}t: depth {:>7.1}  fidelity {:.4}  wasted {:>6.1}",
-            t, r.mean_depth, r.mean_fidelity, r.mean_wasted
+            cell.config, r.mean_depth, r.mean_fidelity, r.mean_wasted
         );
     }
-    Ok(())
 }
 
 /// Sweeps the per-attempt success probability, showing where buffering
@@ -505,28 +758,46 @@ pub fn run_cutoff_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("ABLATION: SUCCESS PROBABILITY (QAOA-r8-32, {runs}-run averages)");
-    let psuccs = [0.1, 0.2, 0.4, 0.6, 0.8];
+    print_psucc_ablation_from(&psucc_ablation_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The success probabilities swept by the psucc ablation.
+const PSUCC_AXIS: [f64; 5] = [0.1, 0.2, 0.4, 0.6, 0.8];
+
+/// The sweep grid behind the psucc ablation (config labels are the
+/// probabilities).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn psucc_ablation_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let mut sweep = Sweep::new()
         .benchmark(PaperBenchmark::QaoaR8_32)
         .designs(&[Design::Original, Design::AsyncBuf])
         .runs(runs)
         .base_seed(seed);
-    for p in psuccs {
+    for p in PSUCC_AXIS {
         let mut config = SystemConfig::paper_two_node_32();
         config.success_probability = p;
         sweep = sweep.config(format!("{p}"), config);
     }
-    let result = sweep.run()?;
+    sweep.run()
+}
+
+/// Prints the psucc ablation from a completed [`psucc_ablation_sweep`]
+/// grid.
+pub fn print_psucc_ablation_from(result: &SweepResult, runs: usize) {
+    println!("ABLATION: SUCCESS PROBABILITY (QAOA-r8-32, {runs}-run averages)");
     let name = PaperBenchmark::QaoaR8_32.to_string();
-    for p in psuccs {
+    for p in PSUCC_AXIS {
         let orig = &result
             .cell(&name, &format!("{p}"), Design::Original)
-            .unwrap()
+            .expect("psucc sweep covers every probability")
             .report;
         let asyn = &result
             .cell(&name, &format!("{p}"), Design::AsyncBuf)
-            .unwrap()
+            .expect("psucc sweep covers every probability")
             .report;
         println!(
             "  psucc {p:.1}: original {:>7.1}  async_buf {:>7.1}  (gain {:>5.2}x)",
@@ -535,7 +806,6 @@ pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
             orig.mean_depth / asyn.mean_depth
         );
     }
-    Ok(())
 }
 
 /// Compares the two remote-gate protocols (extension: the paper's stated
@@ -545,31 +815,49 @@ pub fn run_psucc_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("ABLATION: REMOTE-GATE PROTOCOL (async_buf, {runs}-run averages)");
-    let protocols = [
-        dqc_core::RemoteProtocol::GateTeleport,
-        dqc_core::RemoteProtocol::StateTeleport,
-    ];
+    print_protocol_ablation_from(&protocol_ablation_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The two protocols compared by the protocol ablation.
+const PROTOCOL_AXIS: [dqc_core::RemoteProtocol; 2] = [
+    dqc_core::RemoteProtocol::GateTeleport,
+    dqc_core::RemoteProtocol::StateTeleport,
+];
+
+/// The sweep grid behind the protocol ablation (config labels are the
+/// protocol debug names).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn protocol_ablation_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let mut sweep = Sweep::new()
         .benchmarks([PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32])
         .designs(&[Design::AsyncBuf])
         .runs(runs)
         .base_seed(seed);
-    for protocol in protocols {
+    for protocol in PROTOCOL_AXIS {
         let mut config = SystemConfig::paper_two_node_32();
         config.remote_protocol = protocol;
         sweep = sweep.config(format!("{protocol:?}"), config);
     }
-    let result = sweep.run()?;
+    sweep.run()
+}
+
+/// Prints the protocol ablation from a completed
+/// [`protocol_ablation_sweep`] grid.
+pub fn print_protocol_ablation_from(result: &SweepResult, runs: usize) {
+    println!("ABLATION: REMOTE-GATE PROTOCOL (async_buf, {runs}-run averages)");
     for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
-        for protocol in protocols {
+        for protocol in PROTOCOL_AXIS {
             let r = &result
                 .cell(
                     &bench.to_string(),
                     &format!("{protocol:?}"),
                     Design::AsyncBuf,
                 )
-                .unwrap()
+                .expect("protocol sweep covers every benchmark × protocol")
                 .report;
             println!(
                 "  {bench:<11} {:?}: depth {:>7.1}  fidelity {:.4}  ({} links/gate)",
@@ -580,7 +868,6 @@ pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
             );
         }
     }
-    Ok(())
 }
 
 /// Compares plain consumption against purify-on-consume (extension built
@@ -591,7 +878,17 @@ pub fn run_protocol_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("ABLATION: BBPSSW PURIFY-ON-CONSUME (async_buf, {runs}-run averages)");
+    print_purification_ablation_from(&purification_ablation_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The sweep grid behind the purification ablation (config labels are
+/// `false`/`true`).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn purification_ablation_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let mut sweep = Sweep::new()
         .benchmarks([PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32])
         .designs(&[Design::AsyncBuf])
@@ -602,12 +899,18 @@ pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), DqcError>
         config.purify_links = purify;
         sweep = sweep.config(format!("{purify}"), config);
     }
-    let result = sweep.run()?;
+    sweep.run()
+}
+
+/// Prints the purification ablation from a completed
+/// [`purification_ablation_sweep`] grid.
+pub fn print_purification_ablation_from(result: &SweepResult, runs: usize) {
+    println!("ABLATION: BBPSSW PURIFY-ON-CONSUME (async_buf, {runs}-run averages)");
     for bench in [PaperBenchmark::QaoaR4_32, PaperBenchmark::QaoaR8_32] {
         for purify in [false, true] {
             let r = &result
                 .cell(&bench.to_string(), &format!("{purify}"), Design::AsyncBuf)
-                .unwrap()
+                .expect("purification sweep covers every benchmark × mode")
                 .report;
             println!(
                 "  {bench:<11} purify={purify:<5}: depth {:>7.1}  fidelity {:.4}",
@@ -615,7 +918,6 @@ pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), DqcError>
             );
         }
     }
-    Ok(())
 }
 
 /// Sweeps the adaptive segment size `m` (extension beyond the paper's
@@ -625,33 +927,62 @@ pub fn run_purification_ablation(runs: usize, seed: u64) -> Result<(), DqcError>
 ///
 /// Propagates [`DqcError`] from the engine.
 pub fn run_segment_ablation(runs: usize, seed: u64) -> Result<(), DqcError> {
-    println!("ABLATION: ADAPTIVE SEGMENT SIZE m (QFT-32, adapt_buf, {runs}-run averages)");
+    print_segment_ablation_from(&segment_ablation_sweep(runs, seed)?, runs);
+    Ok(())
+}
+
+/// The segment sizes swept by the segment ablation.
+const SEGMENT_AXIS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The `(m, comm_qubits, config)` axis behind the segment ablation: comm
+/// qubits are scaled so `m = ceil(comm · psucc)` hits each target size.
+fn segment_axis() -> Vec<(usize, usize, SystemConfig)> {
     let base = SystemConfig::paper_two_node_32();
-    println!("  (paper default m = {})", base.segment_remote_gates());
-    let ms = [1usize, 2, 4, 8, 16];
+    SEGMENT_AXIS
+        .into_iter()
+        .map(|m| {
+            let mut config = base.clone();
+            config.comm_qubits_per_node = (m as f64 / config.success_probability).ceil() as usize;
+            config.buffer_qubits_per_node = config.comm_qubits_per_node;
+            let comm = config.comm_qubits_per_node;
+            (m, comm, config)
+        })
+        .collect()
+}
+
+/// The sweep grid behind the segment ablation (config labels are `m1`,
+/// `m2`, …).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn segment_ablation_sweep(runs: usize, seed: u64) -> Result<SweepResult, DqcError> {
     let mut sweep = Sweep::new()
         .benchmark(PaperBenchmark::Qft32)
         .designs(&[Design::AdaptBuf])
         .runs(runs)
         .base_seed(seed);
-    let mut comms = Vec::new();
-    for m in ms {
-        let mut config = base.clone();
-        // Scale comm qubits so m = ceil(comm · psucc) hits the target.
-        config.comm_qubits_per_node = (m as f64 / config.success_probability).ceil() as usize;
-        config.buffer_qubits_per_node = config.comm_qubits_per_node;
-        comms.push(config.comm_qubits_per_node);
+    for (m, _, config) in segment_axis() {
         sweep = sweep.config(format!("m{m}"), config);
     }
-    let result = sweep.run()?;
-    for ((m, comm), cell) in ms.iter().zip(comms).zip(&result.cells) {
+    sweep.run()
+}
+
+/// Prints the segment ablation from a completed
+/// [`segment_ablation_sweep`] grid.
+pub fn print_segment_ablation_from(result: &SweepResult, runs: usize) {
+    println!("ABLATION: ADAPTIVE SEGMENT SIZE m (QFT-32, adapt_buf, {runs}-run averages)");
+    println!(
+        "  (paper default m = {})",
+        SystemConfig::paper_two_node_32().segment_remote_gates()
+    );
+    for ((m, comm, _), cell) in segment_axis().into_iter().zip(&result.cells) {
         let r = &cell.report;
         println!(
             "  m = {:>2} (comm = {:>2}): depth {:>8.1}  fidelity {:.4}",
             m, comm, r.mean_depth, r.mean_fidelity
         );
     }
-    Ok(())
 }
 
 #[cfg(test)]

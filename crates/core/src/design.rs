@@ -103,6 +103,11 @@ impl Design {
             Design::Ideal => "ideal",
         }
     }
+
+    /// The inverse of [`Design::name`], used when deserializing reports.
+    pub fn from_name(name: &str) -> Option<Design> {
+        Design::ALL.into_iter().find(|d| d.name() == name)
+    }
 }
 
 impl fmt::Display for Design {
@@ -142,6 +147,14 @@ mod tests {
                 "ideal"
             ]
         );
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for design in Design::ALL {
+            assert_eq!(Design::from_name(design.name()), Some(design));
+        }
+        assert_eq!(Design::from_name("unknown"), None);
     }
 
     #[test]

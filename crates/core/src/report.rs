@@ -2,8 +2,15 @@
 
 use crate::Design;
 use dqc_entanglement::ServiceStats;
-use dqc_types::{Fidelity, Tick};
+use dqc_types::{Fidelity, Json, JsonError, Tick};
 use std::fmt;
+
+/// Reads a `Design` out of a report object's `design` member.
+pub(crate) fn design_field(json: &Json) -> Result<Design, JsonError> {
+    let name = json.str_field("design")?;
+    Design::from_name(name)
+        .ok_or_else(|| JsonError::schema(format!("field `design`: unknown design `{name}`")))
+}
 
 /// Outcome of executing one circuit on one design (one random run).
 ///
@@ -55,6 +62,76 @@ impl ExecutionReport {
     /// Output fidelity.
     pub fn fidelity(&self) -> Fidelity {
         self.fidelity
+    }
+
+    /// Serializes the report for the machine-readable results pipeline.
+    ///
+    /// Times are stored in raw integer ticks (exact), fidelities as their
+    /// `[0, 1]` float values; [`ExecutionReport::from_json`] is the exact
+    /// inverse.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("design", Json::from(self.design.name())),
+            ("makespan_ticks", Json::Int(self.makespan.ticks())),
+            (
+                "ideal_makespan_ticks",
+                Json::Int(self.ideal_makespan.ticks()),
+            ),
+            ("fidelity", Json::float(self.fidelity.value())),
+            ("local_fidelity", Json::float(self.local_fidelity.value())),
+            ("remote_fidelity", Json::float(self.remote_fidelity.value())),
+            ("idle_fidelity", Json::float(self.idle_fidelity.value())),
+            ("remote_gates", Json::from(self.remote_gates)),
+            (
+                "service_stats",
+                self.service_stats
+                    .as_ref()
+                    .map_or(Json::Null, ServiceStats::to_json),
+            ),
+            ("mean_link_wait", Json::float(self.mean_link_wait)),
+            (
+                "variant_counts",
+                Json::Array(vec![
+                    Json::from(self.variant_counts.0),
+                    Json::from(self.variant_counts.1),
+                    Json::from(self.variant_counts.2),
+                ]),
+            ),
+        ])
+    }
+
+    /// Reads a report back from [`ExecutionReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let variants = json.array_field("variant_counts")?;
+        let variant_at = |i: usize| -> Result<usize, JsonError> {
+            variants
+                .get(i)
+                .and_then(Json::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| JsonError::schema("field `variant_counts`: expected 3 counts"))
+        };
+        let stats = json.field("service_stats")?;
+        Ok(Self {
+            design: design_field(json)?,
+            makespan: Tick::new(json.i64_field("makespan_ticks")?),
+            ideal_makespan: Tick::new(json.i64_field("ideal_makespan_ticks")?),
+            fidelity: Fidelity::new(json.f64_field("fidelity")?),
+            local_fidelity: Fidelity::new(json.f64_field("local_fidelity")?),
+            remote_fidelity: Fidelity::new(json.f64_field("remote_fidelity")?),
+            idle_fidelity: Fidelity::new(json.f64_field("idle_fidelity")?),
+            remote_gates: json.usize_field("remote_gates")?,
+            service_stats: if stats.is_null() {
+                None
+            } else {
+                Some(ServiceStats::from_json(stats)?)
+            },
+            mean_link_wait: json.f64_field("mean_link_wait")?,
+            variant_counts: (variant_at(0)?, variant_at(1)?, variant_at(2)?),
+        })
     }
 }
 
@@ -126,6 +203,38 @@ impl AveragedReport {
                 / n,
         }
     }
+
+    /// Serializes the averages for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("design", Json::from(self.design.name())),
+            ("runs", Json::from(self.runs)),
+            ("mean_depth", Json::float(self.mean_depth)),
+            ("mean_depth_relative", Json::float(self.mean_depth_relative)),
+            ("mean_fidelity", Json::float(self.mean_fidelity)),
+            ("mean_remote_gates", Json::float(self.mean_remote_gates)),
+            ("mean_link_wait", Json::float(self.mean_link_wait)),
+            ("mean_wasted", Json::float(self.mean_wasted)),
+        ])
+    }
+
+    /// Reads averages back from [`AveragedReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            design: design_field(json)?,
+            runs: json.usize_field("runs")?,
+            mean_depth: json.f64_field("mean_depth")?,
+            mean_depth_relative: json.f64_field("mean_depth_relative")?,
+            mean_fidelity: json.f64_field("mean_fidelity")?,
+            mean_remote_gates: json.f64_field("mean_remote_gates")?,
+            mean_link_wait: json.f64_field("mean_link_wait")?,
+            mean_wasted: json.f64_field("mean_wasted")?,
+        })
+    }
 }
 
 impl fmt::Display for AveragedReport {
@@ -189,6 +298,61 @@ mod tests {
             report(Design::SyncBuf, 200, 0.8),
             report(Design::AsyncBuf, 200, 0.8),
         ]);
+    }
+
+    #[test]
+    fn execution_report_json_round_trips() {
+        let mut r = report(Design::AdaptBuf, 321, 0.875);
+        r.variant_counts = (1, 2, 3);
+        assert_eq!(ExecutionReport::from_json(&r.to_json()).unwrap(), r);
+
+        r.service_stats = Some(ServiceStats {
+            attempts: 100,
+            successes: 40,
+            consumed: 38,
+            wasted: 2,
+            preinitialized: 10,
+            total_consumed_age: Tick::new(950),
+            peak_buffered: 7,
+        });
+        let json = r.to_json();
+        assert_eq!(ExecutionReport::from_json(&json).unwrap(), r);
+        // And through actual text, not just the tree.
+        let reparsed = dqc_types::Json::parse(&json.to_pretty_string()).unwrap();
+        assert_eq!(ExecutionReport::from_json(&reparsed).unwrap(), r);
+    }
+
+    #[test]
+    fn averaged_report_json_round_trips() {
+        let avg = AveragedReport::from_runs(&[
+            report(Design::SyncBuf, 200, 0.8),
+            report(Design::SyncBuf, 400, 0.6),
+        ]);
+        let json = avg.to_json();
+        assert_eq!(AveragedReport::from_json(&json).unwrap(), avg);
+        let reparsed = dqc_types::Json::parse(&json.to_compact_string()).unwrap();
+        assert_eq!(AveragedReport::from_json(&reparsed).unwrap(), avg);
+    }
+
+    #[test]
+    fn report_from_json_rejects_bad_documents() {
+        let good = report(Design::Ideal, 100, 0.5).to_json();
+        let mut missing = good.clone();
+        if let dqc_types::Json::Object(members) = &mut missing {
+            members.retain(|(k, _)| k != "fidelity");
+        }
+        assert!(ExecutionReport::from_json(&missing).is_err());
+
+        let mut bad_design = good;
+        if let dqc_types::Json::Object(members) = &mut bad_design {
+            for (k, v) in members.iter_mut() {
+                if k == "design" {
+                    *v = dqc_types::Json::from("warp_drive");
+                }
+            }
+        }
+        let err = ExecutionReport::from_json(&bad_design).unwrap_err();
+        assert!(err.to_string().contains("warp_drive"));
     }
 
     #[test]

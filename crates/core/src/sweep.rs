@@ -15,6 +15,7 @@
 
 use crate::{AveragedReport, CompiledCircuit, Design, DqcError, Experiment, SystemConfig};
 use dqc_circuit::Circuit;
+use dqc_types::{Json, JsonError};
 use std::sync::{Arc, Mutex};
 
 /// A worker-pool result slot: `None` until the owning worker fills it.
@@ -43,7 +44,61 @@ pub struct SweepResult {
     pub compilations: usize,
 }
 
+impl SweepCell {
+    /// Serializes the cell for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("circuit", Json::from(self.circuit.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("design", Json::from(self.design.name())),
+            ("report", self.report.to_json()),
+        ])
+    }
+
+    /// Reads a cell back from [`SweepCell::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            circuit: json.str_field("circuit")?.to_string(),
+            config: json.str_field("config")?.to_string(),
+            design: crate::report::design_field(json)?,
+            report: AveragedReport::from_json(json.field("report")?)?,
+        })
+    }
+}
+
 impl SweepResult {
+    /// Serializes the full grid (cells in grid order, plus the
+    /// compilation count) for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("compilations", Json::from(self.compilations)),
+            (
+                "cells",
+                Json::Array(self.cells.iter().map(SweepCell::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reads a grid back from [`SweepResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            compilations: json.usize_field("compilations")?,
+            cells: json
+                .array_field("cells")?
+                .iter()
+                .map(SweepCell::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
     /// The cells of one (circuit, config) panel, in design order — one
     /// figure panel of the paper.
     pub fn panel(&self, circuit: &str, config: &str) -> Vec<&SweepCell> {
@@ -379,6 +434,27 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, DqcError::CircuitTooWide { qubits: 64, .. }));
+    }
+
+    #[test]
+    fn sweep_result_json_round_trips_through_text() {
+        let result = Sweep::new()
+            .benchmark(PaperBenchmark::Tlim32)
+            .config("paper", SystemConfig::paper_two_node_32())
+            .designs(&[Design::Original, Design::Ideal])
+            .runs(2)
+            .run()
+            .unwrap();
+        let text = result.to_json().to_pretty_string();
+        let back = SweepResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.compilations, result.compilations);
+        assert_eq!(back.cells.len(), result.cells.len());
+        for (a, b) in result.cells.iter().zip(&back.cells) {
+            assert_eq!(a.circuit, b.circuit);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.design, b.design);
+            assert_eq!(a.report, b.report);
+        }
     }
 
     #[test]

@@ -93,6 +93,40 @@ impl ServiceStats {
             self.total_consumed_age.ticks() as f64 / self.consumed as f64
         }
     }
+
+    /// Serializes the counters for the machine-readable results pipeline.
+    pub fn to_json(&self) -> dqc_types::Json {
+        use dqc_types::Json;
+        Json::object([
+            ("attempts", Json::uint(self.attempts)),
+            ("successes", Json::uint(self.successes)),
+            ("consumed", Json::uint(self.consumed)),
+            ("wasted", Json::uint(self.wasted)),
+            ("preinitialized", Json::uint(self.preinitialized)),
+            (
+                "total_consumed_age_ticks",
+                Json::Int(self.total_consumed_age.ticks()),
+            ),
+            ("peak_buffered", Json::from(self.peak_buffered)),
+        ])
+    }
+
+    /// Reads counters back from [`ServiceStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`dqc_types::JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &dqc_types::Json) -> Result<Self, dqc_types::JsonError> {
+        Ok(Self {
+            attempts: json.u64_field("attempts")?,
+            successes: json.u64_field("successes")?,
+            consumed: json.u64_field("consumed")?,
+            wasted: json.u64_field("wasted")?,
+            preinitialized: json.u64_field("preinitialized")?,
+            total_consumed_age: Tick::new(json.i64_field("total_consumed_age_ticks")?),
+            peak_buffered: json.usize_field("peak_buffered")?,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -11,6 +11,9 @@
 //!   entanglement-generation attempt cycle = 100).
 //! * [`Fidelity`] — a probability-like quality metric clamped to `[0, 1]`
 //!   that multiplies like independent error channels compose.
+//! * [`json`] — a hand-rolled JSON document model (writer, parser,
+//!   tolerance-aware diff) backing the machine-readable results pipeline;
+//!   the build environment is offline, so there is no `serde`.
 //!
 //! # Examples
 //!
@@ -32,8 +35,10 @@
 
 mod fidelity;
 mod ids;
+pub mod json;
 mod tick;
 
 pub use fidelity::Fidelity;
 pub use ids::{GateId, NodeId, QubitId};
+pub use json::{Json, JsonError};
 pub use tick::Tick;

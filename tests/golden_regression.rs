@@ -1,0 +1,117 @@
+//! Golden-file regression gate: the committed artifacts under
+//! `tests/golden/` pin the paper-claims numbers at fixed seeds; this test
+//! recomputes each pinned target in-process and diffs the fresh artifact
+//! against the golden document with the same tolerance CI uses for
+//! `repro diff`.
+//!
+//! The engine is deterministic (integer tick clock, seeded ChaCha
+//! streams, ordered parallel collection), so the tolerance only has to
+//! absorb float-formatting round-trips — which are exact — and is
+//! correspondingly tight.
+//!
+//! To re-pin after a deliberate behavior change:
+//!
+//! ```text
+//! cargo run --release --bin repro -- table1 fig5 topology-sweep \
+//!     ablate-protocol --runs 2 --format json --out tests/golden
+//! ```
+
+use dqc_bench::Artifact;
+use dqc_types::json;
+use std::path::PathBuf;
+
+/// Runs/seed the golden artifacts were generated with (seed is
+/// [`dqc_bench::BASE_SEED`], the repro default).
+const GOLDEN_RUNS: usize = 2;
+
+/// The tolerance CI applies via `repro diff --tol`.
+const GOLDEN_TOL: f64 = 1e-9;
+
+/// The pinned targets: deterministic table plus one representative of
+/// each expensive sweep family (figures, topology, ablations).
+const PINNED: &[&str] = &["table1", "fig5", "topology-sweep", "ablate-protocol"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_target(target: &str) {
+    let path = golden_dir().join(format!("{target}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let golden = Artifact::parse(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid artifact: {e}", path.display()));
+    assert_eq!(golden.target, target, "{}", path.display());
+
+    let fresh = Artifact::build(target, golden.runs, golden.seed)
+        .unwrap_or_else(|e| panic!("recomputing {target}: {e}"));
+    let diffs = json::diff(&golden.to_json(), &fresh.to_json(), GOLDEN_TOL);
+    assert!(
+        diffs.is_empty(),
+        "{target} drifted from tests/golden/{target}.json ({} sites):\n  {}\n\
+         If this change is intentional, regenerate the golden files (see \
+         this file's module docs) and review the numeric diff in the PR.",
+        diffs.len(),
+        diffs
+            .iter()
+            .take(10)
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[test]
+fn golden_artifacts_use_the_documented_provenance() {
+    for target in PINNED {
+        let path = golden_dir().join(format!("{target}.json"));
+        let golden = Artifact::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(golden.runs, GOLDEN_RUNS, "{target}: unexpected run count");
+        assert_eq!(
+            golden.seed,
+            dqc_bench::BASE_SEED,
+            "{target}: unexpected seed"
+        );
+    }
+}
+
+#[test]
+fn table1_matches_golden() {
+    check_target("table1");
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check_target("fig5");
+}
+
+#[test]
+fn topology_sweep_matches_golden() {
+    check_target("topology-sweep");
+}
+
+#[test]
+fn ablate_protocol_matches_golden() {
+    check_target("ablate-protocol");
+}
+
+#[test]
+fn golden_table1_pins_the_paper_claims() {
+    // Belt and braces: the golden file itself (not just the generator)
+    // carries the paper's Table I numbers for the deterministic
+    // benchmarks, so a silently regenerated golden cannot hide a claims
+    // regression.
+    let text = std::fs::read_to_string(golden_dir().join("table1.json")).unwrap();
+    let artifact = Artifact::parse(&text).unwrap();
+    let rows: Vec<dqc_bench::Table1Row> = artifact
+        .data
+        .as_array()
+        .expect("table1 payload is an array")
+        .iter()
+        .map(|r| dqc_bench::Table1Row::from_json(r).unwrap())
+        .collect();
+    let tlim = rows.iter().find(|r| r.name == "TLIM-32").unwrap();
+    assert_eq!((tlim.local_2q, tlim.remote_2q), (300, 10));
+    let qft = rows.iter().find(|r| r.name == "QFT-32").unwrap();
+    assert_eq!((qft.local_2q, qft.remote_2q, qft.depth), (240, 256, 63));
+}

@@ -1,0 +1,143 @@
+//! Round-trip and tolerance coverage for the results pipeline: real
+//! engine output serialized to JSON text, parsed back, and compared —
+//! plus the `repro diff` edge cases the golden gate relies on.
+
+use dqc::types::json::{self, Json};
+use dqc::workloads::PaperBenchmark;
+use dqc::{AveragedReport, Design, ExecutionReport, Experiment, Sweep, SweepResult, SystemConfig};
+
+fn experiment(design: Design) -> Experiment {
+    Experiment::new(
+        &PaperBenchmark::Tlim32.circuit(),
+        &SystemConfig::paper_two_node_32(),
+    )
+    .unwrap()
+    .design(design)
+    .base_seed(7)
+}
+
+#[test]
+fn execution_report_round_trips_identically() {
+    // A distributed design (service stats present) and the ideal design
+    // (service stats absent) both survive text serialization exactly.
+    for design in [Design::AsyncBuf, Design::AdaptBuf, Design::Ideal] {
+        let report = experiment(design).run_one(3).unwrap();
+        let text = report.to_json().to_pretty_string();
+        let back = ExecutionReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report, "{design}");
+    }
+}
+
+#[test]
+fn averaged_report_round_trips_identically() {
+    let avg = experiment(Design::SyncBuf).runs(3).run().unwrap();
+    let text = avg.to_json().to_compact_string();
+    let back = AveragedReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, avg);
+}
+
+#[test]
+fn sweep_result_round_trips_identically() {
+    let result = Sweep::new()
+        .benchmark(PaperBenchmark::QaoaR4_32)
+        .config("paper", SystemConfig::paper_two_node_32())
+        .designs(&[Design::Original, Design::AsyncBuf, Design::Ideal])
+        .runs(2)
+        .base_seed(11)
+        .run()
+        .unwrap();
+    let text = result.to_json().to_pretty_string();
+    let back = SweepResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back.compilations, result.compilations);
+    assert_eq!(
+        back.cells.iter().map(|c| &c.report).collect::<Vec<_>>(),
+        result.cells.iter().map(|c| &c.report).collect::<Vec<_>>()
+    );
+    // Round-tripping is also diff-clean at zero tolerance.
+    assert!(json::diff(&result.to_json(), &back.to_json(), 0.0).is_empty());
+}
+
+#[test]
+fn serialized_reports_never_contain_nan_or_inf() {
+    // The writer's contract: whatever the floats are, the document text
+    // is valid JSON with no NaN/inf tokens (non-finite maps to null).
+    let result = Sweep::new()
+        .benchmark(PaperBenchmark::Qft32)
+        .config("paper", SystemConfig::paper_two_node_32())
+        .designs(&Design::ALL)
+        .runs(2)
+        .run()
+        .unwrap();
+    let text = result.to_json().to_pretty_string();
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    Json::parse(&text).expect("document parses");
+
+    // And a synthetically poisoned document still serializes validly.
+    let poisoned = Json::object([
+        ("nan", Json::float(f64::NAN)),
+        ("inf", Json::float(f64::INFINITY)),
+    ]);
+    assert_eq!(poisoned.to_compact_string(), r#"{"nan":null,"inf":null}"#);
+}
+
+#[test]
+fn diff_tolerance_brackets_a_perturbation() {
+    let report = experiment(Design::AsyncBuf).run_one(0).unwrap();
+    let a = report.to_json();
+    // Perturb one fidelity by 1e-7 (relative).
+    let mut b = a.clone();
+    if let Json::Object(members) = &mut b {
+        for (k, v) in members.iter_mut() {
+            if k == "fidelity" {
+                let old = v.as_f64().unwrap();
+                *v = Json::float(old * (1.0 + 1e-7));
+            }
+        }
+    }
+    assert!(json::diff(&a, &b, 1e-6).is_empty(), "inside tolerance");
+    let diffs = json::diff(&a, &b, 1e-9);
+    assert_eq!(diffs.len(), 1, "outside tolerance");
+    assert_eq!(diffs[0].path, "$.fidelity");
+}
+
+#[test]
+fn diff_zero_tolerance_detects_one_ulp() {
+    let a = Json::float(1.0);
+    let b = Json::float(1.0 + f64::EPSILON);
+    assert!(!json::diff(&a, &b, 0.0).is_empty());
+    assert!(json::diff(&a, &a, 0.0).is_empty());
+}
+
+#[test]
+fn diff_negative_tolerance_behaves_like_zero() {
+    // The CLI rejects negative --tol, but the library clamps defensively.
+    let a = Json::float(2.0);
+    assert!(json::diff(&a, &a, -1.0).is_empty());
+    assert!(!json::diff(&a, &Json::float(2.1), -1.0).is_empty());
+}
+
+#[test]
+fn diff_reports_every_divergent_cell_path() {
+    let result = Sweep::new()
+        .benchmark(PaperBenchmark::Tlim32)
+        .config("paper", SystemConfig::paper_two_node_32())
+        .designs(&[Design::Original, Design::Ideal])
+        .runs(2)
+        .run()
+        .unwrap();
+    let a = result.to_json();
+    let other = Sweep::new()
+        .benchmark(PaperBenchmark::Tlim32)
+        .config("paper", SystemConfig::paper_two_node_32())
+        .designs(&[Design::Original, Design::Ideal])
+        .runs(2)
+        .base_seed(99)
+        .run()
+        .unwrap()
+        .to_json();
+    let diffs = json::diff(&a, &other, 1e-12);
+    assert!(!diffs.is_empty(), "different seeds must differ somewhere");
+    for d in &diffs {
+        assert!(d.path.starts_with("$.cells["), "{}", d.path);
+    }
+}
