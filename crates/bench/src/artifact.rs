@@ -31,6 +31,7 @@ const TARGET_NAMES: &[&str] = &[
     "fig7",
     "fig8",
     "topology-sweep",
+    "codesign",
     "ablate-cutoff",
     "ablate-psucc",
     "ablate-segment",
@@ -167,6 +168,7 @@ pub fn target_data(target: &str, runs: usize, seed: u64) -> Result<Json, DqcErro
                 })
                 .collect(),
         ),
+        "codesign" => crate::codesign_search(runs, seed)?.to_json(),
         "ablate-cutoff" => crate::cutoff_ablation_sweep(runs, seed)?.to_json(),
         "ablate-psucc" => crate::psucc_ablation_sweep(runs, seed)?.to_json(),
         "ablate-segment" => crate::segment_ablation_sweep(runs, seed)?.to_json(),

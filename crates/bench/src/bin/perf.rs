@@ -9,9 +9,10 @@
 //! vendored Criterion stand-in has no stable machine-readable output, so
 //! the harness measures directly):
 //!
-//! 1. **compile-once vs legacy** — the deprecated per-seed
-//!    `evaluate` (recompiles every run) against one `Experiment` sharing
-//!    a single compilation;
+//! 1. **compile-once vs legacy** — the legacy per-seed pattern
+//!    (recompile the circuit for every run, as the removed `evaluate`
+//!    free function did) against one `Experiment` sharing a single
+//!    compilation;
 //! 2. **sequential vs parallel `Sweep`** — the same grid on one worker
 //!    thread and on all available cores;
 //! 3. **routed vs all-to-all execution** — a 4-node chain (multi-hop
@@ -112,15 +113,16 @@ fn run_entries(profile: &Profile, seed: u64) -> Result<Vec<(&'static str, Stats)
     let config = SystemConfig::paper_two_node_32();
     let circuit = PaperBenchmark::QaoaR4_32.circuit();
 
-    // 1. Legacy per-seed evaluation: one compilation *per run*.
+    // 1. Legacy per-seed evaluation: one compilation *per run* — the
+    // cost profile of the removed `evaluate` free function, spelled out.
     eprintln!("timing compile_legacy_evaluate ...");
     let seeds = profile.compile_seeds;
     entries.push((
         "compile_legacy_evaluate",
         time_loop(profile.iters, 1, || {
-            #[allow(deprecated)]
             for s in 0..seeds {
-                dqc_core::evaluate(&circuit, &config, Design::AsyncBuf, seed + s as u64)
+                dqc_core::CompiledCircuit::compile(&circuit, &config)
+                    .and_then(|c| c.run(Design::AsyncBuf, seed + s as u64))
                     .expect("paper benchmark evaluates");
             }
         }),

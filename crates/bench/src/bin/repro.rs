@@ -7,7 +7,7 @@
 //! repro diff <a.json> <b.json> [--tol EPS]
 //!
 //! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
-//!       | topology-sweep
+//!       | topology-sweep | codesign
 //!       | ablate-cutoff | ablate-psucc | ablate-segment
 //!       | ablate-protocol | ablate-purification
 //!       | ablations (all five) | all
@@ -53,6 +53,7 @@ const TARGETS: &[(&str, Runner)] = &[
     ("fig7", dqc_bench::run_fig7),
     ("fig8", dqc_bench::run_fig8),
     ("topology-sweep", dqc_bench::run_topology_sweep),
+    ("codesign", dqc_bench::run_codesign),
     ("ablate-cutoff", dqc_bench::run_cutoff_ablation),
     ("ablate-psucc", dqc_bench::run_psucc_ablation),
     ("ablate-segment", dqc_bench::run_segment_ablation),
@@ -288,7 +289,7 @@ fn usage(message: &str) -> ExitCode {
         "usage: repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]\n\
          \x20      repro diff <a.json> <b.json> [--tol EPS]\n\
          targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
-         \x20        topology-sweep\n\
+         \x20        topology-sweep codesign\n\
          \x20        ablate-cutoff ablate-psucc ablate-segment\n\
          \x20        ablate-protocol ablate-purification\n\
          \x20        ablations (all five ablations) | all (everything)"

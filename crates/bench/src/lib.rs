@@ -704,6 +704,109 @@ pub fn print_topology_from(results: &[(usize, SweepResult)], runs: usize) {
     }
 }
 
+// --------------------------------------------------------------- Codesign
+
+/// The communication/buffer counts searched by the codesign target.
+const CODESIGN_COMM_AXIS: [usize; 3] = [5, 10, 20];
+
+/// The initial EPR fidelities searched by the codesign target.
+const CODESIGN_EPR_AXIS: [f64; 2] = [0.95, 0.99];
+
+/// The designs searched by the codesign target: the paper's buildable
+/// distributed designs. `ideal` is the monolithic reference (not a
+/// distributed design one could provision), and `init_buf` assumes
+/// pre-execution idle time that fills every buffer for free — neither is
+/// a fair candidate under a hardware-cost objective.
+const CODESIGN_DESIGNS: [Design; 4] = [
+    Design::Original,
+    Design::SyncBuf,
+    Design::AsyncBuf,
+    Design::AdaptBuf,
+];
+
+/// The design space behind the `codesign` repro target: EPR fidelity ×
+/// comm/buffer provisioning × buildable designs around the paper's
+/// two-node 32-qubit base system.
+pub fn codesign_space() -> dqc_core::DesignSpace {
+    dqc_core::DesignSpace::new(SystemConfig::paper_two_node_32())
+        .epr_fidelities(&CODESIGN_EPR_AXIS)
+        .comm_and_buffer(&CODESIGN_COMM_AXIS)
+        .designs(&CODESIGN_DESIGNS)
+}
+
+/// The paper's recommended operating point as a structured scenario key:
+/// `adapt_buf` on the two-node 32-qubit system (10 comm + 10 buffer
+/// qubits per node, 99 % EPR fidelity) running the remote-heavy
+/// QAOA-r8-32 benchmark.
+pub fn codesign_paper_point() -> dqc_core::ScenarioKey {
+    dqc_core::ScenarioKey {
+        circuit: PaperBenchmark::QaoaR8_32.to_string(),
+        values: vec![
+            dqc_core::AxisValue::EprFidelity(0.99),
+            dqc_core::AxisValue::CommAndBuffer(10),
+            dqc_core::AxisValue::Design(Design::AdaptBuf),
+        ],
+    }
+}
+
+/// Runs the codesign search behind the `codesign` repro target: an
+/// exhaustive grid over [`codesign_space`] on QAOA-r8-32, priced by the
+/// default cost model, with Pareto-frontier extraction over (fidelity ↑,
+/// relative depth ↓, hardware cost ↓).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn codesign_search(runs: usize, seed: u64) -> Result<dqc_codesign::CodesignResult, DqcError> {
+    dqc_codesign::Codesign::benchmark(PaperBenchmark::QaoaR8_32, codesign_space())
+        .runs(runs)
+        .base_seed(seed)
+        .run()
+}
+
+/// Prints a completed codesign search: one row per frontier point (the
+/// paper operating point flagged), then the dominated-point count.
+pub fn print_codesign_from(result: &dqc_codesign::CodesignResult, runs: usize) {
+    println!(
+        "CODESIGN SEARCH: {} over {} design points ({runs}-run averages, {} compilations)",
+        result.circuit,
+        result.candidates.len(),
+        result.compilations
+    );
+    println!("Pareto frontier (fidelity max, depth-vs-ideal min, hardware cost min):");
+    let paper_point = codesign_paper_point();
+    for c in result.frontier_candidates() {
+        let marker = if c.key == paper_point {
+            "  <- paper operating point"
+        } else {
+            ""
+        };
+        println!(
+            "  * {:<55} depth {:>6.2}x  fidelity {:.4}  cost {:>6.1}{marker}",
+            c.key.point_label(),
+            c.objectives.depth_relative,
+            c.objectives.fidelity,
+            c.objectives.hardware_cost
+        );
+    }
+    let dominated = result.candidates.len() - result.frontier.len();
+    println!(
+        "dominated: {dominated} of {} points",
+        result.candidates.len()
+    );
+}
+
+/// Runs and prints the codesign search (the paper's co-design loop as a
+/// reproduction target).
+///
+/// # Errors
+///
+/// Propagates [`DqcError`] from the engine.
+pub fn run_codesign(runs: usize, seed: u64) -> Result<(), DqcError> {
+    print_codesign_from(&codesign_search(runs, seed)?, runs);
+    Ok(())
+}
+
 // -------------------------------------------------------------- Ablations
 
 /// Sweeps the buffer cutoff age and reports depth/fidelity/waste for one

@@ -1,0 +1,174 @@
+//! The hardware-cost model of the co-design objective.
+//!
+//! Performance alone cannot rank design points: more communication and
+//! buffer qubits, faster entanglement generation, and higher-fidelity
+//! links all improve depth and fidelity monotonically, so an unpriced
+//! search would always pick the most lavish hardware. [`CostModel`]
+//! prices a [`SystemConfig`] so the Pareto frontier can expose the actual
+//! trade-off the paper's co-design loop navigates.
+
+use dqc_core::SystemConfig;
+use dqc_types::{Json, JsonError};
+
+/// Prices the hardware side of a design point.
+///
+/// The cost of a configuration is the weighted sum of three components:
+///
+/// * **qubit count** — communication plus buffer qubits across all nodes
+///   (data qubits are workload-determined, not a knob);
+/// * **EPR rate demand** — the sustained generation rate the hardware
+///   must deliver, `comm · psucc / epr_cycle` expected pairs per 1000
+///   ticks, summed over nodes;
+/// * **link quality** — the odds ratio `f / (1 − f)` of the initial EPR
+///   fidelity, per physical link: pushing 0.95 → 0.99 → 0.999 grows
+///   hardware effort super-linearly, which the odds ratio captures.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_codesign::CostModel;
+/// use dqc_core::SystemConfig;
+///
+/// let model = CostModel::default();
+/// let paper = SystemConfig::paper_two_node_32();
+/// // More comm/buffer qubits always cost more, all else equal.
+/// assert!(model.cost(&paper.with_comm_and_buffer(20)) > model.cost(&paper));
+/// // Higher-fidelity links cost more, all else equal.
+/// assert!(model.cost(&paper.with_epr_fidelity(0.999)) > model.cost(&paper));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost per communication/buffer qubit.
+    pub qubit_weight: f64,
+    /// Cost per expected EPR pair per 1000 ticks of sustained demand.
+    pub rate_weight: f64,
+    /// Cost per unit of per-link fidelity odds `f / (1 − f)`.
+    pub quality_weight: f64,
+}
+
+impl Default for CostModel {
+    /// Unit weights: one qubit ≈ one pair-per-kilotick ≈ one unit of
+    /// fidelity odds. At the paper's operating point the three components
+    /// are the same order of magnitude, so none of them degenerates into
+    /// a tie-breaker.
+    fn default() -> Self {
+        Self {
+            qubit_weight: 1.0,
+            rate_weight: 1.0,
+            quality_weight: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The sustained EPR generation demand of one node, in expected pairs
+    /// per 1000 ticks: `comm · psucc / epr_cycle · 1000`.
+    pub fn epr_rate_demand_per_node(config: &SystemConfig) -> f64 {
+        let cycle = config.latencies.epr_cycle.ticks() as f64;
+        config.comm_qubits_per_node as f64 * config.success_probability / cycle * 1000.0
+    }
+
+    /// Number of physical links the configuration provisions: the
+    /// topology's edge count, or the complete graph on the default
+    /// all-to-all network.
+    pub fn link_count(config: &SystemConfig) -> usize {
+        match &config.topology {
+            Some(t) => t.num_edges(),
+            None => config.num_nodes * config.num_nodes.saturating_sub(1) / 2,
+        }
+    }
+
+    /// The total hardware cost of `config` under this model.
+    ///
+    /// The fidelity odds ratio is clamped at `f = 1 − 1e-6` so a
+    /// (non-physical) perfect-EPR configuration prices as very expensive
+    /// rather than infinite.
+    pub fn cost(&self, config: &SystemConfig) -> f64 {
+        let nodes = config.num_nodes as f64;
+        let qubits = nodes * (config.comm_qubits_per_node + config.buffer_qubits_per_node) as f64;
+        let rate = nodes * Self::epr_rate_demand_per_node(config);
+        let f = config.fidelities.epr.min(1.0 - 1e-6);
+        let quality = Self::link_count(config) as f64 * (f / (1.0 - f));
+        self.qubit_weight * qubits + self.rate_weight * rate + self.quality_weight * quality
+    }
+
+    /// Serializes the weights for result provenance.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("qubit_weight", Json::float(self.qubit_weight)),
+            ("rate_weight", Json::float(self.rate_weight)),
+            ("quality_weight", Json::float(self.quality_weight)),
+        ])
+    }
+
+    /// Reads weights back from [`CostModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            qubit_weight: json.f64_field("qubit_weight")?,
+            rate_weight: json.f64_field("rate_weight")?,
+            quality_weight: json.f64_field("quality_weight")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_entanglement::NetworkTopology;
+
+    #[test]
+    fn paper_point_components_are_balanced() {
+        let config = SystemConfig::paper_two_node_32();
+        // qubits: 2 · (10 + 10) = 40; rate: 2 · 10 · 0.4 / 100 · 1000 =
+        // 80; quality: 1 link · 0.99/0.01 = 99.
+        let model = CostModel::default();
+        assert!((CostModel::epr_rate_demand_per_node(&config) - 40.0).abs() < 1e-9);
+        assert_eq!(CostModel::link_count(&config), 1);
+        assert!((model.cost(&config) - (40.0 + 80.0 + 99.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_each_knob() {
+        let model = CostModel::default();
+        let base = SystemConfig::paper_two_node_32();
+        assert!(model.cost(&base.with_comm_and_buffer(11)) > model.cost(&base));
+        assert!(model.cost(&base.with_epr_fidelity(0.995)) > model.cost(&base));
+        // A faster cycle means the hardware must sustain a higher rate.
+        assert!(model.cost(&base.with_epr_cycle(dqc_types::Tick::new(50))) > model.cost(&base));
+        // Cheaper link fidelity is genuinely cheaper hardware.
+        assert!(model.cost(&base.with_epr_fidelity(0.95)) < model.cost(&base));
+    }
+
+    #[test]
+    fn sparse_topologies_provision_fewer_links() {
+        let base = SystemConfig::paper_two_node_32();
+        let chain = base.with_topology(NetworkTopology::chain(4));
+        let full = base.with_topology(NetworkTopology::all_to_all(4));
+        assert_eq!(CostModel::link_count(&chain), 3);
+        assert_eq!(CostModel::link_count(&full), 6);
+        let model = CostModel::default();
+        assert!(model.cost(&chain) < model.cost(&full));
+    }
+
+    #[test]
+    fn perfect_fidelity_is_finite() {
+        let model = CostModel::default();
+        let perfect = SystemConfig::paper_two_node_32().with_epr_fidelity(1.0);
+        assert!(model.cost(&perfect).is_finite());
+        assert!(model.cost(&perfect) > model.cost(&SystemConfig::paper_two_node_32()));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let model = CostModel {
+            qubit_weight: 2.0,
+            rate_weight: 0.5,
+            quality_weight: 1.25,
+        };
+        assert_eq!(CostModel::from_json(&model.to_json()).unwrap(), model);
+    }
+}

@@ -1,0 +1,165 @@
+//! The co-design objective vector and Pareto-frontier extraction.
+
+use dqc_types::{Json, JsonError};
+
+/// The three objectives the co-design loop trades, with fixed senses:
+/// end-to-end fidelity is maximized, depth relative to ideal and hardware
+/// cost are minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Mean end-to-end output fidelity (higher is better).
+    pub fidelity: f64,
+    /// Mean depth relative to the ideal monolithic execution (lower is
+    /// better; 1.0 is ideal).
+    pub depth_relative: f64,
+    /// Hardware cost under the search's [`crate::CostModel`] (lower is
+    /// better).
+    pub hardware_cost: f64,
+}
+
+impl Objectives {
+    /// Whether `self` Pareto-dominates `other`: at least as good in every
+    /// objective and strictly better in at least one. Equal vectors do
+    /// not dominate each other, so exact ties both stay on a frontier.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.fidelity >= other.fidelity
+            && self.depth_relative <= other.depth_relative
+            && self.hardware_cost <= other.hardware_cost;
+        let better = self.fidelity > other.fidelity
+            || self.depth_relative < other.depth_relative
+            || self.hardware_cost < other.hardware_cost;
+        no_worse && better
+    }
+
+    /// Serializes the vector for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("fidelity", Json::float(self.fidelity)),
+            ("depth_relative", Json::float(self.depth_relative)),
+            ("hardware_cost", Json::float(self.hardware_cost)),
+        ])
+    }
+
+    /// Reads a vector back from [`Objectives::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            fidelity: json.f64_field("fidelity")?,
+            depth_relative: json.f64_field("depth_relative")?,
+            hardware_cost: json.f64_field("hardware_cost")?,
+        })
+    }
+}
+
+/// Indices of the non-dominated points, ascending.
+///
+/// A point is on the frontier iff no other point dominates it. Duplicate
+/// objective vectors are all kept (none dominates its twin). `O(n²)` —
+/// design spaces are small compared to the simulation work behind each
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_codesign::{pareto_frontier, Objectives};
+///
+/// let o = |f, d, c| Objectives { fidelity: f, depth_relative: d, hardware_cost: c };
+/// let points = [
+///     o(0.9, 2.0, 100.0), // frontier: best fidelity
+///     o(0.8, 1.5, 100.0), // frontier: best depth
+///     o(0.7, 2.5, 50.0),  // frontier: cheapest
+///     o(0.7, 2.5, 120.0), // dominated by all three
+/// ];
+/// assert_eq!(pareto_frontier(&points), vec![0, 1, 2]);
+/// ```
+pub fn pareto_frontier(points: &[Objectives]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|other| other.dominates(&points[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(fidelity: f64, depth_relative: f64, hardware_cost: f64) -> Objectives {
+        Objectives {
+            fidelity,
+            depth_relative,
+            hardware_cost,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = o(0.9, 2.0, 100.0);
+        assert!(!a.dominates(&a), "a point never dominates itself");
+        assert!(o(0.9, 1.9, 100.0).dominates(&a));
+        assert!(o(0.91, 2.0, 100.0).dominates(&a));
+        assert!(o(0.9, 2.0, 99.0).dominates(&a));
+        // Better in one objective, worse in another: incomparable.
+        assert!(!o(0.95, 2.5, 100.0).dominates(&a));
+        assert!(!a.dominates(&o(0.95, 2.5, 100.0)));
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_non_dominated() {
+        let points = [
+            o(0.9, 3.0, 200.0),
+            o(0.8, 2.0, 150.0),
+            o(0.7, 1.5, 100.0),
+            o(0.6, 4.0, 300.0), // dominated by everything above
+            o(0.85, 2.5, 175.0),
+        ];
+        let frontier = pareto_frontier(&points);
+        for &i in &frontier {
+            for &j in &frontier {
+                assert!(
+                    !points[i].dominates(&points[j]),
+                    "frontier points {i} and {j} must be incomparable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_dominated_point_is_excluded() {
+        let points = [
+            o(0.9, 2.0, 100.0),
+            o(0.89, 2.1, 101.0), // dominated by 0
+            o(0.5, 1.0, 50.0),
+            o(0.5, 1.0, 51.0), // dominated by 2
+        ];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier, vec![0, 2]);
+        for i in 0..points.len() {
+            let dominated = points.iter().any(|q| q.dominates(&points[i]));
+            assert_eq!(
+                !frontier.contains(&i),
+                dominated,
+                "point {i}: frontier membership must equal non-domination"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_ties_stay_on_the_frontier_together() {
+        let points = [o(0.9, 2.0, 100.0), o(0.9, 2.0, 100.0), o(0.1, 9.0, 900.0)];
+        assert_eq!(pareto_frontier(&points), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_frontier(&[o(0.5, 2.0, 10.0)]), vec![0]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let v = o(0.875, 4.25, 219.0);
+        assert_eq!(Objectives::from_json(&v.to_json()).unwrap(), v);
+    }
+}

@@ -1,0 +1,145 @@
+//! Search strategies: which design points a search evaluates.
+
+use dqc_types::{Json, JsonError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How a [`crate::Codesign`] search walks its design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Evaluate every point of the space (the default).
+    #[default]
+    Exhaustive,
+    /// Evaluate a seeded uniform sample of distinct points — the cheap
+    /// first pass over a space too large to enumerate. Sampling is
+    /// without replacement; asking for at least as many samples as the
+    /// space has points degenerates to [`SearchStrategy::Exhaustive`].
+    RandomSample {
+        /// Number of distinct points to evaluate (clamped to the space
+        /// size).
+        samples: usize,
+        /// Seed of the sampling stream (independent of the simulation
+        /// seeds).
+        seed: u64,
+    },
+}
+
+impl SearchStrategy {
+    /// The point indices this strategy evaluates in a space of `len`
+    /// points, ascending — so candidate order is point order regardless
+    /// of strategy, and an exhaustive search and a full-coverage random
+    /// sample produce identical result layouts.
+    pub(crate) fn select(&self, len: usize) -> Vec<usize> {
+        match *self {
+            SearchStrategy::Exhaustive => (0..len).collect(),
+            SearchStrategy::RandomSample { samples, seed } => {
+                let take = samples.min(len);
+                // Partial Fisher–Yates: after `take` swap steps the prefix
+                // is a uniform sample without replacement.
+                let mut pool: Vec<usize> = (0..len).collect();
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                for i in 0..take {
+                    let j = rng.random_range(i..len);
+                    pool.swap(i, j);
+                }
+                let mut picked = pool[..take].to_vec();
+                picked.sort_unstable();
+                picked
+            }
+        }
+    }
+
+    /// Serializes the strategy for result provenance.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            SearchStrategy::Exhaustive => Json::object([("kind", Json::from("exhaustive"))]),
+            SearchStrategy::RandomSample { samples, seed } => Json::object([
+                ("kind", Json::from("random_sample")),
+                ("samples", Json::from(samples)),
+                ("seed", Json::uint(seed)),
+            ]),
+        }
+    }
+
+    /// Reads a strategy back from [`SearchStrategy::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on an unknown kind or missing field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.str_field("kind")? {
+            "exhaustive" => Ok(SearchStrategy::Exhaustive),
+            "random_sample" => Ok(SearchStrategy::RandomSample {
+                samples: json.usize_field("samples")?,
+                seed: json.u64_field("seed")?,
+            }),
+            other => Err(JsonError::schema(format!(
+                "unknown search strategy `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_selects_every_point() {
+        assert_eq!(SearchStrategy::Exhaustive.select(4), vec![0, 1, 2, 3]);
+        assert!(SearchStrategy::Exhaustive.select(0).is_empty());
+    }
+
+    #[test]
+    fn random_sample_is_seeded_and_distinct() {
+        let strategy = SearchStrategy::RandomSample {
+            samples: 5,
+            seed: 42,
+        };
+        let a = strategy.select(20);
+        let b = strategy.select(20);
+        assert_eq!(a, b, "same seed, same sample");
+        assert_eq!(a.len(), 5);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "without replacement");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(a.iter().all(|&i| i < 20));
+
+        let other = SearchStrategy::RandomSample {
+            samples: 5,
+            seed: 43,
+        }
+        .select(20);
+        assert_ne!(a, other, "different seeds draw different samples");
+    }
+
+    #[test]
+    fn full_coverage_sample_equals_exhaustive() {
+        for samples in [8, 9, 100] {
+            let sampled = SearchStrategy::RandomSample { samples, seed: 7 }.select(8);
+            assert_eq!(sampled, SearchStrategy::Exhaustive.select(8));
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for strategy in [
+            SearchStrategy::Exhaustive,
+            SearchStrategy::RandomSample {
+                samples: 12,
+                seed: 99,
+            },
+        ] {
+            assert_eq!(
+                SearchStrategy::from_json(&strategy.to_json()).unwrap(),
+                strategy
+            );
+        }
+        assert!(SearchStrategy::from_json(&Json::object([(
+            "kind",
+            Json::from("simulated_annealing")
+        )]))
+        .is_err());
+    }
+}

@@ -10,11 +10,11 @@
 //! once and shared immutably across every design and every seed.
 
 use crate::{
-    segment_sequence, Design, DqcError, ExecutionReport, RemoteFidelityTable, SegmentVariants,
-    SystemConfig,
+    segment_sequence, Design, DqcError, ExecutionReport, PartitionStrategy, RemoteFidelityTable,
+    SegmentVariants, SystemConfig,
 };
 use dqc_circuit::Circuit;
-use dqc_entanglement::RoutingTable;
+use dqc_entanglement::{NetworkTopology, RoutingTable};
 use dqc_partition::{partition_circuit, partition_circuit_weighted, QubitMap};
 use dqc_types::Tick;
 use std::ops::Range;
@@ -107,19 +107,29 @@ impl CompiledCircuit {
         }
         let ideal_report = crate::executor::ideal_report(circuit, config);
         let routing = config.topology.as_ref().map(RoutingTable::new);
-        let map = match &routing {
-            // Topology-aware mode: weight cut edges by hop distance so
-            // chatty qubit groups land on adjacent nodes. The matrix is
-            // derived from the routing table the executor will follow, so
-            // partitioner and router agree by construction. With an
-            // all-to-all graph this degenerates to the unweighted path.
-            Some(table) => partition_circuit_weighted(
-                circuit,
-                config.num_nodes,
-                config.partition_seed,
-                &table.hop_distance_matrix(),
-            )?,
-            None => partition_circuit(circuit, config.num_nodes, config.partition_seed)?,
+        // `Auto` keeps the historical rule: weight cut edges by hop
+        // distance exactly when a sparse topology is configured, so
+        // chatty qubit groups land on adjacent nodes (the matrix is
+        // derived from the routing table the executor will follow, so
+        // partitioner and router agree by construction). The explicit
+        // strategies let the co-design layer sweep the partitioner as a
+        // software axis: `Unweighted` ignores hop distances even on a
+        // sparse network, `HopWeighted` forces the weighted objective
+        // (degenerating to the unweighted one on the default all-to-all
+        // graph, where every pair is one hop apart).
+        let weighted_by = |matrix: Vec<Vec<u64>>| {
+            partition_circuit_weighted(circuit, config.num_nodes, config.partition_seed, &matrix)
+        };
+        let unweighted = || partition_circuit(circuit, config.num_nodes, config.partition_seed);
+        let map = match (config.partitioner, &routing) {
+            (PartitionStrategy::Auto | PartitionStrategy::HopWeighted, Some(table)) => {
+                weighted_by(table.hop_distance_matrix())?
+            }
+            (PartitionStrategy::Auto | PartitionStrategy::Unweighted, None) => unweighted()?,
+            (PartitionStrategy::Unweighted, Some(_)) => unweighted()?,
+            (PartitionStrategy::HopWeighted, None) => {
+                weighted_by(NetworkTopology::all_to_all(config.num_nodes).hop_distance_matrix())?
+            }
         };
         let remote_gates = map.count_remote(circuit);
         let m = config.segment_remote_gates();

@@ -3,7 +3,9 @@
 use dqc_entanglement::{
     ConsumeOrder, CutoffPolicy, GenerationPattern, LinkParams, NetworkTopology, ServiceConfig,
 };
-use dqc_types::Tick;
+use dqc_types::{Tick, UnknownName};
+use std::fmt;
+use std::str::FromStr;
 
 /// How a remote two-qubit gate is implemented (paper §II-C). The paper's
 /// evaluation assumes gate teleportation (following AutoComm) and leaves
@@ -21,12 +23,104 @@ pub enum RemoteProtocol {
 }
 
 impl RemoteProtocol {
+    /// Both protocols, telegate first.
+    pub const ALL: [RemoteProtocol; 2] =
+        [RemoteProtocol::GateTeleport, RemoteProtocol::StateTeleport];
+
     /// Bell pairs consumed per remote gate.
     pub const fn links_per_gate(self) -> usize {
         match self {
             RemoteProtocol::GateTeleport => 1,
             RemoteProtocol::StateTeleport => 2,
         }
+    }
+
+    /// The snake_case name used in labels and serialized results.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RemoteProtocol::GateTeleport => "gate_teleport",
+            RemoteProtocol::StateTeleport => "state_teleport",
+        }
+    }
+}
+
+impl fmt::Display for RemoteProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for RemoteProtocol {
+    type Err = UnknownName;
+
+    /// Parses the snake_case name ([`RemoteProtocol::name`] is the exact
+    /// inverse).
+    ///
+    /// ```
+    /// use dqc_core::RemoteProtocol;
+    ///
+    /// assert_eq!("gate_teleport".parse(), Ok(RemoteProtocol::GateTeleport));
+    /// assert!("smoke_signals".parse::<RemoteProtocol>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RemoteProtocol::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| UnknownName::new("protocol", s))
+    }
+}
+
+/// Which qubit partitioner maps data qubits onto nodes at compile time —
+/// one of the software choices of the co-design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionStrategy {
+    /// Pick automatically from the configuration: hop-distance-weighted
+    /// cuts when a sparse topology is configured, the unweighted
+    /// multilevel partitioner otherwise. This is the historical behavior
+    /// and the default.
+    #[default]
+    Auto,
+    /// Always the unweighted multilevel partitioner, even on a sparse
+    /// topology (cut edges all cost the same regardless of hop count).
+    Unweighted,
+    /// Always hop-distance-weighted cuts; on the default all-to-all
+    /// network every pair is one hop apart, so this degenerates to the
+    /// unweighted objective.
+    HopWeighted,
+}
+
+impl PartitionStrategy {
+    /// All strategies, in declaration order.
+    pub const ALL: [PartitionStrategy; 3] = [
+        PartitionStrategy::Auto,
+        PartitionStrategy::Unweighted,
+        PartitionStrategy::HopWeighted,
+    ];
+
+    /// The snake_case name used in labels and serialized results.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Auto => "auto",
+            PartitionStrategy::Unweighted => "unweighted",
+            PartitionStrategy::HopWeighted => "hop_weighted",
+        }
+    }
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PartitionStrategy {
+    type Err = UnknownName;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PartitionStrategy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| UnknownName::new("partitioner", s))
     }
 }
 
@@ -130,6 +224,8 @@ pub struct SystemConfig {
     pub purify_links: bool,
     /// Seed for the qubit partitioner.
     pub partition_seed: u64,
+    /// Which partitioner maps qubits onto nodes at compile time.
+    pub partitioner: PartitionStrategy,
     /// The inter-node network. `None` (the default) means every node pair
     /// shares a direct link — the paper's implicit all-to-all assumption,
     /// and byte-for-byte the legacy behavior. With `Some(topology)`,
@@ -158,6 +254,7 @@ impl SystemConfig {
             remote_protocol: RemoteProtocol::GateTeleport,
             purify_links: false,
             partition_seed: 0xDAC5,
+            partitioner: PartitionStrategy::Auto,
             topology: None,
         }
     }
@@ -201,6 +298,49 @@ impl SystemConfig {
         Self {
             num_nodes: topology.num_nodes(),
             topology: Some(topology),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given initial EPR-pair fidelity.
+    #[must_use]
+    pub fn with_epr_fidelity(&self, fidelity: f64) -> Self {
+        let mut config = self.clone();
+        config.fidelities.epr = fidelity;
+        config
+    }
+
+    /// Returns a copy with the given idling decoherence rate κ per tick.
+    #[must_use]
+    pub fn with_kappa(&self, kappa_per_tick: f64) -> Self {
+        Self {
+            kappa_per_tick,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given entanglement-attempt cycle latency.
+    #[must_use]
+    pub fn with_epr_cycle(&self, epr_cycle: Tick) -> Self {
+        let mut config = self.clone();
+        config.latencies.epr_cycle = epr_cycle;
+        config
+    }
+
+    /// Returns a copy with the given remote-gate protocol.
+    #[must_use]
+    pub fn with_protocol(&self, remote_protocol: RemoteProtocol) -> Self {
+        Self {
+            remote_protocol,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given partitioner strategy.
+    #[must_use]
+    pub fn with_partitioner(&self, partitioner: PartitionStrategy) -> Self {
+        Self {
+            partitioner,
             ..self.clone()
         }
     }
@@ -378,6 +518,43 @@ mod tests {
             cfg.state_teleport_latency()
         );
         assert_eq!(cfg.entanglement_swap_latency(), Tick::new(62));
+    }
+
+    #[test]
+    fn protocol_and_partitioner_names_round_trip() {
+        for p in RemoteProtocol::ALL {
+            assert_eq!(p.to_string().parse::<RemoteProtocol>(), Ok(p));
+        }
+        for s in PartitionStrategy::ALL {
+            assert_eq!(s.to_string().parse::<PartitionStrategy>(), Ok(s));
+        }
+        assert!("smoke_signals".parse::<RemoteProtocol>().is_err());
+        assert!("coin_flip".parse::<PartitionStrategy>().is_err());
+        assert_eq!(PartitionStrategy::default(), PartitionStrategy::Auto);
+    }
+
+    #[test]
+    fn typed_with_helpers_change_one_knob() {
+        let base = SystemConfig::paper_two_node_32();
+        assert_eq!(base.with_epr_fidelity(0.95).fidelities.epr, 0.95);
+        assert_eq!(base.with_kappa(1e-3).kappa_per_tick, 1e-3);
+        assert_eq!(
+            base.with_epr_cycle(Tick::new(250)).latencies.epr_cycle,
+            Tick::new(250)
+        );
+        assert_eq!(
+            base.with_protocol(RemoteProtocol::StateTeleport)
+                .remote_protocol,
+            RemoteProtocol::StateTeleport
+        );
+        assert_eq!(
+            base.with_partitioner(PartitionStrategy::Unweighted)
+                .partitioner,
+            PartitionStrategy::Unweighted
+        );
+        // Everything else is untouched.
+        assert_eq!(base.with_epr_fidelity(0.95).latencies, base.latencies);
+        assert_eq!(base.with_kappa(1e-3).fidelities, base.fidelities);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The six architecture designs compared in the paper's §V.
 
 use dqc_entanglement::GenerationPattern;
+use dqc_types::UnknownName;
 use std::fmt;
+use std::str::FromStr;
 
 /// One of the DQC architecture designs evaluated in the paper.
 ///
@@ -105,14 +107,35 @@ impl Design {
     }
 
     /// The inverse of [`Design::name`], used when deserializing reports.
+    /// Delegates to the [`FromStr`] implementation.
     pub fn from_name(name: &str) -> Option<Design> {
-        Design::ALL.into_iter().find(|d| d.name() == name)
+        name.parse().ok()
     }
 }
 
 impl fmt::Display for Design {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl FromStr for Design {
+    type Err = UnknownName;
+
+    /// Parses the snake_case figure name ([`Design::name`] is the exact
+    /// inverse).
+    ///
+    /// ```
+    /// use dqc_core::Design;
+    ///
+    /// assert_eq!("adapt_buf".parse::<Design>(), Ok(Design::AdaptBuf));
+    /// assert!("warp_drive".parse::<Design>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Design::ALL
+            .into_iter()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| UnknownName::new("design", s))
     }
 }
 
@@ -155,6 +178,15 @@ mod tests {
             assert_eq!(Design::from_name(design.name()), Some(design));
         }
         assert_eq!(Design::from_name("unknown"), None);
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        for design in Design::ALL {
+            assert_eq!(design.to_string().parse::<Design>(), Ok(design));
+        }
+        let err = "warp_drive".parse::<Design>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown design `warp_drive`");
     }
 
     #[test]

@@ -29,8 +29,31 @@ pub enum DqcError {
     ZeroRuns,
     /// A sweep grid axis is empty, so the grid contains no cells.
     EmptySweep {
-        /// Which axis was empty: `"circuits"`, `"configs"`, or `"designs"`.
+        /// Which axis was empty: `"circuits"`, `"configs"`, `"designs"`,
+        /// a design-space axis name, or `"points"` for an empty subset.
         axis: &'static str,
+    },
+    /// A design space declares the same axis more than once, so a point
+    /// would carry two coordinates for one knob.
+    DuplicateAxis {
+        /// Name of the repeated axis.
+        axis: &'static str,
+    },
+    /// A design space declares two axes that set the same underlying
+    /// knob (e.g. `comm_and_buffer` together with `comm_qubits`), so one
+    /// coordinate would silently overwrite the other.
+    ConflictingAxes {
+        /// Name of the first conflicting axis, in declaration order.
+        first: &'static str,
+        /// Name of the second conflicting axis.
+        second: &'static str,
+    },
+    /// A design-point index does not exist in the space being evaluated.
+    PointOutOfRange {
+        /// The requested flat point index.
+        index: usize,
+        /// Number of points in the space.
+        len: usize,
     },
     /// The configured [`NetworkTopology`](dqc_entanglement::NetworkTopology)
     /// covers a different number of nodes than the system hosts.
@@ -70,6 +93,22 @@ impl fmt::Display for DqcError {
             DqcError::EmptySweep { axis } => {
                 write!(f, "sweep grid has no cells: the `{axis}` axis is empty")
             }
+            DqcError::DuplicateAxis { axis } => {
+                write!(f, "design space declares the `{axis}` axis more than once")
+            }
+            DqcError::ConflictingAxes { first, second } => {
+                write!(
+                    f,
+                    "design space axes `{first}` and `{second}` set the same knob; \
+                     one coordinate would overwrite the other"
+                )
+            }
+            DqcError::PointOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "design point {index} is out of range for a space of {len} points"
+                )
+            }
             DqcError::TopologyMismatch {
                 topology_nodes,
                 config_nodes,
@@ -106,11 +145,6 @@ impl From<PartitionError> for DqcError {
     }
 }
 
-/// Former name of [`DqcError`], kept so downstream code and doctests keep
-/// compiling.
-#[deprecated(since = "0.2.0", note = "renamed to `DqcError`")]
-pub type EvaluateError = DqcError;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +169,11 @@ mod tests {
         assert!(DqcError::DisconnectedTopology
             .to_string()
             .contains("disconnected"));
+        assert!(DqcError::DuplicateAxis { axis: "kappa" }
+            .to_string()
+            .contains("kappa"));
+        let e = DqcError::PointOutOfRange { index: 9, len: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 
     #[test]

@@ -3,8 +3,7 @@
 //! and fidelity (paper §IV).
 //!
 //! This module is the *run-many* half of the engine; the *compile-once*
-//! half lives in [`crate::compile`]. The deprecated [`evaluate`] /
-//! [`evaluate_many`] free functions survive as thin shims over the two.
+//! half lives in [`crate::compile`].
 
 use crate::{CompiledCircuit, Design, DqcError, ExecutionReport, RemoteFidelityTable, VariantKind};
 use dqc_circuit::{Circuit, Gate, Operation};
@@ -85,77 +84,6 @@ impl CompiledCircuit {
             Ok(tracker.into_report(design, ideal_makespan, Some(stats), (0, 0, 0), config))
         }
     }
-}
-
-/// Evaluates one circuit on one design with one random seed.
-///
-/// # Deprecation
-///
-/// This re-partitions the circuit and re-compiles every segment variant on
-/// **every call**. Prefer [`CompiledCircuit::compile`] +
-/// [`CompiledCircuit::run`] (or [`crate::Experiment`]) which pay that cost
-/// once; the reports are bit-for-bit identical.
-///
-/// # Errors
-///
-/// Returns [`DqcError`] when the circuit does not fit the system,
-/// partitioning fails, or remote gates exist with no communication qubits.
-#[deprecated(
-    since = "0.2.0",
-    note = "compile once with `CompiledCircuit::compile` and call `.run()` per seed, \
-            or use the `Experiment` builder"
-)]
-pub fn evaluate(
-    circuit: &Circuit,
-    config: &SystemConfig,
-    design: Design,
-    seed: u64,
-) -> Result<ExecutionReport, DqcError> {
-    // Legacy contract: the ideal design never partitions, so it succeeds
-    // even where the partitioner cannot run (e.g. fewer qubits than
-    // nodes). `CompiledCircuit::compile` always partitions.
-    if design == Design::Ideal {
-        let capacity = config.total_data_qubits();
-        if circuit.num_qubits() as usize > capacity {
-            return Err(DqcError::CircuitTooWide {
-                qubits: circuit.num_qubits(),
-                capacity,
-            });
-        }
-        return Ok(ideal_report(circuit, config));
-    }
-    CompiledCircuit::compile(circuit, config)?.run(design, seed)
-}
-
-/// Runs `runs` consecutive seeds and averages (the paper reports 50-run
-/// means).
-///
-/// # Deprecation
-///
-/// Prefer [`crate::Experiment`], which compiles the circuit once for all
-/// runs. Note one behavioral change kept intentionally: `runs == 0` is now
-/// a [`DqcError::ZeroRuns`] error instead of being silently clamped to 1.
-///
-/// # Errors
-///
-/// Propagates the first [`DqcError`] encountered; [`DqcError::ZeroRuns`]
-/// when `runs == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Experiment` builder (compile-once, run-many)"
-)]
-pub fn evaluate_many(
-    circuit: &Circuit,
-    config: &SystemConfig,
-    design: Design,
-    runs: usize,
-    base_seed: u64,
-) -> Result<crate::AveragedReport, DqcError> {
-    crate::Experiment::new(circuit, config)?
-        .design(design)
-        .runs(runs)
-        .base_seed(base_seed)
-        .run()
 }
 
 /// Builds the seed-independent ideal-device report: the circuit scheduled
@@ -697,9 +625,9 @@ mod tests {
         SystemConfig::paper_two_node_32()
     }
 
-    /// Test-local stand-ins for the deprecated free functions, routed
-    /// through the compile-once engine (the code path everything uses
-    /// now).
+    /// Test-local per-seed helpers routed through the compile-once
+    /// engine (compile fresh, run once — the behavior the removed legacy
+    /// free functions had).
     fn evaluate(
         circuit: &Circuit,
         config: &SystemConfig,
@@ -724,23 +652,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_engine() {
-        let c = PaperBenchmark::QaoaR4_32.circuit();
-        #[allow(deprecated)]
-        let via_shim = super::evaluate(&c, &config(), Design::AsyncBuf, 5).unwrap();
-        let via_engine = evaluate(&c, &config(), Design::AsyncBuf, 5).unwrap();
-        assert_eq!(via_shim, via_engine);
-        #[allow(deprecated)]
-        let many_shim = super::evaluate_many(&c, &config(), Design::AsyncBuf, 4, 9).unwrap();
-        let many_engine = evaluate_many(&c, &config(), Design::AsyncBuf, 4, 9).unwrap();
-        assert_eq!(many_shim, many_engine);
-    }
-
-    #[test]
     fn evaluate_many_rejects_zero_runs() {
         let c = PaperBenchmark::QaoaR4_32.circuit();
-        #[allow(deprecated)]
-        let err = super::evaluate_many(&c, &config(), Design::AsyncBuf, 0, 0).unwrap_err();
+        let err = evaluate_many(&c, &config(), Design::AsyncBuf, 0, 0).unwrap_err();
         assert_eq!(err, DqcError::ZeroRuns);
     }
 
@@ -887,15 +801,14 @@ mod tests {
     }
 
     #[test]
-    fn ideal_design_evaluates_without_partitioning() {
-        // A 1-qubit circuit cannot be split across 2 nodes; the legacy
-        // `evaluate` contract still serves `Design::Ideal` for it
-        // (ideal execution never partitions), while the compile-first
-        // engine rejects it up front.
+    fn ideal_schedule_needs_no_partitioning() {
+        // A 1-qubit circuit cannot be split across 2 nodes: the
+        // compile-first engine rejects it up front, while the internal
+        // ideal-device report (which never partitions) still schedules
+        // it — the monolithic reference stays well-defined.
         let mut c = Circuit::new(1);
         c.h(0);
-        #[allow(deprecated)]
-        let r = super::evaluate(&c, &config(), Design::Ideal, 0).unwrap();
+        let r = super::ideal_report(&c, &config());
         assert_eq!(r.remote_gates, 0);
         assert!(r.makespan.ticks() > 0);
         let err = CompiledCircuit::compile(&c, &config()).unwrap_err();

@@ -19,6 +19,14 @@
 //! * [`Sweep`] — a cartesian {benchmark × config × design} grid executed
 //!   by a thread-based parallel runner with deterministic per-cell seeding
 //!   and ordered collection.
+//! * [`DesignSpace`] / [`SpaceSweep`] — the typed co-design layer: every
+//!   tunable knob (hardware: EPR fidelity, κ, EPR cycle, comm/buffer
+//!   qubits, topology; software: design, protocol, partitioner) is a
+//!   first-class [`Axis`] with typed values, a scenario is a structured
+//!   [`ScenarioKey`], and sweeps share one compilation per circuit ×
+//!   realized configuration (design-axis neighbours never recompile).
+//!   `Sweep` is the string-labeled compatibility front end over the
+//!   same engine.
 //! * [`RemoteFidelityTable`] — the §IV-C remote-gate fidelity from the
 //!   density-matrix teleportation evaluation, via the exact affine law.
 //! * Network topology — [`SystemConfig::with_topology`] attaches a
@@ -70,29 +78,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod axis;
 mod compile;
 mod config;
 mod design;
 mod error;
 mod executor;
 mod experiment;
+mod grid;
 mod remote;
 mod report;
 mod segment;
+mod space;
 mod sweep;
 mod variants;
 
+pub use axis::{Axis, AxisValue, ScenarioKey};
 pub use compile::{compile_count, CompiledCircuit};
-pub use config::{OperationFidelities, OperationLatencies, RemoteProtocol, SystemConfig};
+pub use config::{
+    OperationFidelities, OperationLatencies, PartitionStrategy, RemoteProtocol, SystemConfig,
+};
 pub use design::Design;
 pub use error::DqcError;
-#[allow(deprecated)]
-pub use error::EvaluateError;
-#[allow(deprecated)]
-pub use executor::{evaluate, evaluate_many};
 pub use experiment::Experiment;
 pub use remote::RemoteFidelityTable;
 pub use report::{AveragedReport, ExecutionReport};
 pub use segment::{remote_count, segment_sequence};
+pub use space::{DesignPoint, DesignSpace, Scenario, SpaceCell, SpaceResult, SpaceSweep};
 pub use sweep::{Sweep, SweepCell, SweepResult};
 pub use variants::{alap_variant, asap_variant, SegmentVariants, VariantKind};

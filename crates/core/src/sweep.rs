@@ -4,22 +4,27 @@
 //! × 50 seeds. [`Sweep`] executes that grid with three guarantees:
 //!
 //! 1. **Compile-once** — each (circuit, config) pair is compiled into a
-//!    [`CompiledCircuit`] exactly once and shared (via [`Arc`]) by every
-//!    design and seed that uses it.
+//!    [`crate::CompiledCircuit`] exactly once and shared by every design
+//!    and seed that uses it.
 //! 2. **Deterministic seeding** — every cell runs seeds
 //!    `base_seed .. base_seed + runs`, exactly the seeds the sequential
 //!    legacy loop used, so parallel results are identical to sequential
 //!    ones.
 //! 3. **Ordered collection** — results come back in grid order (circuit ×
 //!    config × design, row-major) no matter which worker finished first.
+//!
+//! `Sweep` is the free-form, string-labeled front end: any
+//! [`SystemConfig`] under any label. It is a thin compatibility shim
+//! over the shared grid engine in [`crate::grid`] — the typed
+//! [`crate::DesignSpace`]/[`crate::SpaceSweep`] layer runs on the same
+//! engine and keys results by structured [`crate::ScenarioKey`]s instead
+//! of label strings; prefer it when the configurations you sweep are
+//! combinations of the standard co-design axes.
 
-use crate::{AveragedReport, CompiledCircuit, Design, DqcError, Experiment, SystemConfig};
+use crate::grid::GridPlan;
+use crate::{AveragedReport, Design, DqcError, SystemConfig};
 use dqc_circuit::Circuit;
 use dqc_types::{Json, JsonError};
-use std::sync::{Arc, Mutex};
-
-/// A worker-pool result slot: `None` until the owning worker fills it.
-type Slot<T> = Mutex<Option<Result<T, DqcError>>>;
 
 /// One completed cell of a sweep grid.
 #[derive(Debug, Clone)]
@@ -252,107 +257,47 @@ impl Sweep {
             return Err(DqcError::ZeroRuns);
         }
 
-        // Compile phase: exactly once per (circuit, config) pair. The
-        // compilations are independent and dominate wall-clock for small
-        // run counts, so they go through the same worker-pool pattern as
-        // the cells; errors still surface in grid order.
+        // Reduce the string-labeled grid to a plan for the shared engine:
+        // every (circuit, config) pair is one compile unit (row-major),
+        // every (pair, design) one cell — the exact order, seeding, and
+        // compile-sharing of the original in-place runner, so results are
+        // bit-for-bit identical.
         let pairs: Vec<(usize, usize)> = (0..self.circuits.len())
             .flat_map(|ci| (0..self.configs.len()).map(move |ki| (ci, ki)))
             .collect();
-        let compile_slots: Vec<Slot<Arc<CompiledCircuit>>> =
-            pairs.iter().map(|_| Mutex::new(None)).collect();
-        let next_pair = std::sync::atomic::AtomicUsize::new(0);
-        let compile_workers = self.worker_count(pairs.len());
-        std::thread::scope(|scope| {
-            for _ in 0..compile_workers {
-                scope.spawn(|| loop {
-                    let i = next_pair.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(ci, ki)) = pairs.get(i) else { break };
-                    let outcome =
-                        CompiledCircuit::compile(&self.circuits[ci].1, &self.configs[ki].1)
-                            .map(Arc::new);
-                    *compile_slots[i]
-                        .lock()
-                        .expect("no worker panics while holding the slot") = Some(outcome);
-                });
-            }
-        });
-        let mut compiled: Vec<Arc<CompiledCircuit>> = Vec::with_capacity(pairs.len());
-        for slot in compile_slots {
-            compiled.push(
-                slot.into_inner()
-                    .expect("slot lock cannot be poisoned after scope join")
-                    .expect("every pair was claimed by a worker")?,
-            );
-        }
-        let compilations = compiled.len();
+        let cells: Vec<(usize, Design)> = (0..pairs.len())
+            .flat_map(|pair_idx| self.designs.iter().map(move |&design| (pair_idx, design)))
+            .collect();
+        let plan = GridPlan {
+            circuits: self.circuits.iter().map(|(_, c)| c).collect(),
+            configs: self.configs.iter().map(|(_, c)| c).collect(),
+            pairs,
+            cells,
+            runs: self.runs,
+            base_seed: self.base_seed,
+            threads: self.threads,
+        };
+        let compilations = plan.pairs.len();
+        let reports = plan.execute()?;
 
-        // Cell descriptors in grid order; the workers fill `slots` by
-        // index, so collection order never depends on scheduling.
-        struct Cell {
-            circuit_idx: usize,
-            config_idx: usize,
-            design: Design,
-        }
-        let mut cells = Vec::new();
-        for circuit_idx in 0..self.circuits.len() {
-            for config_idx in 0..self.configs.len() {
+        let mut out = Vec::with_capacity(reports.len());
+        let mut report_iter = reports.into_iter();
+        for (circuit_label, _) in &self.circuits {
+            for (config_label, _) in &self.configs {
                 for &design in &self.designs {
-                    cells.push(Cell {
-                        circuit_idx,
-                        config_idx,
+                    out.push(SweepCell {
+                        circuit: circuit_label.clone(),
+                        config: config_label.clone(),
                         design,
+                        report: report_iter.next().expect("one report per cell"),
                     });
                 }
             }
-        }
-
-        let slots: Vec<Slot<AveragedReport>> = cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = self.worker_count(cells.len());
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let shared =
-                        compiled[cell.circuit_idx * self.configs.len() + cell.config_idx].clone();
-                    let outcome = Experiment::with_compiled(shared)
-                        .design(cell.design)
-                        .runs(self.runs)
-                        .base_seed(self.base_seed)
-                        .run();
-                    *slots[i]
-                        .lock()
-                        .expect("no worker panics while holding the slot") = Some(outcome);
-                });
-            }
-        });
-
-        let mut out = Vec::with_capacity(cells.len());
-        for (cell, slot) in cells.iter().zip(slots) {
-            let report = slot
-                .into_inner()
-                .expect("slot lock cannot be poisoned after scope join")
-                .expect("every cell was claimed by a worker")?;
-            out.push(SweepCell {
-                circuit: self.circuits[cell.circuit_idx].0.clone(),
-                config: self.configs[cell.config_idx].0.clone(),
-                design: cell.design,
-                report,
-            });
         }
         Ok(SweepResult {
             cells: out,
             compilations,
         })
-    }
-
-    fn worker_count(&self, cells: usize) -> usize {
-        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
-        let cap = if self.threads == 0 { hw } else { self.threads };
-        cap.clamp(1, cells.max(1))
     }
 }
 

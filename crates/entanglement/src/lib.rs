@@ -46,4 +46,4 @@ pub use link::EntangledLink;
 pub use policy::{ConsumeOrder, CutoffPolicy, GenerationPattern};
 pub use routing::{swap_chain_fidelity, Route, RoutingTable};
 pub use service::{EntanglementService, ServiceConfig, ServiceStats, TakenLink};
-pub use topology::{LinkParams, NetworkTopology};
+pub use topology::{LinkParams, NetworkTopology, TopologyFamily};

@@ -1,8 +1,9 @@
 //! The device network: which node pairs share a physical entanglement
 //! link, and with what hardware parameters.
 
-use dqc_types::{NodeId, Tick};
+use dqc_types::{NodeId, Tick, UnknownName};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Per-edge hardware overrides for one physical entanglement link.
 ///
@@ -365,6 +366,141 @@ impl NetworkTopology {
     }
 }
 
+/// A named, parameterized topology family — the typed *axis value* form
+/// of a [`NetworkTopology`].
+///
+/// A full `NetworkTopology` is an arbitrary edge set and does not have a
+/// stable, human-readable identity; a design-space search needs one (to
+/// label scenarios, serialize results, and compare points). The family
+/// enum captures the regular graphs the co-design layer sweeps over and
+/// [builds](TopologyFamily::build) the concrete device graph on demand.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_entanglement::TopologyFamily;
+///
+/// let f = TopologyFamily::Grid2d { rows: 2, cols: 4 };
+/// assert_eq!(f.to_string(), "grid2d(2x4)");
+/// assert_eq!("grid2d(2x4)".parse::<TopologyFamily>(), Ok(f));
+/// assert_eq!(f.build().num_nodes(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyFamily {
+    /// The complete graph on `nodes` nodes (the paper's implicit default).
+    AllToAll {
+        /// Number of QPU nodes.
+        nodes: usize,
+    },
+    /// A linear chain of `nodes` nodes.
+    Chain {
+        /// Number of QPU nodes.
+        nodes: usize,
+    },
+    /// A ring of `nodes` nodes.
+    Ring {
+        /// Number of QPU nodes.
+        nodes: usize,
+    },
+    /// A `rows × cols` rectangular grid.
+    Grid2d {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A star with node 0 as the hub and `nodes − 1` leaves.
+    Star {
+        /// Number of QPU nodes (hub included).
+        nodes: usize,
+    },
+}
+
+impl TopologyFamily {
+    /// Builds the concrete device graph with default (inherited) link
+    /// parameters on every edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate dimensions, exactly as the corresponding
+    /// [`NetworkTopology`] constructor does.
+    pub fn build(self) -> NetworkTopology {
+        match self {
+            TopologyFamily::AllToAll { nodes } => NetworkTopology::all_to_all(nodes),
+            TopologyFamily::Chain { nodes } => NetworkTopology::chain(nodes),
+            TopologyFamily::Ring { nodes } => NetworkTopology::ring(nodes),
+            TopologyFamily::Grid2d { rows, cols } => NetworkTopology::grid2d(rows, cols),
+            TopologyFamily::Star { nodes } => NetworkTopology::star(nodes),
+        }
+    }
+
+    /// Number of nodes in the built graph.
+    pub const fn num_nodes(self) -> usize {
+        match self {
+            TopologyFamily::AllToAll { nodes }
+            | TopologyFamily::Chain { nodes }
+            | TopologyFamily::Ring { nodes }
+            | TopologyFamily::Star { nodes } => nodes,
+            TopologyFamily::Grid2d { rows, cols } => rows * cols,
+        }
+    }
+
+    /// The family's bare name, without parameters.
+    pub const fn family_name(self) -> &'static str {
+        match self {
+            TopologyFamily::AllToAll { .. } => "all_to_all",
+            TopologyFamily::Chain { .. } => "chain",
+            TopologyFamily::Ring { .. } => "ring",
+            TopologyFamily::Grid2d { .. } => "grid2d",
+            TopologyFamily::Star { .. } => "star",
+        }
+    }
+}
+
+impl fmt::Display for TopologyFamily {
+    /// The canonical label: `family(params)`, e.g. `chain(4)` or
+    /// `grid2d(2x4)`. [`FromStr`](std::str::FromStr) is the exact inverse.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyFamily::Grid2d { rows, cols } => write!(f, "grid2d({rows}x{cols})"),
+            other => write!(f, "{}({})", other.family_name(), other.num_nodes()),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologyFamily {
+    type Err = UnknownName;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnknownName::new("topology", s);
+        let (family, rest) = s.split_once('(').ok_or_else(err)?;
+        let args = rest.strip_suffix(')').ok_or_else(err)?;
+        let parse = |v: &str| v.parse::<usize>().map_err(|_| err());
+        Ok(match family {
+            "grid2d" => {
+                let (rows, cols) = args.split_once('x').ok_or_else(err)?;
+                TopologyFamily::Grid2d {
+                    rows: parse(rows)?,
+                    cols: parse(cols)?,
+                }
+            }
+            "all_to_all" => TopologyFamily::AllToAll {
+                nodes: parse(args)?,
+            },
+            "chain" => TopologyFamily::Chain {
+                nodes: parse(args)?,
+            },
+            "ring" => TopologyFamily::Ring {
+                nodes: parse(args)?,
+            },
+            "star" => TopologyFamily::Star {
+                nodes: parse(args)?,
+            },
+            _ => return Err(err()),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,5 +618,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_edges() {
         let _ = NetworkTopology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn family_labels_round_trip() {
+        let families = [
+            TopologyFamily::AllToAll { nodes: 2 },
+            TopologyFamily::Chain { nodes: 4 },
+            TopologyFamily::Ring { nodes: 5 },
+            TopologyFamily::Grid2d { rows: 2, cols: 4 },
+            TopologyFamily::Star { nodes: 6 },
+        ];
+        for f in families {
+            assert_eq!(f.to_string().parse::<TopologyFamily>(), Ok(f), "{f}");
+        }
+        for bad in ["chain", "chain(", "chain(x)", "grid2d(2)", "moebius(4)"] {
+            assert!(bad.parse::<TopologyFamily>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn family_builds_match_constructors() {
+        assert_eq!(
+            TopologyFamily::Chain { nodes: 4 }.build(),
+            NetworkTopology::chain(4)
+        );
+        assert_eq!(
+            TopologyFamily::Grid2d { rows: 2, cols: 2 }.build(),
+            NetworkTopology::grid2d(2, 2)
+        );
+        assert_eq!(TopologyFamily::Grid2d { rows: 3, cols: 2 }.num_nodes(), 6);
+        assert_eq!(TopologyFamily::Star { nodes: 7 }.num_nodes(), 7);
     }
 }

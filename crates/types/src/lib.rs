@@ -14,6 +14,11 @@
 //! * [`json`] — a hand-rolled JSON document model (writer, parser,
 //!   tolerance-aware diff) backing the machine-readable results pipeline;
 //!   the build environment is offline, so there is no `serde`.
+//! * [`AxisId`] — the identities of the hardware/software co-design axes
+//!   (EPR fidelity, κ, qubit counts, topology, design, protocol, …) that
+//!   the typed `DesignSpace` layer in `dqc-core` and the search engine in
+//!   `dqc-codesign` are built on, plus the shared [`UnknownName`] parse
+//!   error.
 //!
 //! # Examples
 //!
@@ -33,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod axis;
 mod fidelity;
 mod ids;
 pub mod json;
 mod tick;
 
+pub use axis::{AxisId, UnknownName};
 pub use fidelity::Fidelity;
 pub use ids::{GateId, NodeId, QubitId};
 pub use json::{Json, JsonError};

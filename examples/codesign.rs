@@ -1,0 +1,74 @@
+//! Co-design search: find the Pareto-optimal hardware/software points.
+//!
+//! ```sh
+//! cargo run --release --example codesign
+//! ```
+//!
+//! Builds a typed design space around the paper's two-node 32-qubit
+//! system — EPR fidelity × comm/buffer provisioning × architecture
+//! design — and searches it exhaustively on the remote-heavy QAOA-r8-32
+//! benchmark, then prints the Pareto frontier over (end-to-end fidelity,
+//! depth relative to ideal, hardware cost). A seeded random sample of the
+//! same space shows the cheap first-pass strategy for larger spaces.
+
+use dqc::workloads::PaperBenchmark;
+use dqc::{Codesign, Design, DesignSpace, SearchStrategy, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hardware axes: how good are the links, how many comm/buffer qubits
+    // per node. Software axis: which buffering design runs on it.
+    let space = DesignSpace::new(SystemConfig::paper_two_node_32())
+        .epr_fidelities(&[0.95, 0.99])
+        .comm_and_buffer(&[5, 10, 20])
+        .designs(&[
+            Design::Original,
+            Design::SyncBuf,
+            Design::AsyncBuf,
+            Design::AdaptBuf,
+        ]);
+    println!(
+        "design space: {} axes, {} points\n",
+        space.axes().len(),
+        space.len()
+    );
+
+    let result = Codesign::benchmark(PaperBenchmark::QaoaR8_32, space.clone())
+        .runs(5)
+        .base_seed(2025)
+        .run()?;
+
+    println!(
+        "Pareto frontier ({} of {} points):",
+        result.frontier.len(),
+        result.candidates.len()
+    );
+    for c in result.frontier_candidates() {
+        println!(
+            "  {:<55} depth {:>6.2}x  fidelity {:.4}  cost {:>6.1}",
+            c.key.point_label(),
+            c.objectives.depth_relative,
+            c.objectives.fidelity,
+            c.objectives.hardware_cost
+        );
+    }
+    if let Some(best) = result.best_fidelity() {
+        println!("\nhighest-fidelity frontier point: {}", best.key);
+    }
+
+    // The same space under a seeded random sample — the strategy to reach
+    // for when the grid is too large to enumerate.
+    let sampled = Codesign::benchmark(PaperBenchmark::QaoaR8_32, space)
+        .strategy(SearchStrategy::RandomSample {
+            samples: 8,
+            seed: 7,
+        })
+        .runs(5)
+        .base_seed(2025)
+        .run()?;
+    println!(
+        "\nrandom sample: {} points evaluated, {} on its frontier",
+        sampled.candidates.len(),
+        sampled.frontier.len()
+    );
+    Ok(())
+}

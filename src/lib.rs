@@ -17,11 +17,15 @@
 //! | [`sim`] | `dqc-sim` | statevector / density / stabilizer engines |
 //! | [`entanglement`] | `dqc-entanglement` | EPR generation + buffer service |
 //! | [`core`] | `dqc-core` | the co-designed architecture + engine |
+//! | [`codesign`] | `dqc-codesign` | design-space search + Pareto frontier |
 //!
 //! The evaluation engine's main types — [`CompiledCircuit`],
 //! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
-//! and the network-topology types ([`NetworkTopology`], [`RoutingTable`],
-//! [`LinkParams`]) are additionally re-exported at the crate root.
+//! the typed co-design layer ([`DesignSpace`], [`SpaceSweep`],
+//! [`ScenarioKey`], [`Codesign`], [`CostModel`]), and the
+//! network-topology types ([`NetworkTopology`], [`TopologyFamily`],
+//! [`RoutingTable`], [`LinkParams`]) are additionally re-exported at the
+//! crate root.
 //!
 //! # Quickstart
 //!
@@ -68,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub use dqc_circuit as circuit;
+pub use dqc_codesign as codesign;
 pub use dqc_core as core;
 pub use dqc_entanglement as entanglement;
 pub use dqc_partition as partition;
@@ -75,8 +80,10 @@ pub use dqc_sim as sim;
 pub use dqc_types as types;
 pub use dqc_workloads as workloads;
 
+pub use dqc_codesign::{Codesign, CodesignResult, CostModel, Objectives, SearchStrategy};
 pub use dqc_core::{
-    AveragedReport, CompiledCircuit, Design, DqcError, ExecutionReport, Experiment, Sweep,
-    SweepCell, SweepResult, SystemConfig,
+    AveragedReport, Axis, AxisValue, CompiledCircuit, Design, DesignSpace, DqcError,
+    ExecutionReport, Experiment, ScenarioKey, SpaceResult, SpaceSweep, Sweep, SweepCell,
+    SweepResult, SystemConfig,
 };
-pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable};
+pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable, TopologyFamily};

@@ -1,6 +1,6 @@
 //! Integration tests for the compile-once/run-many evaluation engine:
-//! determinism, bit-for-bit equivalence between the compiled path and the
-//! legacy per-seed path, parallel sweep ordering, and the compile-once
+//! determinism, bit-for-bit equivalence between shared and per-seed
+//! fresh compilations, parallel sweep ordering, and the compile-once
 //! guarantee.
 
 use dqc::workloads::PaperBenchmark;
@@ -29,17 +29,21 @@ fn same_seed_yields_identical_reports() {
 
 #[test]
 fn compiled_path_matches_legacy_per_seed_path_bit_for_bit() {
-    // The deprecated free function re-partitions and re-compiles variants
-    // on every call — the exact code path the engine hoisted out. Every
-    // report field must still match exactly.
+    // The removed legacy free function re-partitioned the circuit and
+    // re-compiled every segment variant on every call. Its exact code
+    // path — compile fresh, run once — must still produce bit-for-bit
+    // the reports a single shared compilation does, or compile-once
+    // would be changing results rather than just hoisting work.
     let config = SystemConfig::paper_two_node_32();
     for bench in SWEEP_BENCHES {
         let circuit = bench.circuit();
         let compiled = CompiledCircuit::compile(&circuit, &config).unwrap();
         for design in Design::ALL {
             for seed in 0..4u64 {
-                #[allow(deprecated)]
-                let legacy = dqc::core::evaluate(&circuit, &config, design, seed).unwrap();
+                let legacy = CompiledCircuit::compile(&circuit, &config)
+                    .unwrap()
+                    .run(design, seed)
+                    .unwrap();
                 let fast = compiled.run(design, seed).unwrap();
                 assert_eq!(legacy, fast, "{bench}/{design} seed {seed}");
             }
@@ -50,8 +54,8 @@ fn compiled_path_matches_legacy_per_seed_path_bit_for_bit() {
 #[test]
 fn parallel_sweep_matches_sequential_evaluate_calls() {
     // Acceptance: a Sweep over ≥2 benchmarks × all 6 designs through the
-    // parallel runner produces results identical to sequential
-    // `evaluate` calls with the same seeds.
+    // parallel runner produces results identical to sequential per-seed
+    // compile-and-run calls with the same seeds.
     let config = SystemConfig::paper_two_node_32();
     let result = Sweep::new()
         .benchmarks(SWEEP_BENCHES)
@@ -71,11 +75,15 @@ fn parallel_sweep_matches_sequential_evaluate_calls() {
             let got = cell.next().expect("cells are in grid order");
             assert_eq!(got.circuit, bench.to_string());
             assert_eq!(got.design, design);
-            // Rebuild the cell average from sequential legacy calls over
-            // the same seeds.
-            #[allow(deprecated)]
+            // Rebuild the cell average from sequential per-seed calls
+            // over the same seeds (fresh compilation every time).
             let reports: Vec<_> = (0..RUNS)
-                .map(|i| dqc::core::evaluate(&circuit, &config, design, SEED + i as u64).unwrap())
+                .map(|i| {
+                    CompiledCircuit::compile(&circuit, &config)
+                        .unwrap()
+                        .run(design, SEED + i as u64)
+                        .unwrap()
+                })
                 .collect();
             let expected = dqc::AveragedReport::from_runs(&reports);
             assert_eq!(got.report, expected, "{bench}/{design}");
@@ -167,8 +175,12 @@ fn zero_runs_surface_as_errors_everywhere() {
         .run()
         .unwrap_err();
     assert_eq!(from_sweep, DqcError::ZeroRuns);
-    #[allow(deprecated)]
-    let from_shim =
-        dqc::core::evaluate_many(&circuit, &config, Design::AsyncBuf, 0, 0).unwrap_err();
-    assert_eq!(from_shim, DqcError::ZeroRuns);
+    let from_space = dqc::DesignSpace::new(config)
+        .designs(&[Design::AsyncBuf])
+        .sweep()
+        .benchmark(PaperBenchmark::Tlim32)
+        .runs(0)
+        .run()
+        .unwrap_err();
+    assert_eq!(from_space, DqcError::ZeroRuns);
 }

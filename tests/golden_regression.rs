@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! cargo run --release --bin repro -- table1 fig5 topology-sweep \
-//!     ablate-protocol --runs 2 --format json --out tests/golden
+//!     codesign ablate-protocol --runs 2 --format json --out tests/golden
 //! ```
 
 use dqc_bench::Artifact;
@@ -29,7 +29,13 @@ const GOLDEN_TOL: f64 = 1e-9;
 
 /// The pinned targets: deterministic table plus one representative of
 /// each expensive sweep family (figures, topology, ablations).
-const PINNED: &[&str] = &["table1", "fig5", "topology-sweep", "ablate-protocol"];
+const PINNED: &[&str] = &[
+    "table1",
+    "fig5",
+    "topology-sweep",
+    "codesign",
+    "ablate-protocol",
+];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -93,6 +99,38 @@ fn topology_sweep_matches_golden() {
 #[test]
 fn ablate_protocol_matches_golden() {
     check_target("ablate-protocol");
+}
+
+#[test]
+fn codesign_matches_golden() {
+    check_target("codesign");
+}
+
+#[test]
+fn golden_codesign_frontier_contains_the_paper_operating_point() {
+    // The acceptance claim of the codesign target, asserted from the
+    // committed golden itself (not just the generator): the paper's
+    // recommended operating point — adapt_buf on the two-node 32-qubit
+    // system (10 comm + 10 buffer per node, 99 % EPR fidelity) — lies on
+    // the Pareto frontier over (fidelity, relative depth, hardware cost).
+    let text = std::fs::read_to_string(golden_dir().join("codesign.json")).unwrap();
+    let artifact = Artifact::parse(&text).unwrap();
+    let result = dqc_codesign::CodesignResult::from_json(&artifact.data)
+        .expect("codesign payload parses back");
+    let paper_point = dqc_bench::codesign_paper_point();
+    assert!(
+        result.frontier_contains(&paper_point),
+        "frontier must contain {paper_point}; frontier is {:?}",
+        result
+            .frontier_candidates()
+            .iter()
+            .map(|c| c.key.to_string())
+            .collect::<Vec<_>>()
+    );
+    // And the frontier is a genuine trade-off surface, not a single
+    // winner: it keeps both cheaper-but-slower and costlier-but-denser
+    // neighbours of the paper point.
+    assert!(result.frontier.len() >= 3, "{:?}", result.frontier);
 }
 
 #[test]
