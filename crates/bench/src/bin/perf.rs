@@ -16,9 +16,14 @@
 //! 2. **sequential vs parallel `Sweep`** — the same grid on one worker
 //!    thread and on all available cores;
 //! 3. **routed vs all-to-all execution** — a 4-node chain (multi-hop
-//!    swap chains) against the 4-node complete graph.
+//!    swap chains) against the 4-node complete graph;
+//! 4. **served vs sequential request stream** — the mixed serving
+//!    portfolio pumped through a `dqc-serve` server (warm caches, worker
+//!    pool, fixed client concurrency) against the same request list
+//!    compiled-per-request on one thread; the `serve_throughput` derived
+//!    metric is the requests/sec ratio.
 //!
-//! Results are written as `BENCH_3.json` in a stable schema (fixed keys,
+//! Results are written as `BENCH_5.json` in a stable schema (fixed keys,
 //! fixed entry names, milliseconds), so the perf trajectory can be
 //! tracked across commits. With `--check` the run additionally gates
 //! against a committed baseline: it fails (exit 1) when any tracked
@@ -27,6 +32,7 @@
 
 use dqc_core::{Design, DqcError, Experiment, Sweep, SystemConfig};
 use dqc_entanglement::NetworkTopology;
+use dqc_serve::{EvalRequest, ServeBuilder, ServeError};
 use dqc_types::{Json, JsonError};
 use dqc_workloads::PaperBenchmark;
 use std::path::PathBuf;
@@ -35,7 +41,7 @@ use std::time::Instant;
 
 /// Name of the emitted artifact; the numeric suffix tracks the PR that
 /// introduced (or last re-baselined) the schema.
-const BENCH_ID: &str = "BENCH_3";
+const BENCH_ID: &str = "BENCH_5";
 
 /// Schema version of the benchmark artifact.
 const SCHEMA_VERSION: i64 = 1;
@@ -83,6 +89,8 @@ struct Profile {
     compile_seeds: usize,
     /// Runs per sweep cell / topology experiment.
     runs: usize,
+    /// Requests per serve-throughput measurement.
+    serve_requests: usize,
 }
 
 const QUICK: Profile = Profile {
@@ -90,6 +98,7 @@ const QUICK: Profile = Profile {
     iters: 3,
     compile_seeds: 3,
     runs: 2,
+    serve_requests: 24,
 };
 
 const FULL: Profile = Profile {
@@ -97,6 +106,7 @@ const FULL: Profile = Profile {
     iters: 7,
     compile_seeds: 10,
     runs: 10,
+    serve_requests: 60,
 };
 
 /// A 4-node version of the paper configuration with the given topology.
@@ -195,7 +205,65 @@ fn run_entries(profile: &Profile, seed: u64) -> Result<Vec<(&'static str, Stats)
         }),
     ));
 
+    // 4. The serving layer vs a sequential, compile-per-request client:
+    // the same fixed request list over the mixed portfolio, closed-loop
+    // at fixed concurrency through dqc-serve (warm caches amortize the
+    // compiles, the worker pool overlaps the replays) against one thread
+    // paying a fresh compilation per request.
+    let requests = serve_request_list(profile);
+    eprintln!("timing serve_sequential_baseline ...");
+    entries.push((
+        "serve_sequential_baseline",
+        time_loop(profile.iters, 1, || {
+            dqc_bench::run_sequential_baseline(&requests, &SystemConfig::paper_two_node_32())
+                .expect("portfolio requests evaluate");
+        }),
+    ));
+    eprintln!("timing serve_fixed_concurrency ...");
+    entries.push((
+        "serve_fixed_concurrency",
+        time_loop(profile.iters, 1, || {
+            serve_closed_loop(&requests).expect("serving the portfolio succeeds");
+        }),
+    ));
+
     Ok(entries)
+}
+
+/// The fixed request list of the serve-throughput entries: the mixed
+/// QAOA/QFT/GHZ portfolio tiled round-robin with per-request seeds.
+fn serve_request_list(profile: &Profile) -> Vec<EvalRequest> {
+    dqc_bench::portfolio_requests(
+        profile.serve_requests,
+        profile.runs,
+        dqc_bench::BASE_SEED,
+        "paper",
+        &[Design::AdaptBuf],
+    )
+}
+
+/// Client concurrency of the serve-throughput entry (in-flight requests).
+const SERVE_CONCURRENCY: usize = 8;
+
+/// Pumps `requests` through a fresh server with the shared closed-loop
+/// client (`dqc_bench::pump_closed_loop` — the same pump `serve-bench`
+/// measures with) and shuts it down.
+fn serve_closed_loop(requests: &[EvalRequest]) -> Result<(), ServeError> {
+    let (server, responses) = ServeBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .workers_per_shard(4)
+        .queue_capacity(requests.len().max(1))
+        .spawn()?;
+    let (completed, errors) = dqc_bench::pump_closed_loop(
+        &server,
+        &responses,
+        requests.iter().cloned(),
+        SERVE_CONCURRENCY,
+    )?;
+    assert_eq!(completed, requests.len(), "every request completes");
+    assert_eq!(errors, 0, "portfolio requests evaluate");
+    server.shutdown();
+    Ok(())
 }
 
 /// Ratio of two entries' mean times **per execution** (normalized by
@@ -366,6 +434,16 @@ fn main() -> ExitCode {
             "routed_chain_overhead",
             "exec_routed_chain",
             "exec_all_to_all",
+        ),
+        // Requests/sec ratio of the serving layer over the sequential
+        // compile-per-request client: both entries serve the same request
+        // list once per iteration, so the time ratio is the throughput
+        // ratio.
+        ratio(
+            &entries,
+            "serve_throughput",
+            "serve_sequential_baseline",
+            "serve_fixed_concurrency",
         ),
     ];
 

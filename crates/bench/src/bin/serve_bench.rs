@@ -1,0 +1,453 @@
+//! Load-test harness for the `dqc-serve` serving layer.
+//!
+//! ```text
+//! serve-bench [--mode closed|open] [--requests N] [--concurrency C]
+//!             [--rate RPS] [--workers W] [--queue Q] [--cache K]
+//!             [--batch B] [--runs R] [--seed S] [--out DIR]
+//!             [--min-speedup X] [--fail-on-reject]
+//! ```
+//!
+//! Drives a [`dqc_serve::Server`] with the mixed QAOA/QFT/GHZ portfolio
+//! ([`dqc_bench::serve_portfolio`]) in one of two client models:
+//!
+//! * **closed-loop** (default) — a fixed number of in-flight requests
+//!   (`--concurrency`); a new request is submitted the moment a response
+//!   arrives. Measures peak sustainable throughput.
+//! * **open-loop** — requests arrive at a fixed rate (`--rate`/s)
+//!   regardless of completions, the model of external traffic. Overload
+//!   shows up as typed `Overloaded` rejections, counted in the artifact.
+//!
+//! Every run also times the **no-cache, single-worker baseline**: the
+//! same request list served sequentially with one fresh compilation per
+//! request — the cost profile of a service without the warm compile
+//! cache or worker pool. The ratio is the artifact's
+//! `throughput_speedup`; `--min-speedup` turns it into a gate.
+//!
+//! Results are written as `BENCH_SERVE.json` in a stable, schema-versioned
+//! layout; the CI `serve-smoke` job runs a small closed-loop load with
+//! `--fail-on-reject --min-speedup 4` and uploads the artifact.
+
+use dqc_core::{Design, SystemConfig};
+use dqc_serve::{EvalRequest, ServeBuilder, ServeError, Server};
+use dqc_types::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+/// Name of the emitted artifact.
+const BENCH_ID: &str = "BENCH_SERVE";
+
+/// Schema version of the serve-bench artifact.
+const SCHEMA_VERSION: i64 = 1;
+
+/// Client model of the load generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Closed => "closed",
+            Mode::Open => "open",
+        }
+    }
+}
+
+/// Everything one invocation is configured with.
+struct Options {
+    mode: Mode,
+    requests: usize,
+    concurrency: usize,
+    rate_rps: f64,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    batch: usize,
+    runs: usize,
+    seed: u64,
+    out_dir: PathBuf,
+    min_speedup: Option<f64>,
+    fail_on_reject: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Closed,
+            requests: 120,
+            concurrency: 16,
+            rate_rps: 200.0,
+            workers: 4,
+            queue: 64,
+            cache: 32,
+            batch: 8,
+            runs: 2,
+            seed: dqc_bench::BASE_SEED,
+            out_dir: PathBuf::from("."),
+            min_speedup: None,
+            fail_on_reject: false,
+        }
+    }
+}
+
+/// The fixed request list of one run: the portfolio tiled round-robin
+/// with alternating designs and per-request seed offsets, so every
+/// request is distinct but the whole list is a pure function of
+/// (`requests`, `runs`, `seed`).
+fn build_requests(opts: &Options) -> Vec<EvalRequest> {
+    dqc_bench::portfolio_requests(
+        opts.requests,
+        opts.runs,
+        opts.seed,
+        "paper",
+        &[Design::AdaptBuf, Design::AsyncBuf],
+    )
+}
+
+/// What one timed client run produced.
+struct RunOutcome {
+    elapsed: Duration,
+    completed: usize,
+    rejected: usize,
+    errors: usize,
+    stats: dqc_serve::ServeStats,
+}
+
+fn spawn_server(opts: &Options) -> Result<(Server, Receiver<dqc_serve::EvalResponse>), ServeError> {
+    ServeBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .workers_per_shard(opts.workers)
+        .queue_capacity(opts.queue)
+        .cache_capacity(opts.cache)
+        .batch_max(opts.batch)
+        .spawn()
+}
+
+/// Closed loop: keep exactly `concurrency` requests in flight (`main`
+/// has already clamped it to the queue capacity, so the artifact
+/// reports the concurrency that actually ran).
+fn run_closed(opts: &Options, requests: Vec<EvalRequest>) -> Result<RunOutcome, ServeError> {
+    let (server, responses) = spawn_server(opts)?;
+    let started = Instant::now();
+    let (completed, errors) =
+        dqc_bench::pump_closed_loop(&server, &responses, requests, opts.concurrency)?;
+    let elapsed = started.elapsed();
+    Ok(RunOutcome {
+        elapsed,
+        completed,
+        rejected: 0,
+        errors,
+        stats: server.shutdown(),
+    })
+}
+
+/// Open loop: submit at a fixed rate; a full queue rejects (and the
+/// rejection is the datum).
+fn run_open(opts: &Options, requests: Vec<EvalRequest>) -> Result<RunOutcome, ServeError> {
+    let (server, responses) = spawn_server(opts)?;
+    let started = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / opts.rate_rps.max(1e-6));
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for (i, request) in requests.into_iter().enumerate() {
+        let due = started + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(request) {
+            Ok(_) => accepted += 1,
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut errors = 0usize;
+    for _ in 0..accepted {
+        let response = responses.recv().expect("server streams responses");
+        errors += usize::from(response.outcome.is_err());
+    }
+    let elapsed = started.elapsed();
+    Ok(RunOutcome {
+        elapsed,
+        completed: accepted,
+        rejected,
+        errors,
+        stats: server.shutdown(),
+    })
+}
+
+/// The no-cache, single-worker baseline: the same request list served
+/// sequentially through the shared reference loop.
+fn run_baseline(requests: &[EvalRequest]) -> Result<Duration, ServeError> {
+    let config = SystemConfig::paper_two_node_32();
+    let started = Instant::now();
+    dqc_bench::run_sequential_baseline(requests, &config)?;
+    Ok(started.elapsed())
+}
+
+fn rps(count: usize, elapsed: Duration) -> f64 {
+    if elapsed.as_secs_f64() > 0.0 {
+        count as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    }
+}
+
+/// Serializes one run into the stable `BENCH_SERVE.json` schema.
+fn to_json(opts: &Options, outcome: &RunOutcome, baseline_elapsed: Duration, speedup: f64) -> Json {
+    let portfolio: Vec<Json> = dqc_bench::serve_portfolio()
+        .iter()
+        .map(|(label, _)| Json::from(label.as_str()))
+        .collect();
+    Json::object([
+        ("schema_version", Json::Int(SCHEMA_VERSION)),
+        ("bench", Json::from(BENCH_ID)),
+        ("mode", Json::from(opts.mode.name())),
+        ("requests", Json::from(opts.requests)),
+        ("concurrency", Json::from(opts.concurrency)),
+        ("rate_rps", Json::float(opts.rate_rps)),
+        ("workers_per_shard", Json::from(opts.workers)),
+        ("queue_capacity", Json::from(opts.queue)),
+        ("cache_capacity", Json::from(opts.cache)),
+        ("batch_max", Json::from(opts.batch)),
+        ("runs", Json::from(opts.runs)),
+        ("seed", Json::uint(opts.seed)),
+        ("portfolio", Json::Array(portfolio)),
+        (
+            "serve",
+            Json::object([
+                (
+                    "elapsed_ms",
+                    Json::float(outcome.elapsed.as_secs_f64() * 1e3),
+                ),
+                ("completed", Json::from(outcome.completed)),
+                ("rejected", Json::from(outcome.rejected)),
+                ("errors", Json::from(outcome.errors)),
+                (
+                    "throughput_rps",
+                    Json::float(rps(outcome.completed, outcome.elapsed)),
+                ),
+                ("stats", outcome.stats.to_json()),
+            ]),
+        ),
+        (
+            "baseline",
+            Json::object([
+                (
+                    "elapsed_ms",
+                    Json::float(baseline_elapsed.as_secs_f64() * 1e3),
+                ),
+                (
+                    "throughput_rps",
+                    Json::float(rps(opts.requests, baseline_elapsed)),
+                ),
+            ]),
+        ),
+        (
+            "derived",
+            Json::object([("throughput_speedup", Json::float(speedup))]),
+        ),
+    ])
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut next_parsed = |what: &str| -> Result<String, ExitCode> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(&format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--mode" => match next_parsed("closed|open") {
+                Ok(v) if v == "closed" => opts.mode = Mode::Closed,
+                Ok(v) if v == "open" => opts.mode = Mode::Open,
+                Ok(v) => return usage(&format!("unknown mode {v}")),
+                Err(code) => return code,
+            },
+            "--requests" | "--concurrency" | "--workers" | "--queue" | "--cache" | "--batch"
+            | "--runs" => {
+                let value = match next_parsed("a count") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let Ok(n) = value.parse::<usize>() else {
+                    return usage(&format!("{arg} needs a count, got {value}"));
+                };
+                match arg.as_str() {
+                    "--requests" => opts.requests = n,
+                    "--concurrency" => opts.concurrency = n,
+                    "--workers" => opts.workers = n,
+                    "--queue" => opts.queue = n,
+                    "--cache" => opts.cache = n,
+                    "--batch" => opts.batch = n,
+                    _ => opts.runs = n,
+                }
+            }
+            "--rate" => match next_parsed("requests/sec").map(|v| v.parse::<f64>()) {
+                Ok(Ok(r)) if r > 0.0 => opts.rate_rps = r,
+                Ok(_) => return usage("--rate needs a positive number"),
+                Err(code) => return code,
+            },
+            "--seed" => match next_parsed("an integer").map(|v| v.parse::<u64>()) {
+                Ok(Ok(s)) => opts.seed = s,
+                Ok(_) => return usage("--seed needs an integer"),
+                Err(code) => return code,
+            },
+            "--min-speedup" => match next_parsed("a ratio").map(|v| v.parse::<f64>()) {
+                Ok(Ok(x)) if x > 0.0 => opts.min_speedup = Some(x),
+                Ok(_) => return usage("--min-speedup needs a positive number"),
+                Err(code) => return code,
+            },
+            "--out" => match next_parsed("a directory") {
+                Ok(dir) => opts.out_dir = PathBuf::from(dir),
+                Err(code) => return code,
+            },
+            "--fail-on-reject" => opts.fail_on_reject = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    if opts.requests == 0 || opts.runs == 0 {
+        return usage("--requests and --runs must be at least 1");
+    }
+    // A closed-loop window deeper than the queue cannot actually be held
+    // in flight; clamp *before* anything is recorded so the artifact
+    // reports the concurrency that really ran.
+    let effective = opts.concurrency.clamp(1, opts.queue);
+    if effective != opts.concurrency {
+        eprintln!(
+            "note: clamping --concurrency {} to the queue capacity {}",
+            opts.concurrency, opts.queue
+        );
+        opts.concurrency = effective;
+    }
+
+    let requests = build_requests(&opts);
+    eprintln!(
+        "serve-bench: {} mode, {} requests x {} runs over {} circuits \
+         ({} workers, queue {}, cache {}, batch {})",
+        opts.mode.name(),
+        opts.requests,
+        opts.runs,
+        dqc_bench::serve_portfolio().len(),
+        opts.workers,
+        opts.queue,
+        opts.cache,
+        opts.batch,
+    );
+
+    let outcome = match opts.mode {
+        Mode::Closed => run_closed(&opts, requests.clone()),
+        Mode::Open => run_open(&opts, requests.clone()),
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: serving failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_elapsed = match run_baseline(&requests) {
+        Ok(elapsed) => elapsed,
+        Err(e) => {
+            eprintln!("error: baseline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let serve_rps = rps(outcome.completed, outcome.elapsed);
+    let baseline_rps = rps(opts.requests, baseline_elapsed);
+    let speedup = if baseline_rps > 0.0 {
+        serve_rps / baseline_rps
+    } else {
+        0.0
+    };
+
+    println!("{BENCH_ID} ({} mode):", opts.mode.name());
+    println!(
+        "  served     {:>6} requests in {:>9.1} ms  ({:>8.1} req/s, {} rejected, {} errors)",
+        outcome.completed,
+        outcome.elapsed.as_secs_f64() * 1e3,
+        serve_rps,
+        outcome.rejected,
+        outcome.errors,
+    );
+    println!(
+        "  baseline   {:>6} requests in {:>9.1} ms  ({:>8.1} req/s, no cache, 1 worker)",
+        opts.requests,
+        baseline_elapsed.as_secs_f64() * 1e3,
+        baseline_rps,
+    );
+    println!(
+        "  speedup    {speedup:>8.1}x   cache {} hits / {} misses   p50 {:.2} ms  p99 {:.2} ms",
+        outcome.stats.cache_hits,
+        outcome.stats.cache_misses,
+        outcome.stats.latency.p50_ms,
+        outcome.stats.latency.p99_ms,
+    );
+
+    let document = to_json(&opts, &outcome, baseline_elapsed, speedup);
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = opts.out_dir.join(format!("{BENCH_ID}.json"));
+    if let Err(e) = std::fs::write(&path, document.to_pretty_string()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    let mut failed = false;
+    if opts.fail_on_reject && outcome.rejected > 0 {
+        eprintln!(
+            "FAIL: {} requests rejected as Overloaded at this load",
+            outcome.rejected
+        );
+        failed = true;
+    }
+    // Engine errors fail unconditionally: an errored request completes
+    // near-instantly, so any throughput (and any speedup gate) computed
+    // over failures would certify garbage.
+    if outcome.errors > 0 {
+        eprintln!("FAIL: {} requests ended in engine errors", outcome.errors);
+        failed = true;
+    }
+    if let Some(min) = opts.min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: throughput speedup {speedup:.1}x below the {min}x gate");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: serve-bench [--mode closed|open] [--requests N] [--concurrency C]\n\
+         \x20                  [--rate RPS] [--workers W] [--queue Q] [--cache K]\n\
+         \x20                  [--batch B] [--runs R] [--seed S] [--out DIR]\n\
+         \x20                  [--min-speedup X] [--fail-on-reject]\n\
+         Load-tests the dqc-serve layer on the mixed QAOA/QFT/GHZ portfolio and\n\
+         writes {BENCH_ID}.json; closed loop holds C requests in flight, open\n\
+         loop submits at a fixed rate and counts Overloaded rejections."
+    );
+    if message.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

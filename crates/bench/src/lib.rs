@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dqc_circuit::Circuit;
 use dqc_core::{AveragedReport, Design, DqcError, Experiment, Sweep, SweepResult, SystemConfig};
 use dqc_entanglement::{EntanglementService, GenerationPattern, NetworkTopology};
 use dqc_partition::partition_circuit;
@@ -1086,6 +1087,142 @@ pub fn print_segment_ablation_from(result: &SweepResult, runs: usize) {
             m, comm, r.mean_depth, r.mean_fidelity
         );
     }
+}
+
+// ------------------------------------------------------ Serving portfolio
+
+/// The mixed workload portfolio the serving layer is benchmarked on:
+/// QAOA (both densities), QFT (two widths), and GHZ (chain and tree) —
+/// six circuits of very different compile cost and remote-gate pressure,
+/// all fitting the paper's 32-data-qubit two-node machine.
+///
+/// `serve-bench`, the `perf` harness's `serve_throughput` entries, and
+/// the determinism-under-concurrency test all draw requests from this
+/// portfolio, so their numbers describe the same traffic mix. Circuits
+/// come wrapped in [`Arc`](std::sync::Arc): a load generator submits
+/// each one many times without copying it.
+pub fn serve_portfolio() -> Vec<(String, std::sync::Arc<Circuit>)> {
+    use std::sync::Arc;
+    vec![
+        (
+            PaperBenchmark::QaoaR4_32.to_string(),
+            Arc::new(PaperBenchmark::QaoaR4_32.circuit()),
+        ),
+        (
+            PaperBenchmark::QaoaR8_32.to_string(),
+            Arc::new(PaperBenchmark::QaoaR8_32.circuit()),
+        ),
+        (
+            PaperBenchmark::Qft32.to_string(),
+            Arc::new(dqc_workloads::qft(32)),
+        ),
+        ("QFT-16".to_string(), Arc::new(dqc_workloads::qft(16))),
+        (
+            "GHZ-chain-32".to_string(),
+            Arc::new(dqc_workloads::ghz_chain(32)),
+        ),
+        (
+            "GHZ-tree-32".to_string(),
+            Arc::new(dqc_workloads::ghz_tree(32)),
+        ),
+    ]
+}
+
+/// Builds a deterministic request list over [`serve_portfolio`]:
+/// circuits tiled round-robin, `designs` rotated once per full portfolio
+/// pass, and per-request seeds `base_seed + i` — a pure function of its
+/// arguments, so every harness that needs "N portfolio requests" (the
+/// `serve-bench` load generator, the `perf` serve entries, ad-hoc
+/// experiments) gets the exact same traffic.
+///
+/// # Panics
+///
+/// Panics when `designs` is empty.
+pub fn portfolio_requests(
+    count: usize,
+    runs: usize,
+    base_seed: u64,
+    point: &str,
+    designs: &[Design],
+) -> Vec<dqc_serve::EvalRequest> {
+    assert!(!designs.is_empty(), "need at least one design");
+    let portfolio = serve_portfolio();
+    (0..count)
+        .map(|i| {
+            let (label, circuit) = &portfolio[i % portfolio.len()];
+            dqc_serve::EvalRequest::new(
+                label.clone(),
+                std::sync::Arc::clone(circuit),
+                point,
+                designs[(i / portfolio.len()) % designs.len()],
+            )
+            .runs(runs)
+            .base_seed(base_seed + i as u64)
+        })
+        .collect()
+}
+
+/// Drives `requests` through `server` as a closed-loop client: up to
+/// `window` requests stay in flight, and a new one is submitted the
+/// moment a response arrives. Returns `(completed, engine_errors)`.
+///
+/// This is the one canonical closed-loop pump — `serve-bench` and the
+/// `perf` harness both measure through it, so their "closed loop" means
+/// the same client behavior. `window` is clamped to at least 1; callers
+/// must keep it at or below the server's queue capacity, otherwise
+/// submission can hit admission control and the error propagates.
+///
+/// # Errors
+///
+/// Propagates the first [`dqc_serve::ServeError`] returned by
+/// [`dqc_serve::Server::submit`].
+pub fn pump_closed_loop(
+    server: &dqc_serve::Server,
+    responses: &std::sync::mpsc::Receiver<dqc_serve::EvalResponse>,
+    requests: impl IntoIterator<Item = dqc_serve::EvalRequest>,
+    window: usize,
+) -> Result<(usize, usize), dqc_serve::ServeError> {
+    let window = window.max(1);
+    let mut pending = requests.into_iter();
+    let mut in_flight = 0usize;
+    let mut completed = 0usize;
+    let mut errors = 0usize;
+    loop {
+        while in_flight < window {
+            let Some(request) = pending.next() else { break };
+            server.submit(request)?;
+            in_flight += 1;
+        }
+        if in_flight == 0 {
+            return Ok((completed, errors));
+        }
+        let response = responses.recv().expect("server streams responses");
+        errors += usize::from(response.outcome.is_err());
+        completed += 1;
+        in_flight -= 1;
+    }
+}
+
+/// Serves `requests` sequentially with one **fresh compilation per
+/// request** — the no-cache, single-worker reference both `serve-bench`
+/// and the `perf` harness compare the serving layer against. Keeping the
+/// loop here (next to [`pump_closed_loop`]) guarantees the two harnesses'
+/// speedup metrics are measured against the same baseline behavior.
+///
+/// # Errors
+///
+/// Propagates the first [`DqcError`] from compilation or execution.
+pub fn run_sequential_baseline(
+    requests: &[dqc_serve::EvalRequest],
+    config: &SystemConfig,
+) -> Result<(), DqcError> {
+    for request in requests {
+        let compiled = dqc_core::CompiledCircuit::compile(&request.circuit, config)?;
+        for i in 0..request.runs {
+            compiled.run(request.design, request.base_seed.wrapping_add(i as u64))?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

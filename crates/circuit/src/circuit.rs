@@ -305,6 +305,59 @@ impl Circuit {
 
     // ----- analysis -----
 
+    /// A stable 64-bit fingerprint of the circuit: the same circuit
+    /// produces the same fingerprint on every run, platform, and
+    /// toolchain, and any change to the register width, gate sequence,
+    /// gate parameters, or operand wiring changes it.
+    ///
+    /// The fingerprint is the identity the `dqc-serve` compile cache keys
+    /// warm [`CompiledCircuit`]s by (together with the configuration
+    /// fingerprint), so two structurally equal circuits — even separately
+    /// constructed ones — share one compilation. It is non-cryptographic
+    /// (FNV-1a); collision-sensitive consumers should verify candidate
+    /// matches with `==` before trusting them.
+    ///
+    /// [`CompiledCircuit`]: https://docs.rs/dqc-core
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_circuit::Circuit;
+    ///
+    /// let mut a = Circuit::new(2);
+    /// a.h(0).cx(0, 1);
+    /// let mut b = Circuit::new(2);
+    /// b.h(0).cx(0, 1);
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    ///
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cx(1, 0); // same gates, different wiring
+    /// assert_ne!(a.fingerprint(), c.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = dqc_types::Fnv64::new();
+        h.write_u32(self.num_qubits);
+        h.write_usize(self.ops.len());
+        for op in &self.ops {
+            let gate = op.gate();
+            h.write_str(gate.name());
+            // The parameter distinguishes rotations by angle; parameterless
+            // gates fold a fixed marker so rx(θ) never aliases a gate
+            // stream that happens to follow `rx` with the bits of θ.
+            match gate.param() {
+                Some(theta) => {
+                    h.write_u8(1);
+                    h.write_f64(theta);
+                }
+                None => h.write_u8(0),
+            }
+            for q in op.qubits() {
+                h.write_u32(q.index());
+            }
+        }
+        h.finish()
+    }
+
     /// Aggregated gate counts (single-qubit, two-qubit, measurements).
     pub fn counts(&self) -> GateCounts {
         GateCounts::of(self)
@@ -587,6 +640,55 @@ mod tests {
             c.inverse().unwrap_err(),
             CircuitError::IrreversibleOperation
         );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structural() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).rz(2, 0.25).rzz(2, 3, 1.5);
+        // Deterministic across calls (and, by construction, across runs:
+        // the hasher is FNV-1a over explicit field encodings, with no
+        // per-process state).
+        assert_eq!(c.fingerprint(), c.fingerprint());
+        // A separately built but equal circuit agrees.
+        let mut d = Circuit::new(4);
+        d.h(0).cx(0, 1).rz(2, 0.25).rzz(2, 3, 1.5);
+        assert_eq!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_near_misses() {
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).rz(1, 0.5);
+        let fp = base.fingerprint();
+
+        // Wider register, same gates.
+        let mut wider = Circuit::new(4);
+        wider.h(0).cx(0, 1).rz(1, 0.5);
+        assert_ne!(fp, wider.fingerprint());
+
+        // Different rotation angle.
+        let mut angle = Circuit::new(3);
+        angle.h(0).cx(0, 1).rz(1, 0.25);
+        assert_ne!(fp, angle.fingerprint());
+
+        // Swapped control/target.
+        let mut swapped = Circuit::new(3);
+        swapped.h(0).cx(1, 0).rz(1, 0.5);
+        assert_ne!(fp, swapped.fingerprint());
+
+        // Reordered gate sequence.
+        let mut reordered = Circuit::new(3);
+        reordered.cx(0, 1).h(0).rz(1, 0.5);
+        assert_ne!(fp, reordered.fingerprint());
+
+        // A gate dropped from the tail.
+        let mut shorter = Circuit::new(3);
+        shorter.h(0).cx(0, 1);
+        assert_ne!(fp, shorter.fingerprint());
+
+        // Empty circuits of different widths still differ.
+        assert_ne!(Circuit::new(1).fingerprint(), Circuit::new(2).fingerprint());
     }
 
     #[test]

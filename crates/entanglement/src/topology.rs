@@ -1,7 +1,7 @@
 //! The device network: which node pairs share a physical entanglement
 //! link, and with what hardware parameters.
 
-use dqc_types::{NodeId, Tick, UnknownName};
+use dqc_types::{Fnv64, NodeId, Tick, UnknownName};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -293,6 +293,39 @@ impl NetworkTopology {
         self.edges
             .iter()
             .map(|(&(a, b), p)| ((NodeId::new(a), NodeId::new(b)), p))
+    }
+
+    /// Folds the topology's full identity — node count, edge set, and
+    /// every per-edge parameter override — into `hasher`.
+    ///
+    /// Edges are stored in a sorted map, so the encoding (and therefore
+    /// the resulting fingerprint) is deterministic: two equal topologies
+    /// always fold identically, regardless of construction order. This is
+    /// the topology's contribution to `SystemConfig`'s stable fingerprint
+    /// in `dqc-core`, which the serving layer shards hardware points by.
+    pub fn fold_fingerprint(&self, hasher: &mut Fnv64) {
+        let opt_f64 = |h: &mut Fnv64, v: Option<f64>| match v {
+            Some(x) => {
+                h.write_u8(1);
+                h.write_f64(x);
+            }
+            None => h.write_u8(0),
+        };
+        hasher.write_usize(self.num_nodes);
+        hasher.write_usize(self.edges.len());
+        for (&(a, b), params) in &self.edges {
+            hasher.write_u32(u32::from(a));
+            hasher.write_u32(u32::from(b));
+            opt_f64(hasher, params.initial_fidelity);
+            opt_f64(hasher, params.kappa_per_tick);
+            match params.epr_cycle {
+                Some(t) => {
+                    hasher.write_u8(1);
+                    hasher.write_i64(t.ticks());
+                }
+                None => hasher.write_u8(0),
+            }
+        }
     }
 
     /// The neighbors of `node`, ascending.

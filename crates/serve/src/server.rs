@@ -1,0 +1,461 @@
+//! The long-lived evaluation service: per-hardware-point shards, worker
+//! pools, batched dispatch, and bounded admission.
+//!
+//! A [`Server`] is built from a set of named *hardware points* (full
+//! [`SystemConfig`]s). Each point gets one **shard**: a bounded job
+//! queue, a worker pool, and a warm [`CompiledCircuit`] cache. Submitted
+//! [`EvalRequest`]s are routed to their point's shard; workers drain the
+//! queue in batches (coalescing same-shard requests into one dispatch),
+//! serve each request compile-once out of the shard cache, and stream
+//! [`EvalResponse`]s back over the result channel handed out at spawn.
+//!
+//! Determinism: a request's outcome depends only on the request itself
+//! (circuit, point, design, runs, base seed) — never on which worker
+//! served it, how requests interleaved, or the server's parallelism.
+//! Workers replay seeds through the same [`Experiment`] engine the sweep
+//! layer uses, so a served request is byte-identical to a direct
+//! in-process evaluation.
+
+use crate::cache::CompileCache;
+use crate::queue::{BoundedQueue, PushRefused};
+use crate::stats::{LatencyWindow, ServeStats, ShardCounters, ShardSnapshot};
+use crate::{EvalOutput, EvalRequest, EvalResponse, RequestId, ServeError};
+use dqc_core::{CompiledCircuit, Experiment, SystemConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An accepted request travelling through a shard queue.
+struct Job {
+    id: RequestId,
+    request: EvalRequest,
+    submitted_at: Instant,
+}
+
+/// Everything one worker thread needs, cloned per worker.
+struct WorkerContext {
+    queue: Arc<BoundedQueue<Job>>,
+    counters: Arc<ShardCounters>,
+    cache: Arc<Mutex<CompileCache>>,
+    config: Arc<SystemConfig>,
+    point: String,
+    results: Sender<EvalResponse>,
+    latency: Arc<LatencyWindow>,
+    batch_max: usize,
+}
+
+/// One hardware point's slice of the server.
+struct Shard {
+    point: String,
+    config: Arc<SystemConfig>,
+    queue: Arc<BoundedQueue<Job>>,
+    counters: Arc<ShardCounters>,
+    cache: Arc<Mutex<CompileCache>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Configures and spawns a [`Server`].
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::{Design, SystemConfig};
+/// use dqc_serve::{EvalRequest, ServeBuilder};
+/// use dqc_workloads::PaperBenchmark;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), dqc_serve::ServeError> {
+/// let (server, responses) = ServeBuilder::new()
+///     .hardware_point("paper", SystemConfig::paper_two_node_32())
+///     .workers_per_shard(2)
+///     .spawn()?;
+///
+/// let circuit = Arc::new(PaperBenchmark::Tlim32.circuit());
+/// for seed in 0..4 {
+///     server.submit(
+///         EvalRequest::new("TLIM-32", Arc::clone(&circuit), "paper", Design::AdaptBuf)
+///             .runs(2)
+///             .base_seed(seed),
+///     )?;
+/// }
+/// for _ in 0..4 {
+///     let response = responses.recv().expect("server streams responses");
+///     assert_eq!(response.outcome.unwrap().reports.len(), 2);
+/// }
+/// let stats = server.shutdown();
+/// assert_eq!(stats.served, 4);
+/// // With 2 workers, at most the first request per worker misses cold.
+/// assert!(stats.cache_hits >= 2, "the warm cache amortizes compilation");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeBuilder {
+    points: Vec<(String, SystemConfig)>,
+    workers_per_shard: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    batch_max: usize,
+}
+
+impl Default for ServeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeBuilder {
+    /// Starts a builder with the defaults: 2 workers per shard, a
+    /// 64-request queue, a 32-compilation cache, and batches of up to 8.
+    pub fn new() -> Self {
+        Self {
+            points: Vec::new(),
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            batch_max: 8,
+        }
+    }
+
+    /// Registers a named hardware point; requests target it by label.
+    #[must_use]
+    pub fn hardware_point(mut self, label: impl Into<String>, config: SystemConfig) -> Self {
+        self.points.push((label.into(), config));
+        self
+    }
+
+    /// Sets the worker threads per shard. `0` is an accept-only
+    /// diagnostic mode: requests queue (and overflow deterministically)
+    /// but are never executed — used by admission-control tests.
+    #[must_use]
+    pub fn workers_per_shard(mut self, workers: usize) -> Self {
+        self.workers_per_shard = workers;
+        self
+    }
+
+    /// Sets each shard's queue capacity — the admission-control bound
+    /// behind [`ServeError::Overloaded`]. Clamped to at least 1.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets each shard's warm-compilation cache capacity (entries). `0`
+    /// disables caching — every request recompiles (the baseline the
+    /// serve benchmark compares against).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the largest number of queued requests one worker wake-up
+    /// drains. Clamped to at least 1.
+    #[must_use]
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Spawns the shards and their worker pools, returning the server
+    /// handle and the receiving end of the result channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoHardwarePoints`] when no point was registered, or
+    /// [`ServeError::DuplicatePoint`] when two points share a label.
+    pub fn spawn(self) -> Result<(Server, Receiver<EvalResponse>), ServeError> {
+        if self.points.is_empty() {
+            return Err(ServeError::NoHardwarePoints);
+        }
+        let mut index = HashMap::new();
+        for (i, (label, _)) in self.points.iter().enumerate() {
+            if index.insert(label.clone(), i).is_some() {
+                return Err(ServeError::DuplicatePoint {
+                    point: label.clone(),
+                });
+            }
+        }
+
+        let (results, receiver) = channel();
+        let latency = Arc::new(LatencyWindow::new());
+        let shards = self
+            .points
+            .into_iter()
+            .map(|(point, config)| {
+                let config = Arc::new(config);
+                let queue = Arc::new(BoundedQueue::new(self.queue_capacity));
+                let counters = Arc::new(ShardCounters::default());
+                let cache = Arc::new(Mutex::new(CompileCache::new(self.cache_capacity)));
+                let workers = (0..self.workers_per_shard)
+                    .map(|_| {
+                        let ctx = WorkerContext {
+                            queue: Arc::clone(&queue),
+                            counters: Arc::clone(&counters),
+                            cache: Arc::clone(&cache),
+                            config: Arc::clone(&config),
+                            point: point.clone(),
+                            results: results.clone(),
+                            latency: Arc::clone(&latency),
+                            batch_max: self.batch_max,
+                        };
+                        std::thread::spawn(move || worker_loop(ctx))
+                    })
+                    .collect();
+                Shard {
+                    point,
+                    config,
+                    queue,
+                    counters,
+                    cache,
+                    workers,
+                }
+            })
+            .collect();
+        // `results` drops here: once every worker exits, the receiver
+        // disconnects — the client's end-of-stream signal.
+        Ok((
+            Server {
+                shards,
+                index,
+                next_id: AtomicU64::new(0),
+                started: Instant::now(),
+                latency,
+            },
+            receiver,
+        ))
+    }
+}
+
+/// A running sharded evaluation service. See the [crate docs](crate)
+/// for the architecture and [`ServeBuilder`] for a usage example.
+///
+/// Dropping the server closes every shard queue, drains the work already
+/// accepted, and joins the workers; [`Server::shutdown`] does the same
+/// but hands back the final [`ServeStats`].
+#[derive(Debug)]
+pub struct Server {
+    shards: Vec<Shard>,
+    index: HashMap<String, usize>,
+    next_id: AtomicU64,
+    started: Instant,
+    latency: Arc<LatencyWindow>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("point", &self.point)
+            .field("queue_depth", &self.queue.depth())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts a [`ServeBuilder`].
+    pub fn builder() -> ServeBuilder {
+        ServeBuilder::new()
+    }
+
+    /// The registered hardware-point labels, in declaration order.
+    pub fn points(&self) -> impl Iterator<Item = &str> {
+        self.shards.iter().map(|s| s.point.as_str())
+    }
+
+    /// The configuration behind a hardware point, if registered.
+    pub fn point_config(&self, point: &str) -> Option<&SystemConfig> {
+        self.index.get(point).map(|&i| &*self.shards[i].config)
+    }
+
+    /// Submits a request to its hardware point's shard.
+    ///
+    /// Returns the request's id immediately; the outcome arrives on the
+    /// result channel as an [`EvalResponse`] carrying the same id.
+    /// Responses arrive in *completion* order, not submission order.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownPoint`] — no shard serves `request.point`.
+    /// * [`ServeError::Engine`]([`DqcError::ZeroRuns`]) — `runs == 0` is
+    ///   rejected here rather than poisoning a worker.
+    /// * [`ServeError::Overloaded`] — the shard queue is full; the
+    ///   admission controller refused the request (backpressure).
+    /// * [`ServeError::ShuttingDown`] — the server is draining.
+    ///
+    /// [`DqcError::ZeroRuns`]: dqc_core::DqcError::ZeroRuns
+    pub fn submit(&self, request: EvalRequest) -> Result<RequestId, ServeError> {
+        let Some(&shard_idx) = self.index.get(&request.point) else {
+            return Err(ServeError::UnknownPoint {
+                point: request.point,
+            });
+        };
+        if request.runs == 0 {
+            return Err(ServeError::Engine(dqc_core::DqcError::ZeroRuns));
+        }
+        let shard = &self.shards[shard_idx];
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let job = Job {
+            id,
+            request,
+            submitted_at: Instant::now(),
+        };
+        match shard.queue.try_push(job) {
+            Ok(()) => {
+                ShardCounters::bump(&shard.counters.submitted);
+                Ok(id)
+            }
+            Err(PushRefused::Full) => {
+                ShardCounters::bump(&shard.counters.rejected);
+                Err(ServeError::Overloaded {
+                    point: shard.point.clone(),
+                    capacity: shard.queue.capacity(),
+                })
+            }
+            Err(PushRefused::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// A point-in-time snapshot of counters, queue depths, cache state,
+    /// latency quantiles, and throughput.
+    pub fn stats(&self) -> ServeStats {
+        let read = ShardCounters::read;
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                point: s.point.clone(),
+                queue_depth: s.queue.depth(),
+                queue_capacity: s.queue.capacity(),
+                submitted: read(&s.counters.submitted),
+                served: read(&s.counters.served),
+                rejected: read(&s.counters.rejected),
+                errors: read(&s.counters.errors),
+                cache_hits: read(&s.counters.cache_hits),
+                cache_misses: read(&s.counters.cache_misses),
+                dispatches: read(&s.counters.dispatches),
+                cached_circuits: s.cache.lock().expect("cache lock not poisoned").len(),
+            })
+            .collect();
+        let total = |f: fn(&ShardSnapshot) -> u64| shards.iter().map(f).sum();
+        let served: u64 = total(|s| s.served);
+        let elapsed = self.started.elapsed();
+        let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+        ServeStats {
+            submitted: total(|s| s.submitted),
+            served,
+            rejected: total(|s| s.rejected),
+            errors: total(|s| s.errors),
+            cache_hits: total(|s| s.cache_hits),
+            cache_misses: total(|s| s.cache_misses),
+            dispatches: total(|s| s.dispatches),
+            elapsed_ms,
+            throughput_rps: if elapsed_ms > 0.0 {
+                served as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency: self.latency.summarize(),
+            shards,
+        }
+    }
+
+    /// Gracefully shuts down: closes every queue (refusing new
+    /// submissions), lets the workers drain what was already accepted,
+    /// joins them, and returns the final stats snapshot.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            for worker in shard.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// One worker's lifetime: drain batches until the queue closes empty.
+fn worker_loop(ctx: WorkerContext) {
+    while let Some(batch) = ctx.queue.pop_batch(ctx.batch_max) {
+        ShardCounters::bump(&ctx.counters.dispatches);
+        for job in batch {
+            let (outcome, cache_hit) = serve_one(&ctx, &job.request);
+            if outcome.is_err() {
+                ShardCounters::bump(&ctx.counters.errors);
+            }
+            ShardCounters::bump(&ctx.counters.served);
+            let latency = job.submitted_at.elapsed();
+            ctx.latency.record(latency);
+            // A gone receiver means the client stopped listening; keep
+            // draining so shutdown still completes.
+            let _ = ctx.results.send(EvalResponse {
+                id: job.id,
+                circuit_label: job.request.circuit_label,
+                point: ctx.point.clone(),
+                outcome,
+                cache_hit,
+                latency,
+            });
+        }
+    }
+}
+
+/// Serves one request compile-once: warm-cache lookup (equality-verified),
+/// compile-and-fill on miss, then deterministic per-request seed replay.
+fn serve_one(ctx: &WorkerContext, request: &EvalRequest) -> (Result<EvalOutput, ServeError>, bool) {
+    let key = CompiledCircuit::cache_key(&request.circuit, &ctx.config);
+    let cached = ctx
+        .cache
+        .lock()
+        .expect("cache lock not poisoned")
+        .get(key, &request.circuit);
+    let (compiled, cache_hit) = match cached {
+        Some(compiled) => {
+            ShardCounters::bump(&ctx.counters.cache_hits);
+            (compiled, true)
+        }
+        None => {
+            // Two workers can miss the same circuit concurrently and both
+            // compile; the duplicate insert collapses in the cache. That
+            // wastes one compilation in a rare race — cheaper than
+            // serializing every miss behind a single-flight lock.
+            ShardCounters::bump(&ctx.counters.cache_misses);
+            match CompiledCircuit::compile(&request.circuit, &ctx.config) {
+                Ok(compiled) => {
+                    let compiled = Arc::new(compiled);
+                    ctx.cache
+                        .lock()
+                        .expect("cache lock not poisoned")
+                        .insert(key, Arc::clone(&compiled));
+                    (compiled, false)
+                }
+                Err(e) => return (Err(ServeError::Engine(e)), false),
+            }
+        }
+    };
+    let reports = Experiment::with_compiled(compiled)
+        .design(request.design)
+        .runs(request.runs)
+        .base_seed(request.base_seed)
+        .reports();
+    match reports {
+        Ok(reports) => (Ok(EvalOutput { reports }), cache_hit),
+        Err(e) => (Err(ServeError::Engine(e)), cache_hit),
+    }
+}

@@ -1,0 +1,361 @@
+//! Server observability: counters, latency quantiles, and the
+//! JSON-serializable [`ServeStats`] snapshot.
+
+use dqc_types::{Json, JsonError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent per-request latencies the quantile window retains.
+/// Quantiles are computed over this sliding window, so a long-lived
+/// server reports *recent* tail latency instead of averaging over its
+/// entire history (and its memory stays bounded).
+pub(crate) const LATENCY_WINDOW: usize = 8192;
+
+/// Lock-free per-shard counters, updated by workers and the admission
+/// path, read by [`ServeStats`] snapshots. Relaxed ordering everywhere:
+/// the counters are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) dispatches: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A sliding window of recent request latencies (microseconds).
+#[derive(Debug)]
+pub(crate) struct LatencyWindow {
+    samples: Mutex<VecDeque<u64>>,
+}
+
+impl LatencyWindow {
+    pub(crate) fn new() -> Self {
+        Self {
+            samples: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+        }
+    }
+
+    /// Records one request's submission-to-completion latency.
+    pub(crate) fn record(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut samples = self.samples.lock().expect("latency lock not poisoned");
+        if samples.len() == LATENCY_WINDOW {
+            samples.pop_front();
+        }
+        samples.push_back(micros);
+    }
+
+    /// Summarizes the current window.
+    pub(crate) fn summarize(&self) -> LatencySummary {
+        let samples = self.samples.lock().expect("latency lock not poisoned");
+        let mut sorted: Vec<u64> = samples.iter().copied().collect();
+        drop(samples);
+        sorted.sort_unstable();
+        let ms = |micros: u64| micros as f64 / 1e3;
+        if sorted.is_empty() {
+            return LatencySummary::default();
+        }
+        // Nearest-rank quantiles: rank ⌈q·n⌉ (1-based), the convention
+        // that never interpolates between observed samples.
+        let rank = |q: f64| {
+            let n = sorted.len();
+            let r = (q * n as f64).ceil() as usize;
+            sorted[r.clamp(1, n) - 1]
+        };
+        LatencySummary {
+            samples: sorted.len(),
+            mean_ms: ms(sorted.iter().sum::<u64>()) / sorted.len() as f64,
+            p50_ms: ms(rank(0.50)),
+            p99_ms: ms(rank(0.99)),
+            max_ms: ms(*sorted.last().expect("non-empty")),
+        }
+    }
+}
+
+/// Latency quantiles over the server's recent-request window, in
+/// milliseconds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples in the window (saturates at the window size).
+    pub samples: usize,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50_ms: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ms: f64,
+    /// Worst latency in the window.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Serializes the summary for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("samples", Json::from(self.samples)),
+            ("mean_ms", Json::float(self.mean_ms)),
+            ("p50_ms", Json::float(self.p50_ms)),
+            ("p99_ms", Json::float(self.p99_ms)),
+            ("max_ms", Json::float(self.max_ms)),
+        ])
+    }
+
+    /// Reads a summary back from [`LatencySummary::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            samples: json.usize_field("samples")?,
+            mean_ms: json.f64_field("mean_ms")?,
+            p50_ms: json.f64_field("p50_ms")?,
+            p99_ms: json.f64_field("p99_ms")?,
+            max_ms: json.f64_field("max_ms")?,
+        })
+    }
+}
+
+/// One shard's slice of a [`ServeStats`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The hardware point this shard serves.
+    pub point: String,
+    /// Requests waiting in the shard's bounded queue right now.
+    pub queue_depth: usize,
+    /// The queue's capacity (the admission-control bound).
+    pub queue_capacity: usize,
+    /// Requests accepted into this shard.
+    pub submitted: u64,
+    /// Requests completed (successfully or with an engine error).
+    pub served: u64,
+    /// Requests refused with [`Overloaded`](crate::ServeError::Overloaded).
+    pub rejected: u64,
+    /// Served requests whose outcome was an engine error.
+    pub errors: u64,
+    /// Compilations served from the warm cache.
+    pub cache_hits: u64,
+    /// Compilations that had to be built.
+    pub cache_misses: u64,
+    /// Worker wake-ups; `served / dispatches` is the mean batch size.
+    pub dispatches: u64,
+    /// Compilations currently warm in the cache.
+    pub cached_circuits: usize,
+}
+
+impl ShardSnapshot {
+    /// Serializes the shard snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("point", Json::from(self.point.as_str())),
+            ("queue_depth", Json::from(self.queue_depth)),
+            ("queue_capacity", Json::from(self.queue_capacity)),
+            ("submitted", Json::uint(self.submitted)),
+            ("served", Json::uint(self.served)),
+            ("rejected", Json::uint(self.rejected)),
+            ("errors", Json::uint(self.errors)),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("cache_misses", Json::uint(self.cache_misses)),
+            ("dispatches", Json::uint(self.dispatches)),
+            ("cached_circuits", Json::from(self.cached_circuits)),
+        ])
+    }
+
+    /// Reads a shard snapshot back from [`ShardSnapshot::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            point: json.str_field("point")?.to_string(),
+            queue_depth: json.usize_field("queue_depth")?,
+            queue_capacity: json.usize_field("queue_capacity")?,
+            submitted: json.u64_field("submitted")?,
+            served: json.u64_field("served")?,
+            rejected: json.u64_field("rejected")?,
+            errors: json.u64_field("errors")?,
+            cache_hits: json.u64_field("cache_hits")?,
+            cache_misses: json.u64_field("cache_misses")?,
+            dispatches: json.u64_field("dispatches")?,
+            cached_circuits: json.usize_field("cached_circuits")?,
+        })
+    }
+}
+
+/// A point-in-time snapshot of a running server: aggregate counters,
+/// per-shard queue/cache state, latency quantiles, and throughput.
+///
+/// Snapshots serialize through the workspace's JSON layer, so the
+/// serve-bench artifact and any external scraper read the same schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted across all shards.
+    pub submitted: u64,
+    /// Requests completed across all shards.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Served requests that ended in an engine error.
+    pub errors: u64,
+    /// Cache hits across all shards.
+    pub cache_hits: u64,
+    /// Cache misses across all shards.
+    pub cache_misses: u64,
+    /// Worker dispatches across all shards.
+    pub dispatches: u64,
+    /// Wall-clock milliseconds since the server started.
+    pub elapsed_ms: f64,
+    /// Completed requests per second since the server started.
+    pub throughput_rps: f64,
+    /// Latency quantiles over the recent-request window.
+    pub latency: LatencySummary,
+    /// Per-shard state, in hardware-point declaration order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServeStats {
+    /// Serializes the snapshot for the machine-readable results pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("submitted", Json::uint(self.submitted)),
+            ("served", Json::uint(self.served)),
+            ("rejected", Json::uint(self.rejected)),
+            ("errors", Json::uint(self.errors)),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("cache_misses", Json::uint(self.cache_misses)),
+            ("dispatches", Json::uint(self.dispatches)),
+            ("elapsed_ms", Json::float(self.elapsed_ms)),
+            ("throughput_rps", Json::float(self.throughput_rps)),
+            ("latency", self.latency.to_json()),
+            (
+                "shards",
+                Json::Array(self.shards.iter().map(ShardSnapshot::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reads a snapshot back from [`ServeStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            submitted: json.u64_field("submitted")?,
+            served: json.u64_field("served")?,
+            rejected: json.u64_field("rejected")?,
+            errors: json.u64_field("errors")?,
+            cache_hits: json.u64_field("cache_hits")?,
+            cache_misses: json.u64_field("cache_misses")?,
+            dispatches: json.u64_field("dispatches")?,
+            elapsed_ms: json.f64_field("elapsed_ms")?,
+            throughput_rps: json.f64_field("throughput_rps")?,
+            latency: LatencySummary::from_json(json.field("latency")?)?,
+            shards: json
+                .array_field("shards")?
+                .iter()
+                .map(ShardSnapshot::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> ServeStats {
+        ServeStats {
+            submitted: 100,
+            served: 97,
+            rejected: 3,
+            errors: 1,
+            cache_hits: 90,
+            cache_misses: 7,
+            dispatches: 25,
+            elapsed_ms: 1234.5,
+            throughput_rps: 78.6,
+            latency: LatencySummary {
+                samples: 97,
+                mean_ms: 4.2,
+                p50_ms: 3.1,
+                p99_ms: 19.7,
+                max_ms: 25.0,
+            },
+            shards: vec![ShardSnapshot {
+                point: "paper".to_string(),
+                queue_depth: 2,
+                queue_capacity: 64,
+                submitted: 100,
+                served: 97,
+                rejected: 3,
+                errors: 1,
+                cache_hits: 90,
+                cache_misses: 7,
+                dispatches: 25,
+                cached_circuits: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_through_json_text() {
+        let stats = sample_stats();
+        let text = stats.to_json().to_pretty_string();
+        let back = ServeStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let mut doc = sample_stats().to_json();
+        if let Json::Object(members) = &mut doc {
+            members.retain(|(k, _)| k != "latency");
+        }
+        assert!(ServeStats::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn latency_window_quantiles_are_nearest_rank() {
+        let window = LatencyWindow::new();
+        for micros in (1..=100).rev() {
+            window.record(Duration::from_micros(micros * 1000));
+        }
+        let summary = window.summarize();
+        assert_eq!(summary.samples, 100);
+        assert!((summary.p50_ms - 50.0).abs() < 1e-9, "{summary:?}");
+        assert!((summary.p99_ms - 99.0).abs() < 1e-9, "{summary:?}");
+        assert!((summary.max_ms - 100.0).abs() < 1e-9, "{summary:?}");
+        assert!((summary.mean_ms - 50.5).abs() < 1e-9, "{summary:?}");
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let window = LatencyWindow::new();
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            window.record(Duration::from_micros(1000));
+        }
+        assert_eq!(window.summarize().samples, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn empty_window_summarizes_to_zeros() {
+        assert_eq!(LatencyWindow::new().summarize(), LatencySummary::default());
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`json`] — a hand-rolled JSON document model (writer, parser,
 //!   tolerance-aware diff) backing the machine-readable results pipeline;
 //!   the build environment is offline, so there is no `serde`.
+//! * [`Fnv64`] — a stable FNV-1a fingerprint hasher whose output never
+//!   changes across runs, platforms, or toolchains, backing the circuit
+//!   and configuration fingerprints that key the serving layer's compile
+//!   cache and shard routing.
 //! * [`AxisId`] — the identities of the hardware/software co-design axes
 //!   (EPR fidelity, κ, qubit counts, topology, design, protocol, …) that
 //!   the typed `DesignSpace` layer in `dqc-core` and the search engine in
@@ -40,12 +44,14 @@
 
 mod axis;
 mod fidelity;
+mod hash;
 mod ids;
 pub mod json;
 mod tick;
 
 pub use axis::{AxisId, UnknownName};
 pub use fidelity::Fidelity;
+pub use hash::{fnv64, Fnv64};
 pub use ids::{GateId, NodeId, QubitId};
 pub use json::{Json, JsonError};
 pub use tick::Tick;

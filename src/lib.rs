@@ -18,14 +18,16 @@
 //! | [`entanglement`] | `dqc-entanglement` | EPR generation + buffer service |
 //! | [`core`] | `dqc-core` | the co-designed architecture + engine |
 //! | [`codesign`] | `dqc-codesign` | design-space search + Pareto frontier |
+//! | [`serve`] | `dqc-serve` | sharded compile-once serving layer |
 //!
 //! The evaluation engine's main types — [`CompiledCircuit`],
 //! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
 //! the typed co-design layer ([`DesignSpace`], [`SpaceSweep`],
 //! [`ScenarioKey`], [`Codesign`], [`CostModel`]), and the
 //! network-topology types ([`NetworkTopology`], [`TopologyFamily`],
-//! [`RoutingTable`], [`LinkParams`]) are additionally re-exported at the
-//! crate root.
+//! [`RoutingTable`], [`LinkParams`]), and the serving layer
+//! ([`Server`], [`ServeBuilder`], [`EvalRequest`], [`ServeStats`]) are
+//! additionally re-exported at the crate root.
 //!
 //! # Quickstart
 //!
@@ -76,6 +78,7 @@ pub use dqc_codesign as codesign;
 pub use dqc_core as core;
 pub use dqc_entanglement as entanglement;
 pub use dqc_partition as partition;
+pub use dqc_serve as serve;
 pub use dqc_sim as sim;
 pub use dqc_types as types;
 pub use dqc_workloads as workloads;
@@ -87,3 +90,6 @@ pub use dqc_core::{
     SweepResult, SystemConfig,
 };
 pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable, TopologyFamily};
+pub use dqc_serve::{
+    EvalOutput, EvalRequest, EvalResponse, RequestId, ServeBuilder, ServeError, ServeStats, Server,
+};

@@ -1,0 +1,215 @@
+//! The serving layer's central correctness contract: **concurrency never
+//! changes results**. The same request produces byte-identical
+//! [`ExecutionReport`]s whether it is evaluated directly in-process or
+//! served by a [`Server`] — at any worker count, under any submission
+//! order, across any batch boundaries. Also pins the collision-freedom
+//! of the stable fingerprints the serve cache keys by, over the full
+//! workload suite and a grid of hardware points.
+
+use dqc::workloads::PaperBenchmark;
+use dqc::{
+    Design, EvalRequest, ExecutionReport, Experiment, ServeBuilder, SystemConfig, TopologyFamily,
+};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The fixed request set: the serving portfolio × two designs × two seed
+/// bases, two runs each — 24 distinct requests.
+fn request_set() -> Vec<EvalRequest> {
+    let portfolio = dqc_bench::serve_portfolio();
+    let mut requests = Vec::new();
+    for (label, circuit) in &portfolio {
+        for design in [Design::AdaptBuf, Design::AsyncBuf] {
+            for base_seed in [11u64, 5000] {
+                requests.push(
+                    EvalRequest::new(label.clone(), Arc::clone(circuit), "paper", design)
+                        .runs(2)
+                        .base_seed(base_seed),
+                );
+            }
+        }
+    }
+    requests
+}
+
+/// Ground truth: every request evaluated directly through the engine,
+/// sharing one compilation per circuit exactly as any caller would.
+fn direct_reports(requests: &[EvalRequest]) -> Vec<Vec<ExecutionReport>> {
+    let config = SystemConfig::paper_two_node_32();
+    let mut compiled = HashMap::new();
+    requests
+        .iter()
+        .map(|request| {
+            let shared = compiled
+                .entry(request.circuit.fingerprint())
+                .or_insert_with(|| {
+                    Experiment::new(&request.circuit, &config)
+                        .expect("portfolio circuits compile")
+                        .compiled()
+                        .clone()
+                });
+            Experiment::with_compiled(Arc::clone(shared))
+                .design(request.design)
+                .runs(request.runs)
+                .base_seed(request.base_seed)
+                .reports()
+                .expect("portfolio circuits evaluate")
+        })
+        .collect()
+}
+
+#[test]
+fn shuffled_concurrent_serving_is_byte_identical_to_direct_evaluation() {
+    let requests = request_set();
+    let expected = direct_reports(&requests);
+
+    for (workers, shuffle_seed) in [(1usize, 7u64), (2, 8), (4, 9)] {
+        // A different submission order per worker count: determinism must
+        // hold across *both* axes at once.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+
+        let (server, responses) = ServeBuilder::new()
+            .hardware_point("paper", SystemConfig::paper_two_node_32())
+            .workers_per_shard(workers)
+            .queue_capacity(requests.len())
+            .spawn()
+            .unwrap();
+        let mut by_id = HashMap::new();
+        for &request_idx in &order {
+            let id = server.submit(requests[request_idx].clone()).unwrap();
+            by_id.insert(id, request_idx);
+        }
+        for _ in 0..requests.len() {
+            let response = responses.recv().expect("server streams every response");
+            let request_idx = by_id.remove(&response.id).expect("ids are unique");
+            let output = response.outcome.unwrap_or_else(|e| {
+                panic!("request {request_idx} failed with {workers} workers: {e}")
+            });
+            assert_eq!(
+                output.reports, expected[request_idx],
+                "request {request_idx} ({}) diverged with {workers} workers",
+                requests[request_idx].circuit_label
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, requests.len() as u64);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.cache_hits + stats.cache_misses, requests.len() as u64);
+        // Each of the 6 distinct circuits must miss cold at least once;
+        // concurrent workers may race a few extra misses, never fewer.
+        assert!(
+            stats.cache_misses >= 6,
+            "6 distinct circuits cannot miss fewer than 6 times (got {})",
+            stats.cache_misses
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "repeated circuits must hit the warm cache"
+        );
+    }
+}
+
+#[test]
+fn repeated_serving_of_one_request_is_self_consistent() {
+    // The same request submitted many times — interleaved with other
+    // traffic — always returns the same bytes (cold or warm cache).
+    let requests = request_set();
+    let probe = requests[3].clone();
+    let (server, responses) = ServeBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .workers_per_shard(3)
+        .queue_capacity(2 * requests.len())
+        .spawn()
+        .unwrap();
+    let mut probe_ids = HashSet::new();
+    for request in &requests {
+        probe_ids.insert(server.submit(probe.clone()).unwrap());
+        server.submit(request.clone()).unwrap();
+    }
+    let mut probe_outputs = Vec::new();
+    for _ in 0..2 * requests.len() {
+        let response = responses.recv().unwrap();
+        if probe_ids.contains(&response.id) {
+            probe_outputs.push(response.outcome.unwrap().reports);
+        }
+    }
+    assert_eq!(probe_outputs.len(), requests.len());
+    for output in &probe_outputs[1..] {
+        assert_eq!(output, &probe_outputs[0]);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn circuit_fingerprints_are_collision_free_across_the_workload_suite() {
+    // Every circuit the repository's benchmarks and serving portfolio
+    // exercise, plus size ladders of the generators: all fingerprints
+    // must be pairwise distinct (and distinct from each other's).
+    let mut circuits = Vec::new();
+    for bench in PaperBenchmark::ALL {
+        circuits.push((bench.to_string(), bench.circuit()));
+    }
+    for (label, circuit) in dqc_bench::serve_portfolio() {
+        circuits.push((format!("portfolio/{label}"), (*circuit).clone()));
+    }
+    for n in 2..=16 {
+        circuits.push((format!("qft-{n}"), dqc::workloads::qft(n)));
+        circuits.push((format!("ghz-chain-{n}"), dqc::workloads::ghz_chain(n)));
+        circuits.push((format!("ghz-tree-{n}"), dqc::workloads::ghz_tree(n)));
+    }
+    let mut seen: HashMap<u64, &str> = HashMap::new();
+    for (label, circuit) in &circuits {
+        if let Some(previous) = seen.insert(circuit.fingerprint(), label) {
+            // Identical circuits are allowed to collide (ghz chain/tree
+            // agree at tiny sizes); structurally different ones are not.
+            let twin = circuits
+                .iter()
+                .find(|(l, _)| l == previous)
+                .map(|(_, c)| c)
+                .unwrap();
+            assert_eq!(
+                twin, circuit,
+                "`{previous}` and `{label}` collide without being equal"
+            );
+        }
+    }
+}
+
+#[test]
+fn config_fingerprints_separate_hardware_points() {
+    // A grid of hardware points around the paper configuration — every
+    // knob the design space sweeps — must fingerprint distinctly.
+    let base = SystemConfig::paper_two_node_32();
+    let mut configs = vec![base.clone(), SystemConfig::paper_two_node_64()];
+    for n in 1..=20 {
+        configs.push(base.with_comm_and_buffer(n));
+    }
+    for f in [0.9, 0.95, 0.97, 0.99, 0.995] {
+        configs.push(base.with_epr_fidelity(f));
+    }
+    for family in [
+        TopologyFamily::Chain { nodes: 4 },
+        TopologyFamily::Ring { nodes: 4 },
+        TopologyFamily::Star { nodes: 4 },
+        TopologyFamily::AllToAll { nodes: 4 },
+    ] {
+        configs.push(base.with_topology(family.build()));
+    }
+    let mut seen: HashMap<u64, &SystemConfig> = HashMap::new();
+    for config in &configs {
+        if let Some(previous) = seen.insert(config.fingerprint(), config) {
+            // The grid deliberately revisits the base point (e.g.
+            // `with_epr_fidelity(0.99)` is the paper default): equal
+            // configurations must agree; unequal ones must not collide.
+            assert_eq!(
+                previous, config,
+                "hardware-point fingerprint collision between distinct configs"
+            );
+        }
+        assert_eq!(config.fingerprint(), config.clone().fingerprint());
+    }
+}
