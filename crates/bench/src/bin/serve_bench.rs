@@ -5,6 +5,8 @@
 //!             [--rate RPS] [--workers W] [--queue Q] [--cache K]
 //!             [--batch B] [--runs R] [--seed S] [--out DIR]
 //!             [--min-speedup X] [--fail-on-reject]
+//!             [--wire] [--connect ADDR] [--verify-wire]
+//!             [--max-wire-overhead X]
 //! ```
 //!
 //! Drives a [`dqc_serve::Server`] with the mixed QAOA/QFT/GHZ portfolio
@@ -23,12 +25,25 @@
 //! cache or worker pool. The ratio is the artifact's
 //! `throughput_speedup`; `--min-speedup` turns it into a gate.
 //!
+//! With `--wire` the same closed-loop request list additionally runs
+//! through a `dqc-served` daemon over loopback TCP (spawned in-process,
+//! or an external one named by `--connect ADDR`), driven by the blocking
+//! [`dqc_served::ServedClient`] through the same canonical closed-loop
+//! pump. The artifact gains a `wire` section and a derived
+//! `wire_overhead` ratio (in-process throughput / wire throughput);
+//! `--max-wire-overhead` gates it, and `--verify-wire` first pins one
+//! portfolio pass — structured JSON *and* QASM text — byte-identical
+//! against direct in-process evaluation.
+//!
 //! Results are written as `BENCH_SERVE.json` in a stable, schema-versioned
 //! layout; the CI `serve-smoke` job runs a small closed-loop load with
-//! `--fail-on-reject --min-speedup 4` and uploads the artifact.
+//! `--fail-on-reject --min-speedup 4`, the `served-smoke` job adds
+//! `--wire --verify-wire` against a daemon subprocess, and both upload
+//! the artifact.
 
-use dqc_core::{Design, SystemConfig};
+use dqc_core::{Design, Experiment, SystemConfig};
 use dqc_serve::{EvalRequest, ServeBuilder, ServeError, Server};
+use dqc_served::{ServedBuilder, ServedClient, Submission};
 use dqc_types::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,8 +53,10 @@ use std::time::{Duration, Instant};
 /// Name of the emitted artifact.
 const BENCH_ID: &str = "BENCH_SERVE";
 
-/// Schema version of the serve-bench artifact.
-const SCHEMA_VERSION: i64 = 1;
+/// Schema version of the serve-bench artifact. Version 2 added the
+/// `wire` section and `derived.wire_overhead` (both `null` unless
+/// `--wire` ran).
+const SCHEMA_VERSION: i64 = 2;
 
 /// Client model of the load generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +89,10 @@ struct Options {
     out_dir: PathBuf,
     min_speedup: Option<f64>,
     fail_on_reject: bool,
+    wire: bool,
+    connect: Option<String>,
+    verify_wire: bool,
+    max_wire_overhead: Option<f64>,
 }
 
 impl Default for Options {
@@ -90,6 +111,10 @@ impl Default for Options {
             out_dir: PathBuf::from("."),
             min_speedup: None,
             fail_on_reject: false,
+            wire: false,
+            connect: None,
+            verify_wire: false,
+            max_wire_overhead: None,
         }
     }
 }
@@ -179,6 +204,144 @@ fn run_open(opts: &Options, requests: Vec<EvalRequest>) -> Result<RunOutcome, Se
     })
 }
 
+/// What one timed wire run produced.
+struct WireOutcome {
+    elapsed: Duration,
+    completed: usize,
+    rejected: usize,
+    errors: usize,
+    verified: usize,
+    serve_stats: dqc_serve::ServeStats,
+    daemon_stats: dqc_served::DaemonStats,
+}
+
+/// Pins one portfolio pass byte-identical across the wire: each request
+/// is evaluated directly in-process and then submitted over TCP twice —
+/// once as structured JSON, once as OpenQASM text — and every per-seed
+/// report must serialize to the exact same compact JSON.
+fn verify_wire(addr: &str, requests: &[EvalRequest]) -> Result<usize, String> {
+    let config = SystemConfig::paper_two_node_32();
+    let mut client = ServedClient::connect(addr, "serve-bench-verify")
+        .map_err(|e| format!("verify connect failed: {e}"))?;
+    for request in requests {
+        let direct = Experiment::new(&request.circuit, &config)
+            .map_err(|e| format!("direct compile failed: {e}"))?
+            .design(request.design)
+            .runs(request.runs)
+            .base_seed(request.base_seed)
+            .reports()
+            .map_err(|e| format!("direct evaluation failed: {e}"))?;
+        let expected: Vec<String> = direct
+            .iter()
+            .map(|r| r.to_json().to_compact_string())
+            .collect();
+        for (format, submission) in [
+            ("json", Submission::from_request(request)),
+            (
+                "qasm",
+                Submission::qasm(
+                    request.circuit_label.clone(),
+                    dqc_circuit::to_qasm(&request.circuit),
+                    request.point.clone(),
+                    request.design,
+                )
+                .runs(request.runs)
+                .base_seed(request.base_seed),
+            ),
+        ] {
+            let tag = client
+                .submit(&submission)
+                .map_err(|e| format!("verify submit failed: {e}"))?;
+            let reply = client
+                .recv_reply()
+                .map_err(|e| format!("verify reply failed: {e}"))?;
+            if reply.tag != tag {
+                return Err(format!("verify reply tag {} != {tag}", reply.tag));
+            }
+            let output = reply
+                .outcome
+                .map_err(|e| format!("verify request refused ({format}): {e}"))?;
+            let got: Vec<String> = output
+                .reports
+                .iter()
+                .map(|r| r.to_json().to_compact_string())
+                .collect();
+            if got != expected {
+                return Err(format!(
+                    "wire reports for {} ({format} path) differ from direct evaluation",
+                    request.circuit_label
+                ));
+            }
+        }
+    }
+    client
+        .bye()
+        .map_err(|e| format!("verify bye failed: {e}"))?;
+    Ok(requests.len())
+}
+
+/// The wire measurement: the identical closed-loop request list, but
+/// every request crosses the TCP frame protocol. Spawns a loopback
+/// daemon with the same serving knobs unless `--connect` named one.
+fn run_wire(opts: &Options, requests: Vec<EvalRequest>) -> Result<WireOutcome, String> {
+    let local = if opts.connect.is_some() {
+        None
+    } else {
+        let daemon = ServedBuilder::new()
+            .hardware_point("paper", SystemConfig::paper_two_node_32())
+            .workers_per_shard(opts.workers)
+            .queue_capacity(opts.queue)
+            .cache_capacity(opts.cache)
+            .batch_max(opts.batch)
+            .bind("127.0.0.1:0")
+            .map_err(|e| format!("daemon failed to start: {e}"))?;
+        Some(daemon)
+    };
+    let addr = match (&opts.connect, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(daemon)) => daemon.local_addr().to_string(),
+        (None, None) => unreachable!("local daemon spawned when not connecting"),
+    };
+
+    let verified = if opts.verify_wire {
+        // One full portfolio pass, both circuit formats.
+        let pass = dqc_bench::portfolio_requests(
+            dqc_bench::serve_portfolio().len(),
+            opts.runs,
+            opts.seed,
+            "paper",
+            &[Design::AdaptBuf, Design::AsyncBuf],
+        );
+        verify_wire(&addr, &pass)?
+    } else {
+        0
+    };
+
+    let mut client = ServedClient::connect(addr.as_str(), "serve-bench")
+        .map_err(|e| format!("wire connect failed: {e}"))?;
+    let started = Instant::now();
+    let (completed, rejected, errors) =
+        dqc_bench::pump_closed_loop_wire(&mut client, requests, opts.concurrency, false)
+            .map_err(|e| format!("wire run failed: {e}"))?;
+    let elapsed = started.elapsed();
+    let (serve_stats, daemon_stats) = client
+        .stats()
+        .map_err(|e| format!("wire stats failed: {e}"))?;
+    client.bye().map_err(|e| format!("wire bye failed: {e}"))?;
+    if let Some(daemon) = local {
+        daemon.shutdown();
+    }
+    Ok(WireOutcome {
+        elapsed,
+        completed,
+        rejected,
+        errors,
+        verified,
+        serve_stats,
+        daemon_stats,
+    })
+}
+
 /// The no-cache, single-worker baseline: the same request list served
 /// sequentially through the shared reference loop.
 fn run_baseline(requests: &[EvalRequest]) -> Result<Duration, ServeError> {
@@ -196,8 +359,35 @@ fn rps(count: usize, elapsed: Duration) -> f64 {
     }
 }
 
+/// The `wire` section of the artifact (`null` when `--wire` didn't run).
+fn wire_to_json(wire: Option<&WireOutcome>) -> Json {
+    let Some(wire) = wire else {
+        return Json::Null;
+    };
+    Json::object([
+        ("elapsed_ms", Json::float(wire.elapsed.as_secs_f64() * 1e3)),
+        ("completed", Json::from(wire.completed)),
+        ("rejected", Json::from(wire.rejected)),
+        ("errors", Json::from(wire.errors)),
+        ("verified", Json::from(wire.verified)),
+        (
+            "throughput_rps",
+            Json::float(rps(wire.completed, wire.elapsed)),
+        ),
+        ("stats", wire.serve_stats.to_json()),
+        ("daemon", wire.daemon_stats.to_json()),
+    ])
+}
+
 /// Serializes one run into the stable `BENCH_SERVE.json` schema.
-fn to_json(opts: &Options, outcome: &RunOutcome, baseline_elapsed: Duration, speedup: f64) -> Json {
+fn to_json(
+    opts: &Options,
+    outcome: &RunOutcome,
+    baseline_elapsed: Duration,
+    speedup: f64,
+    wire: Option<&WireOutcome>,
+    wire_overhead: Option<f64>,
+) -> Json {
     let portfolio: Vec<Json> = dqc_bench::serve_portfolio()
         .iter()
         .map(|(label, _)| Json::from(label.as_str()))
@@ -246,9 +436,16 @@ fn to_json(opts: &Options, outcome: &RunOutcome, baseline_elapsed: Duration, spe
                 ),
             ]),
         ),
+        ("wire", wire_to_json(wire)),
         (
             "derived",
-            Json::object([("throughput_speedup", Json::float(speedup))]),
+            Json::object([
+                ("throughput_speedup", Json::float(speedup)),
+                (
+                    "wire_overhead",
+                    wire_overhead.map(Json::float).unwrap_or(Json::Null),
+                ),
+            ]),
         ),
     ])
 }
@@ -309,6 +506,26 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             },
             "--fail-on-reject" => opts.fail_on_reject = true,
+            "--wire" => opts.wire = true,
+            "--connect" => match next_parsed("HOST:PORT") {
+                Ok(addr) => {
+                    opts.connect = Some(addr);
+                    opts.wire = true;
+                }
+                Err(code) => return code,
+            },
+            "--verify-wire" => {
+                opts.verify_wire = true;
+                opts.wire = true;
+            }
+            "--max-wire-overhead" => match next_parsed("a ratio").map(|v| v.parse::<f64>()) {
+                Ok(Ok(x)) if x > 0.0 => {
+                    opts.max_wire_overhead = Some(x);
+                    opts.wire = true;
+                }
+                Ok(_) => return usage("--max-wire-overhead needs a positive number"),
+                Err(code) => return code,
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument {other}")),
         }
@@ -361,6 +578,18 @@ fn main() -> ExitCode {
         }
     };
 
+    let wire = if opts.wire {
+        match run_wire(&opts, requests.clone()) {
+            Ok(wire) => Some(wire),
+            Err(e) => {
+                eprintln!("error: wire run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let serve_rps = rps(outcome.completed, outcome.elapsed);
     let baseline_rps = rps(opts.requests, baseline_elapsed);
     let speedup = if baseline_rps > 0.0 {
@@ -368,6 +597,10 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+    let wire_overhead = wire.as_ref().and_then(|wire| {
+        let wire_rps = rps(wire.completed, wire.elapsed);
+        (wire_rps > 0.0).then(|| serve_rps / wire_rps)
+    });
 
     println!("{BENCH_ID} ({} mode):", opts.mode.name());
     println!(
@@ -391,8 +624,30 @@ fn main() -> ExitCode {
         outcome.stats.latency.p50_ms,
         outcome.stats.latency.p99_ms,
     );
+    if let Some(wire) = &wire {
+        println!(
+            "  wire       {:>6} requests in {:>9.1} ms  ({:>8.1} req/s, {} rejected, \
+             {} errors, overhead {}, {} verified)",
+            wire.completed,
+            wire.elapsed.as_secs_f64() * 1e3,
+            rps(wire.completed, wire.elapsed),
+            wire.rejected,
+            wire.errors,
+            wire_overhead
+                .map(|x| format!("{x:.2}x"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            wire.verified,
+        );
+    }
 
-    let document = to_json(&opts, &outcome, baseline_elapsed, speedup);
+    let document = to_json(
+        &opts,
+        &outcome,
+        baseline_elapsed,
+        speedup,
+        wire.as_ref(),
+        wire_overhead,
+    );
     if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
         eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
         return ExitCode::FAILURE;
@@ -425,6 +680,32 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    if let Some(wire) = &wire {
+        if opts.fail_on_reject && wire.rejected > 0 {
+            eprintln!(
+                "FAIL: {} wire requests rejected as backpressure at this load",
+                wire.rejected
+            );
+            failed = true;
+        }
+        if wire.errors > 0 {
+            eprintln!("FAIL: {} wire requests ended in errors", wire.errors);
+            failed = true;
+        }
+        if let Some(max) = opts.max_wire_overhead {
+            match wire_overhead {
+                Some(overhead) if overhead <= max => {}
+                Some(overhead) => {
+                    eprintln!("FAIL: wire overhead {overhead:.2}x above the {max}x gate");
+                    failed = true;
+                }
+                None => {
+                    eprintln!("FAIL: wire overhead is ungated — no completed wire requests");
+                    failed = true;
+                }
+            }
+        }
+    }
     if failed {
         ExitCode::FAILURE
     } else {
@@ -441,9 +722,15 @@ fn usage(message: &str) -> ExitCode {
          \x20                  [--rate RPS] [--workers W] [--queue Q] [--cache K]\n\
          \x20                  [--batch B] [--runs R] [--seed S] [--out DIR]\n\
          \x20                  [--min-speedup X] [--fail-on-reject]\n\
+         \x20                  [--wire] [--connect ADDR] [--verify-wire]\n\
+         \x20                  [--max-wire-overhead X]\n\
          Load-tests the dqc-serve layer on the mixed QAOA/QFT/GHZ portfolio and\n\
          writes {BENCH_ID}.json; closed loop holds C requests in flight, open\n\
-         loop submits at a fixed rate and counts Overloaded rejections."
+         loop submits at a fixed rate and counts Overloaded rejections. --wire\n\
+         repeats the closed loop through a dqc-served TCP daemon (loopback, or\n\
+         --connect ADDR), --verify-wire first pins wire results byte-identical\n\
+         to direct evaluation, and --max-wire-overhead gates the wire/in-process\n\
+         throughput ratio."
     );
     if message.is_empty() {
         ExitCode::SUCCESS

@@ -1203,6 +1203,73 @@ pub fn pump_closed_loop(
     }
 }
 
+/// Drives `requests` through a `dqc-served` daemon as a closed-loop
+/// **wire** client: the same client model as [`pump_closed_loop`], but
+/// every request travels the full TCP frame protocol through a
+/// [`ServedClient`](dqc_served::ServedClient). Returns
+/// `(completed, rejected, errors)` — `rejected` counts typed
+/// backpressure refusals (`overloaded` / `quota_exceeded`), `errors`
+/// everything else that came back as a per-request error.
+///
+/// With `as_qasm` the circuits are serialized to OpenQASM 2.0 text and
+/// re-parsed by the daemon (the QASM front door); otherwise they travel
+/// as structured JSON. Either way the daemon sees fingerprint-identical
+/// circuits, so cache behavior matches the in-process pump.
+///
+/// `serve-bench --wire` and the CI `served-smoke` job both measure
+/// through this loop, mirroring how [`pump_closed_loop`] anchors the
+/// in-process numbers.
+///
+/// # Errors
+///
+/// Propagates the first transport-level
+/// [`dqc_served::ClientError`]; per-request refusals are counted, not
+/// errors.
+pub fn pump_closed_loop_wire(
+    client: &mut dqc_served::ServedClient,
+    requests: impl IntoIterator<Item = dqc_serve::EvalRequest>,
+    window: usize,
+    as_qasm: bool,
+) -> Result<(usize, usize, usize), dqc_served::ClientError> {
+    let window = window.max(1);
+    let mut pending = requests.into_iter().map(|request| {
+        let submission = if as_qasm {
+            dqc_served::Submission::qasm(
+                request.circuit_label.clone(),
+                dqc_circuit::to_qasm(&request.circuit),
+                request.point.clone(),
+                request.design,
+            )
+        } else {
+            dqc_served::Submission::from_request(&request)
+        };
+        submission.runs(request.runs).base_seed(request.base_seed)
+    });
+    let mut in_flight = 0usize;
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    let mut errors = 0usize;
+    loop {
+        while in_flight < window {
+            let Some(submission) = pending.next() else {
+                break;
+            };
+            client.submit(&submission)?;
+            in_flight += 1;
+        }
+        if in_flight == 0 {
+            return Ok((completed, rejected, errors));
+        }
+        let reply = client.recv_reply()?;
+        in_flight -= 1;
+        match reply.outcome {
+            Ok(_) => completed += 1,
+            Err(e) if e.is_backpressure() => rejected += 1,
+            Err(_) => errors += 1,
+        }
+    }
+}
+
 /// Serves `requests` sequentially with one **fresh compilation per
 /// request** — the no-cache, single-worker reference both `serve-bench`
 /// and the `perf` harness compare the serving layer against. Keeping the

@@ -220,6 +220,49 @@ impl Gate {
         }
     }
 
+    /// The inverse of [`Gate::name`] + [`Gate::param`]: builds the gate
+    /// named `name` carrying the optional angle `param`.
+    ///
+    /// Returns `None` for unknown mnemonics and for parameter mismatches
+    /// (an angle on a discrete gate, or a rotation without one) — the
+    /// structured-JSON circuit decoder and the QASM importer both lean on
+    /// that strictness to reject malformed input instead of guessing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqc_circuit::Gate;
+    /// assert_eq!(Gate::from_name("rz", Some(0.5)), Some(Gate::Rz(0.5)));
+    /// assert_eq!(Gate::from_name("cx", None), Some(Gate::Cx));
+    /// assert_eq!(Gate::from_name("cx", Some(0.5)), None);
+    /// assert_eq!(Gate::from_name("rz", None), None);
+    /// assert_eq!(Gate::from_name("warp", None), None);
+    /// ```
+    pub fn from_name(name: &str, param: Option<f64>) -> Option<Gate> {
+        Some(match (name, param) {
+            ("id", None) => Gate::I,
+            ("h", None) => Gate::H,
+            ("x", None) => Gate::X,
+            ("y", None) => Gate::Y,
+            ("z", None) => Gate::Z,
+            ("s", None) => Gate::S,
+            ("sdg", None) => Gate::Sdg,
+            ("t", None) => Gate::T,
+            ("tdg", None) => Gate::Tdg,
+            ("rx", Some(a)) => Gate::Rx(a),
+            ("ry", Some(a)) => Gate::Ry(a),
+            ("rz", Some(a)) => Gate::Rz(a),
+            ("p", Some(a)) => Gate::Phase(a),
+            ("cx", None) => Gate::Cx,
+            ("cz", None) => Gate::Cz,
+            ("cp", Some(a)) => Gate::CPhase(a),
+            ("rzz", Some(a)) => Gate::Rzz(a),
+            ("swap", None) => Gate::Swap,
+            ("measure", None) => Gate::Measure,
+            _ => return None,
+        })
+    }
+
     /// The gate's lowercase mnemonic, matching OpenQASM 2.0 where the gate
     /// exists there.
     pub const fn name(&self) -> &'static str {
@@ -334,6 +377,16 @@ mod tests {
     fn display_includes_angle() {
         assert_eq!(Gate::Rz(0.5).to_string(), "rz(0.5000)");
         assert_eq!(Gate::H.to_string(), "h");
+    }
+
+    #[test]
+    fn from_name_inverts_name_and_param() {
+        for g in ALL {
+            assert_eq!(Gate::from_name(g.name(), g.param()), Some(g), "{g}");
+        }
+        assert_eq!(Gate::from_name("h", Some(0.5)), None);
+        assert_eq!(Gate::from_name("rzz", None), None);
+        assert_eq!(Gate::from_name("frobnicate", None), None);
     }
 
     #[test]

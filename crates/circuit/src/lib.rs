@@ -12,7 +12,10 @@
 //!   the schedulers in `dqc-core`.
 //! * [`commutes`] — conservative commutation rules that power the paper's
 //!   ASAP/ALAP segment-variant generation (§III-D).
-//! * [`to_qasm`] / [`render`] — OpenQASM 2.0 export and ASCII rendering.
+//! * [`to_qasm`] / [`from_qasm`] — OpenQASM 2.0 interchange, exact
+//!   inverses (fingerprint-preserving), plus structured JSON interchange
+//!   via [`Circuit::to_json`] / [`Circuit::from_json`] and ASCII
+//!   rendering via [`render`].
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ mod counts;
 mod dag;
 mod error;
 mod gate;
+mod json;
 mod op;
 mod qasm;
 mod qasm_parse;

@@ -5,9 +5,16 @@ use std::fmt::Write as _;
 
 /// Serializes a circuit as an OpenQASM 2.0 program.
 ///
-/// Gates with no native OpenQASM 2.0 form are emitted as standard-library
-/// decompositions (`rzz` → `cx; rz; cx`). Measurements target a classical
-/// register of the same width as the qubit register.
+/// Every gate round-trips through [`from_qasm`](crate::from_qasm) as
+/// itself, so `from_qasm(to_qasm(c))` reproduces `c` — including its
+/// [`fingerprint`](Circuit::fingerprint) — exactly. `rzz`, which qelib1
+/// does not define, is emitted natively after an inline `gate`
+/// definition carrying its canonical `cx; rz; cx` decomposition, which
+/// keeps the program valid for standard OpenQASM 2.0 consumers without
+/// destroying the gate's identity on re-import. Angles print in Rust's
+/// shortest round-trip form, so re-parsing recovers the exact bits.
+/// Measurements target a classical register of the same width as the
+/// qubit register.
 ///
 /// # Examples
 ///
@@ -24,6 +31,15 @@ use std::fmt::Write as _;
 pub fn to_qasm(circuit: &Circuit) -> String {
     let mut out = String::new();
     out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    if circuit
+        .operations()
+        .iter()
+        .any(|op| matches!(op.gate(), Gate::Rzz(_)))
+    {
+        // qelib1 has no rzz; define it (canonical decomposition) so the
+        // native emission below stays standard OpenQASM 2.0.
+        out.push_str("gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }\n");
+    }
     let n = circuit.num_qubits();
     let _ = writeln!(out, "qreg q[{n}];");
     let _ = writeln!(out, "creg c[{n}];");
@@ -35,13 +51,6 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             }
             Gate::Measure => {
                 let _ = writeln!(out, "measure q[{0}] -> c[{0}];", qs[0].index());
-            }
-            Gate::Rzz(theta) => {
-                // qelib1 has no rzz; canonical decomposition.
-                let (a, b) = (qs[0].index(), qs[1].index());
-                let _ = writeln!(out, "cx q[{a}],q[{b}];");
-                let _ = writeln!(out, "rz({theta}) q[{b}];");
-                let _ = writeln!(out, "cx q[{a}],q[{b}];");
             }
             Gate::Phase(theta) => {
                 let _ = writeln!(out, "u1({theta}) q[{}];", qs[0].index());
@@ -93,15 +102,22 @@ mod tests {
     }
 
     #[test]
-    fn rzz_decomposes_to_cx_rz_cx() {
+    fn rzz_is_native_behind_an_inline_definition() {
         let mut c = Circuit::new(2);
         c.rzz(0, 1, 0.5);
         let qasm = to_qasm(&c);
-        let body: Vec<&str> = qasm.lines().skip(4).collect();
-        assert_eq!(
-            body,
-            vec!["cx q[0],q[1];", "rz(0.5) q[1];", "cx q[0],q[1];"]
+        assert!(
+            qasm.contains("gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }"),
+            "missing rzz definition in:\n{qasm}"
         );
+        assert_eq!(qasm.lines().last(), Some("rzz(0.5) q[0],q[1];"));
+    }
+
+    #[test]
+    fn rzz_free_circuits_omit_the_definition() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert!(!to_qasm(&c).contains("gate rzz"));
     }
 
     #[test]

@@ -25,6 +25,15 @@ impl ParseQasmError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// The human-readable description, without the line prefix.
+    ///
+    /// The `dqc-served` daemon forwards this verbatim (alongside
+    /// [`ParseQasmError::line`]) in its `bad_request` wire error, so a
+    /// remote client sees exactly what a local caller would.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
 }
 
 impl fmt::Display for ParseQasmError {
@@ -42,14 +51,23 @@ impl Error for ParseQasmError {}
 /// Parses an OpenQASM 2.0 program into a [`Circuit`].
 ///
 /// Supported statements: the header (`OPENQASM`, `include`), one `qreg`,
-/// optional `creg`, gate applications over this crate's gate set (with the
-/// aliases `u1`→`p`, `cu1`→`cp`, `id`), `measure q[i] -> c[j];`, and
-/// `barrier` (ignored). Comments (`//`) are stripped.
+/// optional `creg`, single-line `gate` definitions (skipped — gate
+/// *names* resolve against this crate's gate set instead), gate
+/// applications over this crate's gate set (with the aliases `u1`→`p`,
+/// `cu1`→`cp`, `id`), `measure q[i] -> c[j];`, and `barrier` (ignored).
+/// Comments (`//`) are stripped.
+///
+/// The parser is the exact inverse of [`to_qasm`](crate::to_qasm):
+/// re-importing an exported program reproduces the original circuit —
+/// including its [`fingerprint`](Circuit::fingerprint) — bit for bit.
+/// This identity is what lets the `dqc-served` wire front door accept
+/// QASM text and still hit the fingerprint-keyed compile caches.
 ///
 /// # Errors
 ///
 /// Returns [`ParseQasmError`] for unknown gates, malformed operands,
-/// missing registers, or out-of-range qubits.
+/// missing registers, or out-of-range qubits; [`ParseQasmError::line`]
+/// names the offending 1-based source line.
 ///
 /// # Examples
 ///
@@ -60,8 +78,7 @@ impl Error for ParseQasmError {}
 /// let mut original = Circuit::new(3);
 /// original.h(0).cx(0, 1).rzz(1, 2, 0.5).measure(2);
 /// let round_tripped = from_qasm(&to_qasm(&original))?;
-/// // rzz re-imports as its cx/rz/cx decomposition; unitaries agree.
-/// assert_eq!(round_tripped.num_qubits(), 3);
+/// assert_eq!(round_tripped.fingerprint(), original.fingerprint());
 /// # Ok(())
 /// # }
 /// ```
@@ -72,6 +89,18 @@ pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
         let line = raw_line.split("//").next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
+        }
+        // Gate definitions carry `;`-separated bodies, so they must be
+        // recognized before statement splitting. Only the single-line
+        // form `to_qasm` emits is accepted.
+        if line == "gate" || line.starts_with("gate ") || line.starts_with("gate\t") {
+            if line.contains('{') && line.ends_with('}') {
+                continue;
+            }
+            return Err(ParseQasmError::new(
+                line_no,
+                "gate definitions must open and close their body on one line",
+            ));
         }
         for statement in line.split(';') {
             let statement = statement.trim();
@@ -173,33 +202,31 @@ fn parse_gate<'a>(
     } else {
         (None, rest)
     };
-    let gate = match (name, param) {
-        ("id", None) => Gate::I,
-        ("h", None) => Gate::H,
-        ("x", None) => Gate::X,
-        ("y", None) => Gate::Y,
-        ("z", None) => Gate::Z,
-        ("s", None) => Gate::S,
-        ("sdg", None) => Gate::Sdg,
-        ("t", None) => Gate::T,
-        ("tdg", None) => Gate::Tdg,
-        ("rx", Some(a)) => Gate::Rx(a),
-        ("ry", Some(a)) => Gate::Ry(a),
-        ("rz", Some(a)) => Gate::Rz(a),
-        ("p" | "u1", Some(a)) => Gate::Phase(a),
-        ("cx", None) => Gate::Cx,
-        ("cz", None) => Gate::Cz,
-        ("cp" | "cu1", Some(a)) => Gate::CPhase(a),
-        ("rzz", Some(a)) => Gate::Rzz(a),
-        ("swap", None) => Gate::Swap,
-        (unknown, _) => {
-            return Err(ParseQasmError::new(
-                line,
-                format!("unsupported gate {unknown}"),
-            ))
-        }
+    // OpenQASM spellings that differ from this crate's mnemonics.
+    let canonical = match name {
+        "u1" => "p",
+        "cu1" => "cp",
+        other => other,
     };
-    Ok((gate, operands))
+    match Gate::from_name(canonical, param) {
+        // `measure` has its own statement form; a bare `measure` here
+        // (no `->`) would silently drop the classical target.
+        Some(Gate::Measure) => Err(ParseQasmError::new(
+            line,
+            "measure requires the `measure q[i] -> c[j];` form",
+        )),
+        Some(gate) => Ok((gate, operands)),
+        None if param.is_some() && Gate::from_name(canonical, None).is_some() => Err(
+            ParseQasmError::new(line, format!("gate {name} takes no parameter")),
+        ),
+        None if param.is_none() && Gate::from_name(canonical, Some(0.0)).is_some() => Err(
+            ParseQasmError::new(line, format!("gate {name} needs an angle parameter")),
+        ),
+        None => Err(ParseQasmError::new(
+            line,
+            format!("unsupported gate {name}"),
+        )),
+    }
 }
 
 /// Parses angles like `0.5`, `-1.2e-3`, `pi`, `pi/2`, `-pi/4`, `2*pi`.
@@ -307,12 +334,28 @@ mod tests {
     }
 
     #[test]
-    fn rzz_round_trips_as_decomposition() {
+    fn rzz_round_trips_as_itself() {
         let mut original = Circuit::new(2);
         original.rzz(0, 1, 0.7);
         let round = from_qasm(&to_qasm(&original)).unwrap();
-        let names: Vec<&str> = round.operations().iter().map(|o| o.gate().name()).collect();
-        assert_eq!(names, vec!["cx", "rz", "cx"]);
+        assert_eq!(round.operations(), original.operations());
+        assert_eq!(round.fingerprint(), original.fingerprint());
+    }
+
+    #[test]
+    fn single_line_gate_definitions_are_skipped() {
+        let src =
+            "gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }\nqreg q[2];\nrzz(0.5) q[0],q[1];";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.operations()[0].gate(), Gate::Rzz(0.5));
+    }
+
+    #[test]
+    fn multi_line_gate_definitions_are_rejected_with_the_line() {
+        let err = from_qasm("qreg q[1];\ngate foo a {\n  h a;\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("one line"), "{err}");
     }
 
     #[test]
@@ -320,6 +363,41 @@ mod tests {
         let err = from_qasm("qreg q[2];\nfrobnicate q[0];").unwrap_err();
         assert_eq!(err.line(), 2);
         assert!(err.to_string().contains("frobnicate"));
+        assert_eq!(err.message(), "unsupported gate frobnicate");
+    }
+
+    #[test]
+    fn truncated_header_pins_its_line() {
+        // The qreg statement is cut off mid-bracket: the declaration on
+        // line 3 is malformed, and the error says so by line number.
+        let err = from_qasm("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.message().contains("malformed qreg"), "{err}");
+        // Truncated mid-size is equally pinned.
+        let err = from_qasm("qreg q[12").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn unknown_gate_pins_its_line() {
+        let err = from_qasm("qreg q[3];\nh q[0];\ncrz(0.5) q[0],q[1];").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert_eq!(err.message(), "unsupported gate crz");
+    }
+
+    #[test]
+    fn out_of_range_qubit_pins_its_line() {
+        let err = from_qasm("qreg q[2];\n\ncx q[0],q[5];").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.message().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn parameter_mismatches_are_specific() {
+        let err = from_qasm("qreg q[2]; h(0.5) q[0];").unwrap_err();
+        assert_eq!(err.message(), "gate h takes no parameter");
+        let err = from_qasm("qreg q[2]; rz q[0];").unwrap_err();
+        assert_eq!(err.message(), "gate rz needs an angle parameter");
     }
 
     #[test]

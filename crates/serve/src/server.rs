@@ -127,6 +127,18 @@ impl ServeBuilder {
         self
     }
 
+    /// The hardware-point labels registered so far, in declaration
+    /// order (duplicates included — they are rejected at
+    /// [`spawn`](ServeBuilder::spawn)).
+    ///
+    /// Front ends that wrap one builder to spawn *matching* servers —
+    /// the `dqc-served` daemon reusing a shard registration for its
+    /// welcome frame, `serve-bench` printing what a wire run will serve
+    /// — read the labels here instead of re-tracking them.
+    pub fn point_labels(&self) -> impl Iterator<Item = &str> {
+        self.points.iter().map(|(label, _)| label.as_str())
+    }
+
     /// Sets the worker threads per shard. `0` is an accept-only
     /// diagnostic mode: requests queue (and overflow deterministically)
     /// but are never executed — used by admission-control tests.

@@ -1,0 +1,689 @@
+//! The daemon itself: a TCP front door on the serving layer.
+//!
+//! [`ServedBuilder`] wraps [`ServeBuilder`] — same shard registration,
+//! same worker/queue/cache knobs — and adds the network surface (a bound
+//! listener) and the multi-tenant [`QuotaConfig`]. [`bind`] spawns:
+//!
+//! * one **accept thread** handing sockets to per-connection threads,
+//! * one **router thread** owning the serve layer's result channel and
+//!   steering each [`EvalResponse`] back to the connection (and tag)
+//!   that submitted it,
+//! * per connection, a **reader thread** (handshake, frame dispatch,
+//!   quota admission, submission) and a **writer thread** (serializing
+//!   outbound frames, so a slow client never blocks the router).
+//!
+//! Everything is plain `std` threads and channels — no async runtime —
+//! matching the serving layer underneath.
+//!
+//! Ordering: replies to one connection arrive in *completion* order,
+//! exactly like the in-process result channel; clients correlate by tag.
+//! Admission errors (`quota_exceeded`, `overloaded`, `bad_request`) are
+//! answered inline from the reader thread, so a refused request never
+//! consumes shard-queue space.
+//!
+//! [`bind`]: ServedBuilder::bind
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{
+    bye_frame, error_frame, parse_client_frame, result_frame, stats_reply_frame, ClientFrame,
+    DaemonStats, Submission, Welcome, WireError, WireOutput, PROTOCOL_VERSION, SERVER_NAME,
+};
+use crate::quota::{AdmissionLedger, QuotaConfig, RateLimit};
+use dqc_core::{Design, SystemConfig};
+use dqc_serve::{EvalResponse, ServeBuilder, ServeError, ServeStats, Server};
+use dqc_types::Json;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything that can stop a daemon from coming up.
+#[derive(Debug)]
+pub enum ServedError {
+    /// Binding the listener (or cloning a socket) failed.
+    Io(io::Error),
+    /// The serving layer refused to spawn (no points, duplicate label).
+    Serve(ServeError),
+}
+
+impl fmt::Display for ServedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServedError::Io(e) => write!(f, "daemon i/o failed: {e}"),
+            ServedError::Serve(e) => write!(f, "serving layer failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServedError::Io(e) => Some(e),
+            ServedError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServedError {
+    fn from(e: io::Error) -> Self {
+        ServedError::Io(e)
+    }
+}
+
+impl From<ServeError> for ServedError {
+    fn from(e: ServeError) -> Self {
+        ServedError::Serve(e)
+    }
+}
+
+/// Configures and binds a [`Served`] daemon.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_core::SystemConfig;
+/// use dqc_served::ServedBuilder;
+///
+/// # fn main() -> Result<(), dqc_served::ServedError> {
+/// let daemon = ServedBuilder::new()
+///     .hardware_point("paper", SystemConfig::paper_two_node_32())
+///     .workers_per_shard(2)
+///     .max_in_flight(8)
+///     .bind("127.0.0.1:0")?;
+/// println!("listening on {}", daemon.local_addr());
+/// let (serve_stats, daemon_stats) = daemon.shutdown();
+/// assert_eq!(serve_stats.served, 0);
+/// assert_eq!(daemon_stats.connections_accepted, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServedBuilder {
+    serve: ServeBuilder,
+    quota: QuotaConfig,
+}
+
+impl Default for ServedBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServedBuilder {
+    /// Starts a builder with the serving layer's defaults and no quotas.
+    pub fn new() -> Self {
+        Self {
+            serve: ServeBuilder::new(),
+            quota: QuotaConfig::default(),
+        }
+    }
+
+    /// Registers a named hardware point; submissions target it by label.
+    #[must_use]
+    pub fn hardware_point(mut self, label: impl Into<String>, config: SystemConfig) -> Self {
+        self.serve = self.serve.hardware_point(label, config);
+        self
+    }
+
+    /// Sets the worker threads per shard (see
+    /// [`ServeBuilder::workers_per_shard`]; `0` is the accept-only
+    /// diagnostic mode admission tests rely on).
+    #[must_use]
+    pub fn workers_per_shard(mut self, workers: usize) -> Self {
+        self.serve = self.serve.workers_per_shard(workers);
+        self
+    }
+
+    /// Sets each shard's queue capacity (the `overloaded` bound).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.serve = self.serve.queue_capacity(capacity);
+        self
+    }
+
+    /// Sets each shard's warm-compilation cache capacity.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.serve = self.serve.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the worker batch size.
+    #[must_use]
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.serve = self.serve.batch_max(batch_max);
+        self
+    }
+
+    /// Caps each client identity at `max` simultaneously in-flight
+    /// requests (`quota_exceeded` / `in_flight` beyond it).
+    #[must_use]
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.quota.max_in_flight = Some(max);
+        self
+    }
+
+    /// Rate-limits each client identity to `per_sec` sustained
+    /// submissions per second with an instantaneous burst of `burst`
+    /// (`quota_exceeded` / `rate` beyond it).
+    #[must_use]
+    pub fn rate_limit(mut self, per_sec: f64, burst: f64) -> Self {
+        self.quota.rate = Some(RateLimit { per_sec, burst });
+        self
+    }
+
+    /// The quota terms configured so far.
+    pub fn quota(&self) -> QuotaConfig {
+        self.quota
+    }
+
+    /// Binds the listener, spawns the serving layer and the daemon's
+    /// threads, and returns the running daemon.
+    ///
+    /// Bind to port `0` to let the OS pick a free port;
+    /// [`Served::local_addr`] reports the resolved address.
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::Io`] if the listener cannot bind,
+    /// [`ServedError::Serve`] if the shard registration is invalid.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<Served, ServedError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (server, responses) = self.serve.spawn()?;
+        let server = Arc::new(server);
+        let shared = Arc::new(Shared {
+            ledger: AdmissionLedger::new(self.quota),
+            dispatcher: Dispatcher::default(),
+            counters: Counters::default(),
+            closing: AtomicBool::new(false),
+            epoch: Instant::now(),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+
+        let router = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || router_loop(&responses, &shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || accept_loop(&listener, &server, &shared))
+        };
+
+        Ok(Served {
+            local_addr,
+            server,
+            shared,
+            accept: Some(accept),
+            router: Some(router),
+        })
+    }
+}
+
+/// A running daemon. Keep the handle; [`shutdown`](Served::shutdown) is
+/// the only orderly way down (dropping the handle without it leaves the
+/// accept thread parked until process exit).
+#[derive(Debug)]
+pub struct Served {
+    local_addr: SocketAddr,
+    server: Arc<Server>,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl Served {
+    /// Starts a [`ServedBuilder`].
+    pub fn builder() -> ServedBuilder {
+        ServedBuilder::new()
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The serving layer's live stats snapshot.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.server.stats()
+    }
+
+    /// The daemon's own live counters.
+    pub fn daemon_stats(&self) -> DaemonStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Gracefully shuts the daemon down: stops accepting, severs open
+    /// connections, drains the serving layer, and returns both final
+    /// stats snapshots.
+    pub fn shutdown(mut self) -> (ServeStats, DaemonStats) {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        // Wake the accept thread; the drop of this probe connection is
+        // what it sees.
+        drop(TcpStream::connect(self.local_addr));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Sever every connection; readers see EOF and exit.
+        for (_, stream) in self
+            .shared
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let conn_threads: Vec<_> = self
+            .shared
+            .conn_threads
+            .lock()
+            .expect("connection threads poisoned")
+            .drain(..)
+            .collect();
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+        // Dangling routes (requests whose reply never arrived) drop
+        // their writer handles so the writer threads can exit too.
+        self.shared.dispatcher.clear(&self.shared.ledger);
+        let server = Arc::try_unwrap(self.server)
+            .expect("accept and connection threads released their server handles");
+        let serve_stats = server.shutdown();
+        // Workers are joined now, so the result channel is disconnected
+        // and the router falls out of recv().
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        (serve_stats, self.shared.counters.snapshot())
+    }
+}
+
+/// State shared by the accept, router, and reader threads (the writer
+/// threads deliberately hold none of it, so they can outlive shutdown
+/// briefly without pinning the daemon).
+///
+/// The connection registry (`conns`) exists so shutdown can sever live
+/// sockets; each entry is a dup'd descriptor, so a connection *must*
+/// remove its entry when it ends — otherwise the kernel keeps the
+/// socket open (no FIN for the peer) and the daemon leaks a descriptor
+/// per connection for its whole lifetime.
+#[derive(Debug)]
+struct Shared {
+    ledger: AdmissionLedger,
+    dispatcher: Dispatcher,
+    counters: Counters,
+    closing: AtomicBool,
+    epoch: Instant,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    quota_rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> DaemonStats {
+        DaemonStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Where one accepted request's reply goes.
+#[derive(Debug)]
+struct Route {
+    tag: u64,
+    client: String,
+    reply: Sender<Json>,
+}
+
+/// Matches serve-layer responses to the connections awaiting them.
+///
+/// `submit` returns the request id *after* the request is already live,
+/// so a fast worker can complete it before the reader thread registers
+/// the route. The `orphans` side of the map absorbs that race: whichever
+/// of {response, route} arrives second completes the pair.
+#[derive(Debug, Default)]
+struct Dispatcher {
+    inner: Mutex<DispatchInner>,
+}
+
+#[derive(Debug, Default)]
+struct DispatchInner {
+    routes: HashMap<u64, Route>,
+    orphans: HashMap<u64, EvalResponse>,
+}
+
+impl Dispatcher {
+    /// Registers where request `id`'s reply should go. If the response
+    /// already arrived (orphaned), hands both back for the caller to
+    /// deliver.
+    fn register(&self, id: u64, route: Route) -> Option<(Route, EvalResponse)> {
+        let mut inner = self.inner.lock().expect("dispatcher poisoned");
+        if let Some(response) = inner.orphans.remove(&id) {
+            return Some((route, response));
+        }
+        inner.routes.insert(id, route);
+        None
+    }
+
+    /// Pairs an arriving response with its route, or stashes it as an
+    /// orphan until the route is registered.
+    fn resolve(&self, response: EvalResponse) -> Option<(Route, EvalResponse)> {
+        let mut inner = self.inner.lock().expect("dispatcher poisoned");
+        match inner.routes.remove(&response.id.0) {
+            Some(route) => Some((route, response)),
+            None => {
+                inner.orphans.insert(response.id.0, response);
+                None
+            }
+        }
+    }
+
+    /// Drops every outstanding route (shutdown), releasing each quota
+    /// slot so the ledger ends balanced.
+    fn clear(&self, ledger: &AdmissionLedger) {
+        let mut inner = self.inner.lock().expect("dispatcher poisoned");
+        for (_, route) in inner.routes.drain() {
+            ledger.release(&route.client);
+        }
+        inner.orphans.clear();
+    }
+}
+
+/// Releases the quota slot and sends the reply frame for one completed
+/// response. Used by the router and (for orphan races) reader threads.
+fn deliver(shared: &Shared, route: Route, response: EvalResponse) {
+    shared.ledger.release(&route.client);
+    let frame = match response.outcome {
+        Ok(output) => result_frame(
+            route.tag,
+            &WireOutput {
+                label: response.circuit_label,
+                point: response.point,
+                cache_hit: response.cache_hit,
+                latency_ms: response.latency.as_secs_f64() * 1e3,
+                reports: output.reports,
+            },
+        ),
+        Err(e) => error_frame(Some(route.tag), &WireError::from_serve(e)),
+    };
+    // A send failure means the connection is gone; the result is simply
+    // dropped, exactly like an in-process caller hanging up its channel.
+    let _ = route.reply.send(frame);
+}
+
+fn router_loop(responses: &Receiver<EvalResponse>, shared: &Shared) {
+    while let Ok(response) = responses.recv() {
+        if let Some((route, response)) = shared.dispatcher.resolve(response) {
+            deliver(shared, route, response);
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, server: &Arc<Server>, shared: &Arc<Shared>) {
+    let mut next_conn_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.closing.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .insert(conn_id, registered);
+        let server = Arc::clone(server);
+        let shared_for_conn = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            connection_loop(stream, &server, &shared_for_conn);
+            // Drop the registry's descriptor so the socket actually
+            // closes (FIN) once the reader and writer halves are gone.
+            shared_for_conn
+                .conns
+                .lock()
+                .expect("connection registry poisoned")
+                .remove(&conn_id);
+            shared_for_conn
+                .counters
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+        });
+        let mut threads = shared
+            .conn_threads
+            .lock()
+            .expect("connection threads poisoned");
+        // Reap finished connection threads as new ones arrive, so a
+        // long-lived daemon's bookkeeping stays proportional to *live*
+        // connections, not to every connection it ever served.
+        let mut live = Vec::with_capacity(threads.len() + 1);
+        for thread in threads.drain(..) {
+            if thread.is_finished() {
+                let _ = thread.join();
+            } else {
+                live.push(thread);
+            }
+        }
+        live.push(handle);
+        *threads = live;
+    }
+}
+
+/// One connection's reader side: handshake, then frame dispatch until
+/// `bye`, disconnect, or a fatal protocol error.
+fn connection_loop(stream: TcpStream, server: &Arc<Server>, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<Json>();
+    // The writer owns the outbound half so a slow or dead client never
+    // blocks the router; it exits when every reply handle drops or the
+    // socket breaks. It holds no daemon state.
+    std::thread::spawn(move || {
+        let mut writer = BufWriter::new(write_half);
+        while let Ok(frame) = reply_rx.recv() {
+            if write_frame(&mut writer, &frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: the first frame must be a matching `hello`.
+    let Ok(first) = read_frame(&mut reader) else {
+        return;
+    };
+    let client = match parse_client_frame(&first) {
+        Ok(ClientFrame::Hello { protocol, client }) => {
+            if protocol == PROTOCOL_VERSION {
+                client
+            } else {
+                let error = WireError::Protocol {
+                    message: format!(
+                        "protocol version mismatch: client speaks {protocol}, server speaks {PROTOCOL_VERSION}"
+                    ),
+                };
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(error_frame(None, &error));
+                return;
+            }
+        }
+        _ => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let error = WireError::Protocol {
+                message: "expected a `hello` frame first".to_string(),
+            };
+            let _ = reply_tx.send(error_frame(None, &error));
+            return;
+        }
+    };
+    let quota = shared.ledger.config();
+    let welcome = Welcome {
+        protocol: PROTOCOL_VERSION,
+        server: SERVER_NAME.to_string(),
+        points: server.points().map(str::to_string).collect(),
+        designs: Design::ALL.iter().map(|d| d.name().to_string()).collect(),
+        max_in_flight: quota.max_in_flight,
+        rate_per_sec: quota.rate.map(|r| r.per_sec),
+    };
+    if reply_tx.send(welcome.to_json()).is_err() {
+        return;
+    }
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Io(_)) => break,
+            Err(e @ (FrameError::TooLarge { .. } | FrameError::BadPayload(_))) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let error = WireError::Protocol {
+                    message: e.to_string(),
+                };
+                let _ = reply_tx.send(error_frame(None, &error));
+                break;
+            }
+        };
+        // Recover the tag even from frames that fail to parse, so the
+        // error reply still lands on the right request.
+        let tag_hint = frame.get("tag").and_then(Json::as_u64);
+        match parse_client_frame(&frame) {
+            Ok(ClientFrame::Submit { tag, submission }) => {
+                handle_submit(tag, &submission, &client, &reply_tx, server, shared);
+            }
+            Ok(ClientFrame::Stats { tag }) => {
+                let frame = stats_reply_frame(tag, &server.stats(), &shared.counters.snapshot());
+                if reply_tx.send(frame).is_err() {
+                    break;
+                }
+            }
+            Ok(ClientFrame::Bye) => {
+                let _ = reply_tx.send(bye_frame());
+                break;
+            }
+            Ok(ClientFrame::Hello { .. }) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let error = WireError::Protocol {
+                    message: "duplicate `hello`".to_string(),
+                };
+                let _ = reply_tx.send(error_frame(None, &error));
+                break;
+            }
+            Err(error @ WireError::Protocol { .. }) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(error_frame(tag_hint, &error));
+                break;
+            }
+            Err(error) => {
+                // A malformed submit is an answerable mistake, not a
+                // broken conversation: reply and keep the session.
+                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if reply_tx.send(error_frame(tag_hint, &error)).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Admission pipeline for one submission: quota, then decode/parse, then
+/// the shard queue. Refusals are answered inline; acceptances register a
+/// route for the router to complete.
+fn handle_submit(
+    tag: u64,
+    submission: &Submission,
+    client: &str,
+    reply_tx: &Sender<Json>,
+    server: &Arc<Server>,
+    shared: &Arc<Shared>,
+) {
+    if let Err(error) = shared.ledger.admit(client, shared.now_micros()) {
+        shared
+            .counters
+            .quota_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = reply_tx.send(error_frame(Some(tag), &error));
+        return;
+    }
+    // Admitted: every exit below either registers a route (released on
+    // delivery) or releases the slot itself.
+    let request = match submission.to_eval_request() {
+        Ok(request) => request,
+        Err(error) => {
+            shared.ledger.release(client);
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = reply_tx.send(error_frame(Some(tag), &error));
+            return;
+        }
+    };
+    match server.submit(request) {
+        Ok(id) => {
+            let route = Route {
+                tag,
+                client: client.to_string(),
+                reply: reply_tx.clone(),
+            };
+            if let Some((route, response)) = shared.dispatcher.register(id.0, route) {
+                deliver(shared, route, response);
+            }
+        }
+        Err(e) => {
+            shared.ledger.release(client);
+            let _ = reply_tx.send(error_frame(Some(tag), &WireError::from_serve(e)));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! `dqc-served` — launch the serve daemon from the command line.
+//!
+//! ```text
+//! dqc-served [--addr HOST:PORT] [--port-file PATH]
+//!            [--workers N] [--queue N] [--cache N] [--batch N]
+//!            [--max-in-flight N] [--rate PER_SEC] [--burst N]
+//!            [--point LABEL=paper32|paper64]...
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`; port `0` lets the OS pick), prints
+//! `dqc-served listening on ADDR` once ready, and serves until killed.
+//! `--port-file` additionally writes the resolved address to a file, so
+//! scripts that launched with port `0` can find the daemon.
+//!
+//! Without `--point`, two shards are registered: `paper` (the paper's
+//! two-node 32-qubit point) and `paper64` (its 64-qubit sibling).
+
+use dqc_core::SystemConfig;
+use dqc_served::{Served, ServedBuilder};
+use std::process::ExitCode;
+
+struct Options {
+    addr: String,
+    port_file: Option<String>,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    batch: usize,
+    max_in_flight: Option<usize>,
+    rate: Option<f64>,
+    burst: Option<f64>,
+    points: Vec<(String, String)>,
+}
+
+impl Options {
+    fn defaults() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            port_file: None,
+            workers: 2,
+            queue: 64,
+            cache: 32,
+            batch: 8,
+            max_in_flight: None,
+            rate: None,
+            burst: None,
+            points: Vec::new(),
+        }
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut options = Self::defaults();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match flag.as_str() {
+                "--addr" => options.addr = value("--addr")?,
+                "--port-file" => options.port_file = Some(value("--port-file")?),
+                "--workers" => options.workers = parse_num(&value("--workers")?, "--workers")?,
+                "--queue" => options.queue = parse_num(&value("--queue")?, "--queue")?,
+                "--cache" => options.cache = parse_num(&value("--cache")?, "--cache")?,
+                "--batch" => options.batch = parse_num(&value("--batch")?, "--batch")?,
+                "--max-in-flight" => {
+                    options.max_in_flight =
+                        Some(parse_num(&value("--max-in-flight")?, "--max-in-flight")?);
+                }
+                "--rate" => options.rate = Some(parse_float(&value("--rate")?, "--rate")?),
+                "--burst" => options.burst = Some(parse_float(&value("--burst")?, "--burst")?),
+                "--point" => {
+                    let spec = value("--point")?;
+                    let (label, config) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("--point wants LABEL=CONFIG, got `{spec}`"))?;
+                    options.points.push((label.to_string(), config.to_string()));
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+const USAGE: &str = "usage: dqc-served [--addr HOST:PORT] [--port-file PATH] \
+[--workers N] [--queue N] [--cache N] [--batch N] \
+[--max-in-flight N] [--rate PER_SEC] [--burst N] \
+[--point LABEL=paper32|paper64]...";
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} wants a non-negative integer, got `{text}`"))
+}
+
+fn parse_float(text: &str, flag: &str) -> Result<f64, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} wants a number, got `{text}`"))
+}
+
+fn point_config(name: &str) -> Result<SystemConfig, String> {
+    match name {
+        "paper32" => Ok(SystemConfig::paper_two_node_32()),
+        "paper64" => Ok(SystemConfig::paper_two_node_64()),
+        other => Err(format!(
+            "unknown point config `{other}` (expected paper32 or paper64)"
+        )),
+    }
+}
+
+fn run(options: Options) -> Result<Served, String> {
+    let mut builder = ServedBuilder::new()
+        .workers_per_shard(options.workers)
+        .queue_capacity(options.queue)
+        .cache_capacity(options.cache)
+        .batch_max(options.batch);
+    let points = if options.points.is_empty() {
+        vec![
+            ("paper".to_string(), "paper32".to_string()),
+            ("paper64".to_string(), "paper64".to_string()),
+        ]
+    } else {
+        options.points
+    };
+    for (label, config) in points {
+        builder = builder.hardware_point(label, point_config(&config)?);
+    }
+    if let Some(max) = options.max_in_flight {
+        builder = builder.max_in_flight(max);
+    }
+    if let Some(rate) = options.rate {
+        let burst = options.burst.unwrap_or(rate.max(1.0));
+        builder = builder.rate_limit(rate, burst);
+    }
+    builder
+        .bind(&options.addr)
+        .map_err(|e| format!("failed to start on {}: {e}", options.addr))
+}
+
+fn main() -> ExitCode {
+    let options = match Options::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let port_file = options.port_file.clone();
+    let daemon = match run(options) {
+        Ok(daemon) => daemon,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = daemon.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The readiness line scripts wait for before connecting.
+    println!("dqc-served listening on {addr}");
+    // Serve until the process is killed; the daemon's own threads carry
+    // all the work from here.
+    loop {
+        std::thread::park();
+    }
+}

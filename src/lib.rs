@@ -19,6 +19,7 @@
 //! | [`core`] | `dqc-core` | the co-designed architecture + engine |
 //! | [`codesign`] | `dqc-codesign` | design-space search + Pareto frontier |
 //! | [`serve`] | `dqc-serve` | sharded compile-once serving layer |
+//! | [`served`] | `dqc-served` | TCP daemon: frame protocol, QASM front door, quotas |
 //!
 //! The evaluation engine's main types — [`CompiledCircuit`],
 //! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
@@ -26,7 +27,8 @@
 //! [`ScenarioKey`], [`Codesign`], [`CostModel`]), and the
 //! network-topology types ([`NetworkTopology`], [`TopologyFamily`],
 //! [`RoutingTable`], [`LinkParams`]), and the serving layer
-//! ([`Server`], [`ServeBuilder`], [`EvalRequest`], [`ServeStats`]) are
+//! ([`Server`], [`ServeBuilder`], [`EvalRequest`], [`ServeStats`], plus
+//! the network daemon's [`Served`], [`ServedClient`], [`Submission`]) are
 //! additionally re-exported at the crate root.
 //!
 //! # Quickstart
@@ -79,6 +81,7 @@ pub use dqc_core as core;
 pub use dqc_entanglement as entanglement;
 pub use dqc_partition as partition;
 pub use dqc_serve as serve;
+pub use dqc_served as served;
 pub use dqc_sim as sim;
 pub use dqc_types as types;
 pub use dqc_workloads as workloads;
@@ -93,3 +96,4 @@ pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable, Top
 pub use dqc_serve::{
     EvalOutput, EvalRequest, EvalResponse, RequestId, ServeBuilder, ServeError, ServeStats, Server,
 };
+pub use dqc_served::{Served, ServedBuilder, ServedClient, Submission, WireError};
