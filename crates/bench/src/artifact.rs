@@ -37,6 +37,7 @@ const TARGET_NAMES: &[&str] = &[
     "ablate-segment",
     "ablate-protocol",
     "ablate-purification",
+    "backend-matrix",
 ];
 
 /// The names of every target that can emit a JSON artifact.
@@ -174,6 +175,7 @@ pub fn target_data(target: &str, runs: usize, seed: u64) -> Result<Json, DqcErro
         "ablate-segment" => crate::segment_ablation_sweep(runs, seed)?.to_json(),
         "ablate-protocol" => crate::protocol_ablation_sweep(runs, seed)?.to_json(),
         "ablate-purification" => crate::purification_ablation_sweep(runs, seed)?.to_json(),
+        "backend-matrix" => crate::backend_matrix_sweep(runs, seed)?.to_json(),
         other => panic!("unknown artifact target `{other}`"),
     })
 }

@@ -21,7 +21,13 @@
 //!    portfolio pumped through a `dqc-serve` server (warm caches, worker
 //!    pool, fixed client concurrency) against the same request list
 //!    compiled-per-request on one thread; the `serve_throughput` derived
-//!    metric is the requests/sec ratio.
+//!    metric is the requests/sec ratio;
+//! 5. **stabilizer vs analytic backend** — a 64-qubit Clifford-block
+//!    workload replayed per seed through the analytic event engine and
+//!    through the stabilizer backend's folded schedule; the
+//!    `backend_stabilizer_vs_analytic` derived metric is additionally
+//!    gated in-run: the run fails unless the fast path is at least
+//!    [`MIN_STABILIZER_SPEEDUP`]× faster.
 //!
 //! Results are written as `BENCH_5.json` in a stable schema (fixed keys,
 //! fixed entry names, milliseconds), so the perf trajectory can be
@@ -30,7 +36,7 @@
 //! entry's best iteration is more than `R`× (default 2×) slower than the
 //! baseline's mean — the CI `perf-smoke` regression gate.
 
-use dqc_core::{Design, DqcError, Experiment, Sweep, SystemConfig};
+use dqc_core::{Backend, Design, DqcError, Experiment, Sweep, SystemConfig};
 use dqc_entanglement::NetworkTopology;
 use dqc_serve::{EvalRequest, ServeBuilder, ServeError};
 use dqc_types::{Json, JsonError};
@@ -227,8 +233,58 @@ fn run_entries(profile: &Profile, seed: u64) -> Result<Vec<(&'static str, Stats)
         }),
     ));
 
+    // 5. The stabilizer fast path vs the analytic event replay on the
+    // Clifford suite: a 64-qubit circuit of two dense local blocks
+    // stitched by a few bridge CX gates, so the analytic engine replays
+    // thousands of local gates per seed while the stabilizer backend's
+    // folded schedule touches only the remote gates.
+    use rand::SeedableRng;
+    let clifford = dqc_workloads::clifford_blocks(
+        64,
+        8000,
+        8,
+        &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+    );
+    let clifford_config = SystemConfig::paper_two_node_64();
+    let clifford_analytic = Experiment::new(&clifford, &clifford_config)?
+        .design(Design::AsyncBuf)
+        .runs(profile.runs)
+        .base_seed(seed);
+    eprintln!("timing exec_clifford_analytic ...");
+    entries.push((
+        "exec_clifford_analytic",
+        time_loop(profile.iters, 20, || {
+            clifford_analytic
+                .reports()
+                .expect("clifford suite evaluates");
+        }),
+    ));
+    let clifford_stabilizer = Experiment::new(
+        &clifford,
+        &clifford_config.clone().with_backend(Backend::Stabilizer),
+    )?
+    .design(Design::AsyncBuf)
+    .runs(profile.runs)
+    .base_seed(seed);
+    eprintln!("timing exec_clifford_stabilizer ...");
+    entries.push((
+        "exec_clifford_stabilizer",
+        // Batched much harder than the analytic twin: one folded-schedule
+        // replay is microseconds.
+        time_loop(profile.iters, 500, || {
+            clifford_stabilizer
+                .reports()
+                .expect("clifford suite evaluates");
+        }),
+    ));
+
     Ok(entries)
 }
+
+/// Minimum `backend_stabilizer_vs_analytic` ratio the run itself must
+/// demonstrate on the Clifford suite — the stabilizer backend's reason to
+/// exist, gated on every run (not only against a baseline).
+const MIN_STABILIZER_SPEEDUP: f64 = 5.0;
 
 /// The fixed request list of the serve-throughput entries: the mixed
 /// QAOA/QFT/GHZ portfolio tiled round-robin with per-request seeds.
@@ -445,6 +501,12 @@ fn main() -> ExitCode {
             "serve_sequential_baseline",
             "serve_fixed_concurrency",
         ),
+        ratio(
+            &entries,
+            "backend_stabilizer_vs_analytic",
+            "exec_clifford_analytic",
+            "exec_clifford_stabilizer",
+        ),
     ];
 
     println!(
@@ -472,6 +534,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", path.display());
+
+    let stabilizer_speedup = derived
+        .iter()
+        .find(|(name, _)| name == "backend_stabilizer_vs_analytic")
+        .map(|(_, value)| *value)
+        .expect("derived names are fixed");
+    if stabilizer_speedup < MIN_STABILIZER_SPEEDUP {
+        eprintln!(
+            "error: stabilizer backend only {stabilizer_speedup:.1}x faster than analytic \
+             on the Clifford suite (gate: {MIN_STABILIZER_SPEEDUP}x)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     if let Some(baseline_path) = baseline_path {
         let baseline = match std::fs::read_to_string(&baseline_path)

@@ -4,16 +4,22 @@
 //!
 //! ```text
 //! repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]
+//!       [--backend auto|analytic|stabilizer|density]
 //! repro diff <a.json> <b.json> [--tol EPS]
 //!
 //! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
 //!       | topology-sweep | codesign
 //!       | ablate-cutoff | ablate-psucc | ablate-segment
 //!       | ablate-protocol | ablate-purification
+//!       | backend-matrix
 //!       | ablations (all five) | all
 //!
 //! `fig56` prints Figures 5 and 6 from one shared sweep; `all` uses it
-//! in place of running `fig5` and `fig6` separately.
+//! in place of running `fig5` and `fig6` separately. `--backend` selects
+//! the simulation engine every target runs on (default `analytic`, the
+//! bit-for-bit reference; `auto` upgrades Clifford-only circuits to the
+//! stabilizer fast path); `backend-matrix` sweeps all engines explicitly
+//! and ignores the flag.
 //! ```
 //!
 //! Without arguments it runs everything with the paper's 50-run averages
@@ -25,7 +31,7 @@
 //! differ, which is the CI golden-file regression gate.
 
 use dqc_bench::Artifact;
-use dqc_core::{DqcError, SystemConfig};
+use dqc_core::DqcError;
 use dqc_types::json;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,7 +46,7 @@ const TARGETS: &[(&str, Runner)] = &[
         Ok(())
     }),
     ("table2", |_, _| {
-        dqc_bench::print_table2(&SystemConfig::paper_two_node_32());
+        dqc_bench::print_table2(&dqc_bench::paper_config_32());
         Ok(())
     }),
     ("fig3", |_, seed| {
@@ -59,6 +65,7 @@ const TARGETS: &[(&str, Runner)] = &[
     ("ablate-segment", dqc_bench::run_segment_ablation),
     ("ablate-protocol", dqc_bench::run_protocol_ablation),
     ("ablate-purification", dqc_bench::run_purification_ablation),
+    ("backend-matrix", dqc_bench::run_backend_matrix),
 ];
 
 /// Output rendering selected by `--format`.
@@ -131,6 +138,11 @@ fn main() -> ExitCode {
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => return usage("--out needs a directory"),
+            },
+            "--backend" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(backend)) => dqc_bench::set_backend(backend),
+                Some(Err(e)) => return usage(&format!("--backend: {e}")),
+                None => return usage("--backend needs an engine name"),
             },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
@@ -287,11 +299,13 @@ fn usage(message: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]\n\
+         \x20             [--backend auto|analytic|stabilizer|density]\n\
          \x20      repro diff <a.json> <b.json> [--tol EPS]\n\
          targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
          \x20        topology-sweep codesign\n\
          \x20        ablate-cutoff ablate-psucc ablate-segment\n\
          \x20        ablate-protocol ablate-purification\n\
+         \x20        backend-matrix\n\
          \x20        ablations (all five ablations) | all (everything)"
     );
     if message.is_empty() {

@@ -500,6 +500,41 @@ mod tests {
     }
 
     #[test]
+    fn backend_axis_searches_both_engines() {
+        // The simulation backend is a first-class co-design axis. On a
+        // Clifford workload the stabilizer engine replays the analytic
+        // path exactly, so both points carry identical objectives — but
+        // they are distinct hardware configurations (the backend is part
+        // of the compiled fingerprint), hence two compilations.
+        use dqc_core::Backend;
+        use dqc_types::AxisId;
+        let result = Codesign::new(
+            "ghz-chain-32",
+            dqc_workloads::ghz_chain(32),
+            DesignSpace::new(SystemConfig::paper_two_node_32())
+                .backends(&[Backend::Analytic, Backend::Stabilizer])
+                .designs(&[Design::AsyncBuf]),
+        )
+        .runs(2)
+        .run()
+        .unwrap();
+        assert_eq!(result.candidates.len(), 2);
+        assert_eq!(result.compilations, 2);
+        let analytic = &result.candidates[0];
+        let stabilizer = &result.candidates[1];
+        assert_eq!(
+            analytic.key.get(AxisId::Backend),
+            Some(&AxisValue::Backend(Backend::Analytic))
+        );
+        assert_eq!(
+            stabilizer.key.get(AxisId::Backend),
+            Some(&AxisValue::Backend(Backend::Stabilizer))
+        );
+        assert_eq!(analytic.report, stabilizer.report);
+        assert_eq!(analytic.objectives, stabilizer.objectives);
+    }
+
+    #[test]
     fn frontier_contains_matches_exact_keys() {
         let result = small_search().run().unwrap();
         let on = result.frontier_candidates()[0].key.clone();

@@ -9,7 +9,7 @@
 //! axis, replacing the stringly `(circuit, config, design)` triple the
 //! sweep layer used to key results by.
 
-use crate::{Design, PartitionStrategy, RemoteProtocol};
+use crate::{Backend, Design, PartitionStrategy, RemoteProtocol};
 use dqc_entanglement::TopologyFamily;
 use dqc_types::{AxisId, Json, JsonError, Tick};
 use std::fmt;
@@ -51,6 +51,8 @@ pub enum Axis {
     Protocol(Vec<RemoteProtocol>),
     /// Qubit partitioner choice.
     Partitioner(Vec<PartitionStrategy>),
+    /// Executor simulation backend.
+    Backend(Vec<Backend>),
 }
 
 impl Axis {
@@ -67,6 +69,7 @@ impl Axis {
             Axis::Design(_) => AxisId::Design,
             Axis::Protocol(_) => AxisId::Protocol,
             Axis::Partitioner(_) => AxisId::Partitioner,
+            Axis::Backend(_) => AxisId::Backend,
         }
     }
 
@@ -80,6 +83,7 @@ impl Axis {
             Axis::Design(v) => v.len(),
             Axis::Protocol(v) => v.len(),
             Axis::Partitioner(v) => v.len(),
+            Axis::Backend(v) => v.len(),
         }
     }
 
@@ -105,6 +109,7 @@ impl Axis {
             Axis::Design(v) => AxisValue::Design(v[i]),
             Axis::Protocol(v) => AxisValue::Protocol(v[i]),
             Axis::Partitioner(v) => AxisValue::Partitioner(v[i]),
+            Axis::Backend(v) => AxisValue::Backend(v[i]),
         }
     }
 }
@@ -132,6 +137,8 @@ pub enum AxisValue {
     Protocol(RemoteProtocol),
     /// Partitioner choice.
     Partitioner(PartitionStrategy),
+    /// Executor simulation backend.
+    Backend(Backend),
 }
 
 impl AxisValue {
@@ -148,6 +155,7 @@ impl AxisValue {
             AxisValue::Design(_) => AxisId::Design,
             AxisValue::Protocol(_) => AxisId::Protocol,
             AxisValue::Partitioner(_) => AxisId::Partitioner,
+            AxisValue::Backend(_) => AxisId::Backend,
         }
     }
 
@@ -173,6 +181,7 @@ impl AxisValue {
             AxisValue::Design(d) => Json::from(d.name()),
             AxisValue::Protocol(p) => Json::from(p.name()),
             AxisValue::Partitioner(s) => Json::from(s.name()),
+            AxisValue::Backend(b) => Json::from(b.name()),
         };
         Json::object([("axis", self.id().to_json()), ("value", value)])
     }
@@ -227,6 +236,11 @@ impl AxisValue {
                     .parse()
                     .map_err(|e| JsonError::schema(format!("axis `partitioner`: {e}")))?,
             ),
+            AxisId::Backend => AxisValue::Backend(
+                name("a backend name")?
+                    .parse()
+                    .map_err(|e| JsonError::schema(format!("axis `backend`: {e}")))?,
+            ),
         })
     }
 }
@@ -249,6 +263,7 @@ impl fmt::Display for AxisValue {
             AxisValue::Design(d) => f.write_str(d.name()),
             AxisValue::Protocol(p) => f.write_str(p.name()),
             AxisValue::Partitioner(s) => f.write_str(s.name()),
+            AxisValue::Backend(b) => f.write_str(b.name()),
         }
     }
 }
@@ -351,6 +366,7 @@ mod tests {
             AxisValue::Design(Design::AdaptBuf),
             AxisValue::Protocol(RemoteProtocol::StateTeleport),
             AxisValue::Partitioner(PartitionStrategy::HopWeighted),
+            AxisValue::Backend(Backend::Stabilizer),
         ]
     }
 

@@ -1,0 +1,414 @@
+//! Executor simulation backends.
+//!
+//! The executor ships three engines behind one [`BackendEngine`] trait,
+//! the way mature simulator stacks ship several simulators side by side:
+//!
+//! * **analytic** — the paper's Werner/affine fidelity path. Walks every
+//!   operation of the circuit per seed. The default, bit-for-bit the
+//!   historical behavior.
+//! * **stabilizer** — a Clifford fast path. At compile time the circuit is
+//!   certified Clifford by running it through the `dqc-sim` stabilizer
+//!   tableau, and the entire local schedule is folded into a symbolic
+//!   max-plus [`SchedulePlan`] over the remote-gate completion times. A
+//!   seeded run then replays *only* the remote gates against the
+//!   entanglement service — identical reports to the analytic engine at a
+//!   cost proportional to the number of remote gates instead of the
+//!   number of gates, which makes GHZ-style and error-propagation
+//!   workloads near-free at 100+ qubits.
+//! * **density** — the §IV-C density-matrix teleportation oracle promoted
+//!   from test fixture to a selectable small-system backend: every remote
+//!   gate's fidelity is evaluated directly on the 64×64 density matrix of
+//!   the teleportation gadget instead of through the precomputed affine
+//!   law, cross-validating the frontier ordering at high noise. Limited
+//!   to circuits of at most [`DENSITY_MAX_QUBITS`] qubits.
+//!
+//! [`Backend`] is the user-facing selector carried by
+//! [`SystemConfig`](crate::SystemConfig); `Backend::Auto` picks the
+//! stabilizer engine whenever the compiled circuit is Clifford-only and
+//! falls back to the analytic engine otherwise.
+
+use crate::{Design, DqcError, ExecutionReport};
+use dqc_circuit::{Circuit, Gate};
+use dqc_partition::QubitMap;
+use dqc_sim::Tableau;
+use dqc_types::{Fidelity, NodeId, Tick, UnknownName};
+use std::fmt;
+use std::str::FromStr;
+
+/// Widest circuit the density-matrix backend accepts. The oracle evaluates
+/// a dense 6-qubit teleportation gadget per distinct link fidelity, so it
+/// is meant for small-system cross-validation, not production sweeps.
+pub const DENSITY_MAX_QUBITS: u32 = 8;
+
+/// Which simulation engine executes a compiled circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Pick automatically: the stabilizer engine when the compiled
+    /// circuit is Clifford-only (and the design is non-adaptive), the
+    /// analytic engine otherwise.
+    Auto,
+    /// The analytic Werner/affine fidelity path — the paper's model and
+    /// the default.
+    #[default]
+    Analytic,
+    /// The tableau-certified Clifford fast path. Compilation fails with
+    /// [`DqcError::BackendUnsupported`] when the circuit contains a
+    /// non-Clifford gate.
+    Stabilizer,
+    /// The density-matrix teleportation oracle, for circuits of at most
+    /// [`DENSITY_MAX_QUBITS`] qubits.
+    Density,
+}
+
+impl Backend {
+    /// Every backend, in CLI presentation order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Auto,
+        Backend::Analytic,
+        Backend::Stabilizer,
+        Backend::Density,
+    ];
+
+    /// The snake_case name used in labels, cache keys, and the CLI.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Analytic => "analytic",
+            Backend::Stabilizer => "stabilizer",
+            Backend::Density => "density",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = UnknownName;
+
+    /// Parses the snake_case name ([`Backend::name`] is the exact
+    /// inverse).
+    ///
+    /// ```
+    /// use dqc_core::Backend;
+    ///
+    /// assert_eq!("stabilizer".parse(), Ok(Backend::Stabilizer));
+    /// assert!("abacus".parse::<Backend>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| UnknownName::new("backend", s))
+    }
+}
+
+/// One simulation engine: turns a compiled circuit plus a (design, seed)
+/// pair into an [`ExecutionReport`].
+///
+/// The three implementations ([`AnalyticEngine`], [`StabilizerEngine`],
+/// [`DensityEngine`]) are selected per compiled circuit by
+/// [`CompiledCircuit::run`](crate::CompiledCircuit::run) according to
+/// [`SystemConfig::backend`](crate::SystemConfig::backend); they are
+/// exposed so callers can drive a specific engine directly.
+pub trait BackendEngine {
+    /// The engine's snake_case name (matches [`Backend::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Executes one seeded run of `design` against `compiled`.
+    ///
+    /// # Errors
+    ///
+    /// The same failures as
+    /// [`CompiledCircuit::run`](crate::CompiledCircuit::run) — notably
+    /// [`DqcError::NoEntanglementPossible`] when remote gates exist but no
+    /// communication qubits are configured.
+    fn run(
+        &self,
+        compiled: &crate::CompiledCircuit,
+        design: Design,
+        seed: u64,
+    ) -> Result<ExecutionReport, DqcError>;
+}
+
+/// The analytic Werner/affine engine (see [`Backend::Analytic`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticEngine;
+
+/// The tableau-certified Clifford fast path (see [`Backend::Stabilizer`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StabilizerEngine;
+
+/// The density-matrix oracle engine (see [`Backend::Density`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityEngine;
+
+/// A symbolic time in the max-plus algebra over remote-gate end times:
+/// `value(ends) = max(base, max_j(ends[j] + offset_j))`.
+///
+/// Local schedules are pure max-plus systems — every operation starts at
+/// the max of its qubits' ready times and finishes a fixed duration later
+/// — so with the remote-gate completion times as the only unknowns, every
+/// ready time (and the makespan) is exactly representable in this form.
+#[derive(Debug, Clone)]
+pub(crate) struct MaxPlus {
+    base: Tick,
+    /// `(remote gate index, offset)`, sorted by index, one entry per
+    /// referenced gate (the max of colliding offsets is kept).
+    offs: Vec<(usize, Tick)>,
+}
+
+impl MaxPlus {
+    fn zero() -> Self {
+        Self {
+            base: Tick::ZERO,
+            offs: Vec::new(),
+        }
+    }
+
+    /// The end time of remote gate `j`, exactly.
+    fn remote(j: usize) -> Self {
+        Self {
+            base: Tick::ZERO,
+            offs: vec![(j, Tick::ZERO)],
+        }
+    }
+
+    /// `self = max(self, other)` (all times are non-negative, so folding
+    /// in a concrete base of zero never changes the value).
+    fn merge(&mut self, other: &MaxPlus) {
+        self.base = self.base.max(other.base);
+        let mut merged = Vec::with_capacity(self.offs.len() + other.offs.len());
+        let (mut a, mut b) = (self.offs.iter().peekable(), other.offs.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ja, wa)), Some(&&(jb, wb))) => {
+                    if ja == jb {
+                        merged.push((ja, wa.max(wb)));
+                        a.next();
+                        b.next();
+                    } else if ja < jb {
+                        merged.push((ja, wa));
+                        a.next();
+                    } else {
+                        merged.push((jb, wb));
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.copied());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.copied());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.offs = merged;
+    }
+
+    /// `self = self + d` (distributes over the max).
+    fn add(&mut self, d: Tick) {
+        self.base += d;
+        for (_, w) in &mut self.offs {
+            *w += d;
+        }
+    }
+
+    /// Evaluates against concrete remote-gate end times.
+    pub(crate) fn eval(&self, ends: &[Tick]) -> Tick {
+        let mut t = self.base;
+        for &(j, w) in &self.offs {
+            t = t.max(ends[j] + w);
+        }
+        t
+    }
+}
+
+/// One remote gate of a [`SchedulePlan`], with its dependency time as a
+/// symbolic function of the earlier remote gates' end times.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedRemoteGate {
+    /// When the gate's data-qubit dependencies are ready.
+    pub(crate) deps: MaxPlus,
+    /// The (ordered) node pair whose entanglement supply serves the gate.
+    pub(crate) pair: (NodeId, NodeId),
+    /// The two data-qubit indices the gate occupies.
+    pub(crate) qubits: [usize; 2],
+}
+
+/// The stabilizer engine's compile-time artifact: the entire local
+/// schedule folded into max-plus form, leaving only the remote gates (and
+/// their entanglement-service interaction) for the per-seed replay.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedulePlan {
+    /// Remote gates in circuit order.
+    pub(crate) remote: Vec<PlannedRemoteGate>,
+    /// The schedule makespan as a function of remote-gate end times.
+    pub(crate) makespan: MaxPlus,
+    /// Per-qubit busy time from local operations only; the replay adds
+    /// each remote gate's (seed-dependent) occupancy on top.
+    pub(crate) local_busy: Vec<Tick>,
+    /// Which qubits participate in the circuit.
+    pub(crate) used: Vec<bool>,
+    /// Product of all local-gate fidelity factors, in circuit order.
+    pub(crate) local_fidelity: Fidelity,
+    /// Tableau certification by-product: the deterministic computational-
+    /// basis outcome per qubit after the circuit, `None` where a
+    /// measurement would be genuinely random.
+    pub(crate) outcomes: Vec<Option<bool>>,
+}
+
+impl SchedulePlan {
+    /// Folds the circuit's local schedule into max-plus form, certifying
+    /// it Clifford by simulating it on the stabilizer tableau.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit contains a non-Clifford gate; callers must
+    /// check [`Circuit`] eligibility (`Gate::is_clifford` on every
+    /// operation) first.
+    pub(crate) fn build(circuit: &Circuit, map: &QubitMap, config: &crate::SystemConfig) -> Self {
+        let n = circuit.num_qubits() as usize;
+        let mut ready = vec![MaxPlus::zero(); n];
+        let mut local_busy = vec![Tick::ZERO; n];
+        let mut used = vec![false; n];
+        let mut makespan = MaxPlus::zero();
+        let mut local_fidelity = Fidelity::PERFECT;
+        let mut remote = Vec::new();
+        let mut tableau = Tableau::new(n);
+        for op in circuit.operations() {
+            tableau
+                .apply(op)
+                .expect("schedule plans are only built for Clifford circuits");
+            let qs = op.qubits();
+            if map.is_remote(op) {
+                let j = remote.len();
+                let mut deps = ready[qs[0].as_usize()].clone();
+                deps.merge(&ready[qs[1].as_usize()]);
+                remote.push(PlannedRemoteGate {
+                    deps,
+                    pair: crate::executor::node_pair(map, op),
+                    qubits: [qs[0].as_usize(), qs[1].as_usize()],
+                });
+                let end = MaxPlus::remote(j);
+                for q in qs {
+                    ready[q.as_usize()] = end.clone();
+                    used[q.as_usize()] = true;
+                }
+                makespan.merge(&end);
+            } else {
+                // Mirrors the analytic tracker's duration/fidelity table
+                // exactly (`Tracker::issue_local`).
+                let (duration, fidelity) = match op.gate() {
+                    Gate::Measure => (config.latencies.measurement, config.fidelities.measurement),
+                    Gate::Swap => (
+                        config.latencies.two_qubit * 3,
+                        config.fidelities.two_qubit.powi(3),
+                    ),
+                    g if g.arity() == 2 => {
+                        (config.latencies.two_qubit, config.fidelities.two_qubit)
+                    }
+                    _ => (config.latencies.one_qubit, config.fidelities.one_qubit),
+                };
+                let mut end = match qs {
+                    [a] => ready[a.as_usize()].clone(),
+                    [a, b] => {
+                        let mut m = ready[a.as_usize()].clone();
+                        m.merge(&ready[b.as_usize()]);
+                        m
+                    }
+                    _ => {
+                        let mut m = MaxPlus::zero();
+                        for q in qs {
+                            m.merge(&ready[q.as_usize()]);
+                        }
+                        m
+                    }
+                };
+                end.add(duration);
+                for q in qs {
+                    ready[q.as_usize()] = end.clone();
+                    local_busy[q.as_usize()] += duration;
+                    used[q.as_usize()] = true;
+                }
+                makespan.merge(&end);
+                local_fidelity *= Fidelity::new(fidelity);
+            }
+        }
+        let outcomes = (0..n).map(|q| tableau.deterministic_outcome(q)).collect();
+        Self {
+            remote,
+            makespan,
+            local_busy,
+            used,
+            local_fidelity,
+            outcomes,
+        }
+    }
+}
+
+/// Whether every operation of `circuit` is a Clifford gate — the
+/// stabilizer engine's eligibility rule.
+pub(crate) fn clifford_only(circuit: &Circuit) -> bool {
+    circuit
+        .operations()
+        .iter()
+        .all(|op| op.gate().is_clifford())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_default_is_analytic() {
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>(), Ok(b));
+        }
+        assert_eq!(Backend::default(), Backend::Analytic);
+        let err = "abacus".parse::<Backend>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown backend `abacus`");
+    }
+
+    #[test]
+    fn names_match_cli_spellings() {
+        let names: Vec<&str> = Backend::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["auto", "analytic", "stabilizer", "density"]);
+    }
+
+    #[test]
+    fn max_plus_merge_add_eval() {
+        let ends = [Tick::new(100), Tick::new(40)];
+        let mut a = MaxPlus::remote(0); // ends[0] = 100
+        a.add(Tick::new(7)); // 107
+        let mut b = MaxPlus::remote(1); // 40
+        b.add(Tick::new(50)); // 90
+        a.merge(&b);
+        assert_eq!(a.eval(&ends), Tick::new(107));
+        a.add(Tick::new(10));
+        assert_eq!(a.eval(&ends), Tick::new(117));
+        // A concrete base participates in the max.
+        let mut c = MaxPlus::zero();
+        c.add(Tick::new(500));
+        a.merge(&c);
+        assert_eq!(a.eval(&ends), Tick::new(500));
+    }
+
+    #[test]
+    fn max_plus_merge_keeps_larger_offset_per_gate() {
+        let mut a = MaxPlus::remote(3);
+        a.add(Tick::new(5));
+        let mut b = MaxPlus::remote(3);
+        b.add(Tick::new(9));
+        a.merge(&b);
+        let mut ends = vec![Tick::ZERO; 4];
+        ends[3] = Tick::new(100);
+        assert_eq!(a.eval(&ends), Tick::new(109));
+    }
+}

@@ -9,9 +9,10 @@
 //! ideal-device schedule, and the remote-gate fidelity table are computed
 //! once and shared immutably across every design and every seed.
 
+use crate::backend::{clifford_only, SchedulePlan};
 use crate::{
-    segment_sequence, Design, DqcError, ExecutionReport, PartitionStrategy, RemoteFidelityTable,
-    SegmentVariants, SystemConfig,
+    segment_sequence, Backend, Design, DqcError, ExecutionReport, PartitionStrategy,
+    RemoteFidelityTable, SegmentVariants, SystemConfig, DENSITY_MAX_QUBITS,
 };
 use dqc_circuit::Circuit;
 use dqc_entanglement::{NetworkTopology, RoutingTable};
@@ -73,6 +74,10 @@ pub struct CompiledCircuit {
     /// All-pairs shortest routes over the configured topology; `None`
     /// with the default all-to-all network (direct links everywhere).
     pub(crate) routing: Option<RoutingTable>,
+    /// The stabilizer engine's max-plus schedule plan; built whenever the
+    /// configured backend may select the stabilizer engine (`stabilizer`
+    /// or `auto`) and the circuit is Clifford-only.
+    pub(crate) plan: Option<SchedulePlan>,
 }
 
 impl CompiledCircuit {
@@ -82,9 +87,12 @@ impl CompiledCircuit {
     ///
     /// Returns [`DqcError::CircuitTooWide`] when the circuit does not fit
     /// the system's data qubits, [`DqcError::Partition`] when the
-    /// multilevel partitioner fails, and [`DqcError::TopologyMismatch`] /
+    /// multilevel partitioner fails, [`DqcError::TopologyMismatch`] /
     /// [`DqcError::DisconnectedTopology`] when the configured network
-    /// cannot serve the system.
+    /// cannot serve the system, and [`DqcError::BackendUnsupported`] when
+    /// an explicitly selected backend cannot execute the circuit (a
+    /// non-Clifford gate under `stabilizer`; more than
+    /// [`DENSITY_MAX_QUBITS`] qubits under `density`).
     pub fn compile(circuit: &Circuit, config: &SystemConfig) -> Result<Self, DqcError> {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let capacity = config.total_data_qubits();
@@ -104,6 +112,26 @@ impl CompiledCircuit {
             if config.num_nodes > 1 && !topology.is_connected() {
                 return Err(DqcError::DisconnectedTopology);
             }
+        }
+        let clifford = clifford_only(circuit);
+        match config.backend {
+            Backend::Stabilizer if !clifford => {
+                return Err(DqcError::BackendUnsupported {
+                    backend: Backend::Stabilizer.name(),
+                    reason: "circuit contains a non-Clifford gate".to_string(),
+                });
+            }
+            Backend::Density if circuit.num_qubits() > DENSITY_MAX_QUBITS => {
+                return Err(DqcError::BackendUnsupported {
+                    backend: Backend::Density.name(),
+                    reason: format!(
+                        "circuit has {} qubits but the density-matrix engine is \
+                         limited to {DENSITY_MAX_QUBITS}",
+                        circuit.num_qubits()
+                    ),
+                });
+            }
+            _ => {}
         }
         let ideal_report = crate::executor::ideal_report(circuit, config);
         let routing = config.topology.as_ref().map(RoutingTable::new);
@@ -139,6 +167,8 @@ impl CompiledCircuit {
             .iter()
             .map(|seg| SegmentVariants::compile(&ops[seg.clone()], &map))
             .collect();
+        let plan = (clifford && matches!(config.backend, Backend::Stabilizer | Backend::Auto))
+            .then(|| SchedulePlan::build(circuit, &map, config));
         Ok(Self {
             circuit: circuit.clone(),
             config: config.clone(),
@@ -149,6 +179,7 @@ impl CompiledCircuit {
             remote_gates,
             ideal_report,
             routing,
+            plan,
         })
     }
 
@@ -221,6 +252,47 @@ impl CompiledCircuit {
     /// crosses the cut.
     pub fn supports(&self, design: Design) -> bool {
         design == Design::Ideal || self.remote_gates == 0 || self.config.comm_qubits_per_node > 0
+    }
+
+    /// Whether the stabilizer fast path is available for this compilation
+    /// — i.e. the circuit is Clifford-only and the configured backend
+    /// (`stabilizer` or `auto`) asked for the plan to be built.
+    pub fn stabilizer_eligible(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The concrete engine [`CompiledCircuit::run`] dispatches `design`
+    /// to — never [`Backend::Auto`].
+    ///
+    /// Selection rules: the ideal design short-circuits to the cached
+    /// ideal report (analytic); `auto` and `stabilizer` use the
+    /// stabilizer plan when it exists and the design is non-adaptive
+    /// (the §III-D adaptive controller probes live buffer state mid-run,
+    /// which a precomputed plan cannot replay — those designs fall back
+    /// to the identical-by-construction analytic walk).
+    pub fn selected_backend(&self, design: Design) -> Backend {
+        if design == Design::Ideal {
+            return Backend::Analytic;
+        }
+        match self.config.backend {
+            Backend::Analytic => Backend::Analytic,
+            Backend::Density => Backend::Density,
+            Backend::Auto | Backend::Stabilizer => {
+                if self.plan.is_some() && !design.adaptive_scheduling() {
+                    Backend::Stabilizer
+                } else {
+                    Backend::Analytic
+                }
+            }
+        }
+    }
+
+    /// The stabilizer certification by-product: the deterministic
+    /// computational-basis outcome per qubit after the circuit (`None`
+    /// where a measurement would be genuinely random). Available exactly
+    /// when [`CompiledCircuit::stabilizer_eligible`] is true.
+    pub fn stabilizer_outcomes(&self) -> Option<&[Option<bool>]> {
+        self.plan.as_ref().map(|p| p.outcomes.as_slice())
     }
 }
 

@@ -1,5 +1,6 @@
 //! System configuration (the paper's §IV-A and Table II).
 
+use crate::Backend;
 use dqc_entanglement::{
     ConsumeOrder, CutoffPolicy, GenerationPattern, LinkParams, NetworkTopology, ServiceConfig,
 };
@@ -226,6 +227,10 @@ pub struct SystemConfig {
     pub partition_seed: u64,
     /// Which partitioner maps qubits onto nodes at compile time.
     pub partitioner: PartitionStrategy,
+    /// Which simulation engine executes compiled circuits. The default
+    /// (`analytic`) is bit-for-bit the historical behavior; `auto`
+    /// upgrades Clifford-only circuits to the stabilizer fast path.
+    pub backend: Backend,
     /// The inter-node network. `None` (the default) means every node pair
     /// shares a direct link — the paper's implicit all-to-all assumption,
     /// and byte-for-byte the legacy behavior. With `Some(topology)`,
@@ -255,6 +260,7 @@ impl SystemConfig {
             purify_links: false,
             partition_seed: 0xDAC5,
             partitioner: PartitionStrategy::Auto,
+            backend: Backend::Analytic,
             topology: None,
         }
     }
@@ -345,6 +351,15 @@ impl SystemConfig {
         }
     }
 
+    /// Returns a copy with the given simulation backend.
+    #[must_use]
+    pub fn with_backend(&self, backend: Backend) -> Self {
+        Self {
+            backend,
+            ..self.clone()
+        }
+    }
+
     /// Total data qubits across all nodes.
     pub fn total_data_qubits(&self) -> usize {
         self.num_nodes * self.data_qubits_per_node
@@ -355,8 +370,9 @@ impl SystemConfig {
     ///
     /// Every field that influences compilation or execution is folded in
     /// (qubit counts, Table II latencies and fidelities, `psucc`, κ,
-    /// policies, protocol, partitioner, partition seed, and the complete
-    /// topology with per-edge overrides), so two configurations share a
+    /// policies, protocol, partitioner, partition seed, backend, and the
+    /// complete topology with per-edge overrides), so two configurations
+    /// share a
     /// fingerprint exactly when they are `==`, modulo the astronomically
     /// unlikely FNV-1a collision. Unlike `Hash`-derived values, the
     /// fingerprint never changes across runs, platforms, or toolchains.
@@ -405,6 +421,7 @@ impl SystemConfig {
         h.write_bool(self.purify_links);
         h.write_u64(self.partition_seed);
         h.write_str(self.partitioner.name());
+        h.write_str(self.backend.name());
         match &self.topology {
             Some(topology) => {
                 h.write_u8(1);
@@ -593,9 +610,14 @@ mod tests {
         for s in PartitionStrategy::ALL {
             assert_eq!(s.to_string().parse::<PartitionStrategy>(), Ok(s));
         }
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>(), Ok(b));
+        }
         assert!("smoke_signals".parse::<RemoteProtocol>().is_err());
         assert!("coin_flip".parse::<PartitionStrategy>().is_err());
+        assert!("abacus".parse::<Backend>().is_err());
         assert_eq!(PartitionStrategy::default(), PartitionStrategy::Auto);
+        assert_eq!(Backend::default(), Backend::Analytic);
     }
 
     #[test]
@@ -617,9 +639,31 @@ mod tests {
                 .partitioner,
             PartitionStrategy::Unweighted
         );
+        assert_eq!(
+            base.with_backend(Backend::Stabilizer).backend,
+            Backend::Stabilizer
+        );
         // Everything else is untouched.
         assert_eq!(base.with_epr_fidelity(0.95).latencies, base.latencies);
         assert_eq!(base.with_kappa(1e-3).fidelities, base.fidelities);
+    }
+
+    #[test]
+    fn fingerprint_tracks_backend() {
+        let base = SystemConfig::paper_two_node_32();
+        let prints: Vec<u64> = Backend::ALL
+            .iter()
+            .map(|b| base.with_backend(*b).fingerprint())
+            .collect();
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b, "backends must never share a hardware point");
+            }
+        }
+        assert_eq!(
+            base.fingerprint(),
+            base.with_backend(Backend::Analytic).fingerprint()
+        );
     }
 
     #[test]

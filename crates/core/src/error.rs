@@ -66,6 +66,15 @@ pub enum DqcError {
     /// The configured network topology is not connected, so some node
     /// pairs could never establish end-to-end entanglement.
     DisconnectedTopology,
+    /// The selected simulation backend cannot execute this circuit (a
+    /// non-Clifford gate under the stabilizer engine, or a circuit wider
+    /// than the density-matrix engine's qubit limit).
+    BackendUnsupported {
+        /// Name of the selected backend.
+        backend: &'static str,
+        /// Why the backend refused the circuit.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DqcError {
@@ -126,6 +135,12 @@ impl fmt::Display for DqcError {
                      share entanglement"
                 )
             }
+            DqcError::BackendUnsupported { backend, reason } => {
+                write!(
+                    f,
+                    "backend `{backend}` cannot execute this circuit: {reason}"
+                )
+            }
         }
     }
 }
@@ -174,6 +189,12 @@ mod tests {
             .contains("kappa"));
         let e = DqcError::PointOutOfRange { index: 9, len: 4 };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = DqcError::BackendUnsupported {
+            backend: "stabilizer",
+            reason: "circuit contains a non-Clifford gate".to_string(),
+        };
+        assert!(e.to_string().contains("stabilizer"));
+        assert!(e.to_string().contains("non-Clifford"));
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! This module is the *run-many* half of the engine; the *compile-once*
 //! half lives in [`crate::compile`].
 
-use crate::{CompiledCircuit, Design, DqcError, ExecutionReport, RemoteFidelityTable, VariantKind};
+use crate::backend::{
+    AnalyticEngine, BackendEngine, DensityEngine, SchedulePlan, StabilizerEngine,
+};
+use crate::{
+    Backend, CompiledCircuit, Design, DqcError, ExecutionReport, OperationFidelities,
+    RemoteFidelityTable, VariantKind,
+};
 use dqc_circuit::{Circuit, Gate, Operation};
 use dqc_entanglement::{swap_chain_fidelity, EntanglementService, RoutingTable};
 use dqc_partition::QubitMap;
+use dqc_sim::TeleportNoise;
 use dqc_types::{Fidelity, NodeId, Tick};
 use std::collections::HashMap;
 
@@ -47,43 +54,207 @@ impl CompiledCircuit {
     /// # }
     /// ```
     pub fn run(&self, design: Design, seed: u64) -> Result<ExecutionReport, DqcError> {
-        if design == Design::Ideal {
-            return Ok(self.ideal_report.clone());
-        }
-        if self.remote_gates > 0 && self.config.comm_qubits_per_node == 0 {
-            return Err(DqcError::NoEntanglementPossible);
-        }
-        let config = &self.config;
-        let ideal_makespan = self.ideal_report.makespan;
-        let mut services = ServicePool::new(config, design, seed, self.routing.as_ref());
-        let mut tracker = Tracker::with_seed(self.circuit.num_qubits(), seed);
-
-        if design.adaptive_scheduling() {
-            let m = config.segment_remote_gates();
-            let ops = self.circuit.operations();
-            let mut counts = (0usize, 0usize, 0usize);
-            for (seg, variants) in self.segments.iter().zip(&self.variants) {
-                let segment_ops = &ops[seg.clone()];
-                let kind = choose_variant(segment_ops, &self.map, &mut services, &tracker, m);
-                match kind {
-                    VariantKind::Original => counts.0 += 1,
-                    VariantKind::Asap => counts.1 += 1,
-                    VariantKind::Alap => counts.2 += 1,
-                }
-                for op in variants.sequence(kind) {
-                    tracker.issue(op, &self.map, &mut services, &self.table, config)?;
-                }
-            }
-            let stats = services.merged_stats();
-            Ok(tracker.into_report(design, ideal_makespan, Some(stats), counts, config))
-        } else {
-            for op in self.circuit.operations() {
-                tracker.issue(op, &self.map, &mut services, &self.table, config)?;
-            }
-            let stats = services.merged_stats();
-            Ok(tracker.into_report(design, ideal_makespan, Some(stats), (0, 0, 0), config))
+        match self.selected_backend(design) {
+            Backend::Stabilizer => StabilizerEngine.run(self, design, seed),
+            Backend::Density => DensityEngine.run(self, design, seed),
+            Backend::Analytic | Backend::Auto => AnalyticEngine.run(self, design, seed),
         }
     }
+}
+
+impl BackendEngine for AnalyticEngine {
+    fn name(&self) -> &'static str {
+        Backend::Analytic.name()
+    }
+
+    fn run(
+        &self,
+        compiled: &CompiledCircuit,
+        design: Design,
+        seed: u64,
+    ) -> Result<ExecutionReport, DqcError> {
+        run_analytic(compiled, design, seed, RemoteModel::Affine)
+    }
+}
+
+impl BackendEngine for DensityEngine {
+    fn name(&self) -> &'static str {
+        Backend::Density.name()
+    }
+
+    fn run(
+        &self,
+        compiled: &CompiledCircuit,
+        design: Design,
+        seed: u64,
+    ) -> Result<ExecutionReport, DqcError> {
+        run_analytic(
+            compiled,
+            design,
+            seed,
+            RemoteModel::density(&compiled.config.fidelities),
+        )
+    }
+}
+
+impl BackendEngine for StabilizerEngine {
+    fn name(&self) -> &'static str {
+        Backend::Stabilizer.name()
+    }
+
+    fn run(
+        &self,
+        compiled: &CompiledCircuit,
+        design: Design,
+        seed: u64,
+    ) -> Result<ExecutionReport, DqcError> {
+        // The plan cannot replay the ideal design (no remote gates to
+        // schedule against) or the adaptive designs (the controller
+        // probes live buffer state); those cases produce identical
+        // reports through the analytic walk.
+        match &compiled.plan {
+            Some(plan) if design != Design::Ideal && !design.adaptive_scheduling() => {
+                run_stabilizer(compiled, plan, design, seed)
+            }
+            _ => run_analytic(compiled, design, seed, RemoteModel::Affine),
+        }
+    }
+}
+
+/// The shared analytic walk: replays every operation of the circuit,
+/// consulting `model` for remote-gate fidelity factors. With
+/// [`RemoteModel::Affine`] this is bit-for-bit the historical executor.
+fn run_analytic(
+    compiled: &CompiledCircuit,
+    design: Design,
+    seed: u64,
+    mut model: RemoteModel,
+) -> Result<ExecutionReport, DqcError> {
+    if design == Design::Ideal {
+        return Ok(compiled.ideal_report.clone());
+    }
+    if compiled.remote_gates > 0 && compiled.config.comm_qubits_per_node == 0 {
+        return Err(DqcError::NoEntanglementPossible);
+    }
+    let config = &compiled.config;
+    let ideal_makespan = compiled.ideal_report.makespan;
+    let mut services = ServicePool::new(config, design, seed, compiled.routing.as_ref());
+    let mut tracker = Tracker::with_seed(compiled.circuit.num_qubits(), seed);
+
+    if design.adaptive_scheduling() {
+        let m = config.segment_remote_gates();
+        let ops = compiled.circuit.operations();
+        let mut counts = (0usize, 0usize, 0usize);
+        for (seg, variants) in compiled.segments.iter().zip(&compiled.variants) {
+            let segment_ops = &ops[seg.clone()];
+            let kind = choose_variant(segment_ops, &compiled.map, &mut services, &tracker, m);
+            match kind {
+                VariantKind::Original => counts.0 += 1,
+                VariantKind::Asap => counts.1 += 1,
+                VariantKind::Alap => counts.2 += 1,
+            }
+            for op in variants.sequence(kind) {
+                tracker.issue(
+                    op,
+                    &compiled.map,
+                    &mut services,
+                    &compiled.table,
+                    &mut model,
+                    config,
+                )?;
+            }
+        }
+        let stats = services.merged_stats();
+        Ok(tracker.into_report(design, ideal_makespan, Some(stats), counts, config))
+    } else {
+        for op in compiled.circuit.operations() {
+            tracker.issue(
+                op,
+                &compiled.map,
+                &mut services,
+                &compiled.table,
+                &mut model,
+                config,
+            )?;
+        }
+        let stats = services.merged_stats();
+        Ok(tracker.into_report(design, ideal_makespan, Some(stats), (0, 0, 0), config))
+    }
+}
+
+/// The stabilizer engine's per-seed replay: only the remote gates touch
+/// the entanglement service; everything local was folded into the
+/// max-plus [`SchedulePlan`] at compile time. Produces bit-for-bit the
+/// same report as [`run_analytic`] with [`RemoteModel::Affine`], at a
+/// cost proportional to the remote-gate count.
+fn run_stabilizer(
+    compiled: &CompiledCircuit,
+    plan: &SchedulePlan,
+    design: Design,
+    seed: u64,
+) -> Result<ExecutionReport, DqcError> {
+    if compiled.remote_gates > 0 && compiled.config.comm_qubits_per_node == 0 {
+        return Err(DqcError::NoEntanglementPossible);
+    }
+    let config = &compiled.config;
+    let mut services = ServicePool::new(config, design, seed, compiled.routing.as_ref());
+    // The same purification RNG stream the analytic tracker would carry.
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed ^ 0x7EAC_4E12);
+    let mut model = RemoteModel::Affine;
+    let mut ends: Vec<Tick> = Vec::with_capacity(plan.remote.len());
+    let mut busy = plan.local_busy.clone();
+    let mut remote_fidelity = Fidelity::PERFECT;
+    let mut total_link_wait = Tick::ZERO;
+    for gate in &plan.remote {
+        let t_deps = gate.deps.eval(&ends);
+        let outcome = serve_remote_gate(
+            &mut services,
+            gate.pair,
+            t_deps,
+            config,
+            &compiled.table,
+            &mut model,
+            &mut rng,
+        )?;
+        total_link_wait += outcome.link_wait;
+        remote_fidelity *= outcome.factor;
+        for &q in &gate.qubits {
+            busy[q] += outcome.end - outcome.start;
+        }
+        ends.push(outcome.end);
+    }
+    let makespan = plan.makespan.eval(&ends);
+    // Report assembly mirrors `Tracker::into_report` expression for
+    // expression, so the floats agree bit-for-bit.
+    let used_qubits = plan.used.iter().filter(|u| **u).count().max(1);
+    let total_idle: Tick = busy
+        .iter()
+        .zip(&plan.used)
+        .filter(|(_, used)| **used)
+        .map(|(busy, _)| makespan.saturating_sub(*busy) - Tick::ZERO)
+        .sum();
+    let mean_idle = total_idle.ticks() as f64 / used_qubits as f64;
+    let idle_fidelity = Fidelity::new((-2.0 * config.kappa_per_tick * mean_idle).exp());
+    let fidelity = plan.local_fidelity * remote_fidelity * idle_fidelity;
+    let remote_gates = plan.remote.len();
+    let mean_link_wait = if remote_gates == 0 {
+        0.0
+    } else {
+        total_link_wait.ticks() as f64 / remote_gates as f64
+    };
+    Ok(ExecutionReport {
+        design,
+        makespan,
+        ideal_makespan: compiled.ideal_report.makespan,
+        fidelity,
+        local_fidelity: plan.local_fidelity,
+        remote_fidelity,
+        idle_fidelity,
+        remote_gates,
+        service_stats: Some(services.merged_stats()),
+        mean_link_wait,
+        variant_counts: (0, 0, 0),
+    })
 }
 
 /// Builds the seed-independent ideal-device report: the circuit scheduled
@@ -198,13 +369,163 @@ fn take_routed(
     Ok((ready, swap_chain_fidelity(&fidelities)))
 }
 
-fn node_pair(map: &QubitMap, op: &Operation) -> (NodeId, NodeId) {
+pub(crate) fn node_pair(map: &QubitMap, op: &Operation) -> (NodeId, NodeId) {
     let qs = op.qubits();
     let (a, b) = (map.node_of(qs[0]), map.node_of(qs[1]));
     if a <= b {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+/// How a remote gate's fidelity factor is computed from the consumed
+/// link's fidelity: the precomputed affine law (analytic and stabilizer
+/// engines) or the direct density-matrix teleportation oracle (density
+/// engine). Schedules and link consumption are identical either way —
+/// only the fidelity arithmetic differs.
+enum RemoteModel {
+    /// The exact affine Werner law of [`RemoteFidelityTable`].
+    Affine,
+    /// Direct dense evaluation of the teleportation gadget, memoized per
+    /// distinct link fidelity (the bits of the `f64`).
+    Density {
+        noise: TeleportNoise,
+        gate_memo: HashMap<u64, f64>,
+        teleport_memo: HashMap<u64, f64>,
+    },
+}
+
+impl RemoteModel {
+    fn density(fidelities: &OperationFidelities) -> Self {
+        RemoteModel::Density {
+            noise: TeleportNoise {
+                bell_fidelity: 1.0,
+                local_cnot_fidelity: fidelities.two_qubit,
+                measurement_fidelity: fidelities.measurement,
+                single_qubit_fidelity: fidelities.one_qubit,
+            },
+            gate_memo: HashMap::new(),
+            teleport_memo: HashMap::new(),
+        }
+    }
+
+    /// Process fidelity of a telegate remote gate over a link of the
+    /// given fidelity.
+    fn gate_process_fidelity(&mut self, table: &RemoteFidelityTable, link: f64) -> f64 {
+        match self {
+            RemoteModel::Affine => table.gate_fidelity(link).value(),
+            RemoteModel::Density {
+                noise, gate_memo, ..
+            } => *gate_memo.entry(link.to_bits()).or_insert_with(|| {
+                dqc_sim::teleported_cnot_fidelity(&noise.with_bell_fidelity(link.clamp(0.25, 1.0)))
+                    .value()
+            }),
+        }
+    }
+
+    /// Process fidelity of one state-teleportation hop over a link of the
+    /// given fidelity.
+    fn teleport_process_fidelity(&mut self, table: &RemoteFidelityTable, link: f64) -> f64 {
+        match self {
+            RemoteModel::Affine => table.state_teleport_fidelity(link).value(),
+            RemoteModel::Density {
+                noise,
+                teleport_memo,
+                ..
+            } => *teleport_memo.entry(link.to_bits()).or_insert_with(|| {
+                dqc_sim::state_teleportation_fidelity(
+                    &noise.with_bell_fidelity(link.clamp(0.25, 1.0)),
+                )
+                .value()
+            }),
+        }
+    }
+}
+
+/// What serving one remote gate produced: its schedule span, the fidelity
+/// factor it contributes to the remote product, and the time spent
+/// waiting for entanglement beyond the data dependencies.
+struct RemoteOutcome {
+    start: Tick,
+    end: Tick,
+    factor: Fidelity,
+    link_wait: Tick,
+}
+
+/// Serves one remote gate issued at `t_deps`: obtains the link(s) from
+/// the entanglement supply and computes the schedule span and fidelity
+/// factor. Shared verbatim by the analytic walk and the stabilizer
+/// replay, so both engines produce identical floats by construction.
+fn serve_remote_gate(
+    services: &mut ServicePool<'_>,
+    pair: (NodeId, NodeId),
+    t_deps: Tick,
+    config: &SystemConfig,
+    table: &RemoteFidelityTable,
+    model: &mut RemoteModel,
+    rng: &mut rand_chacha::ChaCha8Rng,
+) -> Result<RemoteOutcome, DqcError> {
+    match config.remote_protocol {
+        crate::RemoteProtocol::GateTeleport => {
+            let (start, link_fidelity) = if config.purify_links {
+                purified_link(services, pair, t_deps, config, rng)?
+            } else {
+                take_routed(services, pair, t_deps)?
+            };
+            // Remote-gate quality: the process fidelity of the
+            // teleported CNOT on the decayed link, reported as average
+            // gate fidelity (d = 4), the scalar convention of Table II.
+            let process = model.gate_process_fidelity(table, link_fidelity);
+            Ok(RemoteOutcome {
+                start,
+                end: start + config.remote_gate_latency(),
+                factor: Fidelity::new(dqc_sim::average_gate_fidelity(process, 4)),
+                link_wait: start - t_deps,
+            })
+        }
+        crate::RemoteProtocol::StateTeleport => {
+            // Teledata: hop out (link 1), local gate, hop back (link 2).
+            let (start, f_link1) = take_routed(services, pair, t_deps)?;
+            let hop = config.state_teleport_latency();
+            let after_gate = start + hop + config.latencies.two_qubit;
+            let (back_start, f_link2) = take_routed(services, pair, after_gate)?;
+            let end = back_start + hop;
+            let f_out = model.teleport_process_fidelity(table, f_link1);
+            let f_back = model.teleport_process_fidelity(table, f_link2);
+            let hops = dqc_sim::average_gate_fidelity(f_out, 2)
+                * dqc_sim::average_gate_fidelity(f_back, 2);
+            Ok(RemoteOutcome {
+                start,
+                end,
+                factor: Fidelity::new(hops * config.fidelities.two_qubit),
+                link_wait: (start - t_deps) + (back_start - after_gate),
+            })
+        }
+    }
+}
+
+/// Consumes end-to-end pairs two at a time, purifying (BBPSSW) until
+/// a round succeeds, and returns the grant time and the purified
+/// fidelity.
+fn purified_link(
+    services: &mut ServicePool<'_>,
+    pair: (NodeId, NodeId),
+    t: Tick,
+    config: &SystemConfig,
+    rng: &mut rand_chacha::ChaCha8Rng,
+) -> Result<(Tick, f64), DqcError> {
+    use rand::RngExt;
+    let mut now = t;
+    loop {
+        let (t1, f1) = take_routed(services, pair, now)?;
+        let (t2, f2) = take_routed(services, pair, t1)?;
+        let round_done = t2 + config.purification_latency();
+        let outcome = dqc_sim::purify_werner(f1.clamp(0.25, 1.0), f2.clamp(0.25, 1.0));
+        if rng.random_bool(outcome.success_probability.clamp(0.0, 1.0)) {
+            return Ok((round_done, outcome.fidelity));
+        }
+        now = round_done; // both links lost; try again
     }
 }
 
@@ -443,10 +764,11 @@ impl Tracker {
         map: &QubitMap,
         services: &mut ServicePool<'_>,
         table: &RemoteFidelityTable,
+        model: &mut RemoteModel,
         config: &SystemConfig,
     ) -> Result<(), DqcError> {
         if map.is_remote(op) {
-            self.issue_remote(op, map, services, table, config)
+            self.issue_remote(op, map, services, table, model, config)
         } else {
             self.issue_local(op, config);
             Ok(())
@@ -493,72 +815,18 @@ impl Tracker {
         map: &QubitMap,
         services: &mut ServicePool<'_>,
         table: &RemoteFidelityTable,
+        model: &mut RemoteModel,
         config: &SystemConfig,
     ) -> Result<(), DqcError> {
         let t_deps = self.deps_ready(op);
         let pair = node_pair(map, op);
-        match config.remote_protocol {
-            crate::RemoteProtocol::GateTeleport => {
-                let (start, link_fidelity) = if config.purify_links {
-                    self.purified_link(services, pair, t_deps, config)?
-                } else {
-                    take_routed(services, pair, t_deps)?
-                };
-                self.total_link_wait += start - t_deps;
-                self.remote_gates += 1;
-                self.occupy(op, start, config.remote_gate_latency());
-                // Remote-gate quality: the process fidelity of the
-                // teleported CNOT on the decayed link, reported as average
-                // gate fidelity (d = 4), the scalar convention of Table II.
-                let process = table.gate_fidelity(link_fidelity).value();
-                self.remote_fidelity *= Fidelity::new(dqc_sim::average_gate_fidelity(process, 4));
-            }
-            crate::RemoteProtocol::StateTeleport => {
-                // Teledata: hop out (link 1), local gate, hop back (link 2).
-                let (start, f_link1) = take_routed(services, pair, t_deps)?;
-                self.total_link_wait += start - t_deps;
-                let hop = config.state_teleport_latency();
-                let after_gate = start + hop + config.latencies.two_qubit;
-                let (back_start, f_link2) = take_routed(services, pair, after_gate)?;
-                self.total_link_wait += back_start - after_gate;
-                let end = back_start + hop;
-                self.remote_gates += 1;
-                self.occupy(op, start, end - start);
-                let f_out = table.state_teleport_fidelity(f_link1).value();
-                let f_back = table.state_teleport_fidelity(f_link2).value();
-                let hops = dqc_sim::average_gate_fidelity(f_out, 2)
-                    * dqc_sim::average_gate_fidelity(f_back, 2);
-                self.remote_fidelity *= Fidelity::new(hops * config.fidelities.two_qubit);
-            }
-        }
+        let outcome =
+            serve_remote_gate(services, pair, t_deps, config, table, model, &mut self.rng)?;
+        self.total_link_wait += outcome.link_wait;
+        self.remote_gates += 1;
+        self.occupy(op, outcome.start, outcome.end - outcome.start);
+        self.remote_fidelity *= outcome.factor;
         Ok(())
-    }
-
-    /// Consumes end-to-end pairs two at a time, purifying (BBPSSW) until
-    /// a round succeeds, and returns the grant time and the purified
-    /// fidelity.
-    fn purified_link(
-        &mut self,
-        services: &mut ServicePool<'_>,
-        pair: (NodeId, NodeId),
-        t: Tick,
-        config: &SystemConfig,
-    ) -> Result<(Tick, f64), DqcError> {
-        use rand::RngExt;
-        let mut now = t;
-        loop {
-            let (t1, f1) = take_routed(services, pair, now)?;
-            let (t2, f2) = take_routed(services, pair, t1)?;
-            let round_done = t2 + config.purification_latency();
-            let outcome = dqc_sim::purify_werner(f1.clamp(0.25, 1.0), f2.clamp(0.25, 1.0));
-            if self
-                .rng
-                .random_bool(outcome.success_probability.clamp(0.0, 1.0))
-            {
-                return Ok((round_done, outcome.fidelity));
-            }
-            now = round_done; // both links lost; try again
-        }
     }
 
     fn into_report(
@@ -1031,5 +1299,160 @@ mod tests {
         let a = evaluate(&c, &cfg, Design::AdaptBuf, 11).unwrap();
         let b = evaluate(&c, &cfg, Design::AdaptBuf, 11).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stabilizer_matches_analytic_bit_for_bit() {
+        // The stabilizer fast path folds the local schedule at compile
+        // time and replays only the remote gates — through the same
+        // service-pool code path as the analytic walk. The reports must
+        // therefore agree exactly (floats included), not just closely.
+        use crate::Backend;
+        for circuit in [
+            dqc_workloads::ghz_chain(32),
+            dqc_workloads::ghz_tree(32),
+            dqc_workloads::random_clifford(32, 400, 0.0, &mut seeded_rng(12)),
+        ] {
+            let stab_cfg = config().with_backend(Backend::Stabilizer);
+            for design in [Design::Original, Design::SyncBuf, Design::AsyncBuf] {
+                for seed in [0u64, 7, 1234] {
+                    let a = evaluate(&circuit, &config(), design, seed).unwrap();
+                    let s = evaluate(&circuit, &stab_cfg, design, seed).unwrap();
+                    assert_eq!(a, s, "{design} seed {seed}");
+                }
+            }
+        }
+    }
+
+    fn seeded_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stabilizer_matches_analytic_under_purification_and_teleport() {
+        use crate::Backend;
+        let c = dqc_workloads::ghz_chain(32);
+        for (purify, protocol) in [
+            (true, crate::RemoteProtocol::GateTeleport),
+            (false, crate::RemoteProtocol::StateTeleport),
+        ] {
+            let mut base = config();
+            base.purify_links = purify;
+            base.remote_protocol = protocol;
+            let stab = base.clone().with_backend(Backend::Stabilizer);
+            for seed in [0u64, 5] {
+                let a = evaluate(&c, &base, Design::AsyncBuf, seed).unwrap();
+                let s = evaluate(&c, &stab, Design::AsyncBuf, seed).unwrap();
+                assert_eq!(a, s, "purify={purify} {protocol:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_upgrades_clifford_only_circuits() {
+        use crate::Backend;
+        let auto = config().with_backend(Backend::Auto);
+        let clifford = CompiledCircuit::compile(&dqc_workloads::ghz_chain(32), &auto).unwrap();
+        assert!(clifford.stabilizer_eligible());
+        assert_eq!(
+            clifford.selected_backend(Design::AsyncBuf),
+            Backend::Stabilizer
+        );
+        // Adaptive designs probe live buffer state mid-run: the replay
+        // cannot reproduce that, so Auto falls back to the analytic walk.
+        assert_eq!(
+            clifford.selected_backend(Design::AdaptBuf),
+            Backend::Analytic
+        );
+        assert_eq!(clifford.selected_backend(Design::Ideal), Backend::Analytic);
+        // A single non-Clifford gate (QAOA's rz) disqualifies the circuit:
+        // Auto silently keeps the analytic engine instead of erroring.
+        let qaoa = CompiledCircuit::compile(&PaperBenchmark::QaoaR4_32.circuit(), &auto).unwrap();
+        assert!(!qaoa.stabilizer_eligible());
+        assert_eq!(qaoa.selected_backend(Design::AsyncBuf), Backend::Analytic);
+        let a = qaoa.run(Design::AsyncBuf, 3).unwrap();
+        let b = CompiledCircuit::compile(&PaperBenchmark::QaoaR4_32.circuit(), &config())
+            .unwrap()
+            .run(Design::AsyncBuf, 3)
+            .unwrap();
+        assert_eq!(a, b, "auto on a non-Clifford circuit is pure analytic");
+    }
+
+    #[test]
+    fn explicit_stabilizer_rejects_non_clifford() {
+        use crate::Backend;
+        let cfg = config().with_backend(Backend::Stabilizer);
+        let err = CompiledCircuit::compile(&PaperBenchmark::QaoaR4_32.circuit(), &cfg).unwrap_err();
+        match err {
+            DqcError::BackendUnsupported { backend, reason } => {
+                assert_eq!(backend, "stabilizer");
+                assert!(reason.contains("non-Clifford"), "{reason}");
+            }
+            other => panic!("expected BackendUnsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn density_rejects_wide_circuits() {
+        use crate::{Backend, DENSITY_MAX_QUBITS};
+        let cfg = config().with_backend(Backend::Density);
+        let err = CompiledCircuit::compile(&dqc_workloads::ghz_chain(32), &cfg).unwrap_err();
+        match err {
+            DqcError::BackendUnsupported { backend, reason } => {
+                assert_eq!(backend, "density");
+                assert!(reason.contains(&DENSITY_MAX_QUBITS.to_string()), "{reason}");
+            }
+            other => panic!("expected BackendUnsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn density_agrees_with_analytic_on_small_circuits() {
+        // The analytic affine law *is* the density-matrix teleportation
+        // evaluation (exact in the Werner parameter), so the density
+        // backend re-deriving every factor from the dense gadget must
+        // agree to floating-point noise — and schedules are untouched.
+        use crate::Backend;
+        let mut cfg = config();
+        cfg.data_qubits_per_node = 4;
+        let dens_cfg = cfg.clone().with_backend(Backend::Density);
+        for circuit in [dqc_workloads::qft(8), dqc_workloads::ghz_chain(8)] {
+            for design in [Design::Original, Design::AsyncBuf, Design::AdaptBuf] {
+                for seed in [0u64, 9] {
+                    let a = evaluate(&circuit, &cfg, design, seed).unwrap();
+                    let d = evaluate(&circuit, &dens_cfg, design, seed).unwrap();
+                    assert_eq!(a.makespan, d.makespan, "{design} seed {seed}");
+                    assert_eq!(a.remote_gates, d.remote_gates);
+                    assert_eq!(a.local_fidelity, d.local_fidelity);
+                    assert!(
+                        (a.fidelity.value() - d.fidelity.value()).abs() < 1e-9,
+                        "{design} seed {seed}: analytic {} vs density {}",
+                        a.fidelity.value(),
+                        d.fidelity.value()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizer_outcomes_certify_deterministic_qubits() {
+        use crate::Backend;
+        let mut c = Circuit::new(4);
+        c.x(0);
+        c.cx(0, 2); // cross-half so the partitioner has a cut
+        c.h(1);
+        c.cx(1, 3);
+        let mut cfg = config();
+        cfg.data_qubits_per_node = 2;
+        let compiled = CompiledCircuit::compile(&c, &cfg.with_backend(Backend::Auto)).unwrap();
+        let outcomes = compiled.stabilizer_outcomes().unwrap();
+        assert_eq!(outcomes[0], Some(true), "X|0> = |1>");
+        assert_eq!(outcomes[2], Some(true), "CX copies the flip");
+        assert_eq!(outcomes[1], None, "H puts q1 in superposition");
+        assert_eq!(outcomes[3], None, "entangled with q1");
+        let analytic = CompiledCircuit::compile(&c, &cfg).unwrap();
+        assert!(analytic.stabilizer_outcomes().is_none());
     }
 }

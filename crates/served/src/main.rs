@@ -4,6 +4,7 @@
 //! dqc-served [--addr HOST:PORT] [--port-file PATH]
 //!            [--workers N] [--queue N] [--cache N] [--batch N]
 //!            [--max-in-flight N] [--rate PER_SEC] [--burst N]
+//!            [--backend auto|analytic|stabilizer|density]
 //!            [--point LABEL=paper32|paper64]...
 //! ```
 //!
@@ -14,8 +15,11 @@
 //!
 //! Without `--point`, two shards are registered: `paper` (the paper's
 //! two-node 32-qubit point) and `paper64` (its 64-qubit sibling).
+//! `--backend` selects the simulation engine on every registered point
+//! (the backend is part of each shard's compile-cache key, so daemons
+//! launched with different backends never exchange compilations).
 
-use dqc_core::SystemConfig;
+use dqc_core::{Backend, SystemConfig};
 use dqc_served::{Served, ServedBuilder};
 use std::process::ExitCode;
 
@@ -29,6 +33,7 @@ struct Options {
     max_in_flight: Option<usize>,
     rate: Option<f64>,
     burst: Option<f64>,
+    backend: Backend,
     points: Vec<(String, String)>,
 }
 
@@ -44,6 +49,7 @@ impl Options {
             max_in_flight: None,
             rate: None,
             burst: None,
+            backend: Backend::default(),
             points: Vec::new(),
         }
     }
@@ -66,6 +72,10 @@ impl Options {
                 }
                 "--rate" => options.rate = Some(parse_float(&value("--rate")?, "--rate")?),
                 "--burst" => options.burst = Some(parse_float(&value("--burst")?, "--burst")?),
+                "--backend" => {
+                    let spec = value("--backend")?;
+                    options.backend = spec.parse().map_err(|e| format!("--backend: {e}"))?;
+                }
                 "--point" => {
                     let spec = value("--point")?;
                     let (label, config) = spec
@@ -84,6 +94,7 @@ impl Options {
 const USAGE: &str = "usage: dqc-served [--addr HOST:PORT] [--port-file PATH] \
 [--workers N] [--queue N] [--cache N] [--batch N] \
 [--max-in-flight N] [--rate PER_SEC] [--burst N] \
+[--backend auto|analytic|stabilizer|density] \
 [--point LABEL=paper32|paper64]...";
 
 fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
@@ -121,7 +132,8 @@ fn run(options: Options) -> Result<Served, String> {
         options.points
     };
     for (label, config) in points {
-        builder = builder.hardware_point(label, point_config(&config)?);
+        builder =
+            builder.hardware_point(label, point_config(&config)?.with_backend(options.backend));
     }
     if let Some(max) = options.max_in_flight {
         builder = builder.max_in_flight(max);

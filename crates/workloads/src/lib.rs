@@ -42,7 +42,7 @@ pub use ising2d::ising_2d;
 pub use paper::PaperBenchmark;
 pub use qaoa::{cut_value, qaoa_maxcut, qaoa_regular, QaoaAngles};
 pub use qft::{qft, qft_with_swaps};
-pub use random::{random_brickwork, random_clifford};
+pub use random::{clifford_blocks, random_brickwork, random_clifford};
 pub use regular_graph::{degrees, random_regular_graph, GenerateGraphError};
 pub use tlim::{tlim, TlimParams};
 pub use vqe::vqe_ansatz;

@@ -98,6 +98,69 @@ pub fn random_clifford<R: Rng + ?Sized>(
     c
 }
 
+/// Builds a partition-friendly Clifford workload: `bridges` cross-half CX
+/// gates issued up front, followed by two dense random Clifford blocks on
+/// the lower and upper halves of the register.
+///
+/// A bisecting partitioner cuts only the bridges, and the remote phase
+/// completes at the start of the schedule — entangle early, then compute
+/// locally. That is the regime where the stabilizer backend's
+/// compile-time schedule folding pays off most: the analytic engine
+/// replays every local gate per seed, while the folded schedule touches
+/// only the bridges.
+///
+/// # Panics
+///
+/// Panics when `n < 4` (each half needs at least 2 qubits).
+pub fn clifford_blocks<R: Rng + ?Sized>(
+    n: u32,
+    gates_per_block: u32,
+    bridges: u32,
+    rng: &mut R,
+) -> Circuit {
+    assert!(n >= 4, "each half needs at least 2 qubits");
+    let half = n / 2;
+    let mut c = Circuit::new(n);
+    let block = |c: &mut Circuit, lo: u32, hi: u32, rng: &mut R| {
+        let width = hi - lo;
+        for _ in 0..gates_per_block {
+            match rng.random_range(0..5u8) {
+                0 => {
+                    c.h(lo + rng.random_range(0..width));
+                }
+                1 => {
+                    c.s(lo + rng.random_range(0..width));
+                }
+                2 => {
+                    c.x(lo + rng.random_range(0..width));
+                }
+                3 => {
+                    let a = rng.random_range(0..width);
+                    let mut b = rng.random_range(0..width);
+                    while b == a {
+                        b = rng.random_range(0..width);
+                    }
+                    c.cx(lo + a, lo + b);
+                }
+                _ => {
+                    let a = rng.random_range(0..width);
+                    let mut b = rng.random_range(0..width);
+                    while b == a {
+                        b = rng.random_range(0..width);
+                    }
+                    c.cz(lo + a, lo + b);
+                }
+            }
+        }
+    };
+    for i in 0..bridges {
+        c.cx(i % half, half + (i % (n - half)));
+    }
+    block(&mut c, 0, half, rng);
+    block(&mut c, half, n, rng);
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +193,24 @@ mod tests {
         let c = random_clifford(5, 200, 0.5, &mut ChaCha8Rng::seed_from_u64(4));
         let t_count = c.counts().by_name.get("t").copied().unwrap_or(0);
         assert!(t_count > 50, "expected many T gates, got {t_count}");
+    }
+
+    #[test]
+    fn clifford_blocks_is_clifford_with_few_cross_half_gates() {
+        let n = 16u32;
+        let c = clifford_blocks(n, 200, 3, &mut ChaCha8Rng::seed_from_u64(7));
+        assert!(c.operations().iter().all(|op| op.gate().is_clifford()));
+        let half = n / 2;
+        let cross = c
+            .operations()
+            .iter()
+            .filter(|op| {
+                let qs = op.qubits();
+                qs.len() == 2 && (qs[0].index() < half) != (qs[1].index() < half)
+            })
+            .count();
+        assert_eq!(cross, 3, "only the bridges cross the halves");
+        assert!(c.operations().len() > 400);
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub use dqc_workloads as workloads;
 
 pub use dqc_codesign::{Codesign, CodesignResult, CostModel, Objectives, SearchStrategy};
 pub use dqc_core::{
-    AveragedReport, Axis, AxisValue, CompiledCircuit, Design, DesignSpace, DqcError,
+    AveragedReport, Axis, AxisValue, Backend, CompiledCircuit, Design, DesignSpace, DqcError,
     ExecutionReport, Experiment, ScenarioKey, SpaceResult, SpaceSweep, Sweep, SweepCell,
     SweepResult, SystemConfig,
 };

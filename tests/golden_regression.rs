@@ -13,7 +13,8 @@
 //!
 //! ```text
 //! cargo run --release --bin repro -- table1 fig5 topology-sweep \
-//!     codesign ablate-protocol --runs 2 --format json --out tests/golden
+//!     codesign ablate-protocol backend-matrix --runs 2 --format json \
+//!     --out tests/golden
 //! ```
 
 use dqc_bench::Artifact;
@@ -35,6 +36,7 @@ const PINNED: &[&str] = &[
     "topology-sweep",
     "codesign",
     "ablate-protocol",
+    "backend-matrix",
 ];
 
 fn golden_dir() -> PathBuf {
@@ -104,6 +106,46 @@ fn ablate_protocol_matches_golden() {
 #[test]
 fn codesign_matches_golden() {
     check_target("codesign");
+}
+
+#[test]
+fn backend_matrix_matches_golden() {
+    check_target("backend-matrix");
+}
+
+#[test]
+fn golden_backend_matrix_engines_agree() {
+    // The acceptance claim of the backend-matrix target, asserted from
+    // the committed golden itself: for every matrix circuit, all three
+    // engines report the same fidelity and depth — the analytic numbers
+    // are pinned, and the stabilizer and density columns must match them
+    // to the golden tolerance.
+    let text = std::fs::read_to_string(golden_dir().join("backend-matrix.json")).unwrap();
+    let artifact = Artifact::parse(&text).unwrap();
+    let result = dqc::SweepResult::from_json(&artifact.data).expect("matrix payload parses back");
+    for (label, _) in dqc_bench::backend_matrix_circuits() {
+        let cell = |backend: dqc::Backend| {
+            result
+                .cell(&label, backend.name(), dqc::Design::AsyncBuf)
+                .unwrap_or_else(|| panic!("golden matrix misses {label} × {backend}"))
+        };
+        let analytic = cell(dqc::Backend::Analytic);
+        for backend in [dqc::Backend::Stabilizer, dqc::Backend::Density] {
+            let other = cell(backend);
+            assert!(
+                (other.report.mean_fidelity - analytic.report.mean_fidelity).abs() <= GOLDEN_TOL,
+                "{label}: {backend} fidelity {} vs analytic {}",
+                other.report.mean_fidelity,
+                analytic.report.mean_fidelity
+            );
+            assert!(
+                (other.report.mean_depth - analytic.report.mean_depth).abs() <= GOLDEN_TOL,
+                "{label}: {backend} depth {} vs analytic {}",
+                other.report.mean_depth,
+                analytic.report.mean_depth
+            );
+        }
+    }
 }
 
 #[test]

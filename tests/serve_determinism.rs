@@ -8,7 +8,8 @@
 
 use dqc::workloads::PaperBenchmark;
 use dqc::{
-    Design, EvalRequest, ExecutionReport, Experiment, ServeBuilder, SystemConfig, TopologyFamily,
+    Backend, CompiledCircuit, Design, EvalRequest, ExecutionReport, Experiment, ServeBuilder,
+    SystemConfig, TopologyFamily,
 };
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -199,6 +200,10 @@ fn config_fingerprints_separate_hardware_points() {
     ] {
         configs.push(base.with_topology(family.build()));
     }
+    for backend in Backend::ALL {
+        // `with_backend(Analytic)` deliberately revisits the base point.
+        configs.push(base.clone().with_backend(backend));
+    }
     let mut seen: HashMap<u64, &SystemConfig> = HashMap::new();
     for config in &configs {
         if let Some(previous) = seen.insert(config.fingerprint(), config) {
@@ -212,4 +217,70 @@ fn config_fingerprints_separate_hardware_points() {
         }
         assert_eq!(config.fingerprint(), config.clone().fingerprint());
     }
+}
+
+#[test]
+fn backends_never_share_a_cache_entry() {
+    // The backend is folded into the configuration fingerprint, so the
+    // serve cache key for the same circuit on the same hardware point
+    // differs across backends — a stabilizer compilation can never be
+    // handed to a density request or vice versa.
+    let circuit = Arc::new(dqc::workloads::ghz_chain(32));
+    let base = SystemConfig::paper_two_node_32();
+    let keys: Vec<u64> = Backend::ALL
+        .into_iter()
+        .map(|b| CompiledCircuit::cache_key(&circuit, &base.clone().with_backend(b)))
+        .collect();
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(a, b, "two backends share a cache key");
+        }
+    }
+
+    // End to end: one server, one shard per backend, the same circuit.
+    // Each shard compiles its own entry (one cold miss each), and on a
+    // Clifford circuit every engine agrees bit-for-bit.
+    let (server, responses) = ServeBuilder::new()
+        .hardware_point("analytic", base.clone())
+        .hardware_point("stabilizer", base.clone().with_backend(Backend::Stabilizer))
+        .hardware_point("auto", base.clone().with_backend(Backend::Auto))
+        .workers_per_shard(1)
+        .spawn()
+        .unwrap();
+    let mut point_of = HashMap::new();
+    for point in ["analytic", "stabilizer", "auto"] {
+        for base_seed in [3u64, 90] {
+            let id = server
+                .submit(
+                    EvalRequest::new(
+                        "ghz-chain-32",
+                        Arc::clone(&circuit),
+                        point,
+                        Design::AsyncBuf,
+                    )
+                    .runs(2)
+                    .base_seed(base_seed),
+                )
+                .unwrap();
+            point_of.insert(id, (point, base_seed));
+        }
+    }
+    let mut reports: HashMap<(&str, u64), Vec<ExecutionReport>> = HashMap::new();
+    for _ in 0..6 {
+        let response = responses.recv().unwrap();
+        let key = point_of.remove(&response.id).unwrap();
+        reports.insert(key, response.outcome.unwrap().reports);
+    }
+    for base_seed in [3u64, 90] {
+        let analytic = &reports[&("analytic", base_seed)];
+        assert_eq!(analytic, &reports[&("stabilizer", base_seed)]);
+        assert_eq!(analytic, &reports[&("auto", base_seed)]);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 6);
+    assert_eq!(
+        stats.cache_misses, 3,
+        "one cold compilation per backend shard"
+    );
+    assert_eq!(stats.cache_hits, 3);
 }
