@@ -7,6 +7,8 @@
 //!             [--min-speedup X] [--fail-on-reject]
 //!             [--wire] [--connect ADDR] [--verify-wire]
 //!             [--max-wire-overhead X]
+//!             [--skew] [--min-fused-speedup X]
+//!             [--load-step] [--max-p99-ratio X]
 //! ```
 //!
 //! Drives a [`dqc_serve::Server`] with the mixed QAOA/QFT/GHZ portfolio
@@ -35,11 +37,25 @@
 //! portfolio pass — structured JSON *and* QASM text — byte-identical
 //! against direct in-process evaluation.
 //!
+//! With `--skew` the duplicate-heavy portfolio
+//! ([`dqc_bench::skewed_requests`]) is additionally served twice on a
+//! single worker — once with cross-request replay fusion on, once off —
+//! and the artifact gains a `skew` section plus a derived
+//! `fused_speedup` ratio; `--min-fused-speedup` gates it. With
+//! `--load-step` the migrating-hot-spot traffic
+//! ([`dqc_bench::migrating_requests`]) runs against a two-shard server
+//! twice — once with the queue-pressure autoscaler steering a shared
+//! worker budget, once with the same budget frozen in an even static
+//! split — and the artifact gains a `load_step` section plus a derived
+//! `p99_ratio` (autoscaled p99 / static p99); `--max-p99-ratio` gates
+//! it.
+//!
 //! Results are written as `BENCH_SERVE.json` in a stable, schema-versioned
 //! layout; the CI `serve-smoke` job runs a small closed-loop load with
-//! `--fail-on-reject --min-speedup 4`, the `served-smoke` job adds
-//! `--wire --verify-wire` against a daemon subprocess, and both upload
-//! the artifact.
+//! `--fail-on-reject --min-speedup 4` plus gated `--skew` and
+//! `--load-step` passes, the `served-smoke` job adds `--wire
+//! --verify-wire` against a daemon subprocess, and both upload the
+//! artifact.
 
 use dqc_core::{Design, Experiment, SystemConfig};
 use dqc_serve::{EvalRequest, ServeBuilder, ServeError, Server};
@@ -55,8 +71,11 @@ const BENCH_ID: &str = "BENCH_SERVE";
 
 /// Schema version of the serve-bench artifact. Version 2 added the
 /// `wire` section and `derived.wire_overhead` (both `null` unless
-/// `--wire` ran).
-const SCHEMA_VERSION: i64 = 2;
+/// `--wire` ran). Version 3 added the `skew` section with
+/// `derived.fused_speedup` (`--skew`) and the `load_step` section with
+/// `derived.p99_ratio` (`--load-step`), all `null` unless their
+/// scenario ran.
+const SCHEMA_VERSION: i64 = 3;
 
 /// Client model of the load generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +112,10 @@ struct Options {
     connect: Option<String>,
     verify_wire: bool,
     max_wire_overhead: Option<f64>,
+    skew: bool,
+    min_fused_speedup: Option<f64>,
+    load_step: bool,
+    max_p99_ratio: Option<f64>,
 }
 
 impl Default for Options {
@@ -115,6 +138,10 @@ impl Default for Options {
             connect: None,
             verify_wire: false,
             max_wire_overhead: None,
+            skew: false,
+            min_fused_speedup: None,
+            load_step: false,
+            max_p99_ratio: None,
         }
     }
 }
@@ -166,7 +193,7 @@ fn run_closed(opts: &Options, requests: Vec<EvalRequest>) -> Result<RunOutcome, 
         completed,
         rejected: 0,
         errors,
-        stats: server.shutdown(),
+        stats: server.shutdown().serve,
     })
 }
 
@@ -200,7 +227,7 @@ fn run_open(opts: &Options, requests: Vec<EvalRequest>) -> Result<RunOutcome, Se
         completed: accepted,
         rejected,
         errors,
-        stats: server.shutdown(),
+        stats: server.shutdown().serve,
     })
 }
 
@@ -342,6 +369,122 @@ fn run_wire(opts: &Options, requests: Vec<EvalRequest>) -> Result<WireOutcome, S
     })
 }
 
+/// What the fusion comparison produced: the same duplicate-heavy
+/// request list served on one worker with replay fusion on and off.
+struct SkewOutcome {
+    fused_elapsed: Duration,
+    unfused_elapsed: Duration,
+    fused_stats: dqc_serve::ServeStats,
+}
+
+/// The `--skew` scenario. One worker and a deep closed-loop window force
+/// multi-request batches, so the duplicate-heavy list actually coalesces;
+/// fusion is the only knob that differs between the two runs, and the
+/// fused run's byte-identity to the unfused one is pinned separately by
+/// the workspace's determinism tests. A warmup pass compiles every
+/// portfolio circuit before the clock starts, so the comparison times
+/// the replays fusion deduplicates, not the cold compiles both sides
+/// pay identically.
+fn run_skew(opts: &Options) -> Result<SkewOutcome, ServeError> {
+    let requests = dqc_bench::skewed_requests(opts.requests, opts.runs, opts.seed, "paper", 4);
+    let warmup = dqc_bench::portfolio_requests(
+        dqc_bench::serve_portfolio().len(),
+        1,
+        opts.seed,
+        "paper",
+        &[Design::AdaptBuf, Design::AsyncBuf],
+    );
+    let mut timings = [Duration::ZERO; 2];
+    let mut fused_stats = None;
+    for (slot, fusion) in [(0, true), (1, false)] {
+        let (server, responses) = ServeBuilder::new()
+            .hardware_point("paper", SystemConfig::paper_two_node_32())
+            .workers_per_shard(1)
+            .queue_capacity(opts.queue)
+            .cache_capacity(opts.cache)
+            .batch_max(opts.batch)
+            .fusion(fusion)
+            .spawn()?;
+        let window = opts.concurrency.clamp(1, opts.queue);
+        dqc_bench::pump_closed_loop(&server, &responses, warmup.clone(), window)?;
+        let started = Instant::now();
+        dqc_bench::pump_closed_loop(&server, &responses, requests.clone(), window)?;
+        timings[slot] = started.elapsed();
+        let stats = server.shutdown().serve;
+        if fusion {
+            fused_stats = Some(stats);
+        }
+    }
+    Ok(SkewOutcome {
+        fused_elapsed: timings[0],
+        unfused_elapsed: timings[1],
+        fused_stats: fused_stats.expect("the fused pass ran"),
+    })
+}
+
+/// What the autoscale comparison produced: the migrating-hot-spot list
+/// served by an autoscaled worker budget and by the same budget frozen
+/// in an even static split.
+struct LoadStepOutcome {
+    autoscaled_elapsed: Duration,
+    static_elapsed: Duration,
+    autoscaled_stats: dqc_serve::ServeStats,
+    static_stats: dqc_serve::ServeStats,
+    placement: Vec<dqc_serve::WorkerPlacement>,
+}
+
+/// The `--load-step` scenario: two equal shards (`east`/`west`), traffic
+/// skewed 3:1 toward `east` for the first half of the list and toward
+/// `west` for the second. The autoscaled run gets `--workers` as a
+/// *total* budget plus a fast-tick policy; the static run splits the
+/// same budget evenly and can never follow the hot spot. The queue is
+/// sized to the closed-loop window so the 3:1 skew actually shows up as
+/// queue pressure the controller can see.
+fn run_load_step(opts: &Options) -> Result<LoadStepOutcome, ServeError> {
+    let budget = opts.workers.max(2);
+    let window = opts.concurrency.max(8);
+    let requests =
+        dqc_bench::migrating_requests(opts.requests, opts.runs, opts.seed, ("east", "west"), 4);
+    let mut outcomes = Vec::new();
+    for autoscale in [true, false] {
+        let mut builder = ServeBuilder::new()
+            .hardware_point("east", SystemConfig::paper_two_node_32())
+            .hardware_point("west", SystemConfig::paper_two_node_32())
+            .queue_capacity(window)
+            .cache_capacity(opts.cache)
+            .batch_max(opts.batch);
+        if autoscale {
+            builder = builder
+                .worker_budget(budget)
+                .autoscale(dqc_serve::AutoscalePolicy {
+                    tick_ms: 5,
+                    // The majority shard queues ~3/4 of the window, the
+                    // minority ~1/4: thresholds either side of those.
+                    hot_fraction: 0.5,
+                    cold_fraction: 0.3,
+                    ..dqc_serve::AutoscalePolicy::default()
+                });
+        } else {
+            builder = builder.workers_per_shard(budget / 2);
+        }
+        let (server, responses) = builder.spawn()?;
+        let started = Instant::now();
+        dqc_bench::pump_closed_loop(&server, &responses, requests.clone(), window)?;
+        let elapsed = started.elapsed();
+        let report = server.shutdown();
+        outcomes.push((elapsed, report));
+    }
+    let (static_elapsed, static_report) = outcomes.pop().expect("static pass ran");
+    let (autoscaled_elapsed, autoscaled_report) = outcomes.pop().expect("autoscaled pass ran");
+    Ok(LoadStepOutcome {
+        autoscaled_elapsed,
+        static_elapsed,
+        autoscaled_stats: autoscaled_report.serve,
+        static_stats: static_report.serve,
+        placement: autoscaled_report.placement,
+    })
+}
+
 /// The no-cache, single-worker baseline: the same request list served
 /// sequentially through the shared reference loop.
 fn run_baseline(requests: &[EvalRequest]) -> Result<Duration, ServeError> {
@@ -379,7 +522,81 @@ fn wire_to_json(wire: Option<&WireOutcome>) -> Json {
     ])
 }
 
+/// The `skew` section of the artifact (`null` when `--skew` didn't run).
+fn skew_to_json(skew: Option<&SkewOutcome>, fused_speedup: Option<f64>) -> Json {
+    let Some(skew) = skew else {
+        return Json::Null;
+    };
+    Json::object([
+        (
+            "fused_elapsed_ms",
+            Json::float(skew.fused_elapsed.as_secs_f64() * 1e3),
+        ),
+        (
+            "unfused_elapsed_ms",
+            Json::float(skew.unfused_elapsed.as_secs_f64() * 1e3),
+        ),
+        (
+            "fused_requests",
+            Json::uint(skew.fused_stats.fused_requests),
+        ),
+        (
+            "fused_replays_saved",
+            Json::uint(skew.fused_stats.fused_replays_saved),
+        ),
+        (
+            "fused_speedup",
+            fused_speedup.map(Json::float).unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// The `load_step` section of the artifact (`null` when `--load-step`
+/// didn't run).
+fn load_step_to_json(load_step: Option<&LoadStepOutcome>, p99_ratio: Option<f64>) -> Json {
+    let Some(step) = load_step else {
+        return Json::Null;
+    };
+    Json::object([
+        (
+            "autoscaled_elapsed_ms",
+            Json::float(step.autoscaled_elapsed.as_secs_f64() * 1e3),
+        ),
+        (
+            "static_elapsed_ms",
+            Json::float(step.static_elapsed.as_secs_f64() * 1e3),
+        ),
+        (
+            "autoscaled_p99_ms",
+            Json::float(step.autoscaled_stats.latency.p99_ms),
+        ),
+        (
+            "static_p99_ms",
+            Json::float(step.static_stats.latency.p99_ms),
+        ),
+        (
+            "autoscale_ticks",
+            Json::uint(step.autoscaled_stats.autoscale_ticks),
+        ),
+        ("rebalances", Json::uint(step.autoscaled_stats.rebalances)),
+        (
+            "placement",
+            Json::Array(
+                step.placement
+                    .iter()
+                    .map(dqc_serve::WorkerPlacement::to_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "p99_ratio",
+            p99_ratio.map(Json::float).unwrap_or(Json::Null),
+        ),
+    ])
+}
+
 /// Serializes one run into the stable `BENCH_SERVE.json` schema.
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     opts: &Options,
     outcome: &RunOutcome,
@@ -387,6 +604,10 @@ fn to_json(
     speedup: f64,
     wire: Option<&WireOutcome>,
     wire_overhead: Option<f64>,
+    skew: Option<&SkewOutcome>,
+    fused_speedup: Option<f64>,
+    load_step: Option<&LoadStepOutcome>,
+    p99_ratio: Option<f64>,
 ) -> Json {
     let portfolio: Vec<Json> = dqc_bench::serve_portfolio()
         .iter()
@@ -437,6 +658,8 @@ fn to_json(
             ]),
         ),
         ("wire", wire_to_json(wire)),
+        ("skew", skew_to_json(skew, fused_speedup)),
+        ("load_step", load_step_to_json(load_step, p99_ratio)),
         (
             "derived",
             Json::object([
@@ -444,6 +667,14 @@ fn to_json(
                 (
                     "wire_overhead",
                     wire_overhead.map(Json::float).unwrap_or(Json::Null),
+                ),
+                (
+                    "fused_speedup",
+                    fused_speedup.map(Json::float).unwrap_or(Json::Null),
+                ),
+                (
+                    "p99_ratio",
+                    p99_ratio.map(Json::float).unwrap_or(Json::Null),
                 ),
             ]),
         ),
@@ -526,6 +757,24 @@ fn main() -> ExitCode {
                 Ok(_) => return usage("--max-wire-overhead needs a positive number"),
                 Err(code) => return code,
             },
+            "--skew" => opts.skew = true,
+            "--min-fused-speedup" => match next_parsed("a ratio").map(|v| v.parse::<f64>()) {
+                Ok(Ok(x)) if x > 0.0 => {
+                    opts.min_fused_speedup = Some(x);
+                    opts.skew = true;
+                }
+                Ok(_) => return usage("--min-fused-speedup needs a positive number"),
+                Err(code) => return code,
+            },
+            "--load-step" => opts.load_step = true,
+            "--max-p99-ratio" => match next_parsed("a ratio").map(|v| v.parse::<f64>()) {
+                Ok(Ok(x)) if x > 0.0 => {
+                    opts.max_p99_ratio = Some(x);
+                    opts.load_step = true;
+                }
+                Ok(_) => return usage("--max-p99-ratio needs a positive number"),
+                Err(code) => return code,
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument {other}")),
         }
@@ -590,6 +839,29 @@ fn main() -> ExitCode {
         None
     };
 
+    let skew = if opts.skew {
+        match run_skew(&opts) {
+            Ok(skew) => Some(skew),
+            Err(e) => {
+                eprintln!("error: skew run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let load_step = if opts.load_step {
+        match run_load_step(&opts) {
+            Ok(step) => Some(step),
+            Err(e) => {
+                eprintln!("error: load-step run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let serve_rps = rps(outcome.completed, outcome.elapsed);
     let baseline_rps = rps(opts.requests, baseline_elapsed);
     let speedup = if baseline_rps > 0.0 {
@@ -600,6 +872,14 @@ fn main() -> ExitCode {
     let wire_overhead = wire.as_ref().and_then(|wire| {
         let wire_rps = rps(wire.completed, wire.elapsed);
         (wire_rps > 0.0).then(|| serve_rps / wire_rps)
+    });
+    let fused_speedup = skew.as_ref().and_then(|skew| {
+        let fused = skew.fused_elapsed.as_secs_f64();
+        (fused > 0.0).then(|| skew.unfused_elapsed.as_secs_f64() / fused)
+    });
+    let p99_ratio = load_step.as_ref().and_then(|step| {
+        let static_p99 = step.static_stats.latency.p99_ms;
+        (static_p99 > 0.0).then(|| step.autoscaled_stats.latency.p99_ms / static_p99)
     });
 
     println!("{BENCH_ID} ({} mode):", opts.mode.name());
@@ -639,6 +919,38 @@ fn main() -> ExitCode {
             wire.verified,
         );
     }
+    if let Some(skew) = &skew {
+        println!(
+            "  skew       fused {:>9.1} ms vs unfused {:>9.1} ms  ({} speedup, \
+             {} fused requests, {} replays saved)",
+            skew.fused_elapsed.as_secs_f64() * 1e3,
+            skew.unfused_elapsed.as_secs_f64() * 1e3,
+            fused_speedup
+                .map(|x| format!("{x:.2}x"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            skew.fused_stats.fused_requests,
+            skew.fused_stats.fused_replays_saved,
+        );
+    }
+    if let Some(step) = &load_step {
+        let placement: Vec<String> = step
+            .placement
+            .iter()
+            .map(|p| format!("{}={}", p.point, p.workers))
+            .collect();
+        println!(
+            "  load-step  autoscaled p99 {:>7.2} ms vs static p99 {:>7.2} ms  \
+             (ratio {}, {} rebalances over {} ticks, final {})",
+            step.autoscaled_stats.latency.p99_ms,
+            step.static_stats.latency.p99_ms,
+            p99_ratio
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            step.autoscaled_stats.rebalances,
+            step.autoscaled_stats.autoscale_ticks,
+            placement.join(" "),
+        );
+    }
 
     let document = to_json(
         &opts,
@@ -647,6 +959,10 @@ fn main() -> ExitCode {
         speedup,
         wire.as_ref(),
         wire_overhead,
+        skew.as_ref(),
+        fused_speedup,
+        load_step.as_ref(),
+        p99_ratio,
     );
     if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
         eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
@@ -706,6 +1022,32 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(min) = opts.min_fused_speedup {
+        match fused_speedup {
+            Some(ratio) if ratio >= min => {}
+            Some(ratio) => {
+                eprintln!("FAIL: fused speedup {ratio:.2}x below the {min}x gate");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: fused speedup is ungated — the fused pass took no time");
+                failed = true;
+            }
+        }
+    }
+    if let Some(max) = opts.max_p99_ratio {
+        match p99_ratio {
+            Some(ratio) if ratio <= max => {}
+            Some(ratio) => {
+                eprintln!("FAIL: autoscaled/static p99 ratio {ratio:.2} above the {max} gate");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: p99 ratio is ungated — the static pass recorded no latency");
+                failed = true;
+            }
+        }
+    }
     if failed {
         ExitCode::FAILURE
     } else {
@@ -724,13 +1066,18 @@ fn usage(message: &str) -> ExitCode {
          \x20                  [--min-speedup X] [--fail-on-reject]\n\
          \x20                  [--wire] [--connect ADDR] [--verify-wire]\n\
          \x20                  [--max-wire-overhead X]\n\
+         \x20                  [--skew] [--min-fused-speedup X]\n\
+         \x20                  [--load-step] [--max-p99-ratio X]\n\
          Load-tests the dqc-serve layer on the mixed QAOA/QFT/GHZ portfolio and\n\
          writes {BENCH_ID}.json; closed loop holds C requests in flight, open\n\
          loop submits at a fixed rate and counts Overloaded rejections. --wire\n\
          repeats the closed loop through a dqc-served TCP daemon (loopback, or\n\
          --connect ADDR), --verify-wire first pins wire results byte-identical\n\
          to direct evaluation, and --max-wire-overhead gates the wire/in-process\n\
-         throughput ratio."
+         throughput ratio. --skew serves a duplicate-heavy list with replay\n\
+         fusion on vs off (--min-fused-speedup gates the ratio); --load-step\n\
+         serves a migrating hot spot with the autoscaler vs a static even\n\
+         split (--max-p99-ratio gates autoscaled p99 / static p99)."
     );
     if message.is_empty() {
         ExitCode::SUCCESS

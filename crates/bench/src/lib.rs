@@ -1291,6 +1291,101 @@ pub fn portfolio_requests(
         .collect()
 }
 
+/// The portfolio index of the hot circuit [`skewed_requests`] duplicates:
+/// QFT-32, the portfolio's heaviest replay (256 remote gates), so the
+/// runs fusion saves are the runs that actually cost something.
+const SKEW_HOT: usize = 2;
+
+/// Builds the duplicate-heavy request list the fusion benchmark serves:
+/// most requests are the *same* evaluation (the portfolio's QFT-32,
+/// same design, same base seed — the traffic shape of many tenants
+/// asking one popular question), with every `cold_every`-th request a
+/// distinct background evaluation drawn from the rest of the portfolio.
+/// Cross-request replay fusion coalesces the duplicates that land in
+/// one worker batch into a single replay; the unfused server re-runs
+/// every one. Pure function of its arguments, like
+/// [`portfolio_requests`].
+///
+/// `cold_every = 0` makes every request the hot duplicate.
+pub fn skewed_requests(
+    count: usize,
+    runs: usize,
+    base_seed: u64,
+    point: &str,
+    cold_every: usize,
+) -> Vec<dqc_serve::EvalRequest> {
+    let portfolio = serve_portfolio();
+    (0..count)
+        .map(|i| {
+            let cold = cold_every > 0 && (i + 1) % cold_every == 0;
+            if cold {
+                let offset = (i / cold_every) % (portfolio.len() - 1);
+                let (label, circuit) = &portfolio[(SKEW_HOT + 1 + offset) % portfolio.len()];
+                dqc_serve::EvalRequest::new(
+                    label.clone(),
+                    std::sync::Arc::clone(circuit),
+                    point,
+                    Design::AsyncBuf,
+                )
+                .runs(runs)
+                .base_seed(base_seed + i as u64)
+            } else {
+                let (label, circuit) = &portfolio[SKEW_HOT];
+                dqc_serve::EvalRequest::new(
+                    label.clone(),
+                    std::sync::Arc::clone(circuit),
+                    point,
+                    Design::AdaptBuf,
+                )
+                .runs(runs)
+                .base_seed(base_seed)
+            }
+        })
+        .collect()
+}
+
+/// Builds the migrating-hot-spot request list the autoscale benchmark
+/// serves: portfolio circuits tiled round-robin, but with the *traffic*
+/// skewed `skew − 1 : 1` toward `points.0` for the first half of the
+/// list and toward `points.1` for the second — a load step that moves
+/// the pressure from one shard to the other mid-run. A queue-aware
+/// autoscaler follows the hot spot; a static even split leaves workers
+/// idle on the cold shard. Pure function of its arguments.
+///
+/// # Panics
+///
+/// Panics when `skew < 2` (no minority slot to send to the cold shard).
+pub fn migrating_requests(
+    count: usize,
+    runs: usize,
+    base_seed: u64,
+    points: (&str, &str),
+    skew: usize,
+) -> Vec<dqc_serve::EvalRequest> {
+    assert!(skew >= 2, "skew must leave a minority share");
+    let portfolio = serve_portfolio();
+    (0..count)
+        .map(|i| {
+            let first_half = i < count / 2;
+            let minority = (i + 1) % skew == 0;
+            let point = if first_half != minority {
+                points.0
+            } else {
+                points.1
+            };
+            let (label, circuit) = &portfolio[i % portfolio.len()];
+            dqc_serve::EvalRequest::new(
+                label.clone(),
+                std::sync::Arc::clone(circuit),
+                point,
+                Design::AsyncBuf,
+            )
+            .runs(runs)
+            .base_seed(base_seed + i as u64)
+        })
+        .collect()
+}
+
 /// Drives `requests` through `server` as a closed-loop client: up to
 /// `window` requests stay in flight, and a new one is submitted the
 /// moment a response arrives. Returns `(completed, engine_errors)`.
@@ -1503,6 +1598,39 @@ mod tests {
         for cell in &result.cells[1..] {
             assert_eq!(&cell.report, first, "{}", cell.config);
         }
+    }
+
+    #[test]
+    fn skewed_requests_are_mostly_one_hot_duplicate() {
+        let requests = skewed_requests(16, 2, 99, "paper", 4);
+        let hot = &requests[0];
+        let duplicates = requests
+            .iter()
+            .filter(|r| {
+                r.circuit_label == hot.circuit_label
+                    && r.base_seed == hot.base_seed
+                    && r.design == hot.design
+            })
+            .count();
+        assert_eq!(duplicates, 12, "3 of every 4 requests are the hot one");
+        let cold: Vec<_> = requests
+            .iter()
+            .filter(|r| r.circuit_label != hot.circuit_label)
+            .collect();
+        assert_eq!(cold.len(), 4);
+        // Background requests never collide in seed, so they can't fuse.
+        for pair in cold.windows(2) {
+            assert_ne!(pair[0].base_seed, pair[1].base_seed);
+        }
+    }
+
+    #[test]
+    fn migrating_requests_flip_the_majority_point_at_half() {
+        let requests = migrating_requests(32, 1, 7, ("east", "west"), 4);
+        let east_first = requests[..16].iter().filter(|r| r.point == "east").count();
+        let east_second = requests[16..].iter().filter(|r| r.point == "east").count();
+        assert_eq!(east_first, 12, "first half skews 3:1 toward east");
+        assert_eq!(east_second, 4, "second half skews 3:1 toward west");
     }
 
     #[test]

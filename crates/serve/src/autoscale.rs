@@ -1,0 +1,279 @@
+//! The queue-pressure autoscaler: a pure, deterministically tickable
+//! rebalancing brain.
+//!
+//! The controller thread in `server.rs` owns the *clock* (it samples
+//! shard queues every [`AutoscalePolicy::tick_ms`]); this module owns
+//! the *decision*. [`Autoscaler::tick`] is a pure function of the
+//! observations fed to it, so the unit tests below drive a synthetic
+//! clock and prove the two invariants the serving layer depends on:
+//!
+//! 1. **Budget conservation** — the sum of per-shard worker targets
+//!    never changes; a rebalance only ever moves one worker from a cold
+//!    shard to a hot one.
+//! 2. **Hysteresis** — a shard must stay hot for
+//!    [`AutoscalePolicy::hysteresis_ticks`] *consecutive* ticks before a
+//!    move fires, and no donor ever drops below
+//!    [`AutoscalePolicy::min_workers`].
+//!
+//! Determinism note: the decision depends only on the observation
+//! sequence, with index-order tie breaking — two controllers fed the
+//! same samples make the same moves.
+
+use crate::config::AutoscalePolicy;
+
+/// One shard's queue state at a controller tick.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueObservation {
+    /// Requests waiting in the shard queue.
+    pub(crate) depth: usize,
+    /// The queue's capacity.
+    pub(crate) capacity: usize,
+}
+
+impl QueueObservation {
+    /// Queue pressure in `[0, 1]`: depth as a fraction of capacity.
+    fn pressure(self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.depth as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// A single rebalance: move one worker from shard `from` to shard `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Rebalance {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+}
+
+/// The rebalancing state machine. Holds the per-shard worker targets
+/// (initially the spawn-time placement) and the hot-streak counters
+/// behind the hysteresis.
+#[derive(Debug)]
+pub(crate) struct Autoscaler {
+    policy: AutoscalePolicy,
+    targets: Vec<usize>,
+    hot_streak: Vec<u32>,
+}
+
+impl Autoscaler {
+    pub(crate) fn new(policy: AutoscalePolicy, initial_targets: Vec<usize>) -> Self {
+        let shards = initial_targets.len();
+        Self {
+            policy,
+            targets: initial_targets,
+            hot_streak: vec![0; shards],
+        }
+    }
+
+    /// The current per-shard worker targets.
+    pub(crate) fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Feeds one tick of queue observations (one per shard, in shard
+    /// order) and returns the rebalance to apply, if any. At most one
+    /// worker moves per tick.
+    pub(crate) fn tick(&mut self, observations: &[QueueObservation]) -> Option<Rebalance> {
+        debug_assert_eq!(observations.len(), self.targets.len());
+        // Update hot streaks first: hysteresis counts *consecutive* hot
+        // ticks, so one cool sample resets the shard's streak.
+        for (streak, obs) in self.hot_streak.iter_mut().zip(observations) {
+            if obs.pressure() >= self.policy.hot_fraction {
+                *streak += 1;
+            } else {
+                *streak = 0;
+            }
+        }
+        // The hottest shard whose streak has cleared the hysteresis bar;
+        // ties break toward the lowest index for determinism.
+        let hot = (0..self.targets.len())
+            .filter(|&i| self.hot_streak[i] >= self.policy.hysteresis_ticks)
+            .max_by(|&a, &b| {
+                observations[a]
+                    .pressure()
+                    .partial_cmp(&observations[b].pressure())
+                    .expect("pressures are finite")
+                    .then(b.cmp(&a))
+            })?;
+        // The coldest shard still above the worker floor that is idle
+        // enough to donate; again lowest index on ties.
+        let donor = (0..self.targets.len())
+            .filter(|&i| {
+                i != hot
+                    && self.targets[i] > self.policy.min_workers
+                    && observations[i].pressure() <= self.policy.cold_fraction
+            })
+            .min_by(|&a, &b| {
+                observations[a]
+                    .pressure()
+                    .partial_cmp(&observations[b].pressure())
+                    .expect("pressures are finite")
+                    .then(a.cmp(&b))
+            })?;
+        self.targets[donor] -= 1;
+        self.targets[hot] += 1;
+        // The move consumed the streak; the hot shard re-earns its next
+        // worker from scratch.
+        self.hot_streak[hot] = 0;
+        Some(Rebalance {
+            from: donor,
+            to: hot,
+        })
+    }
+}
+
+/// Splits `budget` workers across `shards` shards as evenly as possible
+/// (earlier shards absorb the remainder), respecting `min_workers` when
+/// the budget allows it.
+pub(crate) fn initial_targets(budget: usize, shards: usize, min_workers: usize) -> Vec<usize> {
+    if shards == 0 {
+        return Vec::new();
+    }
+    let base = budget / shards;
+    let remainder = budget % shards;
+    let mut targets: Vec<usize> = (0..shards)
+        .map(|i| base + usize::from(i < remainder))
+        .collect();
+    // Lift floors by draining the richest shards; stop if the budget is
+    // too small to give everyone the floor.
+    loop {
+        let Some(poor) = (0..shards).find(|&i| targets[i] < min_workers) else {
+            return targets;
+        };
+        let Some(rich) = (0..shards)
+            .max_by_key(|&i| targets[i])
+            .filter(|&i| targets[i] > min_workers)
+        else {
+            return targets;
+        };
+        targets[rich] -= 1;
+        targets[poor] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            tick_ms: 1,
+            hot_fraction: 0.5,
+            cold_fraction: 0.25,
+            hysteresis_ticks: 2,
+            min_workers: 1,
+        }
+    }
+
+    fn obs(depths_over_16: &[usize]) -> Vec<QueueObservation> {
+        depths_over_16
+            .iter()
+            .map(|&depth| QueueObservation {
+                depth,
+                capacity: 16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_respects_budget_and_hysteresis() {
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2]);
+        let budget: usize = scaler.targets().iter().sum();
+        // Tick 1: shard 0 hot, shard 1 idle — hysteresis (2 ticks) holds.
+        assert_eq!(scaler.tick(&obs(&[12, 0])), None);
+        assert_eq!(scaler.targets(), &[2, 2]);
+        // Tick 2: still hot — the move fires, one worker, budget intact.
+        assert_eq!(
+            scaler.tick(&obs(&[12, 0])),
+            Some(Rebalance { from: 1, to: 0 })
+        );
+        assert_eq!(scaler.targets(), &[3, 1]);
+        assert_eq!(scaler.targets().iter().sum::<usize>(), budget);
+        // The streak was consumed: the next hot tick alone cannot move.
+        assert_eq!(scaler.tick(&obs(&[12, 0])), None);
+        // But a sustained hot queue cannot drain the donor below its
+        // floor of 1, no matter how long it stays hot.
+        for _ in 0..20 {
+            scaler.tick(&obs(&[16, 0]));
+        }
+        assert_eq!(scaler.targets(), &[3, 1], "donor pinned at min_workers");
+        assert_eq!(scaler.targets().iter().sum::<usize>(), budget);
+    }
+
+    #[test]
+    fn a_cool_tick_resets_the_hot_streak() {
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2]);
+        assert_eq!(scaler.tick(&obs(&[12, 0])), None);
+        // Pressure dips below hot_fraction: streak back to zero…
+        assert_eq!(scaler.tick(&obs(&[2, 0])), None);
+        // …so two more hot ticks are needed, not one.
+        assert_eq!(scaler.tick(&obs(&[12, 0])), None);
+        assert_eq!(
+            scaler.tick(&obs(&[12, 0])),
+            Some(Rebalance { from: 1, to: 0 })
+        );
+    }
+
+    #[test]
+    fn no_move_without_a_cold_donor() {
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2]);
+        // Both shards hot: nobody donates, placement holds.
+        for _ in 0..10 {
+            assert_eq!(scaler.tick(&obs(&[12, 12])), None);
+        }
+        assert_eq!(scaler.targets(), &[2, 2]);
+        // Warm-but-not-cold (between the thresholds) also refuses.
+        for _ in 0..10 {
+            assert_eq!(scaler.tick(&obs(&[12, 6])), None);
+        }
+        assert_eq!(scaler.targets(), &[2, 2]);
+    }
+
+    #[test]
+    fn hottest_shard_wins_and_ties_break_by_index() {
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2, 2]);
+        // Shards 0 and 1 both hot, 1 hotter; 2 idle → 2 donates to 1.
+        scaler.tick(&obs(&[9, 14, 0]));
+        assert_eq!(
+            scaler.tick(&obs(&[9, 14, 0])),
+            Some(Rebalance { from: 2, to: 1 })
+        );
+        // Equal pressures: the lower index wins the worker.
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2, 2]);
+        scaler.tick(&obs(&[14, 14, 0]));
+        assert_eq!(
+            scaler.tick(&obs(&[14, 14, 0])),
+            Some(Rebalance { from: 2, to: 0 })
+        );
+    }
+
+    #[test]
+    fn moves_can_reverse_when_the_hot_spot_migrates() {
+        let mut scaler = Autoscaler::new(policy(), vec![2, 2]);
+        scaler.tick(&obs(&[12, 0]));
+        scaler.tick(&obs(&[12, 0]));
+        assert_eq!(scaler.targets(), &[3, 1]);
+        // Traffic flips: shard 1 heats up, shard 0 goes idle.
+        scaler.tick(&obs(&[0, 12]));
+        assert_eq!(
+            scaler.tick(&obs(&[0, 12])),
+            Some(Rebalance { from: 0, to: 1 })
+        );
+        assert_eq!(scaler.targets(), &[2, 2]);
+    }
+
+    #[test]
+    fn initial_targets_split_the_budget_evenly_with_floors() {
+        assert_eq!(initial_targets(4, 2, 1), vec![2, 2]);
+        assert_eq!(initial_targets(5, 2, 1), vec![3, 2]);
+        assert_eq!(initial_targets(7, 3, 1), vec![3, 2, 2]);
+        // A tight budget still gives every shard its floor when it can…
+        assert_eq!(initial_targets(3, 3, 1), vec![1, 1, 1]);
+        // …and degrades gracefully when it cannot.
+        assert_eq!(initial_targets(2, 3, 1), vec![1, 1, 0]);
+        assert_eq!(initial_targets(0, 2, 1), vec![0, 0]);
+    }
+}

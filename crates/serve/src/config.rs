@@ -1,0 +1,429 @@
+//! The unified serving configuration: one typed, JSON-round-tripping
+//! [`ServeConfig`] consumed by every front end.
+//!
+//! Before this module, the in-process [`ServeBuilder`](crate::ServeBuilder)
+//! and the daemon's `ServedBuilder` each re-declared the same six knobs
+//! as copy-pasted setter pairs, and the quota terms lived in a third
+//! place. [`ServeConfig`] is the single source of truth: builders hold
+//! one, setters are thin shims over its fields, the daemon echoes it in
+//! the `welcome` frame, and `dqc-served --config FILE.json` deserializes
+//! straight into it.
+//!
+//! JSON semantics are deliberately **lenient on absence, strict on
+//! type**: a hand-written config file may name only the knobs it wants
+//! to change (every missing field takes its default), but a field that
+//! is present with the wrong type is a schema error — a typo'd value
+//! never silently becomes a default.
+
+use dqc_types::{Json, JsonError};
+
+/// A sustained-rate limit: a token bucket refilled at `per_sec`, capped
+/// at `burst` tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admissions per second.
+    pub per_sec: f64,
+    /// Maximum tokens banked while idle (instantaneous burst size).
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// Serializes the limit.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("per_sec", Json::float(self.per_sec)),
+            ("burst", Json::float(self.burst)),
+        ])
+    }
+
+    /// Reads a limit back from [`RateLimit::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            per_sec: json.f64_field("per_sec")?,
+            burst: json.f64_field("burst")?,
+        })
+    }
+}
+
+/// The per-client quota terms, applied uniformly to every client
+/// identity. `None` disables that quota. Enforced by the daemon's
+/// admission ledger; the in-process server ignores them (its callers
+/// are not adversarial tenants).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuotaConfig {
+    /// Cap on a client's simultaneously in-flight requests.
+    pub max_in_flight: Option<usize>,
+    /// Sustained submission-rate limit.
+    pub rate: Option<RateLimit>,
+}
+
+impl QuotaConfig {
+    /// Whether any quota is active at all.
+    pub fn is_enforcing(&self) -> bool {
+        self.max_in_flight.is_some() || self.rate.is_some()
+    }
+
+    /// Serializes the quota terms. Disabled quotas serialize as `null`,
+    /// so the document always names both knobs.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "max_in_flight",
+                self.max_in_flight.map_or(Json::Null, Json::from),
+            ),
+            (
+                "rate",
+                self.rate.as_ref().map_or(Json::Null, RateLimit::to_json),
+            ),
+        ])
+    }
+
+    /// Reads quota terms back from [`QuotaConfig::to_json`] output.
+    /// Missing or `null` members disable that quota.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let max_in_flight = match json.get("max_in_flight") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(json.usize_field("max_in_flight")?),
+        };
+        let rate = match json.get("rate") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(RateLimit::from_json(value)?),
+        };
+        Ok(Self {
+            max_in_flight,
+            rate,
+        })
+    }
+}
+
+/// When and how the autoscaler moves workers between shards.
+///
+/// The controller samples every shard's queue every `tick_ms`
+/// milliseconds and computes each shard's *pressure* — queue depth as a
+/// fraction of queue capacity. A shard whose pressure stays at or above
+/// `hot_fraction` for `hysteresis_ticks` **consecutive** ticks is hot;
+/// the coldest shard at or below `cold_fraction` pressure that still has
+/// more than `min_workers` active workers donates one worker to it. One
+/// move per tick, so placement changes slowly and deterministically
+/// relative to the observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Milliseconds between controller samples.
+    pub tick_ms: u64,
+    /// Queue-pressure threshold (depth / capacity) above which a shard
+    /// counts as hot.
+    pub hot_fraction: f64,
+    /// Queue-pressure threshold at or below which a shard may donate a
+    /// worker.
+    pub cold_fraction: f64,
+    /// Consecutive hot ticks required before a rebalance fires — the
+    /// hysteresis that keeps one bursty sample from thrashing placement.
+    pub hysteresis_ticks: u32,
+    /// Floor on any shard's active workers; donors never drop below it.
+    pub min_workers: usize,
+}
+
+impl Default for AutoscalePolicy {
+    /// 20 ms ticks, hot at ≥ 50% queue pressure, donate at ≤ 12.5%,
+    /// two consecutive hot ticks to fire, at least one worker per shard.
+    fn default() -> Self {
+        Self {
+            tick_ms: 20,
+            hot_fraction: 0.5,
+            cold_fraction: 0.125,
+            hysteresis_ticks: 2,
+            min_workers: 1,
+        }
+    }
+}
+
+impl AutoscalePolicy {
+    /// Serializes the policy.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("tick_ms", Json::uint(self.tick_ms)),
+            ("hot_fraction", Json::float(self.hot_fraction)),
+            ("cold_fraction", Json::float(self.cold_fraction)),
+            (
+                "hysteresis_ticks",
+                Json::uint(u64::from(self.hysteresis_ticks)),
+            ),
+            ("min_workers", Json::from(self.min_workers)),
+        ])
+    }
+
+    /// Reads a policy back from [`AutoscalePolicy::to_json`] output.
+    /// Missing fields take their defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let defaults = Self::default();
+        Ok(Self {
+            tick_ms: opt_u64(json, "tick_ms")?.unwrap_or(defaults.tick_ms),
+            hot_fraction: opt_f64(json, "hot_fraction")?.unwrap_or(defaults.hot_fraction),
+            cold_fraction: opt_f64(json, "cold_fraction")?.unwrap_or(defaults.cold_fraction),
+            hysteresis_ticks: opt_u64(json, "hysteresis_ticks")?
+                .map(|t| u32::try_from(t).unwrap_or(u32::MAX))
+                .unwrap_or(defaults.hysteresis_ticks),
+            min_workers: opt_usize(json, "min_workers")?.unwrap_or(defaults.min_workers),
+        })
+    }
+}
+
+/// Every serving knob in one typed, JSON-round-tripping struct.
+///
+/// [`ServeBuilder`](crate::ServeBuilder) and the daemon's `ServedBuilder`
+/// both consume a `ServeConfig`; their individual setters are forwarding
+/// shims over these fields. See the module docs at the top of this file
+/// for the JSON leniency contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads per shard (the *static* count; under autoscaling,
+    /// each shard's initial share of the budget). `0` is an accept-only
+    /// diagnostic mode.
+    pub workers_per_shard: usize,
+    /// Each shard's bounded queue capacity (admission-control bound).
+    pub queue_capacity: usize,
+    /// Each shard's warm-compilation cache capacity; `0` disables.
+    pub cache_capacity: usize,
+    /// Largest number of queued requests one worker wake-up drains.
+    pub batch_max: usize,
+    /// Whether workers fuse same-fingerprint requests within a dispatch
+    /// into one multi-seed replay (byte-identical by construction).
+    pub fusion: bool,
+    /// Total active workers across all shards under autoscaling.
+    /// `None` means `shards × workers_per_shard`. Ignored without an
+    /// autoscale policy.
+    pub worker_budget: Option<usize>,
+    /// Queue-pressure autoscaling policy; `None` keeps worker placement
+    /// static (exactly `workers_per_shard` per shard, no controller
+    /// thread — the fully deterministic configuration).
+    pub autoscale: Option<AutoscalePolicy>,
+    /// Per-client admission quotas (enforced by network front ends).
+    pub quota: QuotaConfig,
+}
+
+impl Default for ServeConfig {
+    /// The historical builder defaults: 2 workers per shard, a
+    /// 64-request queue, a 32-compilation cache, batches of up to 8,
+    /// fusion on, no autoscaling, no quotas.
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            batch_max: 8,
+            fusion: true,
+            worker_budget: None,
+            autoscale: None,
+            quota: QuotaConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Serializes every knob (disabled optionals as `null`).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("workers_per_shard", Json::from(self.workers_per_shard)),
+            ("queue_capacity", Json::from(self.queue_capacity)),
+            ("cache_capacity", Json::from(self.cache_capacity)),
+            ("batch_max", Json::from(self.batch_max)),
+            ("fusion", Json::from(self.fusion)),
+            (
+                "worker_budget",
+                self.worker_budget.map_or(Json::Null, Json::from),
+            ),
+            (
+                "autoscale",
+                self.autoscale
+                    .as_ref()
+                    .map_or(Json::Null, AutoscalePolicy::to_json),
+            ),
+            ("quota", self.quota.to_json()),
+        ])
+    }
+
+    /// Reads a config back from [`ServeConfig::to_json`] output — or
+    /// from a hand-written partial document: missing or `null` members
+    /// take their defaults, mistyped members are schema errors.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let defaults = Self::default();
+        let autoscale = match json.get("autoscale") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(AutoscalePolicy::from_json(value)?),
+        };
+        let worker_budget = match json.get("worker_budget") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(json.usize_field("worker_budget")?),
+        };
+        let quota = match json.get("quota") {
+            None | Some(Json::Null) => QuotaConfig::default(),
+            Some(value) => QuotaConfig::from_json(value)?,
+        };
+        Ok(Self {
+            workers_per_shard: opt_usize(json, "workers_per_shard")?
+                .unwrap_or(defaults.workers_per_shard),
+            queue_capacity: opt_usize(json, "queue_capacity")?
+                .unwrap_or(defaults.queue_capacity)
+                .max(1),
+            cache_capacity: opt_usize(json, "cache_capacity")?.unwrap_or(defaults.cache_capacity),
+            batch_max: opt_usize(json, "batch_max")?
+                .unwrap_or(defaults.batch_max)
+                .max(1),
+            fusion: match json.get("fusion") {
+                None | Some(Json::Null) => defaults.fusion,
+                Some(_) => json.bool_field("fusion")?,
+            },
+            worker_budget,
+            autoscale,
+            quota,
+        })
+    }
+}
+
+/// Optional-field readers: absent (or `null`) means "use the default",
+/// present-but-mistyped is a schema error.
+fn opt_usize(json: &Json, key: &str) -> Result<Option<usize>, JsonError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => json.usize_field(key).map(Some),
+    }
+}
+
+fn opt_u64(json: &Json, key: &str) -> Result<Option<u64>, JsonError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => json.u64_field(key).map(Some),
+    }
+}
+
+fn opt_f64(json: &Json, key: &str) -> Result<Option<f64>, JsonError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => json.f64_field(key).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_config() -> ServeConfig {
+        ServeConfig {
+            workers_per_shard: 3,
+            queue_capacity: 128,
+            cache_capacity: 16,
+            batch_max: 4,
+            fusion: false,
+            worker_budget: Some(6),
+            autoscale: Some(AutoscalePolicy {
+                tick_ms: 5,
+                hot_fraction: 0.75,
+                cold_fraction: 0.1,
+                hysteresis_ticks: 3,
+                min_workers: 1,
+            }),
+            quota: QuotaConfig {
+                max_in_flight: Some(8),
+                rate: Some(RateLimit {
+                    per_sec: 100.0,
+                    burst: 20.0,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_json_text() {
+        for config in [ServeConfig::default(), full_config()] {
+            let text = config.to_json().to_pretty_string();
+            let back = ServeConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn empty_document_yields_defaults() {
+        let parsed = Json::parse("{}").unwrap();
+        assert_eq!(
+            ServeConfig::from_json(&parsed).unwrap(),
+            ServeConfig::default()
+        );
+    }
+
+    #[test]
+    fn partial_document_overrides_only_named_knobs() {
+        let parsed = Json::parse(r#"{"workers_per_shard": 7, "fusion": false}"#).unwrap();
+        let config = ServeConfig::from_json(&parsed).unwrap();
+        assert_eq!(config.workers_per_shard, 7);
+        assert!(!config.fusion);
+        let defaults = ServeConfig::default();
+        assert_eq!(config.queue_capacity, defaults.queue_capacity);
+        assert_eq!(config.cache_capacity, defaults.cache_capacity);
+        assert_eq!(config.batch_max, defaults.batch_max);
+        assert_eq!(config.autoscale, None);
+        assert_eq!(config.quota, QuotaConfig::default());
+    }
+
+    #[test]
+    fn partial_autoscale_policy_fills_defaults() {
+        let parsed = Json::parse(r#"{"autoscale": {"tick_ms": 2}}"#).unwrap();
+        let config = ServeConfig::from_json(&parsed).unwrap();
+        let policy = config.autoscale.unwrap();
+        assert_eq!(policy.tick_ms, 2);
+        assert_eq!(
+            policy.hysteresis_ticks,
+            AutoscalePolicy::default().hysteresis_ticks
+        );
+        assert_eq!(policy.min_workers, AutoscalePolicy::default().min_workers);
+    }
+
+    #[test]
+    fn mistyped_fields_are_schema_errors_not_defaults() {
+        for doc in [
+            r#"{"workers_per_shard": "two"}"#,
+            r#"{"fusion": 1}"#,
+            r#"{"autoscale": {"tick_ms": "fast"}}"#,
+            r#"{"quota": {"max_in_flight": true}}"#,
+            r#"{"quota": {"rate": {"per_sec": 5.0}}}"#,
+        ] {
+            let parsed = Json::parse(doc).unwrap();
+            assert!(ServeConfig::from_json(&parsed).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_are_clamped_like_the_builder_setters() {
+        let parsed = Json::parse(r#"{"queue_capacity": 0, "batch_max": 0}"#).unwrap();
+        let config = ServeConfig::from_json(&parsed).unwrap();
+        assert_eq!(config.queue_capacity, 1);
+        assert_eq!(config.batch_max, 1);
+    }
+
+    #[test]
+    fn quota_round_trips_and_reports_enforcement() {
+        assert!(!QuotaConfig::default().is_enforcing());
+        let quota = QuotaConfig {
+            max_in_flight: Some(4),
+            rate: None,
+        };
+        assert!(quota.is_enforcing());
+        let back = QuotaConfig::from_json(&quota.to_json()).unwrap();
+        assert_eq!(back, quota);
+    }
+}

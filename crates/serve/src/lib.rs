@@ -74,28 +74,36 @@
 //! }
 //! assert_eq!(ok, 6);
 //!
-//! let stats = server.shutdown();
+//! let stats = server.shutdown().serve;
 //! assert_eq!(stats.served, 6);
 //! assert_eq!(stats.cache_misses, 2, "two distinct circuits");
 //! assert_eq!(stats.cache_hits, 4, "everything else was warm");
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every knob — worker counts, queue/cache/batch sizes, replay fusion,
+//! the autoscale policy, per-client quotas — lives in one typed,
+//! JSON-round-tripping [`ServeConfig`] shared with the network daemon;
+//! the builder setters above are shims over its fields.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod cache;
+mod config;
 mod error;
 mod queue;
 mod request;
 mod server;
 mod stats;
 
+pub use config::{AutoscalePolicy, QuotaConfig, RateLimit, ServeConfig};
 pub use error::ServeError;
 pub use request::{EvalOutput, EvalRequest, EvalResponse, RequestId};
 pub use server::{ServeBuilder, Server};
-pub use stats::{LatencySummary, ServeStats, ShardSnapshot};
+pub use stats::{LatencySummary, ServeStats, ShardSnapshot, ShutdownReport, WorkerPlacement};
 
 #[cfg(test)]
 mod tests {
@@ -201,7 +209,7 @@ mod tests {
             response.outcome,
             Err(ServeError::Engine(DqcError::CircuitTooWide { .. }))
         ));
-        let stats = server.shutdown();
+        let stats = server.shutdown().serve;
         assert_eq!(stats.errors, 1);
         assert_eq!(stats.served, 1);
     }
@@ -261,7 +269,7 @@ mod tests {
         let mut points: Vec<String> = (0..4).map(|_| rx.recv().unwrap().point).collect();
         points.sort();
         assert_eq!(points, vec!["large", "large", "small", "small"]);
-        let stats = server.shutdown();
+        let stats = server.shutdown().serve;
         // One compilation per shard: the same circuit is a different
         // hardware point (and cache key) on each.
         assert_eq!(stats.cache_misses, 2);
@@ -287,7 +295,7 @@ mod tests {
         for _ in 0..5 {
             rx.recv().unwrap();
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().serve;
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.served, 5);
         assert_eq!(stats.rejected, 0);
@@ -317,7 +325,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().serve;
         assert_eq!(stats.served, 8, "accepted work completes before exit");
         assert_eq!(rx.iter().count(), 8, "…and every response was streamed");
     }

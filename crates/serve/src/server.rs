@@ -1,32 +1,52 @@
 //! The long-lived evaluation service: per-hardware-point shards, worker
-//! pools, batched dispatch, and bounded admission.
+//! pools, batched dispatch, bounded admission, cross-request replay
+//! fusion, and queue-pressure autoscaling.
 //!
 //! A [`Server`] is built from a set of named *hardware points* (full
-//! [`SystemConfig`]s). Each point gets one **shard**: a bounded job
-//! queue, a worker pool, and a warm [`CompiledCircuit`] cache. Submitted
-//! [`EvalRequest`]s are routed to their point's shard; workers drain the
-//! queue in batches (coalescing same-shard requests into one dispatch),
-//! serve each request compile-once out of the shard cache, and stream
-//! [`EvalResponse`]s back over the result channel handed out at spawn.
+//! [`SystemConfig`]s) plus one [`ServeConfig`]. Each point gets one
+//! **shard**: a bounded job queue, a worker pool, and a warm
+//! [`CompiledCircuit`] cache. Submitted [`EvalRequest`]s are routed to
+//! their point's shard; workers drain the queue in batches (coalescing
+//! same-shard requests into one dispatch), serve each request
+//! compile-once out of the shard cache, and stream [`EvalResponse`]s
+//! back over the result channel handed out at spawn.
+//!
+//! Two self-scaling mechanisms ride on the dispatch path:
+//!
+//! * **Replay fusion** ([`ServeConfig::fusion`], on by default): within
+//!   one dispatch, requests sharing a compile fingerprint and design
+//!   coalesce into one multi-seed replay — each distinct seed runs once
+//!   and the per-seed [`ExecutionReport`]s fan back to every requester.
+//!   Byte-identical to unfused execution by construction, because a
+//!   compiled circuit's run is a pure function of `(design, seed)`.
+//! * **Autoscaling** ([`ServeConfig::autoscale`], off by default): a
+//!   controller thread samples queue pressure every tick and shifts
+//!   workers toward hot shards within a global budget; workers park and
+//!   unpark on the shard queue's `Condvar` (see `autoscale.rs` for the
+//!   decision rules and `queue.rs` for the parking mechanics).
 //!
 //! Determinism: a request's outcome depends only on the request itself
 //! (circuit, point, design, runs, base seed) — never on which worker
-//! served it, how requests interleaved, or the server's parallelism.
-//! Workers replay seeds through the same [`Experiment`] engine the sweep
-//! layer uses, so a served request is byte-identical to a direct
-//! in-process evaluation.
+//! served it, how requests interleaved, batch boundaries, fusion
+//! grouping, or worker placement. Workers replay seeds through the same
+//! [`Experiment`] engine the sweep layer uses, so a served request is
+//! byte-identical to a direct in-process evaluation.
 
+use crate::autoscale::{initial_targets, Autoscaler, QueueObservation};
 use crate::cache::CompileCache;
+use crate::config::{AutoscalePolicy, QuotaConfig, RateLimit, ServeConfig};
 use crate::queue::{BoundedQueue, PushRefused};
-use crate::stats::{LatencyWindow, ServeStats, ShardCounters, ShardSnapshot};
+use crate::stats::{
+    LatencyWindow, ServeStats, ShardCounters, ShardSnapshot, ShutdownReport, WorkerPlacement,
+};
 use crate::{EvalOutput, EvalRequest, EvalResponse, RequestId, ServeError};
-use dqc_core::{CompiledCircuit, Experiment, SystemConfig};
+use dqc_core::{CompiledCircuit, DqcError, ExecutionReport, Experiment, SystemConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An accepted request travelling through a shard queue.
 struct Job {
@@ -45,6 +65,10 @@ struct WorkerContext {
     results: Sender<EvalResponse>,
     latency: Arc<LatencyWindow>,
     batch_max: usize,
+    fusion: bool,
+    /// This worker's index within the shard — its identity for the
+    /// queue's active-limit parking.
+    index: usize,
 }
 
 /// One hardware point's slice of the server.
@@ -57,7 +81,26 @@ struct Shard {
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Configures and spawns a [`Server`].
+/// The autoscaler controller's shared state: the stop latch the server
+/// pulls at shutdown, and the counters snapshots read.
+#[derive(Debug, Default)]
+struct AutoscaleShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    ticks: AtomicU64,
+    rebalances: AtomicU64,
+}
+
+#[derive(Debug)]
+struct AutoscaleHandle {
+    shared: Arc<AutoscaleShared>,
+    controller: Option<JoinHandle<()>>,
+}
+
+/// Configures and spawns a [`Server`]. Every knob lives in the
+/// [`ServeConfig`] the builder carries; the individual setters are thin
+/// shims over its fields (pass a whole config with
+/// [`ServeBuilder::config`]).
 ///
 /// # Examples
 ///
@@ -85,7 +128,7 @@ struct Shard {
 ///     let response = responses.recv().expect("server streams responses");
 ///     assert_eq!(response.outcome.unwrap().reports.len(), 2);
 /// }
-/// let stats = server.shutdown();
+/// let stats = server.shutdown().serve;
 /// assert_eq!(stats.served, 4);
 /// // With 2 workers, at most the first request per worker misses cold.
 /// assert!(stats.cache_hits >= 2, "the warm cache amortizes compilation");
@@ -95,10 +138,7 @@ struct Shard {
 #[derive(Debug, Clone)]
 pub struct ServeBuilder {
     points: Vec<(String, SystemConfig)>,
-    workers_per_shard: usize,
-    queue_capacity: usize,
-    cache_capacity: usize,
-    batch_max: usize,
+    config: ServeConfig,
 }
 
 impl Default for ServeBuilder {
@@ -108,15 +148,13 @@ impl Default for ServeBuilder {
 }
 
 impl ServeBuilder {
-    /// Starts a builder with the defaults: 2 workers per shard, a
-    /// 64-request queue, a 32-compilation cache, and batches of up to 8.
+    /// Starts a builder with [`ServeConfig::default`]: 2 workers per
+    /// shard, a 64-request queue, a 32-compilation cache, batches of up
+    /// to 8, fusion on, no autoscaling, no quotas.
     pub fn new() -> Self {
         Self {
             points: Vec::new(),
-            workers_per_shard: 2,
-            queue_capacity: 64,
-            cache_capacity: 32,
-            batch_max: 8,
+            config: ServeConfig::default(),
         }
     }
 
@@ -139,12 +177,29 @@ impl ServeBuilder {
         self.points.iter().map(|(label, _)| label.as_str())
     }
 
+    /// Replaces the whole configuration in one move — the path
+    /// `--config FILE.json` front ends take.
+    #[must_use]
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = ServeConfig {
+            queue_capacity: config.queue_capacity.max(1),
+            batch_max: config.batch_max.max(1),
+            ..config
+        };
+        self
+    }
+
+    /// The configuration as accumulated so far.
+    pub fn config_ref(&self) -> &ServeConfig {
+        &self.config
+    }
+
     /// Sets the worker threads per shard. `0` is an accept-only
     /// diagnostic mode: requests queue (and overflow deterministically)
     /// but are never executed — used by admission-control tests.
     #[must_use]
     pub fn workers_per_shard(mut self, workers: usize) -> Self {
-        self.workers_per_shard = workers;
+        self.config.workers_per_shard = workers;
         self
     }
 
@@ -152,7 +207,7 @@ impl ServeBuilder {
     /// behind [`ServeError::Overloaded`]. Clamped to at least 1.
     #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = capacity.max(1);
+        self.config.queue_capacity = capacity.max(1);
         self
     }
 
@@ -161,7 +216,7 @@ impl ServeBuilder {
     /// serve benchmark compares against).
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
+        self.config.cache_capacity = capacity;
         self
     }
 
@@ -169,12 +224,61 @@ impl ServeBuilder {
     /// drains. Clamped to at least 1.
     #[must_use]
     pub fn batch_max(mut self, batch_max: usize) -> Self {
-        self.batch_max = batch_max.max(1);
+        self.config.batch_max = batch_max.max(1);
         self
     }
 
-    /// Spawns the shards and their worker pools, returning the server
-    /// handle and the receiving end of the result channel.
+    /// Enables or disables cross-request replay fusion (on by default).
+    #[must_use]
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.config.fusion = fusion;
+        self
+    }
+
+    /// Enables queue-pressure autoscaling with the given policy. Without
+    /// one, worker placement is static — exactly
+    /// [`workers_per_shard`](ServeBuilder::workers_per_shard) workers
+    /// per shard and no controller thread.
+    #[must_use]
+    pub fn autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.config.autoscale = Some(policy);
+        self
+    }
+
+    /// Caps the total active workers across all shards under
+    /// autoscaling (default: `shards × workers_per_shard`).
+    #[must_use]
+    pub fn worker_budget(mut self, budget: usize) -> Self {
+        self.config.worker_budget = Some(budget);
+        self
+    }
+
+    /// Caps each client's simultaneously in-flight requests (enforced by
+    /// network front ends, carried here so one config names every knob).
+    #[must_use]
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.config.quota.max_in_flight = Some(max);
+        self
+    }
+
+    /// Sets the per-client sustained submission-rate limit (enforced by
+    /// network front ends).
+    #[must_use]
+    pub fn rate_limit(mut self, per_sec: f64, burst: f64) -> Self {
+        self.config.quota.rate = Some(RateLimit { per_sec, burst });
+        self
+    }
+
+    /// Replaces the per-client quota terms wholesale.
+    #[must_use]
+    pub fn quota(mut self, quota: QuotaConfig) -> Self {
+        self.config.quota = quota;
+        self
+    }
+
+    /// Spawns the shards and their worker pools (and the autoscaler
+    /// controller, when configured), returning the server handle and the
+    /// receiving end of the result channel.
     ///
     /// # Errors
     ///
@@ -193,34 +297,69 @@ impl ServeBuilder {
             }
         }
 
+        let shard_count = self.points.len();
+        let config = self.config;
+        // Worker placement: static mode spawns exactly `workers_per_shard`
+        // threads per shard and never parks anyone. Autoscale mode splits
+        // the budget into initial targets, spawns every thread a shard
+        // could ever be granted, and parks the surplus via the queue's
+        // active limit (threads are reused across rebalances, never
+        // spawned mid-flight).
+        let budget = config
+            .worker_budget
+            .unwrap_or(shard_count * config.workers_per_shard);
+        let autoscaling = config.autoscale.is_some() && budget > 0;
+        let targets: Vec<usize> = match config.autoscale {
+            Some(policy) => initial_targets(budget, shard_count, policy.min_workers),
+            None => vec![config.workers_per_shard; shard_count],
+        };
+        let spawn_counts: Vec<usize> = if autoscaling {
+            let min = config.autoscale.expect("checked").min_workers;
+            let reachable = if budget >= shard_count * min {
+                budget - (shard_count - 1) * min
+            } else {
+                0
+            };
+            targets.iter().map(|&t| t.max(reachable)).collect()
+        } else {
+            targets.clone()
+        };
+
         let (results, receiver) = channel();
         let latency = Arc::new(LatencyWindow::new());
-        let shards = self
+        let shards: Vec<Shard> = self
             .points
             .into_iter()
-            .map(|(point, config)| {
-                let config = Arc::new(config);
-                let queue = Arc::new(BoundedQueue::new(self.queue_capacity));
+            .zip(targets.iter().zip(&spawn_counts))
+            .map(|((point, system), (&target, &spawn_count))| {
+                let system = Arc::new(system);
+                let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+                if autoscaling {
+                    queue.set_active(target);
+                }
                 let counters = Arc::new(ShardCounters::default());
-                let cache = Arc::new(Mutex::new(CompileCache::new(self.cache_capacity)));
-                let workers = (0..self.workers_per_shard)
-                    .map(|_| {
+                counters.workers.store(target as u64, Ordering::Relaxed);
+                let cache = Arc::new(Mutex::new(CompileCache::new(config.cache_capacity)));
+                let workers = (0..spawn_count)
+                    .map(|worker_index| {
                         let ctx = WorkerContext {
                             queue: Arc::clone(&queue),
                             counters: Arc::clone(&counters),
                             cache: Arc::clone(&cache),
-                            config: Arc::clone(&config),
+                            config: Arc::clone(&system),
                             point: point.clone(),
                             results: results.clone(),
                             latency: Arc::clone(&latency),
-                            batch_max: self.batch_max,
+                            batch_max: config.batch_max,
+                            fusion: config.fusion,
+                            index: worker_index,
                         };
                         std::thread::spawn(move || worker_loop(ctx))
                     })
                     .collect();
                 Shard {
                     point,
-                    config,
+                    config: system,
                     queue,
                     counters,
                     cache,
@@ -228,15 +367,38 @@ impl ServeBuilder {
                 }
             })
             .collect();
+
+        let autoscale = if autoscaling {
+            let policy = config.autoscale.expect("checked");
+            let shared = Arc::new(AutoscaleShared::default());
+            let scaler = Autoscaler::new(policy, targets);
+            let watched: Vec<(Arc<BoundedQueue<Job>>, Arc<ShardCounters>)> = shards
+                .iter()
+                .map(|s| (Arc::clone(&s.queue), Arc::clone(&s.counters)))
+                .collect();
+            let controller = {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || controller_loop(policy, scaler, watched, shared))
+            };
+            Some(AutoscaleHandle {
+                shared,
+                controller: Some(controller),
+            })
+        } else {
+            None
+        };
+
         // `results` drops here: once every worker exits, the receiver
         // disconnects — the client's end-of-stream signal.
         Ok((
             Server {
                 shards,
                 index,
+                config,
                 next_id: AtomicU64::new(0),
                 started: Instant::now(),
                 latency,
+                autoscale,
             },
             receiver,
         ))
@@ -248,14 +410,16 @@ impl ServeBuilder {
 ///
 /// Dropping the server closes every shard queue, drains the work already
 /// accepted, and joins the workers; [`Server::shutdown`] does the same
-/// but hands back the final [`ServeStats`].
+/// but hands back the final [`ShutdownReport`].
 #[derive(Debug)]
 pub struct Server {
     shards: Vec<Shard>,
     index: HashMap<String, usize>,
+    config: ServeConfig,
     next_id: AtomicU64,
     started: Instant,
     latency: Arc<LatencyWindow>,
+    autoscale: Option<AutoscaleHandle>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -272,6 +436,11 @@ impl Server {
     /// Starts a [`ServeBuilder`].
     pub fn builder() -> ServeBuilder {
         ServeBuilder::new()
+    }
+
+    /// The configuration this server was spawned with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
     }
 
     /// The registered hardware-point labels, in declaration order.
@@ -333,7 +502,7 @@ impl Server {
     }
 
     /// A point-in-time snapshot of counters, queue depths, cache state,
-    /// latency quantiles, and throughput.
+    /// fusion/autoscale activity, latency quantiles, and throughput.
     pub fn stats(&self) -> ServeStats {
         let read = ShardCounters::read;
         let shards: Vec<ShardSnapshot> = self
@@ -350,13 +519,22 @@ impl Server {
                 cache_hits: read(&s.counters.cache_hits),
                 cache_misses: read(&s.counters.cache_misses),
                 dispatches: read(&s.counters.dispatches),
+                fused_requests: read(&s.counters.fused_requests),
+                fused_replays_saved: read(&s.counters.fused_replays_saved),
                 cached_circuits: s.cache.lock().expect("cache lock not poisoned").len(),
+                workers: read(&s.counters.workers) as usize,
             })
             .collect();
         let total = |f: fn(&ShardSnapshot) -> u64| shards.iter().map(f).sum();
         let served: u64 = total(|s| s.served);
         let elapsed = self.started.elapsed();
         let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+        let (autoscale_ticks, rebalances) = self.autoscale.as_ref().map_or((0, 0), |handle| {
+            (
+                handle.shared.ticks.load(Ordering::Relaxed),
+                handle.shared.rebalances.load(Ordering::Relaxed),
+            )
+        });
         ServeStats {
             submitted: total(|s| s.submitted),
             served,
@@ -365,6 +543,10 @@ impl Server {
             cache_hits: total(|s| s.cache_hits),
             cache_misses: total(|s| s.cache_misses),
             dispatches: total(|s| s.dispatches),
+            fused_requests: total(|s| s.fused_requests),
+            fused_replays_saved: total(|s| s.fused_replays_saved),
+            autoscale_ticks,
+            rebalances,
             elapsed_ms,
             throughput_rps: if elapsed_ms > 0.0 {
                 served as f64 / elapsed.as_secs_f64()
@@ -376,15 +558,38 @@ impl Server {
         }
     }
 
-    /// Gracefully shuts down: closes every queue (refusing new
-    /// submissions), lets the workers drain what was already accepted,
-    /// joins them, and returns the final stats snapshot.
-    pub fn shutdown(mut self) -> ServeStats {
+    /// Gracefully shuts down: stops the autoscaler, closes every queue
+    /// (refusing new submissions), lets the workers drain what was
+    /// already accepted, joins them, and returns the closing
+    /// [`ShutdownReport`] — final stats plus worker placement.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.close_and_join();
-        self.stats()
+        let serve = self.stats();
+        let placement = serve
+            .shards
+            .iter()
+            .map(|s| WorkerPlacement {
+                point: s.point.clone(),
+                workers: s.workers,
+            })
+            .collect();
+        ShutdownReport { serve, placement }
     }
 
     fn close_and_join(&mut self) {
+        // The controller first: a rebalance racing the close could
+        // otherwise re-park a worker that still owes a drain.
+        if let Some(handle) = &mut self.autoscale {
+            *handle
+                .shared
+                .stop
+                .lock()
+                .expect("autoscale lock not poisoned") = true;
+            handle.shared.wake.notify_all();
+            if let Some(controller) = handle.controller.take() {
+                let _ = controller.join();
+            }
+        }
         for shard in &self.shards {
             shard.queue.close();
         }
@@ -402,45 +607,211 @@ impl Drop for Server {
     }
 }
 
-/// One worker's lifetime: drain batches until the queue closes empty.
-fn worker_loop(ctx: WorkerContext) {
-    while let Some(batch) = ctx.queue.pop_batch(ctx.batch_max) {
-        ShardCounters::bump(&ctx.counters.dispatches);
-        for job in batch {
-            let (outcome, cache_hit) = serve_one(&ctx, &job.request);
-            if outcome.is_err() {
-                ShardCounters::bump(&ctx.counters.errors);
+/// The autoscaler controller: sample queue pressure every tick, apply at
+/// most one worker move, and publish the new placement — until the stop
+/// latch is pulled at shutdown.
+fn controller_loop(
+    policy: AutoscalePolicy,
+    mut scaler: Autoscaler,
+    shards: Vec<(Arc<BoundedQueue<Job>>, Arc<ShardCounters>)>,
+    shared: Arc<AutoscaleShared>,
+) {
+    let tick = Duration::from_millis(policy.tick_ms.max(1));
+    let mut stopped = shared.stop.lock().expect("autoscale lock not poisoned");
+    while !*stopped {
+        let (guard, wait) = shared
+            .wake
+            .wait_timeout(stopped, tick)
+            .expect("autoscale lock not poisoned");
+        stopped = guard;
+        if *stopped || !wait.timed_out() {
+            continue;
+        }
+        shared.ticks.fetch_add(1, Ordering::Relaxed);
+        let observations: Vec<QueueObservation> = shards
+            .iter()
+            .map(|(queue, _)| QueueObservation {
+                depth: queue.depth(),
+                capacity: queue.capacity(),
+            })
+            .collect();
+        if let Some(mv) = scaler.tick(&observations) {
+            shared.rebalances.fetch_add(1, Ordering::Relaxed);
+            let targets = scaler.targets();
+            // Publish the donor's shrink before the winner's growth so
+            // the budget is never transiently exceeded.
+            shards[mv.from].0.set_active(targets[mv.from]);
+            shards[mv.to].0.set_active(targets[mv.to]);
+            for ((_, counters), &target) in shards.iter().zip(targets) {
+                counters.workers.store(target as u64, Ordering::Relaxed);
             }
-            ShardCounters::bump(&ctx.counters.served);
-            let latency = job.submitted_at.elapsed();
-            ctx.latency.record(latency);
-            // A gone receiver means the client stopped listening; keep
-            // draining so shutdown still completes.
-            let _ = ctx.results.send(EvalResponse {
-                id: job.id,
-                circuit_label: job.request.circuit_label,
-                point: ctx.point.clone(),
-                outcome,
-                cache_hit,
-                latency,
-            });
         }
     }
+}
+
+/// One worker's lifetime: drain batches until the queue closes empty,
+/// fusing same-fingerprint requests within each batch when enabled.
+fn worker_loop(ctx: WorkerContext) {
+    while let Some(batch) = ctx.queue.pop_batch_as(ctx.index, ctx.batch_max) {
+        ShardCounters::bump(&ctx.counters.dispatches);
+        if ctx.fusion && batch.len() > 1 {
+            for group in fuse_batch(&ctx, batch) {
+                serve_group(&ctx, group);
+            }
+        } else {
+            for job in batch {
+                let (outcome, cache_hit) = serve_one(&ctx, &job.request);
+                finish_job(&ctx, job, outcome, cache_hit);
+            }
+        }
+    }
+}
+
+/// Splits one dispatch batch into fusion groups: jobs sharing a compile
+/// cache key **and** design **and** structurally equal circuits (the
+/// equality guard demotes a fingerprint collision to separate groups,
+/// never to a shared replay). Jobs stay in submission order within and
+/// across groups, so a group of one is served exactly like today.
+fn fuse_batch(ctx: &WorkerContext, batch: Vec<Job>) -> Vec<Vec<Job>> {
+    let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
+    for job in batch {
+        let key = CompiledCircuit::cache_key(&job.request.circuit, &ctx.config);
+        let home = groups.iter_mut().find(|(group_key, members)| {
+            *group_key == key && {
+                let rep = &members[0].request;
+                rep.design == job.request.design
+                    && (Arc::ptr_eq(&rep.circuit, &job.request.circuit)
+                        || rep.circuit == job.request.circuit)
+            }
+        });
+        match home {
+            Some((_, members)) => members.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Serves one fusion group as a single multi-seed replay: every distinct
+/// seed in the group runs once (memoized), and each job assembles its
+/// reports from the memo in its own seed order — byte-identical to
+/// serving each job alone, because a compiled circuit's run is a pure
+/// function of `(design, seed)`. Cache accounting stays per job, exactly
+/// as the unfused path counts it.
+fn serve_group(ctx: &WorkerContext, group: Vec<Job>) {
+    if group.len() == 1 {
+        let job = group.into_iter().next().expect("one job");
+        let (outcome, cache_hit) = serve_one(ctx, &job.request);
+        finish_job(ctx, job, outcome, cache_hit);
+        return;
+    }
+    let fused = group.len() as u64;
+    let mut saved = 0u64;
+    let mut memo: HashMap<u64, Result<ExecutionReport, DqcError>> = HashMap::new();
+    let mut shared_compiled: Option<Arc<CompiledCircuit>> = None;
+    for job in group {
+        let (outcome, cache_hit) = match resolve_compiled(ctx, &job.request) {
+            Err(e) => (Err(e), false),
+            Ok((compiled, cache_hit)) => {
+                // Replay through the group's first compilation; every
+                // member compiles equal (same circuit, same config), so
+                // the choice cannot change any report.
+                let compiled = shared_compiled.get_or_insert(compiled);
+                let mut reports = Vec::with_capacity(job.request.runs);
+                let mut failure = None;
+                for i in 0..job.request.runs {
+                    let seed = job.request.base_seed.wrapping_add(i as u64);
+                    let result = match memo.get(&seed) {
+                        Some(result) => {
+                            saved += 1;
+                            result
+                        }
+                        None => {
+                            let result = compiled.run(job.request.design, seed);
+                            memo.entry(seed).or_insert(result)
+                        }
+                    };
+                    match result {
+                        Ok(report) => reports.push(report.clone()),
+                        Err(e) => {
+                            failure = Some(e.clone());
+                            break;
+                        }
+                    }
+                }
+                match failure {
+                    // The first failing seed aborts the job's replay with
+                    // that error — the same contract as `Experiment::reports`.
+                    Some(e) => (Err(ServeError::Engine(e)), cache_hit),
+                    None => (Ok(EvalOutput { reports }), cache_hit),
+                }
+            }
+        };
+        finish_job(ctx, job, outcome, cache_hit);
+    }
+    ShardCounters::add(&ctx.counters.fused_requests, fused);
+    ShardCounters::add(&ctx.counters.fused_replays_saved, saved);
+}
+
+/// Completes one job: counters, latency, and the response send.
+fn finish_job(
+    ctx: &WorkerContext,
+    job: Job,
+    outcome: Result<EvalOutput, ServeError>,
+    cache_hit: bool,
+) {
+    if outcome.is_err() {
+        ShardCounters::bump(&ctx.counters.errors);
+    }
+    ShardCounters::bump(&ctx.counters.served);
+    let latency = job.submitted_at.elapsed();
+    ctx.latency.record(latency);
+    // A gone receiver means the client stopped listening; keep
+    // draining so shutdown still completes.
+    let _ = ctx.results.send(EvalResponse {
+        id: job.id,
+        circuit_label: job.request.circuit_label,
+        point: ctx.point.clone(),
+        outcome,
+        cache_hit,
+        latency,
+    });
 }
 
 /// Serves one request compile-once: warm-cache lookup (equality-verified),
 /// compile-and-fill on miss, then deterministic per-request seed replay.
 fn serve_one(ctx: &WorkerContext, request: &EvalRequest) -> (Result<EvalOutput, ServeError>, bool) {
+    let (compiled, cache_hit) = match resolve_compiled(ctx, request) {
+        Ok(resolved) => resolved,
+        Err(e) => return (Err(e), false),
+    };
+    let reports = Experiment::with_compiled(compiled)
+        .design(request.design)
+        .runs(request.runs)
+        .base_seed(request.base_seed)
+        .reports();
+    match reports {
+        Ok(reports) => (Ok(EvalOutput { reports }), cache_hit),
+        Err(e) => (Err(ServeError::Engine(e)), cache_hit),
+    }
+}
+
+/// The compile-once half of serving: warm-cache lookup, compile-and-fill
+/// on miss, per-request hit/miss accounting.
+fn resolve_compiled(
+    ctx: &WorkerContext,
+    request: &EvalRequest,
+) -> Result<(Arc<CompiledCircuit>, bool), ServeError> {
     let key = CompiledCircuit::cache_key(&request.circuit, &ctx.config);
     let cached = ctx
         .cache
         .lock()
         .expect("cache lock not poisoned")
         .get(key, &request.circuit);
-    let (compiled, cache_hit) = match cached {
+    match cached {
         Some(compiled) => {
             ShardCounters::bump(&ctx.counters.cache_hits);
-            (compiled, true)
+            Ok((compiled, true))
         }
         None => {
             // Two workers can miss the same circuit concurrently and both
@@ -455,19 +826,10 @@ fn serve_one(ctx: &WorkerContext, request: &EvalRequest) -> (Result<EvalOutput, 
                         .lock()
                         .expect("cache lock not poisoned")
                         .insert(key, Arc::clone(&compiled));
-                    (compiled, false)
+                    Ok((compiled, false))
                 }
-                Err(e) => return (Err(ServeError::Engine(e)), false),
+                Err(e) => Err(ServeError::Engine(e)),
             }
         }
-    };
-    let reports = Experiment::with_compiled(compiled)
-        .design(request.design)
-        .runs(request.runs)
-        .base_seed(request.base_seed)
-        .reports();
-    match reports {
-        Ok(reports) => (Ok(EvalOutput { reports }), cache_hit),
-        Err(e) => (Err(ServeError::Engine(e)), cache_hit),
     }
 }

@@ -25,11 +25,21 @@ pub(crate) struct ShardCounters {
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
     pub(crate) dispatches: AtomicU64,
+    pub(crate) fused_requests: AtomicU64,
+    pub(crate) fused_replays_saved: AtomicU64,
+    /// Current worker target — written at spawn and by the autoscaler
+    /// controller, read by snapshots. Not a statistic, but it lives with
+    /// them so a snapshot is one struct read.
+    pub(crate) workers: AtomicU64,
 }
 
 impl ShardCounters {
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn read(counter: &AtomicU64) -> u64 {
@@ -154,8 +164,16 @@ pub struct ShardSnapshot {
     pub cache_misses: u64,
     /// Worker wake-ups; `served / dispatches` is the mean batch size.
     pub dispatches: u64,
+    /// Requests served through a fused multi-request replay (groups of
+    /// two or more coalesced in one dispatch).
+    pub fused_requests: u64,
+    /// Seed replays skipped because a fused sibling already ran them.
+    pub fused_replays_saved: u64,
     /// Compilations currently warm in the cache.
     pub cached_circuits: usize,
+    /// The shard's current active-worker target (static unless the
+    /// autoscaler is on).
+    pub workers: usize,
 }
 
 impl ShardSnapshot {
@@ -172,7 +190,10 @@ impl ShardSnapshot {
             ("cache_hits", Json::uint(self.cache_hits)),
             ("cache_misses", Json::uint(self.cache_misses)),
             ("dispatches", Json::uint(self.dispatches)),
+            ("fused_requests", Json::uint(self.fused_requests)),
+            ("fused_replays_saved", Json::uint(self.fused_replays_saved)),
             ("cached_circuits", Json::from(self.cached_circuits)),
+            ("workers", Json::from(self.workers)),
         ])
     }
 
@@ -193,7 +214,10 @@ impl ShardSnapshot {
             cache_hits: json.u64_field("cache_hits")?,
             cache_misses: json.u64_field("cache_misses")?,
             dispatches: json.u64_field("dispatches")?,
+            fused_requests: json.u64_field("fused_requests")?,
+            fused_replays_saved: json.u64_field("fused_replays_saved")?,
             cached_circuits: json.usize_field("cached_circuits")?,
+            workers: json.usize_field("workers")?,
         })
     }
 }
@@ -219,6 +243,14 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Worker dispatches across all shards.
     pub dispatches: u64,
+    /// Requests served through a fused replay, across all shards.
+    pub fused_requests: u64,
+    /// Seed replays skipped by fusion, across all shards.
+    pub fused_replays_saved: u64,
+    /// Autoscaler controller samples taken (0 without a policy).
+    pub autoscale_ticks: u64,
+    /// Worker moves the autoscaler applied.
+    pub rebalances: u64,
     /// Wall-clock milliseconds since the server started.
     pub elapsed_ms: f64,
     /// Completed requests per second since the server started.
@@ -240,6 +272,10 @@ impl ServeStats {
             ("cache_hits", Json::uint(self.cache_hits)),
             ("cache_misses", Json::uint(self.cache_misses)),
             ("dispatches", Json::uint(self.dispatches)),
+            ("fused_requests", Json::uint(self.fused_requests)),
+            ("fused_replays_saved", Json::uint(self.fused_replays_saved)),
+            ("autoscale_ticks", Json::uint(self.autoscale_ticks)),
+            ("rebalances", Json::uint(self.rebalances)),
             ("elapsed_ms", Json::float(self.elapsed_ms)),
             ("throughput_rps", Json::float(self.throughput_rps)),
             ("latency", self.latency.to_json()),
@@ -264,6 +300,10 @@ impl ServeStats {
             cache_hits: json.u64_field("cache_hits")?,
             cache_misses: json.u64_field("cache_misses")?,
             dispatches: json.u64_field("dispatches")?,
+            fused_requests: json.u64_field("fused_requests")?,
+            fused_replays_saved: json.u64_field("fused_replays_saved")?,
+            autoscale_ticks: json.u64_field("autoscale_ticks")?,
+            rebalances: json.u64_field("rebalances")?,
             elapsed_ms: json.f64_field("elapsed_ms")?,
             throughput_rps: json.f64_field("throughput_rps")?,
             latency: LatencySummary::from_json(json.field("latency")?)?,
@@ -271,6 +311,83 @@ impl ServeStats {
                 .array_field("shards")?
                 .iter()
                 .map(ShardSnapshot::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Where the workers ended up: one shard's final active-worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPlacement {
+    /// The hardware point the shard serves.
+    pub point: String,
+    /// Active workers at shutdown (the autoscaler's final target, or
+    /// the static `workers_per_shard`).
+    pub workers: usize,
+}
+
+impl WorkerPlacement {
+    /// Serializes the placement.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("point", Json::from(self.point.as_str())),
+            ("workers", Json::from(self.workers)),
+        ])
+    }
+
+    /// Reads a placement back from [`WorkerPlacement::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            point: json.str_field("point")?.to_string(),
+            workers: json.usize_field("workers")?,
+        })
+    }
+}
+
+/// The one closing snapshot a graceful shutdown hands back: the final
+/// stats plus where the autoscaler left the workers. The daemon wraps
+/// this with its own wire-level counters in `dqc_served::ShutdownReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShutdownReport {
+    /// The final serving-stats snapshot, taken after the drain.
+    pub serve: ServeStats,
+    /// Final per-shard worker placement, in declaration order.
+    pub placement: Vec<WorkerPlacement>,
+}
+
+impl ShutdownReport {
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("serve", self.serve.to_json()),
+            (
+                "placement",
+                Json::Array(
+                    self.placement
+                        .iter()
+                        .map(WorkerPlacement::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a report back from [`ShutdownReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            serve: ServeStats::from_json(json.field("serve")?)?,
+            placement: json
+                .array_field("placement")?
+                .iter()
+                .map(WorkerPlacement::from_json)
                 .collect::<Result<_, _>>()?,
         })
     }
@@ -289,6 +406,10 @@ mod tests {
             cache_hits: 90,
             cache_misses: 7,
             dispatches: 25,
+            fused_requests: 12,
+            fused_replays_saved: 30,
+            autoscale_ticks: 40,
+            rebalances: 2,
             elapsed_ms: 1234.5,
             throughput_rps: 78.6,
             latency: LatencySummary {
@@ -309,7 +430,10 @@ mod tests {
                 cache_hits: 90,
                 cache_misses: 7,
                 dispatches: 25,
+                fused_requests: 12,
+                fused_replays_saved: 30,
                 cached_circuits: 4,
+                workers: 3,
             }],
         }
     }
@@ -329,6 +453,26 @@ mod tests {
             members.retain(|(k, _)| k != "latency");
         }
         assert!(ServeStats::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn shutdown_report_round_trips_through_json_text() {
+        let report = ShutdownReport {
+            serve: sample_stats(),
+            placement: vec![
+                WorkerPlacement {
+                    point: "paper".to_string(),
+                    workers: 3,
+                },
+                WorkerPlacement {
+                    point: "paper64".to_string(),
+                    workers: 1,
+                },
+            ],
+        };
+        let text = report.to_json().to_pretty_string();
+        let back = ShutdownReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -28,10 +28,13 @@ use crate::protocol::{
     bye_frame, error_frame, parse_client_frame, result_frame, stats_reply_frame, ClientFrame,
     DaemonStats, Submission, Welcome, WireError, WireOutput, PROTOCOL_VERSION, SERVER_NAME,
 };
-use crate::quota::{AdmissionLedger, QuotaConfig, RateLimit};
+use crate::quota::{AdmissionLedger, QuotaConfig};
 use dqc_core::{Design, SystemConfig};
-use dqc_serve::{EvalResponse, ServeBuilder, ServeError, ServeStats, Server};
-use dqc_types::Json;
+use dqc_serve::{
+    AutoscalePolicy, EvalResponse, ServeBuilder, ServeConfig, ServeError, ServeStats, Server,
+    WorkerPlacement,
+};
+use dqc_types::{Json, JsonError};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -97,16 +100,15 @@ impl From<ServeError> for ServedError {
 ///     .max_in_flight(8)
 ///     .bind("127.0.0.1:0")?;
 /// println!("listening on {}", daemon.local_addr());
-/// let (serve_stats, daemon_stats) = daemon.shutdown();
-/// assert_eq!(serve_stats.served, 0);
-/// assert_eq!(daemon_stats.connections_accepted, 0);
+/// let report = daemon.shutdown();
+/// assert_eq!(report.serve.served, 0);
+/// assert_eq!(report.daemon.connections_accepted, 0);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct ServedBuilder {
     serve: ServeBuilder,
-    quota: QuotaConfig,
 }
 
 impl Default for ServedBuilder {
@@ -117,11 +119,26 @@ impl Default for ServedBuilder {
 
 impl ServedBuilder {
     /// Starts a builder with the serving layer's defaults and no quotas.
+    /// Every knob — including the daemon-enforced quotas — lives in the
+    /// wrapped [`ServeBuilder`]'s [`ServeConfig`]; the setters here are
+    /// forwarding shims.
     pub fn new() -> Self {
         Self {
             serve: ServeBuilder::new(),
-            quota: QuotaConfig::default(),
         }
+    }
+
+    /// Replaces the whole serving configuration in one move — the
+    /// `--config FILE.json` path.
+    #[must_use]
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.serve = self.serve.config(config);
+        self
+    }
+
+    /// The configuration as accumulated so far.
+    pub fn config_ref(&self) -> &ServeConfig {
+        self.serve.config_ref()
     }
 
     /// Registers a named hardware point; submissions target it by label.
@@ -161,11 +178,34 @@ impl ServedBuilder {
         self
     }
 
+    /// Enables or disables cross-request replay fusion (see
+    /// [`ServeBuilder::fusion`]; on by default).
+    #[must_use]
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.serve = self.serve.fusion(fusion);
+        self
+    }
+
+    /// Enables queue-pressure autoscaling (see [`ServeBuilder::autoscale`]).
+    #[must_use]
+    pub fn autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.serve = self.serve.autoscale(policy);
+        self
+    }
+
+    /// Caps the total active workers across all shards under autoscaling
+    /// (see [`ServeBuilder::worker_budget`]).
+    #[must_use]
+    pub fn worker_budget(mut self, budget: usize) -> Self {
+        self.serve = self.serve.worker_budget(budget);
+        self
+    }
+
     /// Caps each client identity at `max` simultaneously in-flight
     /// requests (`quota_exceeded` / `in_flight` beyond it).
     #[must_use]
     pub fn max_in_flight(mut self, max: usize) -> Self {
-        self.quota.max_in_flight = Some(max);
+        self.serve = self.serve.max_in_flight(max);
         self
     }
 
@@ -174,13 +214,13 @@ impl ServedBuilder {
     /// (`quota_exceeded` / `rate` beyond it).
     #[must_use]
     pub fn rate_limit(mut self, per_sec: f64, burst: f64) -> Self {
-        self.quota.rate = Some(RateLimit { per_sec, burst });
+        self.serve = self.serve.rate_limit(per_sec, burst);
         self
     }
 
     /// The quota terms configured so far.
     pub fn quota(&self) -> QuotaConfig {
-        self.quota
+        self.serve.config_ref().quota
     }
 
     /// Binds the listener, spawns the serving layer and the daemon's
@@ -196,10 +236,11 @@ impl ServedBuilder {
     pub fn bind(self, addr: impl ToSocketAddrs) -> Result<Served, ServedError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let quota = self.serve.config_ref().quota;
         let (server, responses) = self.serve.spawn()?;
         let server = Arc::new(server);
         let shared = Arc::new(Shared {
-            ledger: AdmissionLedger::new(self.quota),
+            ledger: AdmissionLedger::new(quota),
             dispatcher: Dispatcher::default(),
             counters: Counters::default(),
             closing: AtomicBool::new(false),
@@ -262,9 +303,9 @@ impl Served {
     }
 
     /// Gracefully shuts the daemon down: stops accepting, severs open
-    /// connections, drains the serving layer, and returns both final
-    /// stats snapshots.
-    pub fn shutdown(mut self) -> (ServeStats, DaemonStats) {
+    /// connections, drains the serving layer, and returns the final
+    /// [`ShutdownReport`].
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.shared.closing.store(true, Ordering::SeqCst);
         // Wake the accept thread; the drop of this probe connection is
         // what it sees.
@@ -297,13 +338,68 @@ impl Served {
         self.shared.dispatcher.clear(&self.shared.ledger);
         let server = Arc::try_unwrap(self.server)
             .expect("accept and connection threads released their server handles");
-        let serve_stats = server.shutdown();
+        let report = server.shutdown();
         // Workers are joined now, so the result channel is disconnected
         // and the router falls out of recv().
         if let Some(router) = self.router.take() {
             let _ = router.join();
         }
-        (serve_stats, self.shared.counters.snapshot())
+        ShutdownReport {
+            serve: report.serve,
+            daemon: self.shared.counters.snapshot(),
+            placement: report.placement,
+        }
+    }
+}
+
+/// Everything [`Served::shutdown`] hands back: the serving layer's final
+/// stats, the daemon's own counters, and where the autoscaler left each
+/// shard's workers. The serving layer's in-process analogue is
+/// [`dqc_serve::ShutdownReport`]; this one adds the daemon column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShutdownReport {
+    /// Final serving-layer counters.
+    pub serve: ServeStats,
+    /// Final daemon counters.
+    pub daemon: DaemonStats,
+    /// Final worker placement, in shard registration order.
+    pub placement: Vec<WorkerPlacement>,
+}
+
+impl ShutdownReport {
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("serve", self.serve.to_json()),
+            ("daemon", self.daemon.to_json()),
+            (
+                "placement",
+                Json::Array(
+                    self.placement
+                        .iter()
+                        .map(WorkerPlacement::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a report produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on any missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let placement = json
+            .array_field("placement")?
+            .iter()
+            .map(WorkerPlacement::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            serve: ServeStats::from_json(json.field("serve")?)?,
+            daemon: DaemonStats::from_json(json.field("daemon")?)?,
+            placement,
+        })
     }
 }
 
@@ -570,6 +666,7 @@ fn connection_loop(stream: TcpStream, server: &Arc<Server>, shared: &Arc<Shared>
         designs: Design::ALL.iter().map(|d| d.name().to_string()).collect(),
         max_in_flight: quota.max_in_flight,
         rate_per_sec: quota.rate.map(|r| r.per_sec),
+        config: server.config().clone(),
     };
     if reply_tx.send(welcome.to_json()).is_err() {
         return;

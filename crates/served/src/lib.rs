@@ -61,9 +61,9 @@
 //! assert_eq!(reply.outcome.unwrap().reports.len(), 1);
 //! client.bye()?;
 //!
-//! let (serve_stats, daemon_stats) = daemon.shutdown();
-//! assert_eq!(serve_stats.served, 1);
-//! assert_eq!(daemon_stats.connections_accepted, 1);
+//! let report = daemon.shutdown();
+//! assert_eq!(report.serve.served, 1);
+//! assert_eq!(report.daemon.connections_accepted, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -78,7 +78,7 @@ pub mod protocol;
 pub mod quota;
 
 pub use client::{ClientError, ServedClient};
-pub use daemon::{Served, ServedBuilder, ServedError};
+pub use daemon::{Served, ServedBuilder, ServedError, ShutdownReport};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use protocol::{
     CircuitPayload, DaemonStats, QuotaScope, Submission, Welcome, WireError, WireOutput, WireReply,

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! dqc-served [--addr HOST:PORT] [--port-file PATH]
+//!            [--config FILE.json]
 //!            [--workers N] [--queue N] [--cache N] [--batch N]
+//!            [--fusion on|off] [--autoscale] [--budget N]
 //!            [--max-in-flight N] [--rate PER_SEC] [--burst N]
 //!            [--backend auto|analytic|stabilizer|density]
 //!            [--point LABEL=paper32|paper64]...
@@ -13,6 +15,12 @@
 //! `--port-file` additionally writes the resolved address to a file, so
 //! scripts that launched with port `0` can find the daemon.
 //!
+//! Configuration layers, later wins: built-in defaults, then
+//! `--config FILE.json` (a [`ServeConfig`] document — the same shape the
+//! `welcome` frame echoes back), then individual flags. Every flag is
+//! sugar over the same `ServeConfig`, so `--workers 4` and a config file
+//! with `"workers_per_shard": 4` are indistinguishable to the daemon.
+//!
 //! Without `--point`, two shards are registered: `paper` (the paper's
 //! two-node 32-qubit point) and `paper64` (its 64-qubit sibling).
 //! `--backend` selects the simulation engine on every registered point
@@ -20,16 +28,22 @@
 //! launched with different backends never exchange compilations).
 
 use dqc_core::{Backend, SystemConfig};
+use dqc_serve::{AutoscalePolicy, RateLimit, ServeConfig};
 use dqc_served::{Served, ServedBuilder};
+use dqc_types::Json;
 use std::process::ExitCode;
 
 struct Options {
     addr: String,
     port_file: Option<String>,
-    workers: usize,
-    queue: usize,
-    cache: usize,
-    batch: usize,
+    config_file: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<usize>,
+    batch: Option<usize>,
+    fusion: Option<bool>,
+    autoscale: bool,
+    budget: Option<usize>,
     max_in_flight: Option<usize>,
     rate: Option<f64>,
     burst: Option<f64>,
@@ -42,10 +56,14 @@ impl Options {
         Self {
             addr: "127.0.0.1:7878".to_string(),
             port_file: None,
-            workers: 2,
-            queue: 64,
-            cache: 32,
-            batch: 8,
+            config_file: None,
+            workers: None,
+            queue: None,
+            cache: None,
+            batch: None,
+            fusion: None,
+            autoscale: false,
+            budget: None,
             max_in_flight: None,
             rate: None,
             burst: None,
@@ -62,10 +80,22 @@ impl Options {
             match flag.as_str() {
                 "--addr" => options.addr = value("--addr")?,
                 "--port-file" => options.port_file = Some(value("--port-file")?),
-                "--workers" => options.workers = parse_num(&value("--workers")?, "--workers")?,
-                "--queue" => options.queue = parse_num(&value("--queue")?, "--queue")?,
-                "--cache" => options.cache = parse_num(&value("--cache")?, "--cache")?,
-                "--batch" => options.batch = parse_num(&value("--batch")?, "--batch")?,
+                "--config" => options.config_file = Some(value("--config")?),
+                "--workers" => {
+                    options.workers = Some(parse_num(&value("--workers")?, "--workers")?);
+                }
+                "--queue" => options.queue = Some(parse_num(&value("--queue")?, "--queue")?),
+                "--cache" => options.cache = Some(parse_num(&value("--cache")?, "--cache")?),
+                "--batch" => options.batch = Some(parse_num(&value("--batch")?, "--batch")?),
+                "--fusion" => {
+                    options.fusion = Some(match value("--fusion")?.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("--fusion wants on|off, got `{other}`")),
+                    });
+                }
+                "--autoscale" => options.autoscale = true,
+                "--budget" => options.budget = Some(parse_num(&value("--budget")?, "--budget")?),
                 "--max-in-flight" => {
                     options.max_in_flight =
                         Some(parse_num(&value("--max-in-flight")?, "--max-in-flight")?);
@@ -89,10 +119,59 @@ impl Options {
         }
         Ok(options)
     }
+
+    /// Folds the option layers into one [`ServeConfig`]: defaults, then
+    /// the `--config` file, then individual flags.
+    fn serve_config(&self) -> Result<ServeConfig, String> {
+        let mut config = match &self.config_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("failed to read {path}: {e}"))?;
+                let json =
+                    Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+                ServeConfig::from_json(&json).map_err(|e| format!("{path}: {e}"))?
+            }
+            None => ServeConfig::default(),
+        };
+        if let Some(workers) = self.workers {
+            config.workers_per_shard = workers;
+        }
+        if let Some(queue) = self.queue {
+            config.queue_capacity = queue.max(1);
+        }
+        if let Some(cache) = self.cache {
+            config.cache_capacity = cache;
+        }
+        if let Some(batch) = self.batch {
+            config.batch_max = batch.max(1);
+        }
+        if let Some(fusion) = self.fusion {
+            config.fusion = fusion;
+        }
+        if self.autoscale && config.autoscale.is_none() {
+            config.autoscale = Some(AutoscalePolicy::default());
+        }
+        if let Some(budget) = self.budget {
+            config.worker_budget = Some(budget);
+        }
+        if let Some(max) = self.max_in_flight {
+            config.quota.max_in_flight = Some(max);
+        }
+        if let Some(rate) = self.rate {
+            let burst = self.burst.unwrap_or(rate.max(1.0));
+            config.quota.rate = Some(RateLimit {
+                per_sec: rate,
+                burst,
+            });
+        }
+        Ok(config)
+    }
 }
 
 const USAGE: &str = "usage: dqc-served [--addr HOST:PORT] [--port-file PATH] \
+[--config FILE.json] \
 [--workers N] [--queue N] [--cache N] [--batch N] \
+[--fusion on|off] [--autoscale] [--budget N] \
 [--max-in-flight N] [--rate PER_SEC] [--burst N] \
 [--backend auto|analytic|stabilizer|density] \
 [--point LABEL=paper32|paper64]...";
@@ -118,11 +197,7 @@ fn point_config(name: &str) -> Result<SystemConfig, String> {
 }
 
 fn run(options: Options) -> Result<Served, String> {
-    let mut builder = ServedBuilder::new()
-        .workers_per_shard(options.workers)
-        .queue_capacity(options.queue)
-        .cache_capacity(options.cache)
-        .batch_max(options.batch);
+    let mut builder = ServedBuilder::new().config(options.serve_config()?);
     let points = if options.points.is_empty() {
         vec![
             ("paper".to_string(), "paper32".to_string()),
@@ -134,13 +209,6 @@ fn run(options: Options) -> Result<Served, String> {
     for (label, config) in points {
         builder =
             builder.hardware_point(label, point_config(&config)?.with_backend(options.backend));
-    }
-    if let Some(max) = options.max_in_flight {
-        builder = builder.max_in_flight(max);
-    }
-    if let Some(rate) = options.rate {
-        let burst = options.burst.unwrap_or(rate.max(1.0));
-        builder = builder.rate_limit(rate, burst);
     }
     builder
         .bind(&options.addr)

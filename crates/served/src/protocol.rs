@@ -25,7 +25,7 @@
 
 use dqc_circuit::{from_qasm, Circuit};
 use dqc_core::{Design, ExecutionReport};
-use dqc_serve::{EvalRequest, ServeError, ServeStats};
+use dqc_serve::{EvalRequest, ServeConfig, ServeError, ServeStats};
 use dqc_types::{Json, JsonError};
 use std::error::Error;
 use std::fmt;
@@ -33,7 +33,12 @@ use std::sync::Arc;
 
 /// Version of the frame vocabulary. A mismatching `hello` is refused
 /// with a fatal `protocol` error naming both versions.
-pub const PROTOCOL_VERSION: i64 = 1;
+///
+/// v2: `welcome` carries a `config` echo (the daemon's full
+/// [`ServeConfig`]) so clients can introspect limits; the `stats` reply's
+/// serve snapshot gained fusion/autoscale counters and per-shard worker
+/// placements.
+pub const PROTOCOL_VERSION: i64 = 2;
 
 /// The server identity string sent in `welcome`.
 pub const SERVER_NAME: &str = concat!("dqc-served/", env!("CARGO_PKG_VERSION"));
@@ -597,6 +602,10 @@ pub struct Welcome {
     pub max_in_flight: Option<usize>,
     /// Per-client sustained submissions/second, if rate-limited.
     pub rate_per_sec: Option<f64>,
+    /// The daemon's full serving configuration — queue/cache/batch
+    /// bounds, fusion, autoscale policy, quota terms — so clients can
+    /// introspect the limits they are admitted under.
+    pub config: ServeConfig,
 }
 
 impl Welcome {
@@ -627,6 +636,7 @@ impl Welcome {
                 "rate_per_sec",
                 self.rate_per_sec.map_or(Json::Null, Json::float),
             ),
+            ("config", self.config.to_json()),
         ])
     }
 
@@ -668,6 +678,7 @@ impl Welcome {
                     JsonError::schema("field `rate_per_sec`: expected a number or null")
                 })?),
             },
+            config: ServeConfig::from_json(json.field("config")?)?,
         })
     }
 }
@@ -1002,6 +1013,11 @@ mod tests {
             designs: Design::ALL.iter().map(|d| d.name().to_string()).collect(),
             max_in_flight: Some(8),
             rate_per_sec: None,
+            config: ServeConfig {
+                workers_per_shard: 3,
+                fusion: false,
+                ..ServeConfig::default()
+            },
         };
         let reparsed = Json::parse(&welcome.to_json().to_compact_string()).unwrap();
         match parse_server_frame(&reparsed).unwrap() {
@@ -1011,6 +1027,7 @@ mod tests {
                 assert_eq!(back.designs, welcome.designs);
                 assert_eq!(back.max_in_flight, Some(8));
                 assert_eq!(back.rate_per_sec, None);
+                assert_eq!(back.config, welcome.config);
             }
             other => panic!("expected Welcome, got {other:?}"),
         }

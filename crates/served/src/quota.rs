@@ -25,32 +25,11 @@ use crate::protocol::{QuotaScope, WireError};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// A sustained-rate limit: a token bucket refilled at `per_sec`, capped
-/// at `burst` tokens.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RateLimit {
-    /// Sustained admissions per second.
-    pub per_sec: f64,
-    /// Maximum tokens banked while idle (instantaneous burst size).
-    pub burst: f64,
-}
-
-/// The per-client quota terms, applied uniformly to every client
-/// identity. `None` disables that quota.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct QuotaConfig {
-    /// Cap on a client's simultaneously in-flight requests.
-    pub max_in_flight: Option<usize>,
-    /// Sustained submission-rate limit.
-    pub rate: Option<RateLimit>,
-}
-
-impl QuotaConfig {
-    /// Whether any quota is active at all.
-    pub fn is_enforcing(&self) -> bool {
-        self.max_in_flight.is_some() || self.rate.is_some()
-    }
-}
+// The quota *terms* live in `dqc_serve::ServeConfig` (one typed config
+// names every serving knob); this module keeps the *enforcement* — the
+// ledger is daemon-only machinery. Re-exported so `dqc_served::{QuotaConfig,
+// RateLimit}` keeps working.
+pub use dqc_serve::{QuotaConfig, RateLimit};
 
 #[derive(Debug)]
 struct TokenBucket {

@@ -97,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => println!("unexpected admission outcome: {other:?}"),
     }
     drop(greedy);
-    let (_, wire) = daemon.shutdown();
+    let wire = daemon.shutdown().daemon;
     println!("daemon ledger: {} quota rejections", wire.quota_rejected);
     Ok(())
 }

@@ -27,9 +27,10 @@
 //! [`ScenarioKey`], [`Codesign`], [`CostModel`]), and the
 //! network-topology types ([`NetworkTopology`], [`TopologyFamily`],
 //! [`RoutingTable`], [`LinkParams`]), and the serving layer
-//! ([`Server`], [`ServeBuilder`], [`EvalRequest`], [`ServeStats`], plus
-//! the network daemon's [`Served`], [`ServedClient`], [`Submission`]) are
-//! additionally re-exported at the crate root.
+//! ([`Server`], [`ServeBuilder`], [`ServeConfig`], [`EvalRequest`],
+//! [`ServeStats`], [`ShutdownReport`], plus the network daemon's
+//! [`Served`], [`ServedClient`], [`Submission`]) are additionally
+//! re-exported at the crate root.
 //!
 //! # Quickstart
 //!
@@ -94,6 +95,7 @@ pub use dqc_core::{
 };
 pub use dqc_entanglement::{LinkParams, NetworkTopology, Route, RoutingTable, TopologyFamily};
 pub use dqc_serve::{
-    EvalOutput, EvalRequest, EvalResponse, RequestId, ServeBuilder, ServeError, ServeStats, Server,
+    AutoscalePolicy, EvalOutput, EvalRequest, EvalResponse, QuotaConfig, RateLimit, RequestId,
+    ServeBuilder, ServeConfig, ServeError, ServeStats, Server, ShutdownReport, WorkerPlacement,
 };
 pub use dqc_served::{Served, ServedBuilder, ServedClient, Submission, WireError};

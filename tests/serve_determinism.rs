@@ -8,8 +8,8 @@
 
 use dqc::workloads::PaperBenchmark;
 use dqc::{
-    Backend, CompiledCircuit, Design, EvalRequest, ExecutionReport, Experiment, ServeBuilder,
-    SystemConfig, TopologyFamily,
+    AutoscalePolicy, Backend, CompiledCircuit, Design, EvalRequest, ExecutionReport, Experiment,
+    ServeBuilder, SystemConfig, TopologyFamily,
 };
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -96,7 +96,7 @@ fn shuffled_concurrent_serving_is_byte_identical_to_direct_evaluation() {
                 requests[request_idx].circuit_label
             );
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().serve;
         assert_eq!(stats.served, requests.len() as u64);
         assert_eq!(stats.rejected, 0);
         assert_eq!(stats.cache_hits + stats.cache_misses, requests.len() as u64);
@@ -111,6 +111,100 @@ fn shuffled_concurrent_serving_is_byte_identical_to_direct_evaluation() {
             stats.cache_hits > 0,
             "repeated circuits must hit the warm cache"
         );
+    }
+}
+
+#[test]
+fn replay_fusion_is_byte_identical_to_unfused_serving() {
+    // Duplicate-heavy traffic — 3 of every 4 requests are the *same*
+    // evaluation — is exactly what cross-request replay fusion coalesces.
+    // Fused or not, at any worker count, under shuffled submission, the
+    // bytes must match direct evaluation (and therefore each other).
+    let requests = dqc_bench::skewed_requests(24, 2, 41, "paper", 4);
+    let expected = direct_reports(&requests);
+
+    for (workers, shuffle_seed) in [(1usize, 21u64), (2, 22), (4, 23)] {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+
+        for fusion in [true, false] {
+            let (server, responses) = ServeBuilder::new()
+                .hardware_point("paper", SystemConfig::paper_two_node_32())
+                .workers_per_shard(workers)
+                .queue_capacity(requests.len())
+                .fusion(fusion)
+                .spawn()
+                .unwrap();
+            let mut by_id = HashMap::new();
+            for &request_idx in &order {
+                let id = server.submit(requests[request_idx].clone()).unwrap();
+                by_id.insert(id, request_idx);
+            }
+            for _ in 0..requests.len() {
+                let response = responses.recv().expect("server streams every response");
+                let request_idx = by_id.remove(&response.id).expect("ids are unique");
+                let output = response.outcome.unwrap_or_else(|e| {
+                    panic!("request {request_idx} failed (fusion={fusion}): {e}")
+                });
+                assert_eq!(
+                    output.reports, expected[request_idx],
+                    "request {request_idx} diverged with {workers} workers, fusion={fusion}"
+                );
+            }
+            let stats = server.shutdown().serve;
+            assert_eq!(stats.served, requests.len() as u64);
+            if !fusion {
+                assert_eq!(stats.fused_requests, 0, "fusion off must never fuse");
+                assert_eq!(stats.fused_replays_saved, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn autoscaled_serving_is_byte_identical_and_conserves_the_worker_budget() {
+    // Two identical hardware points, all traffic on one of them: the
+    // autoscaler may shuffle the worker budget toward the hot shard at
+    // any moment mid-run, and the bytes must not care.
+    let requests = request_set();
+    let expected = direct_reports(&requests);
+
+    let (server, responses) = ServeBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .hardware_point("spare", SystemConfig::paper_two_node_32())
+        .worker_budget(3)
+        .autoscale(AutoscalePolicy {
+            tick_ms: 2,
+            ..AutoscalePolicy::default()
+        })
+        .queue_capacity(requests.len())
+        .spawn()
+        .unwrap();
+    let mut by_id = HashMap::new();
+    for (request_idx, request) in requests.iter().enumerate() {
+        let id = server.submit(request.clone()).unwrap();
+        by_id.insert(id, request_idx);
+    }
+    for _ in 0..requests.len() {
+        let response = responses.recv().expect("server streams every response");
+        let request_idx = by_id.remove(&response.id).expect("ids are unique");
+        let output = response
+            .outcome
+            .unwrap_or_else(|e| panic!("request {request_idx} failed under autoscaling: {e}"));
+        assert_eq!(
+            output.reports, expected[request_idx],
+            "request {request_idx} diverged under autoscaling"
+        );
+    }
+    let report = server.shutdown();
+    assert_eq!(report.serve.served, requests.len() as u64);
+    assert!(report.serve.autoscale_ticks > 0, "the controller ticked");
+    let points: Vec<&str> = report.placement.iter().map(|p| p.point.as_str()).collect();
+    assert_eq!(points, ["paper", "spare"], "registration order");
+    let total: usize = report.placement.iter().map(|p| p.workers).sum();
+    assert_eq!(total, 3, "rebalancing conserves the worker budget");
+    for placement in &report.placement {
+        assert!(placement.workers >= 1, "no shard drops below the floor");
     }
 }
 
@@ -276,7 +370,7 @@ fn backends_never_share_a_cache_entry() {
         assert_eq!(analytic, &reports[&("stabilizer", base_seed)]);
         assert_eq!(analytic, &reports[&("auto", base_seed)]);
     }
-    let stats = server.shutdown();
+    let stats = server.shutdown().serve;
     assert_eq!(stats.served, 6);
     assert_eq!(
         stats.cache_misses, 3,

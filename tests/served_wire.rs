@@ -118,7 +118,8 @@ fn wire_results_are_byte_identical_from_concurrent_connections() {
         }
     }
 
-    let (serve, wire) = daemon.shutdown();
+    let report = daemon.shutdown();
+    let (serve, wire) = (report.serve, report.daemon);
     assert_eq!(serve.served, 2 * requests.len() as u64);
     assert_eq!(serve.errors, 0);
     assert_eq!(wire.connections_accepted, 2);
@@ -223,7 +224,7 @@ fn malformed_qasm_is_refused_with_its_source_line() {
     assert!(reply.outcome.is_ok(), "connection survives a bad request");
     client.bye().expect("clean goodbye");
 
-    let (_, wire) = daemon.shutdown();
+    let wire = daemon.shutdown().daemon;
     assert_eq!(wire.bad_requests, 1);
     assert_eq!(wire.protocol_errors, 0);
 }
