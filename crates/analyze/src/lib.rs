@@ -1,0 +1,538 @@
+//! `dqc-analyze` — the static diagnostics engine.
+//!
+//! Every other layer of this workspace discovers misconfiguration
+//! *dynamically*: a non-Clifford circuit forced onto the stabilizer
+//! backend fails inside `CompiledCircuit::compile`, an unservable EPR
+//! demand stalls a live engine run, a degenerate `ServeConfig` surprises
+//! a running daemon. This crate proves those properties **before any
+//! simulation budget is spent**, by walking circuits, schedules,
+//! [`dqc_core::DesignSpace`] points,
+//! [`dqc_entanglement::NetworkTopology`] graphs, and
+//! [`ServeConfig`]s without executing anything, and reporting findings as
+//! the coded, JSON-round-tripping [`Diagnostic`] taxonomy from
+//! `dqc_types::diag`.
+//!
+//! The passes:
+//!
+//! * **Circuit lints** — unused qubits (`DQC-W001`), gates applied after
+//!   a qubit's measurement (`DQC-W002`), fully serialized multi-qubit
+//!   circuits with zero schedule slack (`DQC-W004`).
+//! * **Backend-compatibility proofs** — the exact rules
+//!   `CompiledCircuit::compile` enforces, decided at analysis time:
+//!   width vs. data capacity (`DQC-E001`), stabilizer × non-Clifford
+//!   (`DQC-E002`), density × width (`DQC-E003`).
+//! * **Topology checks** — node-count mismatch (`DQC-E004`) and
+//!   disconnected multi-node graphs (`DQC-E005`).
+//! * **Link feasibility** — the partition map and routing table the
+//!   compiler would build give per-link EPR demand; comparing it against
+//!   comm-qubit counts and generation rates yields `DQC-E006`/`DQC-E007`
+//!   (a remote gate can *never* be served) and `DQC-W003` (demand so far
+//!   beyond link capacity that entanglement dominates the schedule).
+//! * **Portfolio hints** — fusable duplicate submissions while replay
+//!   fusion is disabled (`DQC-W005`).
+//! * **Serve-config validation** — re-exported from
+//!   [`ServeConfig::validate`]: budget/floor/rate/burst invariants
+//!   (`DQC-E008`…`DQC-E012`, `DQC-W006`, `DQC-W007`).
+//!
+//! # Examples
+//!
+//! Prove a backend mismatch without compiling:
+//!
+//! ```
+//! use dqc_analyze::Analyzer;
+//! use dqc_core::{Backend, SystemConfig};
+//! use dqc_workloads::PaperBenchmark;
+//!
+//! let config = SystemConfig::paper_two_node_32().with_backend(Backend::Stabilizer);
+//! let circuit = PaperBenchmark::Qft32.circuit(); // controlled-phase: non-Clifford
+//! let report = Analyzer::new().analyze_circuit("QFT-32", &circuit, &config);
+//! assert!(report.codes().any(|c| c == "DQC-E002"));
+//! ```
+
+use dqc_circuit::{Circuit, Gate};
+use dqc_core::{Backend, Design, DesignSpace, SystemConfig, DENSITY_MAX_QUBITS};
+use dqc_entanglement::{NetworkTopology, RoutingTable};
+use dqc_partition::{partition_circuit, partition_circuit_weighted, QubitMap};
+use dqc_serve::ServeConfig;
+use dqc_types::json::{Json, JsonError};
+use dqc_types::{Diagnostic, Site};
+use std::collections::BTreeMap;
+
+mod report;
+
+pub use report::AnalysisReport;
+
+/// The static analyzer: a bundle of pure passes over circuits, system
+/// configurations, topologies, design spaces, portfolios, and serve
+/// configs. Stateless apart from its thresholds; cheap to construct.
+///
+/// Every `analyze_*` method returns an [`AnalysisReport`]; reports
+/// merge, so a front end can fold many subjects into one document.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    /// `DQC-W003` fires when the estimated entanglement-generation time
+    /// exceeds the circuit's critical path by this factor. The default
+    /// (32×) sits ~3× above the paper corpus's worst case (QFT-32 at
+    /// ~10×), so the shipped benchmarks analyze clean while an
+    /// entanglement-starved configuration is still caught.
+    pub epr_stretch_threshold: f64,
+    /// `DQC-W004` ignores circuits shorter than this (a handful of
+    /// serial gates is not a scheduling hazard).
+    pub min_serialized_ops: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self {
+            epr_stretch_threshold: 32.0,
+            min_serialized_ops: 8,
+        }
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with the default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs every circuit-level pass: lints, backend proofs, topology
+    /// checks, and (when the circuit fits a multi-node system) the
+    /// link-feasibility bounds.
+    pub fn analyze_circuit(
+        &self,
+        label: &str,
+        circuit: &Circuit,
+        config: &SystemConfig,
+    ) -> AnalysisReport {
+        let mut report = self.lint_circuit(label, circuit);
+        report.merge(self.analyze_admission(label, circuit, config));
+        // The link-feasibility bounds need the partition map; skip them
+        // when an error above already proves compilation impossible.
+        if !report.has_errors() && config.num_nodes > 1 {
+            report.merge(self.check_links(label, circuit, config));
+        }
+        report
+    }
+
+    /// The cheap O(ops) admission subset: width (`DQC-E001`), backend
+    /// compatibility (`DQC-E002`/`DQC-E003`), and topology sanity
+    /// (`DQC-E004`/`DQC-E005`) — every check that proves a compile
+    /// *must* fail, without partitioning or scheduling anything. This is
+    /// what the `dqc-served` daemon runs on its wire path before
+    /// spending queue space on a submission.
+    pub fn analyze_admission(
+        &self,
+        label: &str,
+        circuit: &Circuit,
+        config: &SystemConfig,
+    ) -> AnalysisReport {
+        let mut report = self.analyze_system(config);
+        let capacity = config.total_data_qubits();
+        if circuit.num_qubits() as usize > capacity {
+            report.push(Diagnostic::new(
+                "DQC-E001",
+                Site::Circuit(label.to_string()),
+                format!(
+                    "circuit uses {} qubits but the system holds {capacity} data qubits \
+                     ({} nodes x {})",
+                    circuit.num_qubits(),
+                    config.num_nodes,
+                    config.data_qubits_per_node
+                ),
+                "shrink the circuit or add nodes/data qubits",
+            ));
+        }
+        report.merge(self.check_backend(label, circuit, config));
+        report
+    }
+
+    /// The execution-free circuit lints: `DQC-W001` (unused qubit),
+    /// `DQC-W002` (gate after measurement), `DQC-W004` (zero slack).
+    pub fn lint_circuit(&self, label: &str, circuit: &Circuit) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        let mut touched = vec![false; circuit.num_qubits() as usize];
+        let mut measured_at: Vec<Option<usize>> = vec![None; circuit.num_qubits() as usize];
+        let mut flagged_after_measure = vec![false; circuit.num_qubits() as usize];
+        for (index, op) in circuit.operations().iter().enumerate() {
+            for &qubit in op.qubits() {
+                let q = qubit.index() as usize;
+                touched[q] = true;
+                if let Some(measure_index) = measured_at[q] {
+                    if !flagged_after_measure[q] {
+                        flagged_after_measure[q] = true;
+                        report.push(Diagnostic::new(
+                            "DQC-W002",
+                            Site::Gate {
+                                circuit: label.to_string(),
+                                index,
+                            },
+                            format!(
+                                "{} acts on qubit {q} after its measurement at op #{measure_index}",
+                                op.gate()
+                            ),
+                            "move the measurement after the qubit's last gate, or drop it",
+                        ));
+                    }
+                }
+                if op.gate() == Gate::Measure {
+                    measured_at[q].get_or_insert(index);
+                }
+            }
+        }
+        for (q, touched) in touched.iter().enumerate() {
+            if !touched {
+                report.push(Diagnostic::new(
+                    "DQC-W001",
+                    Site::Qubit {
+                        circuit: label.to_string(),
+                        qubit: q as u32,
+                    },
+                    format!("qubit {q} is declared but never operated on"),
+                    "narrow the circuit width or add the missing operations",
+                ));
+            }
+        }
+        // Zero slack: every operation sits alone in its dependency layer,
+        // so nothing can ever run in parallel and distribution buys no
+        // depth. `depth()` is the DAG's critical-path length in layers.
+        if circuit.num_qubits() >= 2
+            && circuit.len() >= self.min_serialized_ops
+            && circuit.depth() == circuit.len()
+        {
+            report.push(Diagnostic::new(
+                "DQC-W004",
+                Site::Circuit(label.to_string()),
+                format!(
+                    "all {} operations form one serial chain (critical path = circuit \
+                     length, zero schedule slack)",
+                    circuit.len()
+                ),
+                "restructure for parallelism (e.g. a tree instead of a chain)",
+            ));
+        }
+        report
+    }
+
+    /// The static backend-compatibility proofs, mirroring the rules
+    /// `CompiledCircuit::compile` enforces dynamically.
+    fn check_backend(
+        &self,
+        label: &str,
+        circuit: &Circuit,
+        config: &SystemConfig,
+    ) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        if config.backend == Backend::Stabilizer {
+            if let Some((index, op)) = circuit
+                .operations()
+                .iter()
+                .enumerate()
+                .find(|(_, op)| !op.gate().is_clifford())
+            {
+                report.push(Diagnostic::new(
+                    "DQC-E002",
+                    Site::Gate {
+                        circuit: label.to_string(),
+                        index,
+                    },
+                    format!(
+                        "backend `stabilizer` cannot execute non-Clifford gate {}",
+                        op.gate()
+                    ),
+                    "select the `auto`, `analytic`, or `density` backend, \
+                     or Cliffordize the circuit",
+                ));
+            }
+        }
+        if config.backend == Backend::Density && circuit.num_qubits() > DENSITY_MAX_QUBITS {
+            report.push(Diagnostic::new(
+                "DQC-E003",
+                Site::Circuit(label.to_string()),
+                format!(
+                    "backend `density` is limited to {DENSITY_MAX_QUBITS} qubits but the \
+                     circuit has {}",
+                    circuit.num_qubits()
+                ),
+                "select the `auto` or `analytic` backend for wide circuits",
+            ));
+        }
+        report
+    }
+
+    /// Topology checks of a system configuration: `DQC-E004` node-count
+    /// mismatch, `DQC-E005` disconnected multi-node graph.
+    pub fn analyze_system(&self, config: &SystemConfig) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        if let Some(topology) = &config.topology {
+            report.merge(self.analyze_topology(topology, config.num_nodes));
+        }
+        report
+    }
+
+    /// Checks a topology graph against the node count a configuration
+    /// declares.
+    pub fn analyze_topology(
+        &self,
+        topology: &NetworkTopology,
+        expected_nodes: usize,
+    ) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        if topology.num_nodes() != expected_nodes {
+            report.push(Diagnostic::new(
+                "DQC-E004",
+                Site::Field("topology".to_string()),
+                format!(
+                    "topology spans {} nodes but the configuration declares {expected_nodes}",
+                    topology.num_nodes()
+                ),
+                "make the topology and `num_nodes` agree",
+            ));
+        } else if expected_nodes > 1 && !topology.is_connected() {
+            report.push(Diagnostic::new(
+                "DQC-E005",
+                Site::Field("topology".to_string()),
+                "the topology is disconnected: some node pairs have no entanglement route"
+                    .to_string(),
+                "add links until every node is reachable",
+            ));
+        }
+        report
+    }
+
+    /// The per-link EPR-demand feasibility bounds. Mirrors the compiler's
+    /// partitioning (same strategy, seed, and hop weights) to place
+    /// qubits, routes every remote gate over the configured topology, and
+    /// compares demand against what the comm qubits can generate.
+    fn check_links(&self, label: &str, circuit: &Circuit, config: &SystemConfig) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        let Some(map) = mirror_partition(circuit, config) else {
+            return report; // partitioner failure surfaces at compile time
+        };
+        let remote_gates = map.count_remote(circuit);
+        if remote_gates == 0 {
+            return report;
+        }
+        let site = Site::Circuit(label.to_string());
+        if config.comm_qubits_per_node == 0 {
+            report.push(Diagnostic::new(
+                "DQC-E006",
+                site,
+                format!(
+                    "{remote_gates} remote gates need entanglement but \
+                     `comm_qubits_per_node` is 0"
+                ),
+                "provision communication qubits or repartition onto one node",
+            ));
+            return report;
+        }
+        let links_per_gate = config.remote_protocol.links_per_gate();
+        let holdable = config.comm_qubits_per_node + config.buffer_qubits_per_node;
+        if links_per_gate > holdable {
+            report.push(Diagnostic::new(
+                "DQC-E007",
+                site,
+                format!(
+                    "protocol `{}` holds {links_per_gate} EPR pairs per remote gate but a \
+                     node stores at most {holdable} (comm {} + buffer {})",
+                    config.remote_protocol,
+                    config.comm_qubits_per_node,
+                    config.buffer_qubits_per_node
+                ),
+                "add comm/buffer qubits or switch to gate teleportation",
+            ));
+            return report;
+        }
+        // Demand per physical link: every remote gate consumes
+        // `links_per_gate` end-to-end pairs; over a sparse topology each
+        // pair is built by swap chains that occupy every edge of the
+        // route. A link generates at most one attempt per comm qubit per
+        // EPR cycle, each succeeding with `success_probability`.
+        let routing = config.topology.as_ref().map(RoutingTable::new);
+        let mut demand: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for op in circuit.operations() {
+            if !map.is_remote(op) {
+                continue;
+            }
+            let a = map.node_of(op.qubits()[0]);
+            let b = map.node_of(op.qubits()[1]);
+            match &routing {
+                Some(table) => {
+                    if let Some(route) = table.route(a, b) {
+                        for (x, y) in route.edges() {
+                            let key = ordered(x.index() as usize, y.index() as usize);
+                            *demand.entry(key).or_insert(0) += links_per_gate;
+                        }
+                    }
+                }
+                None => {
+                    let key = ordered(a.index() as usize, b.index() as usize);
+                    *demand.entry(key).or_insert(0) += links_per_gate;
+                }
+            }
+        }
+        let Some((&(a, b), &peak)) = demand.iter().max_by_key(|(_, &count)| count) else {
+            return report;
+        };
+        let rate = config.comm_qubits_per_node as f64 * config.success_probability;
+        let generation_ticks =
+            peak as f64 * config.latencies.epr_cycle.ticks() as f64 / rate.max(f64::MIN_POSITIVE);
+        let critical_path_ticks = (circuit.timed_depth().ticks() as f64).max(1.0);
+        let stretch = generation_ticks / critical_path_ticks;
+        if stretch > self.epr_stretch_threshold {
+            report.push(Diagnostic::new(
+                "DQC-W003",
+                Site::Link { a, b },
+                format!(
+                    "link {a}-{b} must supply {peak} EPR pairs, ~{generation_ticks:.0} ticks \
+                     of generation against a {critical_path_ticks:.0}-tick critical path \
+                     ({stretch:.1}x stretch) for `{label}`"
+                ),
+                "add comm qubits, raise the success probability, or cut fewer gates \
+                 across this link",
+            ));
+        }
+        report
+    }
+
+    /// Analyzes every point of a design space against a circuit,
+    /// error-level checks only — the prefilter `dqc-codesign` runs before
+    /// spending replay budget. Returns the statically infeasible point
+    /// indices with the proof for each.
+    pub fn infeasible_points(
+        &self,
+        space: &DesignSpace,
+        circuit_label: &str,
+        circuit: &Circuit,
+        indices: &[usize],
+    ) -> Vec<(usize, AnalysisReport)> {
+        let mut pruned = Vec::new();
+        for &index in indices {
+            let Ok(point) = space.point(index) else {
+                continue; // out-of-range indices fail in the sweep itself
+            };
+            let scenario = space.realize(&point);
+            let mut report = AnalysisReport::default();
+            let capacity = scenario.config.total_data_qubits();
+            if circuit.num_qubits() as usize > capacity {
+                report.push(Diagnostic::new(
+                    "DQC-E001",
+                    Site::Point(format!("{circuit_label}@{index}")),
+                    format!(
+                        "circuit uses {} qubits but point {index} holds {capacity}",
+                        circuit.num_qubits()
+                    ),
+                    "drop the point from the space or widen its hardware",
+                ));
+            }
+            report.merge(self.check_backend(circuit_label, circuit, &scenario.config));
+            report.merge(self.analyze_system(&scenario.config));
+            report.retain_errors();
+            if report.has_errors() {
+                pruned.push((index, report));
+            }
+        }
+        pruned
+    }
+
+    /// Validates a serving configuration (delegates to
+    /// [`ServeConfig::validate`], which owns the invariants).
+    pub fn analyze_serve_config(&self, config: &ServeConfig) -> AnalysisReport {
+        AnalysisReport::from(config.validate())
+    }
+
+    /// Fusion-eligibility hints for a batch portfolio: when replay fusion
+    /// is disabled but the portfolio repeats (circuit, point, design)
+    /// combinations, each repeated group is flagged `DQC-W005` — those
+    /// replays would coalesce for free with fusion on.
+    pub fn analyze_portfolio(
+        &self,
+        items: &[PortfolioItem<'_>],
+        config: &ServeConfig,
+    ) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        if config.fusion {
+            return report;
+        }
+        let mut groups: BTreeMap<(u64, &str, String), (usize, &str)> = BTreeMap::new();
+        for item in items {
+            let key = (
+                item.circuit.fingerprint(),
+                item.point,
+                item.design.to_string(),
+            );
+            let entry = groups.entry(key).or_insert((0, item.label));
+            entry.0 += 1;
+        }
+        for ((_, point, design), (count, label)) in groups {
+            if count > 1 {
+                report.push(Diagnostic::new(
+                    "DQC-W005",
+                    Site::Point(point.to_string()),
+                    format!(
+                        "`{label}` x {design} is submitted {count} times to `{point}` \
+                         but replay fusion is disabled"
+                    ),
+                    "enable `fusion` so duplicate replays coalesce into one",
+                ));
+            }
+        }
+        report
+    }
+}
+
+/// One portfolio entry for [`Analyzer::analyze_portfolio`].
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioItem<'a> {
+    /// The submission's circuit label.
+    pub label: &'a str,
+    /// The circuit itself.
+    pub circuit: &'a Circuit,
+    /// The hardware point it targets.
+    pub point: &'a str,
+    /// The design it runs.
+    pub design: Design,
+}
+
+/// Reproduces the compiler's qubit placement: same strategy selection,
+/// same seed, same hop weights — so the analyzer reasons about the
+/// partition the engine would actually use.
+fn mirror_partition(circuit: &Circuit, config: &SystemConfig) -> Option<QubitMap> {
+    use dqc_core::PartitionStrategy::{Auto, HopWeighted, Unweighted};
+    let routing = config.topology.as_ref().map(RoutingTable::new);
+    let weighted = |matrix: Vec<Vec<u64>>| {
+        partition_circuit_weighted(circuit, config.num_nodes, config.partition_seed, &matrix).ok()
+    };
+    match (config.partitioner, &routing) {
+        (Auto | HopWeighted, Some(table)) => weighted(table.hop_distance_matrix()),
+        (Auto | Unweighted, None) | (Unweighted, Some(_)) => {
+            partition_circuit(circuit, config.num_nodes, config.partition_seed).ok()
+        }
+        (HopWeighted, None) => {
+            weighted(NetworkTopology::all_to_all(config.num_nodes).hop_distance_matrix())
+        }
+    }
+}
+
+/// Orders a node pair so links hash consistently regardless of gate
+/// direction.
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+// Re-exports the CLI and the fixture tests lean on.
+pub use dqc_types::diag::{code_info, CodeInfo, REGISTRY};
+
+/// Parses a JSON array of diagnostics (the CLI's `--format json` output
+/// payload) back into typed findings.
+pub fn diagnostics_from_json(json: &Json) -> Result<Vec<Diagnostic>, JsonError> {
+    json.as_array()
+        .ok_or_else(|| JsonError::schema("diagnostics payload must be an array"))?
+        .iter()
+        .map(Diagnostic::from_json)
+        .collect()
+}

@@ -1,0 +1,200 @@
+//! `dqc-analyze` — the static-analysis command line.
+//!
+//! ```text
+//! dqc-analyze [SUBJECT...] [--point paper32|paper64] [--format text|json]
+//!             [--deny warnings] [--out FILE] [--corpus]
+//!
+//! SUBJECT: FILE.qasm   an OpenQASM 2.0 circuit, analyzed against --point
+//!        | FILE.json   a ServeConfig document
+//! ```
+//!
+//! Without subjects it analyzes the builtin corpus: every paper
+//! benchmark on its matching hardware point plus the default serving
+//! configuration. Exit status: 0 clean (or only undenied warnings),
+//! 1 findings that fail the severity gate, 2 usage or I/O errors.
+
+use dqc_analyze::{AnalysisReport, Analyzer};
+use dqc_core::SystemConfig;
+use dqc_serve::ServeConfig;
+use dqc_types::Json;
+use dqc_workloads::PaperBenchmark;
+use std::process::ExitCode;
+
+/// Output rendering selected by `--format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut subjects: Vec<String> = Vec::new();
+    let mut format = Format::Text;
+    let mut deny_warnings = false;
+    let mut corpus = false;
+    let mut point = "paper32".to_string();
+    let mut out: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `text` or `json`"),
+            },
+            "--deny" => match iter.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                _ => return usage("--deny needs `warnings`"),
+            },
+            "--point" => match iter.next() {
+                Some(name) => point = name.clone(),
+                None => return usage("--point needs a hardware-point name"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return usage("--out needs a file path"),
+            },
+            "--corpus" => corpus = true,
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => subjects.push(other.to_string()),
+        }
+    }
+    let Some(point_config) = point_config(&point) else {
+        return usage(&format!("unknown hardware point `{point}`"));
+    };
+    if subjects.is_empty() {
+        corpus = true;
+    }
+
+    let analyzer = Analyzer::new();
+    let mut failed = false;
+    let mut merged = AnalysisReport::default();
+    let mut analyzed: Vec<(String, AnalysisReport)> = Vec::new();
+
+    if corpus {
+        for bench in PaperBenchmark::ALL {
+            let config = match bench.num_qubits() {
+                32 => SystemConfig::paper_two_node_32(),
+                _ => SystemConfig::paper_two_node_64(),
+            };
+            let label = bench.to_string();
+            let report = analyzer.analyze_circuit(&label, &bench.circuit(), &config);
+            analyzed.push((format!("builtin circuit {label}"), report));
+        }
+        analyzed.push((
+            "builtin default ServeConfig".to_string(),
+            analyzer.analyze_serve_config(&ServeConfig::default()),
+        ));
+    }
+    for subject in &subjects {
+        let report = match analyze_file(&analyzer, subject, &point, &point_config) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        };
+        analyzed.push((subject.clone(), report));
+    }
+
+    for (subject, report) in analyzed {
+        failed |= report.should_fail(deny_warnings);
+        if format == Format::Text {
+            let (errors, warnings) = report.counts();
+            if report.is_clean() {
+                println!("{subject}: clean");
+            } else {
+                println!("{subject}: {errors} error(s), {warnings} warning(s)");
+                for diagnostic in report.diagnostics() {
+                    println!("  {diagnostic}");
+                }
+            }
+        }
+        merged.merge(report);
+    }
+
+    if format == Format::Json {
+        let text = merged.to_json().to_pretty_string();
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+    } else if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, merged.to_json().to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The named builtin hardware points the CLI can analyze circuits
+/// against (the same registry the `dqc-served` daemon offers).
+fn point_config(name: &str) -> Option<SystemConfig> {
+    match name {
+        "paper32" => Some(SystemConfig::paper_two_node_32()),
+        "paper64" => Some(SystemConfig::paper_two_node_64()),
+        _ => None,
+    }
+}
+
+/// Dispatches one subject file by extension: `.qasm` circuits are
+/// analyzed against the selected point, `.json` documents as serving
+/// configurations.
+fn analyze_file(
+    analyzer: &Analyzer,
+    path: &str,
+    point: &str,
+    point_config: &SystemConfig,
+) -> Result<AnalysisReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".qasm") {
+        let circuit = dqc_circuit::from_qasm(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(analyzer.analyze_circuit(&format!("{path}@{point}"), &circuit, point_config))
+    } else if path.ends_with(".json") {
+        let json = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+        match ServeConfig::from_json(&json) {
+            Ok(config) => Ok(analyzer.analyze_serve_config(&config)),
+            // An invalid config is a finding, not a crash: surface the
+            // loader's typed refusal as the analysis outcome.
+            Err(e) => Err(format!("{path}: {e}")),
+        }
+    } else {
+        Err(format!(
+            "{path}: unknown subject type (expected .qasm or .json)"
+        ))
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: dqc-analyze [SUBJECT...] [--point paper32|paper64] [--format text|json]\n\
+         \x20                  [--deny warnings] [--out FILE] [--corpus]\n\
+         subjects: FILE.qasm (circuit, analyzed against --point) | FILE.json (ServeConfig)\n\
+         default (no subjects): the builtin paper corpus"
+    );
+    if message.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

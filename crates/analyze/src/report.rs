@@ -1,0 +1,198 @@
+//! The analyzer's result container: an ordered list of diagnostics with
+//! severity accounting and JSON round-tripping.
+
+use dqc_types::json::{Json, JsonError};
+use dqc_types::{Diagnostic, Severity};
+use std::fmt;
+
+/// An ordered collection of findings from one or more passes. Reports
+/// merge, so front ends can fold a whole corpus into one document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Adds one finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every finding of `other`, preserving order.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Drops every warning, keeping errors only (the co-design
+    /// prefilter's view: warnings never prune search budget).
+    pub fn retain_errors(&mut self) {
+        self.diagnostics.retain(Diagnostic::is_error);
+    }
+
+    /// The findings, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Consumes the report, yielding its findings.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diagnostics
+    }
+
+    /// The codes present, in emission order (with repeats).
+    pub fn codes(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.diagnostics.iter().map(|d| d.code)
+    }
+
+    /// True when no pass found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Error / warning counts, in that order.
+    pub fn counts(&self) -> (usize, usize) {
+        let errors = self.diagnostics.iter().filter(|d| d.is_error()).count();
+        (errors, self.diagnostics.len() - errors)
+    }
+
+    /// Whether a front end should fail: any error, or any warning under
+    /// `--deny warnings`.
+    pub fn should_fail(&self, deny_warnings: bool) -> bool {
+        self.diagnostics.iter().any(|d| {
+            d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warning)
+        })
+    }
+
+    /// Serializes the report as `{"diagnostics": [...], "errors": N,
+    /// "warnings": N}`.
+    pub fn to_json(&self) -> Json {
+        let (errors, warnings) = self.counts();
+        Json::object([
+            (
+                "diagnostics",
+                Json::from(
+                    self.diagnostics
+                        .iter()
+                        .map(Diagnostic::to_json)
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("errors", Json::from(errors)),
+            ("warnings", Json::from(warnings)),
+        ])
+    }
+
+    /// Reads a report back from [`AnalysisReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a malformed document or counts that
+    /// contradict the findings.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let diagnostics: Vec<Diagnostic> = json
+            .array_field("diagnostics")?
+            .iter()
+            .map(Diagnostic::from_json)
+            .collect::<Result<_, _>>()?;
+        let report = Self { diagnostics };
+        let (errors, warnings) = report.counts();
+        if errors != json.usize_field("errors")? || warnings != json.usize_field("warnings")? {
+            return Err(JsonError::schema(
+                "diagnostic counts contradict the findings list",
+            ));
+        }
+        Ok(report)
+    }
+}
+
+impl From<Vec<Diagnostic>> for AnalysisReport {
+    fn from(diagnostics: Vec<Diagnostic>) -> Self {
+        Self { diagnostics }
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean (no diagnostics)");
+        }
+        for (i, diagnostic) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{diagnostic}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_types::Site;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport::from(vec![
+            Diagnostic::new(
+                "DQC-E001",
+                Site::Circuit("qft-64".to_string()),
+                "too wide",
+                "shrink it",
+            ),
+            Diagnostic::new(
+                "DQC-W001",
+                Site::Qubit {
+                    circuit: "qft-64".to_string(),
+                    qubit: 5,
+                },
+                "unused",
+                "remove it",
+            ),
+        ])
+    }
+
+    #[test]
+    fn report_round_trips_and_counts() {
+        let report = sample();
+        assert_eq!(report.counts(), (1, 1));
+        assert!(report.has_errors());
+        assert!(report.should_fail(false));
+        let text = report.to_json().to_pretty_string();
+        let back = AnalysisReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn warnings_fail_only_when_denied() {
+        let mut report = sample();
+        report.retain_errors();
+        assert_eq!(report.counts(), (1, 0));
+        let warnings_only = AnalysisReport::from(vec![Diagnostic::new(
+            "DQC-W004",
+            Site::Circuit("ghz".to_string()),
+            "serial",
+            "tree",
+        )]);
+        assert!(!warnings_only.should_fail(false));
+        assert!(warnings_only.should_fail(true));
+        assert!(!warnings_only.has_errors());
+    }
+
+    #[test]
+    fn tampered_counts_are_schema_errors() {
+        let mut json = sample().to_json();
+        if let Json::Object(members) = &mut json {
+            for (key, value) in members.iter_mut() {
+                if key == "errors" {
+                    *value = Json::from(7usize);
+                }
+            }
+        }
+        assert!(AnalysisReport::from_json(&json).is_err());
+    }
+}

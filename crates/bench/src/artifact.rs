@@ -38,6 +38,7 @@ const TARGET_NAMES: &[&str] = &[
     "ablate-protocol",
     "ablate-purification",
     "backend-matrix",
+    "analyze",
 ];
 
 /// The names of every target that can emit a JSON artifact.
@@ -176,6 +177,7 @@ pub fn target_data(target: &str, runs: usize, seed: u64) -> Result<Json, DqcErro
         "ablate-protocol" => crate::protocol_ablation_sweep(runs, seed)?.to_json(),
         "ablate-purification" => crate::purification_ablation_sweep(runs, seed)?.to_json(),
         "backend-matrix" => crate::backend_matrix_sweep(runs, seed)?.to_json(),
+        "analyze" => crate::analyze_data(),
         other => panic!("unknown artifact target `{other}`"),
     })
 }

@@ -11,7 +11,7 @@
 //!       | topology-sweep | codesign
 //!       | ablate-cutoff | ablate-psucc | ablate-segment
 //!       | ablate-protocol | ablate-purification
-//!       | backend-matrix
+//!       | backend-matrix | analyze
 //!       | ablations (all five) | all
 //!
 //! `fig56` prints Figures 5 and 6 from one shared sweep; `all` uses it
@@ -19,7 +19,8 @@
 //! the simulation engine every target runs on (default `analytic`, the
 //! bit-for-bit reference; `auto` upgrades Clifford-only circuits to the
 //! stabilizer fast path); `backend-matrix` sweeps all engines explicitly
-//! and ignores the flag.
+//! and ignores the flag; `analyze` runs the static analyzer over the
+//! shipped corpus without executing anything.
 //! ```
 //!
 //! Without arguments it runs everything with the paper's 50-run averages
@@ -66,6 +67,7 @@ const TARGETS: &[(&str, Runner)] = &[
     ("ablate-protocol", dqc_bench::run_protocol_ablation),
     ("ablate-purification", dqc_bench::run_purification_ablation),
     ("backend-matrix", dqc_bench::run_backend_matrix),
+    ("analyze", dqc_bench::run_analyze),
 ];
 
 /// Output rendering selected by `--format`.
@@ -305,7 +307,7 @@ fn usage(message: &str) -> ExitCode {
          \x20        topology-sweep codesign\n\
          \x20        ablate-cutoff ablate-psucc ablate-segment\n\
          \x20        ablate-protocol ablate-purification\n\
-         \x20        backend-matrix\n\
+         \x20        backend-matrix analyze\n\
          \x20        ablations (all five ablations) | all (everything)"
     );
     if message.is_empty() {

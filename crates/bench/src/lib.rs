@@ -1516,6 +1516,80 @@ pub fn run_sequential_baseline(
     Ok(())
 }
 
+// ------------------------------------------------------- Static analysis
+
+/// The corpus the `analyze` repro target audits: every paper benchmark
+/// against its matching hardware point, the default serving
+/// configuration, and a 12-request portfolio audit — everything the
+/// repo ships, proven clean by the static analyzer on every CI run.
+/// Fully deterministic (no simulation happens), so the payload diffs
+/// exactly against its golden file.
+pub fn analyze_data() -> Json {
+    let analyzer = dqc_analyze::Analyzer::new();
+    let mut subjects: Vec<Json> = Vec::new();
+    for bench in PaperBenchmark::ALL {
+        let (point, config) = match bench.num_qubits() {
+            32 => ("paper32", SystemConfig::paper_two_node_32()),
+            _ => ("paper64", SystemConfig::paper_two_node_64()),
+        };
+        let report = analyzer.analyze_circuit(&bench.to_string(), &bench.circuit(), &config);
+        subjects.push(analyze_subject(&bench.to_string(), point, &report));
+    }
+    let serve_config = dqc_serve::ServeConfig::default();
+    subjects.push(analyze_subject(
+        "default ServeConfig",
+        "-",
+        &analyzer.analyze_serve_config(&serve_config),
+    ));
+    let requests = portfolio_requests(12, 1, BASE_SEED, "paper", &[Design::AdaptBuf]);
+    let items: Vec<dqc_analyze::PortfolioItem<'_>> = requests
+        .iter()
+        .map(|r| dqc_analyze::PortfolioItem {
+            label: &r.circuit_label,
+            circuit: r.circuit.as_ref(),
+            point: &r.point,
+            design: r.design,
+        })
+        .collect();
+    subjects.push(analyze_subject(
+        "serve portfolio (12 requests)",
+        "paper",
+        &analyzer.analyze_portfolio(&items, &serve_config),
+    ));
+    Json::Array(subjects)
+}
+
+/// One row of the `analyze` payload.
+fn analyze_subject(label: &str, point: &str, report: &dqc_analyze::AnalysisReport) -> Json {
+    Json::object([
+        ("label", Json::from(label)),
+        ("point", Json::from(point)),
+        ("report", report.to_json()),
+    ])
+}
+
+/// Prints the static-analysis audit of the shipped corpus.
+pub fn run_analyze(_runs: usize, _seed: u64) -> Result<(), DqcError> {
+    println!("STATIC ANALYSIS (shipped corpus, no execution)");
+    for subject in analyze_data().as_array().expect("analyze payload is rows") {
+        let label = subject.str_field("label").expect("row has a label");
+        let report = dqc_analyze::AnalysisReport::from_json(
+            subject.field("report").expect("row has a report"),
+        )
+        .expect("payload reports are well-formed");
+        let (errors, warnings) = report.counts();
+        if report.is_clean() {
+            println!("  {label:<28} clean");
+        } else {
+            println!("  {label:<28} {errors} error(s), {warnings} warning(s)");
+            for diagnostic in report.diagnostics() {
+                println!("    {diagnostic}");
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,9 @@ pub struct CodesignResult {
     pub frontier: Vec<usize>,
     /// `CompiledCircuit`s built: one per distinct hardware configuration.
     pub compilations: usize,
+    /// Points the static analyzer proved infeasible and the search never
+    /// evaluated (budget returned to the caller for free).
+    pub pruned: usize,
 }
 
 impl CodesignResult {
@@ -157,6 +160,7 @@ impl CodesignResult {
                 Json::Array(self.frontier.iter().map(|&i| Json::from(i)).collect()),
             ),
             ("compilations", Json::from(self.compilations)),
+            ("pruned", Json::from(self.pruned)),
         ])
     }
 
@@ -196,6 +200,7 @@ impl CodesignResult {
             candidates,
             frontier,
             compilations: json.usize_field("compilations")?,
+            pruned: json.usize_field("pruned")?,
         })
     }
 }
@@ -286,7 +291,22 @@ impl Codesign {
     /// selections, zero runs, and engine failures.
     pub fn run(&self) -> Result<CodesignResult, DqcError> {
         self.space.validate()?;
-        let indices = self.strategy.select(self.space.len());
+        let mut indices = self.strategy.select(self.space.len());
+        // Static prefilter: points the analyzer proves can never compile
+        // (backend × circuit class, width, broken topology) are dropped
+        // before they consume replay budget. Warnings never prune.
+        let infeasible = dqc_analyze::Analyzer::new().infeasible_points(
+            &self.space,
+            &self.circuit_label,
+            &self.circuit,
+            &indices,
+        );
+        let pruned = infeasible.len();
+        if pruned > 0 {
+            let dropped: std::collections::BTreeSet<usize> =
+                infeasible.into_iter().map(|(index, _)| index).collect();
+            indices.retain(|index| !dropped.contains(index));
+        }
         let result = self
             .space
             .sweep()
@@ -321,6 +341,7 @@ impl Codesign {
             candidates,
             frontier,
             compilations: result.compilations,
+            pruned,
         })
     }
 }
@@ -532,6 +553,49 @@ mod tests {
         );
         assert_eq!(analytic.report, stabilizer.report);
         assert_eq!(analytic.objectives, stabilizer.objectives);
+    }
+
+    #[test]
+    fn statically_infeasible_points_are_pruned_before_evaluation() {
+        // QFT-32 is non-Clifford, so the stabilizer point can never
+        // compile (DQC-E002): the prefilter must drop it without touching
+        // the engine, and the surviving point's evaluation must be
+        // exactly what a search without the doomed axis value produces.
+        use dqc_core::Backend;
+        use dqc_types::AxisId;
+        let mixed = Codesign::benchmark(
+            PaperBenchmark::Qft32,
+            DesignSpace::new(SystemConfig::paper_two_node_32())
+                .backends(&[Backend::Analytic, Backend::Stabilizer])
+                .designs(&[Design::AsyncBuf]),
+        )
+        .base_seed(11)
+        .run()
+        .unwrap();
+        assert_eq!(mixed.pruned, 1);
+        assert_eq!(mixed.candidates.len(), 1);
+        assert_eq!(mixed.compilations, 1);
+        assert_eq!(
+            mixed.candidates[0].key.get(AxisId::Backend),
+            Some(&AxisValue::Backend(Backend::Analytic))
+        );
+        let clean = Codesign::benchmark(
+            PaperBenchmark::Qft32,
+            DesignSpace::new(SystemConfig::paper_two_node_32())
+                .backends(&[Backend::Analytic])
+                .designs(&[Design::AsyncBuf]),
+        )
+        .base_seed(11)
+        .run()
+        .unwrap();
+        assert_eq!(clean.pruned, 0);
+        assert_eq!(mixed.candidates[0].key, clean.candidates[0].key);
+        assert_eq!(mixed.candidates[0].report, clean.candidates[0].report);
+        assert_eq!(
+            mixed.candidates[0].objectives,
+            clean.candidates[0].objectives
+        );
+        assert_eq!(mixed.frontier, clean.frontier);
     }
 
     #[test]

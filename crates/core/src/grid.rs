@@ -44,7 +44,7 @@ impl GridPlan<'_> {
     /// cell (in parallel), collecting reports in cell order. The number of
     /// compilations performed is always exactly `pairs.len()`; callers
     /// read it off the plan.
-    pub fn execute(&self) -> Result<Vec<AveragedReport>, DqcError> {
+    pub(crate) fn execute(&self) -> Result<Vec<AveragedReport>, DqcError> {
         // Compile phase: exactly once per (circuit, config) pair. The
         // compilations are independent and dominate wall-clock for small
         // run counts, so they go through the same worker-pool pattern as

@@ -15,7 +15,7 @@
 //! is present with the wrong type is a schema error — a typo'd value
 //! never silently becomes a default.
 
-use dqc_types::{Json, JsonError};
+use dqc_types::{Diagnostic, Json, JsonError, Site};
 
 /// A sustained-rate limit: a token bucket refilled at `per_sec`, capped
 /// at `burst` tokens.
@@ -256,11 +256,17 @@ impl ServeConfig {
 
     /// Reads a config back from [`ServeConfig::to_json`] output — or
     /// from a hand-written partial document: missing or `null` members
-    /// take their defaults, mistyped members are schema errors.
+    /// take their defaults, mistyped members are schema errors, and a
+    /// document whose *values* violate an invariant
+    /// ([`ServeConfig::validate`] at error level — a zero-capacity
+    /// queue, `min_workers` beyond the `worker_budget`, a non-positive
+    /// rate limit) is refused with the offending diagnostic codes
+    /// instead of being silently repaired.
     ///
     /// # Errors
     ///
-    /// [`JsonError::Schema`] on a mistyped field.
+    /// [`JsonError::Schema`] on a mistyped field or an error-level
+    /// validation finding.
     pub fn from_json(json: &Json) -> Result<Self, JsonError> {
         let defaults = Self::default();
         let autoscale = match json.get("autoscale") {
@@ -275,16 +281,12 @@ impl ServeConfig {
             None | Some(Json::Null) => QuotaConfig::default(),
             Some(value) => QuotaConfig::from_json(value)?,
         };
-        Ok(Self {
+        let config = Self {
             workers_per_shard: opt_usize(json, "workers_per_shard")?
                 .unwrap_or(defaults.workers_per_shard),
-            queue_capacity: opt_usize(json, "queue_capacity")?
-                .unwrap_or(defaults.queue_capacity)
-                .max(1),
+            queue_capacity: opt_usize(json, "queue_capacity")?.unwrap_or(defaults.queue_capacity),
             cache_capacity: opt_usize(json, "cache_capacity")?.unwrap_or(defaults.cache_capacity),
-            batch_max: opt_usize(json, "batch_max")?
-                .unwrap_or(defaults.batch_max)
-                .max(1),
+            batch_max: opt_usize(json, "batch_max")?.unwrap_or(defaults.batch_max),
             fusion: match json.get("fusion") {
                 None | Some(Json::Null) => defaults.fusion,
                 Some(_) => json.bool_field("fusion")?,
@@ -292,7 +294,117 @@ impl ServeConfig {
             worker_budget,
             autoscale,
             quota,
-        })
+        };
+        let findings = config.validate();
+        let mut errors = findings.iter().filter(|d| d.is_error()).peekable();
+        if errors.peek().is_some() {
+            let summary: Vec<String> = errors.map(|d| format!("{d}")).collect();
+            return Err(JsonError::schema(format!(
+                "invalid serving configuration: {}",
+                summary.join("; ")
+            )));
+        }
+        Ok(config)
+    }
+
+    /// Statically validates the configuration, returning every finding
+    /// as a coded diagnostic (see `dqc_types::diag::REGISTRY`).
+    ///
+    /// Errors are invariant violations under which the server cannot do
+    /// useful work — a queue or batch bound of zero (`DQC-E009`), an
+    /// in-flight quota of zero that blocks every submission
+    /// (`DQC-E012`), a non-positive or non-finite rate limit
+    /// (`DQC-E010`), an autoscale worker floor beyond the worker budget
+    /// (`DQC-E008`), or inverted/out-of-range pressure thresholds
+    /// (`DQC-E011`). Warnings flag legal but surprising settings: a
+    /// disabled compile cache (`DQC-W006`) and zero autoscale
+    /// hysteresis (`DQC-W007`).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut findings = Vec::new();
+        let field = |path: &str| Site::Field(path.to_string());
+        if self.queue_capacity == 0 {
+            findings.push(Diagnostic::new(
+                "DQC-E009",
+                field("queue_capacity"),
+                "a zero-capacity shard queue can never admit a request",
+                "set `queue_capacity` to at least 1",
+            ));
+        }
+        if self.batch_max == 0 {
+            findings.push(Diagnostic::new(
+                "DQC-E009",
+                field("batch_max"),
+                "a zero batch bound means a worker wake-up can never drain work",
+                "set `batch_max` to at least 1",
+            ));
+        }
+        if self.cache_capacity == 0 {
+            findings.push(Diagnostic::new(
+                "DQC-W006",
+                field("cache_capacity"),
+                "the warm compile cache is disabled: every request recompiles",
+                "set `cache_capacity` > 0 unless benchmarking the cold path",
+            ));
+        }
+        if self.quota.max_in_flight == Some(0) {
+            findings.push(Diagnostic::new(
+                "DQC-E012",
+                field("quota.max_in_flight"),
+                "an in-flight quota of 0 refuses every submission from every client",
+                "raise the quota or set it to null to disable",
+            ));
+        }
+        if let Some(rate) = &self.quota.rate {
+            for (value, path) in [
+                (rate.per_sec, "quota.rate.per_sec"),
+                (rate.burst, "quota.rate.burst"),
+            ] {
+                if !(value.is_finite() && value > 0.0) {
+                    findings.push(Diagnostic::new(
+                        "DQC-E010",
+                        field(path),
+                        format!("rate-limit term {value} admits no requests"),
+                        "use a finite, positive rate, or null to disable the limit",
+                    ));
+                }
+            }
+        }
+        if let Some(policy) = &self.autoscale {
+            if let Some(budget) = self.worker_budget {
+                if policy.min_workers > budget {
+                    findings.push(Diagnostic::new(
+                        "DQC-E008",
+                        field("autoscale.min_workers"),
+                        format!(
+                            "per-shard worker floor {} exceeds the total worker budget {budget}",
+                            policy.min_workers
+                        ),
+                        "raise `worker_budget` or lower `autoscale.min_workers`",
+                    ));
+                }
+            }
+            let (hot, cold) = (policy.hot_fraction, policy.cold_fraction);
+            if !(hot.is_finite() && cold.is_finite() && 0.0 <= cold && cold < hot && hot <= 1.0) {
+                findings.push(Diagnostic::new(
+                    "DQC-E011",
+                    field("autoscale.hot_fraction"),
+                    format!(
+                        "pressure thresholds must satisfy 0 <= cold < hot <= 1; got \
+                         cold={cold}, hot={hot}"
+                    ),
+                    "pick fractions of queue capacity with cold strictly below hot",
+                ));
+            }
+            if policy.hysteresis_ticks == 0 {
+                findings.push(Diagnostic::new(
+                    "DQC-W007",
+                    field("autoscale.hysteresis_ticks"),
+                    "zero hysteresis lets a single bursty sample rebalance workers every tick",
+                    "use at least 1 tick of hysteresis to damp thrashing",
+                ));
+            }
+        }
+        findings
     }
 }
 
@@ -408,11 +520,53 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_bounds_are_clamped_like_the_builder_setters() {
-        let parsed = Json::parse(r#"{"queue_capacity": 0, "batch_max": 0}"#).unwrap();
-        let config = ServeConfig::from_json(&parsed).unwrap();
-        assert_eq!(config.queue_capacity, 1);
-        assert_eq!(config.batch_max, 1);
+    fn degenerate_bounds_are_typed_load_errors_not_silent_repairs() {
+        // A hand-written config with a zero queue or batch bound used to
+        // be clamped to 1; it is now refused with the diagnostic codes.
+        for (doc, code) in [
+            (r#"{"queue_capacity": 0}"#, "DQC-E009"),
+            (r#"{"batch_max": 0}"#, "DQC-E009"),
+            (r#"{"quota": {"max_in_flight": 0}}"#, "DQC-E012"),
+            (
+                r#"{"quota": {"rate": {"per_sec": 0.0, "burst": 4.0}}}"#,
+                "DQC-E010",
+            ),
+            (
+                r#"{"worker_budget": 2, "autoscale": {"min_workers": 3}}"#,
+                "DQC-E008",
+            ),
+            (
+                r#"{"autoscale": {"hot_fraction": 0.1, "cold_fraction": 0.5}}"#,
+                "DQC-E011",
+            ),
+        ] {
+            let parsed = Json::parse(doc).unwrap();
+            let error = ServeConfig::from_json(&parsed).unwrap_err();
+            assert!(error.to_string().contains(code), "{doc}: {error}");
+        }
+    }
+
+    #[test]
+    fn validate_separates_warnings_from_errors() {
+        let defaults = ServeConfig::default();
+        assert!(defaults.validate().is_empty(), "defaults analyze clean");
+
+        let warned = ServeConfig {
+            cache_capacity: 0,
+            autoscale: Some(AutoscalePolicy {
+                hysteresis_ticks: 0,
+                ..AutoscalePolicy::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let findings = warned.validate();
+        let codes: Vec<&str> = findings.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["DQC-W006", "DQC-W007"]);
+        assert!(findings.iter().all(|d| !d.is_error()));
+        // Warnings do not block loading.
+        let text = warned.to_json().to_pretty_string();
+        let back = ServeConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, warned);
     }
 
     #[test]

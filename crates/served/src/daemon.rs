@@ -767,6 +767,28 @@ fn handle_submit(
             return;
         }
     };
+    // Static admission analysis: prove the submission can compile on its
+    // target point before it costs queue space or a worker. Only the
+    // cheap O(ops) subset runs on the wire path.
+    if let Some(config) = server.point_config(&request.point) {
+        let report = dqc_analyze::Analyzer::new().analyze_admission(
+            &request.circuit_label,
+            request.circuit.as_ref(),
+            config,
+        );
+        if report.has_errors() {
+            shared.ledger.release(client);
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let mut errors = report;
+            errors.retain_errors();
+            let error = WireError::Rejected {
+                point: request.point.clone(),
+                diagnostics: errors.into_diagnostics(),
+            };
+            let _ = reply_tx.send(error_frame(Some(tag), &error));
+            return;
+        }
+    }
     match server.submit(request) {
         Ok(id) => {
             let route = Route {

@@ -26,7 +26,7 @@
 use dqc_circuit::{from_qasm, Circuit};
 use dqc_core::{Design, ExecutionReport};
 use dqc_serve::{EvalRequest, ServeConfig, ServeError, ServeStats};
-use dqc_types::{Json, JsonError};
+use dqc_types::{Diagnostic, Json, JsonError};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -111,6 +111,16 @@ pub enum WireError {
         /// The unrecognized point label.
         point: String,
     },
+    /// Static analysis proved the submission can never execute on its
+    /// target point (for example a stabilizer backend asked to run a
+    /// non-Clifford circuit). Carries the full structured findings so
+    /// clients can render or machine-triage them; never retryable.
+    Rejected {
+        /// The hardware point the submission targeted.
+        point: String,
+        /// The analyzer's findings, every one error-severity.
+        diagnostics: Vec<Diagnostic>,
+    },
     /// The evaluation engine failed the request after admission.
     Engine {
         /// The engine error, stringified.
@@ -132,6 +142,7 @@ impl WireError {
             WireError::QuotaExceeded { .. } => "quota_exceeded",
             WireError::BadRequest { .. } => "bad_request",
             WireError::UnknownPoint { .. } => "unknown_point",
+            WireError::Rejected { .. } => "rejected",
             WireError::Engine { .. } => "engine",
             WireError::Protocol { .. } => "protocol",
         }
@@ -172,6 +183,19 @@ impl WireError {
             WireError::UnknownPoint { point } => Json::object([
                 ("kind", Json::from(self.kind())),
                 ("point", Json::from(point.as_str())),
+            ]),
+            WireError::Rejected { point, diagnostics } => Json::object([
+                ("kind", Json::from(self.kind())),
+                ("point", Json::from(point.as_str())),
+                (
+                    "diagnostics",
+                    Json::from(
+                        diagnostics
+                            .iter()
+                            .map(Diagnostic::to_json)
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
             ]),
             WireError::Engine { message } | WireError::Protocol { message } => Json::object([
                 ("kind", Json::from(self.kind())),
@@ -218,6 +242,14 @@ impl WireError {
             },
             "unknown_point" => WireError::UnknownPoint {
                 point: json.str_field("point")?.to_string(),
+            },
+            "rejected" => WireError::Rejected {
+                point: json.str_field("point")?.to_string(),
+                diagnostics: json
+                    .array_field("diagnostics")?
+                    .iter()
+                    .map(Diagnostic::from_json)
+                    .collect::<Result<_, _>>()?,
             },
             "engine" => WireError::Engine {
                 message: json.str_field("message")?.to_string(),
@@ -270,6 +302,17 @@ impl fmt::Display for WireError {
             } => write!(f, "bad request: {message}"),
             WireError::UnknownPoint { point } => {
                 write!(f, "no shard serves hardware point `{point}`")
+            }
+            WireError::Rejected { point, diagnostics } => {
+                write!(
+                    f,
+                    "submission statically rejected for point `{point}`: {} finding(s)",
+                    diagnostics.len()
+                )?;
+                for diagnostic in diagnostics {
+                    write!(f, "; {diagnostic}")?;
+                }
+                Ok(())
             }
             WireError::Engine { message } => write!(f, "evaluation failed: {message}"),
             WireError::Protocol { message } => write!(f, "protocol error: {message}"),
@@ -975,6 +1018,15 @@ mod tests {
             },
             WireError::UnknownPoint {
                 point: "paper128".into(),
+            },
+            WireError::Rejected {
+                point: "paper".into(),
+                diagnostics: vec![Diagnostic::new(
+                    "DQC-E001",
+                    dqc_types::Site::Circuit("wide".to_string()),
+                    "40 qubits exceed 32",
+                    "shrink the circuit",
+                )],
             },
             WireError::Engine {
                 message: "boom".into(),

@@ -18,6 +18,11 @@
 //!   changes across runs, platforms, or toolchains, backing the circuit
 //!   and configuration fingerprints that key the serving layer's compile
 //!   cache and shard routing.
+//! * [`diag`] — the coded diagnostic taxonomy ([`Diagnostic`],
+//!   [`Severity`], [`Site`], the [`diag::REGISTRY`] of every code) shared
+//!   by the `dqc-analyze` static analyzer and every layer that refuses
+//!   work on static grounds (config loading, the wire daemon, the
+//!   co-design prefilter).
 //! * [`AxisId`] — the identities of the hardware/software co-design axes
 //!   (EPR fidelity, κ, qubit counts, topology, design, protocol, …) that
 //!   the typed `DesignSpace` layer in `dqc-core` and the search engine in
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod axis;
+pub mod diag;
 mod fidelity;
 mod hash;
 mod ids;
@@ -50,6 +56,7 @@ pub mod json;
 mod tick;
 
 pub use axis::{AxisId, UnknownName};
+pub use diag::{Diagnostic, Severity, Site};
 pub use fidelity::Fidelity;
 pub use hash::{fnv64, Fnv64};
 pub use ids::{GateId, NodeId, QubitId};

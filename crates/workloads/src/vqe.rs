@@ -89,7 +89,7 @@ mod tests {
     mod dqc_partition_stub {
         use dqc_circuit::Circuit;
 
-        pub fn contiguous_remote_count(c: &Circuit) -> usize {
+        pub(super) fn contiguous_remote_count(c: &Circuit) -> usize {
             let half = c.num_qubits() / 2;
             c.operations()
                 .iter()

@@ -17,6 +17,7 @@
 //! | [`sim`] | `dqc-sim` | statevector / density / stabilizer engines |
 //! | [`entanglement`] | `dqc-entanglement` | EPR generation + buffer service |
 //! | [`core`] | `dqc-core` | the co-designed architecture + engine |
+//! | [`analyze`] | `dqc-analyze` | static diagnostics: coded lints + feasibility proofs |
 //! | [`codesign`] | `dqc-codesign` | design-space search + Pareto frontier |
 //! | [`serve`] | `dqc-serve` | sharded compile-once serving layer |
 //! | [`served`] | `dqc-served` | TCP daemon: frame protocol, QASM front door, quotas |
@@ -29,7 +30,8 @@
 //! [`RoutingTable`], [`LinkParams`]), and the serving layer
 //! ([`Server`], [`ServeBuilder`], [`ServeConfig`], [`EvalRequest`],
 //! [`ServeStats`], [`ShutdownReport`], plus the network daemon's
-//! [`Served`], [`ServedClient`], [`Submission`]) are additionally
+//! [`Served`], [`ServedClient`], [`Submission`], and the static
+//! analyzer's [`Analyzer`] and [`AnalysisReport`]) are additionally
 //! re-exported at the crate root.
 //!
 //! # Quickstart
@@ -76,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dqc_analyze as analyze;
 pub use dqc_circuit as circuit;
 pub use dqc_codesign as codesign;
 pub use dqc_core as core;
@@ -87,6 +90,7 @@ pub use dqc_sim as sim;
 pub use dqc_types as types;
 pub use dqc_workloads as workloads;
 
+pub use dqc_analyze::{AnalysisReport, Analyzer};
 pub use dqc_codesign::{Codesign, CodesignResult, CostModel, Objectives, SearchStrategy};
 pub use dqc_core::{
     AveragedReport, Axis, AxisValue, Backend, CompiledCircuit, Design, DesignSpace, DqcError,

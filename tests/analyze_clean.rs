@@ -1,0 +1,263 @@
+//! The static analyzer's two-sided contract, pinned against the shipped
+//! corpus and a fixture per diagnostic code:
+//!
+//! * **No false positives** — everything the repo ships (every paper
+//!   benchmark on its matching hardware point, the committed daemon
+//!   configuration, the default `ServeConfig`, the serving portfolio)
+//!   analyzes completely clean, warnings included.
+//! * **No dead codes** — every code in `dqc_types::diag::REGISTRY` has a
+//!   minimal fixture here that triggers exactly it, and a coverage
+//!   assertion fails the suite if a registered code has no fixture.
+
+use dqc::analyze::{AnalysisReport, Analyzer, PortfolioItem};
+use dqc::circuit::Circuit;
+use dqc::core::RemoteProtocol;
+use dqc::entanglement::NetworkTopology;
+use dqc::serve::{AutoscalePolicy, QuotaConfig, RateLimit};
+use dqc::types::diag::REGISTRY;
+use dqc::workloads::PaperBenchmark;
+use dqc::{Backend, Design, ServeConfig, SystemConfig};
+use std::collections::BTreeSet;
+
+fn paper_config(bench: PaperBenchmark) -> SystemConfig {
+    match bench.num_qubits() {
+        32 => SystemConfig::paper_two_node_32(),
+        _ => SystemConfig::paper_two_node_64(),
+    }
+}
+
+// ------------------------------------------------------ no false positives
+
+#[test]
+fn shipped_benchmarks_analyze_clean_on_their_points() {
+    let analyzer = Analyzer::new();
+    for bench in PaperBenchmark::ALL {
+        let report =
+            analyzer.analyze_circuit(&bench.to_string(), &bench.circuit(), &paper_config(bench));
+        assert!(report.is_clean(), "{bench} has findings: {report}");
+    }
+}
+
+#[test]
+fn committed_daemon_config_analyzes_clean() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/served.json");
+    let text = std::fs::read_to_string(path).expect("configs/served.json is committed");
+    let json = dqc::types::Json::parse(&text).expect("valid JSON");
+    let config = ServeConfig::from_json(&json).expect("valid serving configuration");
+    let report = Analyzer::new().analyze_serve_config(&config);
+    assert!(report.is_clean(), "configs/served.json: {report}");
+}
+
+#[test]
+fn default_serve_config_and_portfolio_analyze_clean() {
+    let analyzer = Analyzer::new();
+    let config = ServeConfig::default();
+    assert!(analyzer.analyze_serve_config(&config).is_clean());
+    let requests = dqc_bench::portfolio_requests(12, 1, 0, "paper", &[Design::AdaptBuf]);
+    let items: Vec<PortfolioItem<'_>> = requests
+        .iter()
+        .map(|r| PortfolioItem {
+            label: &r.circuit_label,
+            circuit: r.circuit.as_ref(),
+            point: &r.point,
+            design: r.design,
+        })
+        .collect();
+    assert!(analyzer.analyze_portfolio(&items, &config).is_clean());
+}
+
+// ----------------------------------------------------------- no dead codes
+
+/// Each fixture returns the report that must contain its code (and may
+/// contain nothing *else* unless noted — asserted per fixture).
+fn fixture(code: &str) -> AnalysisReport {
+    let analyzer = Analyzer::new();
+    let paper = SystemConfig::paper_two_node_32;
+    match code {
+        "DQC-E001" => {
+            // 40 data qubits can never fit 2 × 16. (Tree, not chain — a
+            // chain would also trip the serialization lint.)
+            analyzer.analyze_circuit("ghz-40", &dqc::workloads::ghz_tree(40), &paper())
+        }
+        "DQC-E002" => {
+            // QFT's controlled-phase rotations are non-Clifford.
+            let config = paper().with_backend(Backend::Stabilizer);
+            analyzer.analyze_admission("qft-32", &dqc::workloads::qft(32), &config)
+        }
+        "DQC-E003" => {
+            // 16 qubits exceed the density engine's 8-qubit oracle bound.
+            let config = paper().with_backend(Backend::Density);
+            analyzer.analyze_admission("ghz-16", &dqc::workloads::ghz_chain(16), &config)
+        }
+        "DQC-E004" => {
+            // A 3-node graph contradicts the declared 2-node system.
+            analyzer.analyze_topology(&NetworkTopology::chain(3), 2)
+        }
+        "DQC-E005" => {
+            // Node 2 has no route to anyone.
+            analyzer.analyze_topology(&NetworkTopology::from_edges(3, &[(0, 1)]), 3)
+        }
+        "DQC-E006" => {
+            // Remote gates with zero communication qubits.
+            let mut config = paper();
+            config.comm_qubits_per_node = 0;
+            analyzer.analyze_circuit("ghz-32", &dqc::workloads::ghz_tree(32), &config)
+        }
+        "DQC-E007" => {
+            // Teledata holds 2 pairs per gate; the node stores only 1.
+            let mut config = paper();
+            config.remote_protocol = RemoteProtocol::StateTeleport;
+            config.comm_qubits_per_node = 1;
+            config.buffer_qubits_per_node = 0;
+            analyzer.analyze_circuit("ghz-32", &dqc::workloads::ghz_tree(32), &config)
+        }
+        "DQC-E008" => {
+            let config = ServeConfig {
+                worker_budget: Some(2),
+                autoscale: Some(AutoscalePolicy {
+                    min_workers: 5,
+                    ..AutoscalePolicy::default()
+                }),
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-E009" => {
+            let config = ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-E010" => {
+            let config = ServeConfig {
+                quota: QuotaConfig {
+                    rate: Some(RateLimit {
+                        per_sec: 0.0,
+                        burst: 8.0,
+                    }),
+                    ..QuotaConfig::default()
+                },
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-E011" => {
+            let config = ServeConfig {
+                autoscale: Some(AutoscalePolicy {
+                    hot_fraction: 0.1,
+                    cold_fraction: 0.5,
+                    ..AutoscalePolicy::default()
+                }),
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-E012" => {
+            let config = ServeConfig {
+                quota: QuotaConfig {
+                    max_in_flight: Some(0),
+                    ..QuotaConfig::default()
+                },
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-W001" => {
+            // Qubit 2 is declared but untouched.
+            let mut circuit = Circuit::new(3);
+            circuit.h(0).cx(0, 1);
+            analyzer.lint_circuit("wasteful", &circuit)
+        }
+        "DQC-W002" => {
+            // A gate lands on qubit 0 after its measurement.
+            let mut circuit = Circuit::new(2);
+            circuit.h(0).measure(0).cx(0, 1);
+            analyzer.lint_circuit("post-measure", &circuit)
+        }
+        "DQC-W003" => {
+            // One comm qubit at 40% success against QFT-32's ~256 remote
+            // gates: generation dwarfs the critical path ~100-fold.
+            let mut config = paper();
+            config.comm_qubits_per_node = 1;
+            analyzer.analyze_circuit("qft-32", &dqc::workloads::qft(32), &config)
+        }
+        "DQC-W004" => {
+            // A GHZ chain is one serial dependency chain.
+            analyzer.lint_circuit("ghz-8", &dqc::workloads::ghz_chain(8))
+        }
+        "DQC-W005" => {
+            // The same evaluation twice with fusion disabled.
+            let circuit = dqc::workloads::ghz_tree(8);
+            let items = [
+                PortfolioItem {
+                    label: "dup",
+                    circuit: &circuit,
+                    point: "paper",
+                    design: Design::AdaptBuf,
+                },
+                PortfolioItem {
+                    label: "dup",
+                    circuit: &circuit,
+                    point: "paper",
+                    design: Design::AdaptBuf,
+                },
+            ];
+            let config = ServeConfig {
+                fusion: false,
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_portfolio(&items, &config)
+        }
+        "DQC-W006" => {
+            let config = ServeConfig {
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-W007" => {
+            let config = ServeConfig {
+                autoscale: Some(AutoscalePolicy {
+                    hysteresis_ticks: 0,
+                    ..AutoscalePolicy::default()
+                }),
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        other => panic!("no fixture for `{other}` — add one to tests/analyze_clean.rs"),
+    }
+}
+
+#[test]
+fn every_registered_code_has_a_triggering_fixture() {
+    let mut covered = BTreeSet::new();
+    for info in REGISTRY {
+        let report = fixture(info.code);
+        assert!(
+            report.codes().any(|c| c == info.code),
+            "fixture for {} produced {report}",
+            info.code
+        );
+        // Fixtures are minimal: exactly one finding, with the right
+        // severity, that survives a JSON round trip.
+        assert_eq!(
+            report.diagnostics().len(),
+            1,
+            "{} fixture is not minimal: {report}",
+            info.code
+        );
+        let diagnostic = &report.diagnostics()[0];
+        assert_eq!(diagnostic.severity, info.severity, "{}", info.code);
+        let json = diagnostic.to_json();
+        assert_eq!(
+            dqc::types::Diagnostic::from_json(&json).unwrap(),
+            *diagnostic,
+            "{} does not round-trip",
+            info.code
+        );
+        covered.insert(info.code);
+    }
+    assert_eq!(covered.len(), REGISTRY.len(), "a code ran no fixture");
+}

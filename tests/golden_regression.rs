@@ -13,8 +13,8 @@
 //!
 //! ```text
 //! cargo run --release --bin repro -- table1 fig5 topology-sweep \
-//!     codesign ablate-protocol backend-matrix --runs 2 --format json \
-//!     --out tests/golden
+//!     codesign ablate-protocol backend-matrix analyze --runs 2 \
+//!     --format json --out tests/golden
 //! ```
 
 use dqc_bench::Artifact;
@@ -37,6 +37,7 @@ const PINNED: &[&str] = &[
     "codesign",
     "ablate-protocol",
     "backend-matrix",
+    "analyze",
 ];
 
 fn golden_dir() -> PathBuf {
@@ -145,6 +146,32 @@ fn golden_backend_matrix_engines_agree() {
                 analytic.report.mean_depth
             );
         }
+    }
+}
+
+#[test]
+fn analyze_matches_golden() {
+    check_target("analyze");
+}
+
+#[test]
+fn golden_analyze_corpus_is_clean() {
+    // The acceptance claim of the analyze target, asserted from the
+    // committed golden itself: the static analyzer finds nothing — not
+    // even a warning — in anything the repo ships (paper benchmarks on
+    // their matching points, the default serving configuration, the
+    // serving portfolio).
+    let text = std::fs::read_to_string(golden_dir().join("analyze.json")).unwrap();
+    let artifact = Artifact::parse(&text).unwrap();
+    let rows = artifact.data.as_array().expect("analyze payload is rows");
+    assert!(rows.len() >= 8, "corpus shrank to {} subjects", rows.len());
+    for row in rows {
+        let label = row.str_field("label").unwrap();
+        let report = dqc::analyze::AnalysisReport::from_json(row.field("report").unwrap()).unwrap();
+        assert!(
+            report.is_clean(),
+            "shipped subject `{label}` has findings: {report}"
+        );
     }
 }
 

@@ -229,6 +229,66 @@ fn malformed_qasm_is_refused_with_its_source_line() {
     assert_eq!(wire.protocol_errors, 0);
 }
 
+/// A submission the static analyzer can prove will never execute on its
+/// target point is refused before it costs queue space, as a typed
+/// `Rejected` carrying the structured diagnostics — and the refusal is
+/// per-request: the connection stays usable.
+#[test]
+fn statically_infeasible_submission_is_rejected_with_diagnostics() {
+    let daemon = ServedBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .workers_per_shard(1)
+        .bind("127.0.0.1:0")
+        .expect("daemon binds");
+    let mut client =
+        ServedClient::connect(daemon.local_addr().to_string(), "prover").expect("connects");
+
+    // 40 data qubits can never fit the paper machine's 32: DQC-E001.
+    let wide = dqc::workloads::ghz_chain(40);
+    let submission = Submission::qasm(
+        "ghz-40",
+        dqc::circuit::to_qasm(&wide),
+        "paper",
+        Design::AdaptBuf,
+    );
+    client.submit(&submission).expect("submit");
+    let reply = client.recv_reply().expect("refusal arrives");
+    let error = reply.outcome.expect_err("infeasible submit is refused");
+    assert!(
+        !error.is_backpressure(),
+        "a static proof of infeasibility is never retryable"
+    );
+    match error {
+        WireError::Rejected { point, diagnostics } => {
+            assert_eq!(point, "paper");
+            assert_eq!(diagnostics.len(), 1);
+            assert_eq!(diagnostics[0].code, "DQC-E001");
+            assert!(diagnostics[0].is_error());
+            // The diagnostics crossed the wire structurally, not as a
+            // flattened string: they re-serialize losslessly.
+            let json = diagnostics[0].to_json();
+            assert_eq!(
+                dqc::types::Diagnostic::from_json(&json).unwrap(),
+                diagnostics[0]
+            );
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // The same circuit against nothing wrong still serves fine.
+    let good = &wire_requests()[0];
+    client
+        .submit(&Submission::from_request(good))
+        .expect("submit");
+    let reply = client.recv_reply().expect("result arrives");
+    assert!(reply.outcome.is_ok(), "connection survives a rejection");
+    client.bye().expect("clean goodbye");
+
+    let wire = daemon.shutdown().daemon;
+    assert_eq!(wire.bad_requests, 1, "rejections count as bad requests");
+    assert_eq!(wire.protocol_errors, 0);
+}
+
 /// A full shard queue surfaces over the wire as the same typed
 /// `Overloaded` the in-process API raises, marked retryable.
 #[test]
