@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]
-//!       [--backend auto|analytic|stabilizer|density]
+//!       [--backend auto|analytic|stabilizer|density] [--profile DIR]
 //! repro diff <a.json> <b.json> [--tol EPS]
 //!
 //! TARGET: table1 | table2 | fig3 | fig5 | fig6 | fig56 | fig7 | fig8
@@ -30,6 +30,13 @@
 //! artifacts structurally, treating numbers within `EPS` (mixed
 //! absolute/relative, default 1e-9) as equal; it exits non-zero when they
 //! differ, which is the CI golden-file regression gate.
+//!
+//! `--profile DIR` runs the selected targets with a span recorder and
+//! the monotonic clock installed and writes the resulting capture
+//! (compile and replay span trees) to `DIR/profile_repro.json`,
+//! readable by `dqc-obs report`. Recording never changes any computed
+//! number — the workspace's determinism tests pin that — but it does
+//! add tracing overhead, so profile runs are not timing-representative.
 
 use dqc_bench::Artifact;
 use dqc_core::DqcError;
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
     let mut seed = dqc_bench::BASE_SEED;
     let mut format = Format::Table;
     let mut out_dir: Option<PathBuf> = None;
+    let mut profile_dir: Option<PathBuf> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -145,6 +153,10 @@ fn main() -> ExitCode {
                 Some(Ok(backend)) => dqc_bench::set_backend(backend),
                 Some(Err(e)) => return usage(&format!("--backend: {e}")),
                 None => return usage("--backend needs an engine name"),
+            },
+            "--profile" => match iter.next() {
+                Some(dir) => profile_dir = Some(PathBuf::from(dir)),
+                None => return usage("--profile needs a directory"),
             },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
@@ -176,6 +188,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // With `--profile`, the targets below run under an installed span
+    // recorder; recording changes no computed number, only captures the
+    // compile/replay span trees as they happen.
+    let recording = profile_dir.as_ref().map(|_| {
+        let ring = std::sync::Arc::new(dqc_obs::RingRecorder::new(262_144));
+        let session = dqc_obs::install(
+            std::sync::Arc::clone(&ring) as std::sync::Arc<dyn dqc_obs::Recorder>,
+            std::sync::Arc::new(dqc_obs::MonotonicClock::new()),
+        );
+        (ring, session)
+    });
+
     for (i, target) in targets.iter().enumerate() {
         let outcome = match format {
             Format::Table => {
@@ -195,6 +219,26 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let (Some(dir), Some((ring, session))) = (profile_dir, recording) {
+        drop(session);
+        let capture = dqc_obs::Capture::from_ring(
+            "repro",
+            "monotonic",
+            &ring,
+            dqc_obs::MetricsSnapshot::default(),
+        );
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("profile_repro.json");
+        if let Err(e) = std::fs::write(&path, capture.to_json().to_pretty_string()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }
@@ -301,7 +345,7 @@ fn usage(message: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [TARGET...] [--runs N] [--seed S] [--format table|json] [--out DIR]\n\
-         \x20             [--backend auto|analytic|stabilizer|density]\n\
+         \x20             [--backend auto|analytic|stabilizer|density] [--profile DIR]\n\
          \x20      repro diff <a.json> <b.json> [--tol EPS]\n\
          targets: table1 table2 fig3 fig5 fig6 fig56 fig7 fig8\n\
          \x20        topology-sweep codesign\n\

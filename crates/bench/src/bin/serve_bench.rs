@@ -9,6 +9,7 @@
 //!             [--max-wire-overhead X]
 //!             [--skew] [--min-fused-speedup X]
 //!             [--load-step] [--max-p99-ratio X]
+//!             [--profile DIR]
 //! ```
 //!
 //! Drives a [`dqc_serve::Server`] with the mixed QAOA/QFT/GHZ portfolio
@@ -49,6 +50,13 @@
 //! split — and the artifact gains a `load_step` section plus a derived
 //! `p99_ratio` (autoscaled p99 / static p99); `--max-p99-ratio` gates
 //! it.
+//!
+//! With `--profile DIR` a dedicated quick scenario additionally runs
+//! with a span recorder and the monotonic clock installed — the only
+//! pass that records; the timed measurements above always run with
+//! recording off — and writes the resulting schema-versioned
+//! [`dqc_obs::Capture`] (span tree, events, metrics snapshot) to
+//! `DIR/profile_serve.json`, readable by `dqc-obs report`.
 //!
 //! Results are written as `BENCH_SERVE.json` in a stable, schema-versioned
 //! layout; the CI `serve-smoke` job runs a small closed-loop load with
@@ -116,6 +124,7 @@ struct Options {
     min_fused_speedup: Option<f64>,
     load_step: bool,
     max_p99_ratio: Option<f64>,
+    profile: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -142,6 +151,7 @@ impl Default for Options {
             min_fused_speedup: None,
             load_step: false,
             max_p99_ratio: None,
+            profile: None,
         }
     }
 }
@@ -485,6 +495,39 @@ fn run_load_step(opts: &Options) -> Result<LoadStepOutcome, ServeError> {
     })
 }
 
+/// The `--profile` scenario: one small closed-loop pass with a ring
+/// recorder and the monotonic clock installed, so the capture covers
+/// the full compile → queue → dispatch → replay span tree of every
+/// request. Deliberately separate from the timed measurements (which
+/// always run with recording off) so profiling overhead never skews a
+/// reported throughput or gates a CI ratio.
+fn run_profile(opts: &Options, dir: &std::path::Path) -> Result<PathBuf, String> {
+    // Enough ring capacity that no span of the small pass falls off.
+    let ring = std::sync::Arc::new(dqc_obs::RingRecorder::new(65_536));
+    let session = dqc_obs::install(
+        ring.clone(),
+        std::sync::Arc::new(dqc_obs::MonotonicClock::new()),
+    );
+    let profile_opts = Options {
+        requests: opts.requests.clamp(1, 24),
+        ..Options::default()
+    };
+    let requests = build_requests(&profile_opts);
+    let (server, responses) =
+        spawn_server(&profile_opts).map_err(|e| format!("profile server failed: {e}"))?;
+    dqc_bench::pump_closed_loop(&server, &responses, requests, profile_opts.concurrency)
+        .map_err(|e| format!("profile run failed: {e}"))?;
+    let metrics = server.metrics();
+    server.shutdown();
+    drop(session);
+    let capture = dqc_obs::Capture::from_ring("serve-bench", "monotonic", &ring, metrics);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("profile_serve.json");
+    std::fs::write(&path, capture.to_json().to_pretty_string())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 /// The no-cache, single-worker baseline: the same request list served
 /// sequentially through the shared reference loop.
 fn run_baseline(requests: &[EvalRequest]) -> Result<Duration, ServeError> {
@@ -766,6 +809,10 @@ fn main() -> ExitCode {
                 Ok(_) => return usage("--min-fused-speedup needs a positive number"),
                 Err(code) => return code,
             },
+            "--profile" => match next_parsed("a directory") {
+                Ok(dir) => opts.profile = Some(PathBuf::from(dir)),
+                Err(code) => return code,
+            },
             "--load-step" => opts.load_step = true,
             "--max-p99-ratio" => match next_parsed("a ratio").map(|v| v.parse::<f64>()) {
                 Ok(Ok(x)) if x > 0.0 => {
@@ -861,6 +908,15 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    if let Some(dir) = &opts.profile {
+        match run_profile(&opts, dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: profile run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let serve_rps = rps(outcome.completed, outcome.elapsed);
     let baseline_rps = rps(opts.requests, baseline_elapsed);
@@ -1068,6 +1124,7 @@ fn usage(message: &str) -> ExitCode {
          \x20                  [--max-wire-overhead X]\n\
          \x20                  [--skew] [--min-fused-speedup X]\n\
          \x20                  [--load-step] [--max-p99-ratio X]\n\
+         \x20                  [--profile DIR]\n\
          Load-tests the dqc-serve layer on the mixed QAOA/QFT/GHZ portfolio and\n\
          writes {BENCH_ID}.json; closed loop holds C requests in flight, open\n\
          loop submits at a fixed rate and counts Overloaded rejections. --wire\n\
@@ -1077,7 +1134,9 @@ fn usage(message: &str) -> ExitCode {
          throughput ratio. --skew serves a duplicate-heavy list with replay\n\
          fusion on vs off (--min-fused-speedup gates the ratio); --load-step\n\
          serves a migrating hot spot with the autoscaler vs a static even\n\
-         split (--max-p99-ratio gates autoscaled p99 / static p99)."
+         split (--max-p99-ratio gates autoscaled p99 / static p99).\n\
+         --profile DIR runs one small recorded pass and writes the span/\n\
+         metrics capture to DIR/profile_serve.json (see dqc-obs report)."
     );
     if message.is_empty() {
         ExitCode::SUCCESS

@@ -95,6 +95,12 @@ impl CompiledCircuit {
     /// [`DENSITY_MAX_QUBITS`] qubits under `density`).
     pub fn compile(circuit: &Circuit, config: &SystemConfig) -> Result<Self, DqcError> {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let mut compile_span = dqc_obs::span("compile");
+        if compile_span.enabled() {
+            compile_span.attr("qubits", u64::from(circuit.num_qubits()));
+            compile_span.attr("cache_key", Self::cache_key(circuit, config));
+            compile_span.attr("backend", config.backend.name());
+        }
         let capacity = config.total_data_qubits();
         if circuit.num_qubits() as usize > capacity {
             return Err(DqcError::CircuitTooWide {
@@ -134,7 +140,10 @@ impl CompiledCircuit {
             _ => {}
         }
         let ideal_report = crate::executor::ideal_report(circuit, config);
-        let routing = config.topology.as_ref().map(RoutingTable::new);
+        let routing = {
+            let _route_span = dqc_obs::span("compile.route");
+            config.topology.as_ref().map(RoutingTable::new)
+        };
         // `Auto` keeps the historical rule: weight cut edges by hop
         // distance exactly when a sparse topology is configured, so
         // chatty qubit groups land on adjacent nodes (the matrix is
@@ -149,26 +158,40 @@ impl CompiledCircuit {
             partition_circuit_weighted(circuit, config.num_nodes, config.partition_seed, &matrix)
         };
         let unweighted = || partition_circuit(circuit, config.num_nodes, config.partition_seed);
-        let map = match (config.partitioner, &routing) {
-            (PartitionStrategy::Auto | PartitionStrategy::HopWeighted, Some(table)) => {
-                weighted_by(table.hop_distance_matrix())?
+        let map = {
+            let mut partition_span = dqc_obs::span("compile.partition");
+            if partition_span.enabled() {
+                partition_span.attr("nodes", config.num_nodes);
             }
-            (PartitionStrategy::Auto | PartitionStrategy::Unweighted, None) => unweighted()?,
-            (PartitionStrategy::Unweighted, Some(_)) => unweighted()?,
-            (PartitionStrategy::HopWeighted, None) => {
-                weighted_by(NetworkTopology::all_to_all(config.num_nodes).hop_distance_matrix())?
+            match (config.partitioner, &routing) {
+                (PartitionStrategy::Auto | PartitionStrategy::HopWeighted, Some(table)) => {
+                    weighted_by(table.hop_distance_matrix())?
+                }
+                (PartitionStrategy::Auto | PartitionStrategy::Unweighted, None) => unweighted()?,
+                (PartitionStrategy::Unweighted, Some(_)) => unweighted()?,
+                (PartitionStrategy::HopWeighted, None) => weighted_by(
+                    NetworkTopology::all_to_all(config.num_nodes).hop_distance_matrix(),
+                )?,
             }
         };
         let remote_gates = map.count_remote(circuit);
+        let mut schedule_span = dqc_obs::span("compile.schedule");
+        if schedule_span.enabled() {
+            schedule_span.attr("remote_gates", remote_gates);
+        }
         let m = config.segment_remote_gates();
         let ops = circuit.operations();
         let segments = segment_sequence(ops, &map, m);
-        let variants = segments
+        let variants: Vec<SegmentVariants> = segments
             .iter()
             .map(|seg| SegmentVariants::compile(&ops[seg.clone()], &map))
             .collect();
         let plan = (clifford && matches!(config.backend, Backend::Stabilizer | Backend::Auto))
             .then(|| SchedulePlan::build(circuit, &map, config));
+        if schedule_span.enabled() {
+            schedule_span.attr("segments", segments.len());
+        }
+        drop(schedule_span);
         Ok(Self {
             circuit: circuit.clone(),
             config: config.clone(),

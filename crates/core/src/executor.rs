@@ -54,7 +54,15 @@ impl CompiledCircuit {
     /// # }
     /// ```
     pub fn run(&self, design: Design, seed: u64) -> Result<ExecutionReport, DqcError> {
-        match self.selected_backend(design) {
+        let backend = self.selected_backend(design);
+        let mut replay_span = dqc_obs::span("exec.replay");
+        if replay_span.enabled() {
+            replay_span.attr("backend", backend.name());
+            replay_span.attr("cache_key", self.key());
+            replay_span.attr("design", design.to_string());
+            replay_span.attr("seed", seed);
+        }
+        match backend {
             Backend::Stabilizer => StabilizerEngine.run(self, design, seed),
             Backend::Density => DensityEngine.run(self, design, seed),
             Backend::Analytic | Backend::Auto => AnalyticEngine.run(self, design, seed),

@@ -1,0 +1,74 @@
+//! Time sources for span and event timestamps.
+//!
+//! The workspace bans ambient wall-clock reads outside a short allowlist
+//! (`tools/determinism_lint.sh`), so the tracing layer never reads the
+//! ambient monotonic clock directly: it asks the installed [`Clock`]. Production
+//! installs the monotonic clock from [`crate::wall`] (the one allowlisted
+//! module); tests install a [`TickClock`] and advance it explicitly, the
+//! same pattern `dqc-served`'s quota ledger already proves.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone microsecond counter. Implementations must never go
+/// backwards; the zero point is arbitrary (captures are relative).
+pub trait Clock: Debug + Send + Sync {
+    /// Microseconds since the clock's epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// A deterministic test clock: time moves only when the test says so.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_obs::{Clock, TickClock};
+///
+/// let clock = TickClock::new();
+/// assert_eq!(clock.now_micros(), 0);
+/// clock.advance(250);
+/// assert_eq!(clock.now_micros(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct TickClock {
+    micros: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock at microsecond zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TickClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_clock_moves_only_on_request() {
+        let clock = TickClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance(5);
+        clock.advance(7);
+        assert_eq!(clock.now_micros(), 12);
+        clock.set(100);
+        assert_eq!(clock.now_micros(), 100);
+    }
+}

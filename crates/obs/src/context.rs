@@ -1,0 +1,268 @@
+//! Span creation and thread-local parenting.
+//!
+//! Instrumented code opens spans with [`span`] (parented under whatever
+//! span is active on the current thread) or [`root_span`] (starting a
+//! new tree under an explicit [`TraceId`], the way serving workers adopt
+//! a request's trace). Guards record on drop. When no recorder is
+//! installed every helper is inert: no allocation, no thread-local
+//! traffic beyond one atomic load.
+
+use crate::record::{own_attrs, Attrs};
+use crate::recorder::{recording, with_installed};
+use crate::{AttrValue, EventRecord, SpanId, SpanRecord, TraceId};
+use std::cell::RefCell;
+
+thread_local! {
+    /// The active span stack of this thread: `(trace, span)` innermost
+    /// last. Only touched while a recorder is installed.
+    static STACK: RefCell<Vec<(TraceId, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost active span on this thread, if recording.
+pub fn current() -> Option<(TraceId, SpanId)> {
+    if !recording() {
+        return None;
+    }
+    STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// An open span. Dropping it records the completed [`SpanRecord`] with
+/// the installed recorder (if recording stopped in between, the span is
+/// silently dropped — captures never block shutdown).
+#[derive(Debug, Default)]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    trace: TraceId,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    start_us: u64,
+    attrs: Attrs,
+}
+
+impl SpanGuard {
+    /// Whether this guard will record anything. Gate expensive attribute
+    /// construction (`format!`, fingerprints) behind this.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The guard's `(trace, span)` identity, if recording.
+    pub fn ids(&self) -> Option<(TraceId, SpanId)> {
+        self.0.as_ref().map(|a| (a.trace, a.id))
+    }
+
+    /// Attaches a typed attribute. No-op on an inert guard — but the
+    /// `value` conversion has already run, so keep call-site values cheap
+    /// or gate them behind [`SpanGuard::enabled`].
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(active) = &mut self.0 {
+            active.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop LIFO in straight-line code; tolerate surprises
+            // by removing this span wherever it sits.
+            if let Some(at) = stack.iter().rposition(|&(_, id)| id == active.id) {
+                stack.remove(at);
+            }
+        });
+        with_installed(|recorder, clock| {
+            recorder.record_span(SpanRecord {
+                trace: active.trace,
+                id: active.id,
+                parent: active.parent,
+                name: active.name.to_string(),
+                start_us: active.start_us,
+                end_us: clock.now_micros().max(active.start_us),
+                attrs: own_attrs(active.attrs),
+            });
+        });
+    }
+}
+
+fn open(name: &'static str, trace: Option<TraceId>, start_us: Option<u64>) -> SpanGuard {
+    if !recording() {
+        return SpanGuard(None);
+    }
+    let Some(now) = with_installed(|_, clock| clock.now_micros()) else {
+        return SpanGuard(None);
+    };
+    let (trace, parent) = match trace {
+        // An explicit trace starts a fresh tree (wire requests, workers).
+        Some(trace) => (trace, None),
+        None => match STACK.with(|stack| stack.borrow().last().copied()) {
+            Some((trace, parent)) => (trace, Some(parent)),
+            None => (TraceId::mint(), None),
+        },
+    };
+    let id = SpanId::mint();
+    STACK.with(|stack| stack.borrow_mut().push((trace, id)));
+    SpanGuard(Some(ActiveSpan {
+        trace,
+        id,
+        parent,
+        name,
+        start_us: start_us.unwrap_or(now),
+        attrs: Vec::new(),
+    }))
+}
+
+/// Opens a span under the thread's current span (or as a fresh trace
+/// root if none is active).
+pub fn span(name: &'static str) -> SpanGuard {
+    open(name, None, None)
+}
+
+/// Opens a root span of an explicit trace — how a worker thread adopts
+/// the trace minted for a request on another thread.
+pub fn root_span(name: &'static str, trace: TraceId) -> SpanGuard {
+    open(name, Some(trace), None)
+}
+
+/// Like [`root_span`] with an explicit start time (clock microseconds),
+/// for roots that logically began before this thread picked the work up
+/// (e.g. at queue admission).
+pub fn root_span_at(name: &'static str, trace: TraceId, start_us: u64) -> SpanGuard {
+    open(name, Some(trace), Some(start_us))
+}
+
+/// Records an already-delimited span (e.g. the queue-wait interval,
+/// reconstructed after the fact) without touching the thread stack.
+pub fn record_span(
+    name: &'static str,
+    trace: TraceId,
+    parent: Option<SpanId>,
+    start_us: u64,
+    end_us: u64,
+    attrs: Attrs,
+) {
+    with_installed(|recorder, _| {
+        recorder.record_span(SpanRecord {
+            trace,
+            id: SpanId::mint(),
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us: end_us.max(start_us),
+            attrs: own_attrs(attrs),
+        });
+    });
+}
+
+/// Records a point-in-time event under the thread's current span (if
+/// any). `make_attrs` runs only while recording, so instrumentation can
+/// call this unconditionally from hot paths.
+pub fn event(name: &'static str, make_attrs: impl FnOnce() -> Attrs) {
+    if !recording() {
+        return;
+    }
+    let (trace, parent) = match STACK.with(|stack| stack.borrow().last().copied()) {
+        Some((trace, parent)) => (Some(trace), Some(parent)),
+        None => (None, None),
+    };
+    let attrs = own_attrs(make_attrs());
+    with_installed(|recorder, clock| {
+        recorder.record_event(EventRecord {
+            trace,
+            parent,
+            name: name.to_string(),
+            at_us: clock.now_micros(),
+            attrs,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, RingRecorder, TickClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_helpers_are_inert() {
+        // Hold the installers' serial lock so no concurrent capture test
+        // can turn recording on mid-assertion.
+        let _serial = crate::recorder::test_serial();
+        let mut guard = span("nothing");
+        assert!(!guard.enabled());
+        guard.attr("k", 1u64);
+        assert_eq!(current(), None);
+        event("nothing", || vec![("k", AttrValue::U64(1))]);
+        drop(guard);
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_stack() {
+        let ring = Arc::new(RingRecorder::new(64));
+        let clock = Arc::new(TickClock::new());
+        let session = install(ring.clone(), clock.clone());
+
+        let trace = TraceId::mint();
+        {
+            let root = root_span("request", trace);
+            let root_ids = root.ids().unwrap();
+            assert_eq!(root_ids.0, trace);
+            clock.advance(10);
+            {
+                let mut child = span("compile");
+                child.attr("phase", "partition");
+                assert_eq!(current().unwrap().0, trace);
+                clock.advance(5);
+                event("cache", || vec![("hit", AttrValue::U64(1))]);
+            }
+            clock.advance(1);
+        }
+        drop(session);
+
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2, "child first, then root");
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(child.name, "compile");
+        assert_eq!(child.trace, trace);
+        assert_eq!(child.parent, Some(root.id));
+        assert_eq!(child.start_us, 10);
+        assert_eq!(child.end_us, 15);
+        assert_eq!(root.name, "request");
+        assert_eq!(root.parent, None);
+        assert_eq!((root.start_us, root.end_us), (0, 16));
+
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, Some(trace));
+        assert_eq!(events[0].parent, Some(child.id));
+        assert_eq!(events[0].at_us, 15);
+    }
+
+    #[test]
+    fn synthesized_spans_and_explicit_starts_record() {
+        let ring = Arc::new(RingRecorder::new(64));
+        let clock = Arc::new(TickClock::new());
+        clock.set(100);
+        let session = install(ring.clone(), clock.clone());
+
+        let trace = TraceId::mint();
+        let root = root_span_at("request", trace, 40);
+        let (_, root_id) = root.ids().unwrap();
+        record_span("queue", trace, Some(root_id), 40, 100, Vec::new());
+        drop(root);
+        drop(session);
+
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "queue");
+        assert_eq!((spans[0].start_us, spans[0].end_us), (40, 100));
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].name, "request");
+        assert_eq!(spans[1].start_us, 40);
+    }
+}

@@ -1,0 +1,80 @@
+//! Stable span and trace identities.
+//!
+//! Both identifiers are minted from process-wide monotone counters, not
+//! random sources or clocks, so an instrumented run stays reproducible
+//! and the determinism source lint holds without exemptions. Zero is
+//! reserved as "absent" in wire encodings; minting starts at one.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Identity of one logical request flow: every span and event recorded
+/// on behalf of the same unit of work shares its `TraceId`. The daemon
+/// mints one per admitted submission and echoes it on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identity of one span within a trace, unique process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl TraceId {
+    /// Mints the next trace identity from the process-wide counter.
+    pub fn mint() -> Self {
+        TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Parses the wire form produced by [`fmt::Display`] (16 lowercase
+    /// hex digits).
+    pub fn parse(text: &str) -> Option<Self> {
+        (text.len() == 16)
+            .then(|| u64::from_str_radix(text, 16).ok())
+            .flatten()
+            .map(TraceId)
+    }
+}
+
+impl SpanId {
+    /// Mints the next span identity from the process-wide counter.
+    pub fn mint() -> Self {
+        SpanId(NEXT_SPAN.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minting_is_monotone_and_nonzero() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert!(a.0 > 0 && b.0 > a.0);
+        let s = SpanId::mint();
+        let t = SpanId::mint();
+        assert!(s.0 > 0 && t.0 > s.0);
+    }
+
+    #[test]
+    fn trace_ids_round_trip_their_wire_form() {
+        let id = TraceId(0xdead_beef_0042_0007);
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse(""), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The pluggable recording backend and its process-wide install point.
+//!
+//! By default **nothing is installed**: [`recording`] is a single relaxed
+//! atomic load returning `false`, every span/event helper returns inert
+//! guards without allocating, and instrumented code runs byte-identical
+//! to uninstrumented code (`tests/serve_determinism.rs` pins this for
+//! the serving layer). Installing a [`Recorder`] + [`Clock`] pair turns
+//! capture on for the whole process until the returned [`Installed`]
+//! guard drops.
+
+use crate::{Clock, EventRecord, SpanRecord};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// A sink for completed spans and events. Implementations must be cheap
+/// and non-blocking: recorders run inline on serving worker threads.
+pub trait Recorder: Debug + Send + Sync {
+    /// Receives one completed span.
+    fn record_span(&self, record: SpanRecord);
+    /// Receives one event.
+    fn record_event(&self, record: EventRecord);
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::type_complexity)]
+static INSTALLED: Mutex<Option<(Arc<dyn Recorder>, Arc<dyn Clock>)>> = Mutex::new(None);
+
+/// Serializes installations so concurrent tests in one binary cannot
+/// interleave captures.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+fn unpoisoned<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether a recorder is currently installed. This is the hot-path gate:
+/// one relaxed load, no allocation, no locking.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// The installed clock's current time, if recording is on.
+pub fn now_micros() -> Option<u64> {
+    if !recording() {
+        return None;
+    }
+    unpoisoned(INSTALLED.lock())
+        .as_ref()
+        .map(|(_, clock)| clock.now_micros())
+}
+
+/// Runs `f` against the installed recorder and clock, if any.
+pub(crate) fn with_installed<R>(f: impl FnOnce(&dyn Recorder, &dyn Clock) -> R) -> Option<R> {
+    if !recording() {
+        return None;
+    }
+    let guard = unpoisoned(INSTALLED.lock());
+    guard
+        .as_ref()
+        .map(|(recorder, clock)| f(recorder.as_ref(), clock.as_ref()))
+}
+
+/// Keeps a recorder installed; dropping it uninstalls and turns
+/// [`recording`] back off. Holds a process-wide lock, so a second
+/// `install` blocks until the first capture ends — captures never
+/// interleave. Do not call `install` twice on one thread without
+/// dropping the first guard (it would self-deadlock).
+#[derive(Debug)]
+pub struct Installed {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        RECORDING.store(false, Ordering::Relaxed);
+        *unpoisoned(INSTALLED.lock()) = None;
+    }
+}
+
+/// Lets tests that assert the *disabled* state hold the same serial
+/// lock installers use, so a concurrent capture test cannot flip
+/// [`recording`] under them.
+#[cfg(test)]
+pub(crate) fn test_serial() -> MutexGuard<'static, ()> {
+    unpoisoned(INSTALL_LOCK.lock())
+}
+
+/// Installs `recorder` + `clock` process-wide and turns recording on.
+///
+/// # Examples
+///
+/// ```
+/// use dqc_obs::{install, recording, RingRecorder, TickClock};
+/// use std::sync::Arc;
+///
+/// assert!(!recording());
+/// let ring = Arc::new(RingRecorder::new(64));
+/// let session = install(ring.clone(), Arc::new(TickClock::new()));
+/// assert!(recording());
+/// drop(session);
+/// assert!(!recording());
+/// ```
+pub fn install(recorder: Arc<dyn Recorder>, clock: Arc<dyn Clock>) -> Installed {
+    let serial = unpoisoned(INSTALL_LOCK.lock());
+    *unpoisoned(INSTALLED.lock()) = Some((recorder, clock));
+    RECORDING.store(true, Ordering::Relaxed);
+    Installed { _serial: serial }
+}
+
+/// A bounded in-memory capture buffer: the newest `capacity` records
+/// win, the oldest fall off. This is the recorder behind `--profile`
+/// runs and the daemon's `trace` wire frame.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    events: Mutex<VecDeque<EventRecord>>,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` spans and `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            spans: Mutex::new(VecDeque::new()),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the buffered spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        unpoisoned(self.spans.lock()).iter().cloned().collect()
+    }
+
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        unpoisoned(self.events.lock()).iter().cloned().collect()
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&self) {
+        unpoisoned(self.spans.lock()).clear();
+        unpoisoned(self.events.lock()).clear();
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record_span(&self, record: SpanRecord) {
+        let mut spans = unpoisoned(self.spans.lock());
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(record);
+    }
+
+    fn record_event(&self, record: EventRecord) {
+        let mut events = unpoisoned(self.events.lock());
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, TickClock, TraceId};
+
+    fn span(id: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(1),
+            id: SpanId(id),
+            parent: None,
+            name: "s".to_string(),
+            start_us: 0,
+            end_us: 1,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_records() {
+        let ring = RingRecorder::new(2);
+        for id in 1..=3 {
+            ring.record_span(span(id));
+        }
+        let ids: Vec<u64> = ring.spans().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, [2, 3]);
+        ring.clear();
+        assert!(ring.spans().is_empty());
+    }
+
+    #[test]
+    fn install_gates_recording_and_uninstalls_on_drop() {
+        let ring = Arc::new(RingRecorder::new(8));
+        {
+            let _session = install(ring.clone(), Arc::new(TickClock::new()));
+            assert!(recording());
+            assert_eq!(now_micros(), Some(0));
+            with_installed(|recorder, _clock| recorder.record_span(span(7)));
+            assert_eq!(ring.spans().len(), 1);
+        }
+        assert!(!recording());
+        assert_eq!(now_micros(), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! The **only** module in the observability layer that touches the real
+//! clock. `tools/determinism_lint.sh` allowlists exactly this file;
+//! every other timestamp in the workspace's tracing flows through the
+//! [`Clock`] trait, so determinism-sensitive code can swap in the
+//! explicit-tick clock and the lint stays meaningful.
+
+use crate::Clock;
+use std::time::Instant;
+
+/// A monotonic clock reporting microseconds since its construction.
+///
+/// Backed by [`Instant`], so it never goes backwards and is immune to
+/// wall-clock adjustments. Construct one per capture session; spans in
+/// one capture share an epoch and are directly comparable.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+}

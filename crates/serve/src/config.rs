@@ -180,6 +180,107 @@ impl AutoscalePolicy {
     }
 }
 
+/// How the serving layer measures itself: the latency-window length
+/// behind the stats percentiles and the histogram bucket ladder behind
+/// the observability registry.
+///
+/// Both knobs are *telemetry-only*: they never change scheduling,
+/// fusion, or replay results, so two configs differing only here still
+/// produce byte-identical outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsConfig {
+    /// How many recent per-request latencies each shard retains for the
+    /// p50/p99 summary in [`ServeStats`](crate::ServeStats). `0`
+    /// disables the window entirely (percentiles read as zero —
+    /// `DQC-W008`).
+    pub latency_window: usize,
+    /// Inclusive upper bounds, in milliseconds, of the queue-wait and
+    /// service-time histogram buckets (an overflow bucket is always
+    /// appended). Must be positive and strictly increasing; a
+    /// degenerate ladder is `DQC-W008`.
+    pub buckets_ms: Vec<f64>,
+}
+
+impl Default for MetricsConfig {
+    /// An 8192-sample latency window and a 50 µs – 250 ms bucket
+    /// ladder covering sub-millisecond replays through slow cold
+    /// compiles.
+    fn default() -> Self {
+        Self {
+            latency_window: 8192,
+            buckets_ms: vec![
+                0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+            ],
+        }
+    }
+}
+
+impl MetricsConfig {
+    /// The bucket ladder converted to whole microseconds for the
+    /// fixed-bucket histograms (sub-microsecond bounds round up to
+    /// 1 µs so the ladder stays strictly increasing where the input
+    /// was).
+    pub fn bucket_bounds_us(&self) -> Vec<u64> {
+        let mut bounds: Vec<u64> = self
+            .buckets_ms
+            .iter()
+            .filter(|b| b.is_finite() && **b > 0.0)
+            .map(|b| ((b * 1000.0).round() as u64).max(1))
+            .collect();
+        bounds.dedup();
+        bounds
+    }
+
+    /// Whether the bucket ladder is usable: non-empty, every bound
+    /// finite and positive, strictly increasing.
+    pub fn buckets_are_well_formed(&self) -> bool {
+        !self.buckets_ms.is_empty()
+            && self.buckets_ms.iter().all(|b| b.is_finite() && *b > 0.0)
+            && self.buckets_ms.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Serializes the metrics knobs.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("latency_window", Json::from(self.latency_window)),
+            (
+                "buckets_ms",
+                Json::Array(self.buckets_ms.iter().map(|b| Json::float(*b)).collect()),
+            ),
+        ])
+    }
+
+    /// Reads metrics knobs back from [`MetricsConfig::to_json`] output.
+    /// Missing fields take their defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on a mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let defaults = Self::default();
+        let buckets_ms = match json.get("buckets_ms") {
+            None | Some(Json::Null) => defaults.buckets_ms,
+            Some(value) => {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| JsonError::schema("`buckets_ms` must be an array"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_f64().ok_or_else(|| {
+                            JsonError::schema("`buckets_ms` entries must be numbers")
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, JsonError>>()?
+            }
+        };
+        Ok(Self {
+            latency_window: opt_usize(json, "latency_window")?.unwrap_or(defaults.latency_window),
+            buckets_ms,
+        })
+    }
+}
+
 /// Every serving knob in one typed, JSON-round-tripping struct.
 ///
 /// [`ServeBuilder`](crate::ServeBuilder) and the daemon's `ServedBuilder`
@@ -211,6 +312,10 @@ pub struct ServeConfig {
     pub autoscale: Option<AutoscalePolicy>,
     /// Per-client admission quotas (enforced by network front ends).
     pub quota: QuotaConfig,
+    /// Telemetry shape: latency window length and histogram buckets.
+    /// Never affects results, only what the server reports about
+    /// itself.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for ServeConfig {
@@ -227,6 +332,7 @@ impl Default for ServeConfig {
             worker_budget: None,
             autoscale: None,
             quota: QuotaConfig::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -251,6 +357,7 @@ impl ServeConfig {
                     .map_or(Json::Null, AutoscalePolicy::to_json),
             ),
             ("quota", self.quota.to_json()),
+            ("metrics", self.metrics.to_json()),
         ])
     }
 
@@ -281,6 +388,10 @@ impl ServeConfig {
             None | Some(Json::Null) => QuotaConfig::default(),
             Some(value) => QuotaConfig::from_json(value)?,
         };
+        let metrics = match json.get("metrics") {
+            None | Some(Json::Null) => MetricsConfig::default(),
+            Some(value) => MetricsConfig::from_json(value)?,
+        };
         let config = Self {
             workers_per_shard: opt_usize(json, "workers_per_shard")?
                 .unwrap_or(defaults.workers_per_shard),
@@ -294,6 +405,7 @@ impl ServeConfig {
             worker_budget,
             autoscale,
             quota,
+            metrics,
         };
         let findings = config.validate();
         let mut errors = findings.iter().filter(|d| d.is_error()).peekable();
@@ -317,8 +429,9 @@ impl ServeConfig {
     /// (`DQC-E010`), an autoscale worker floor beyond the worker budget
     /// (`DQC-E008`), or inverted/out-of-range pressure thresholds
     /// (`DQC-E011`). Warnings flag legal but surprising settings: a
-    /// disabled compile cache (`DQC-W006`) and zero autoscale
-    /// hysteresis (`DQC-W007`).
+    /// disabled compile cache (`DQC-W006`), zero autoscale hysteresis
+    /// (`DQC-W007`), and blind telemetry — a disabled latency window
+    /// or degenerate histogram bucket ladder (`DQC-W008`).
     pub fn validate(&self) -> Vec<Diagnostic> {
         let mut findings = Vec::new();
         let field = |path: &str| Site::Field(path.to_string());
@@ -368,6 +481,23 @@ impl ServeConfig {
                     ));
                 }
             }
+        }
+        if self.metrics.latency_window == 0 {
+            findings.push(Diagnostic::new(
+                "DQC-W008",
+                field("metrics.latency_window"),
+                "a zero-length latency window reports every percentile as 0",
+                "keep at least a few hundred samples of window, or accept blind percentiles",
+            ));
+        }
+        if !self.metrics.buckets_are_well_formed() {
+            findings.push(Diagnostic::new(
+                "DQC-W008",
+                field("metrics.buckets_ms"),
+                "histogram bucket bounds must be positive and strictly increasing; \
+                 every sample would land in the overflow bucket",
+                "list increasing positive millisecond bounds, e.g. [0.1, 1.0, 10.0, 100.0]",
+            ));
         }
         if let Some(policy) = &self.autoscale {
             if let Some(budget) = self.worker_budget {
@@ -456,6 +586,10 @@ mod tests {
                     per_sec: 100.0,
                     burst: 20.0,
                 }),
+            },
+            metrics: MetricsConfig {
+                latency_window: 64,
+                buckets_ms: vec![0.5, 5.0, 50.0],
             },
         }
     }
@@ -567,6 +701,63 @@ mod tests {
         let text = warned.to_json().to_pretty_string();
         let back = ServeConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, warned);
+    }
+
+    #[test]
+    fn blind_telemetry_warns_but_loads() {
+        for (metrics, why) in [
+            (
+                MetricsConfig {
+                    latency_window: 0,
+                    ..MetricsConfig::default()
+                },
+                "disabled window",
+            ),
+            (
+                MetricsConfig {
+                    buckets_ms: vec![],
+                    ..MetricsConfig::default()
+                },
+                "empty ladder",
+            ),
+            (
+                MetricsConfig {
+                    buckets_ms: vec![5.0, 1.0],
+                    ..MetricsConfig::default()
+                },
+                "non-increasing ladder",
+            ),
+            (
+                MetricsConfig {
+                    buckets_ms: vec![-1.0, 2.0],
+                    ..MetricsConfig::default()
+                },
+                "non-positive bound",
+            ),
+        ] {
+            let config = ServeConfig {
+                metrics,
+                ..ServeConfig::default()
+            };
+            let findings = config.validate();
+            assert_eq!(findings.len(), 1, "{why}");
+            assert_eq!(findings[0].code, "DQC-W008", "{why}");
+            assert!(!findings[0].is_error(), "{why}");
+            // Warnings never block loading.
+            let text = config.to_json().to_pretty_string();
+            let back = ServeConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config, "{why}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_convert_to_whole_microseconds() {
+        let metrics = MetricsConfig::default();
+        assert!(metrics.buckets_are_well_formed());
+        let bounds = metrics.bucket_bounds_us();
+        assert_eq!(bounds.first(), Some(&50));
+        assert_eq!(bounds.last(), Some(&250_000));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

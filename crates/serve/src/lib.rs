@@ -99,7 +99,7 @@ mod request;
 mod server;
 mod stats;
 
-pub use config::{AutoscalePolicy, QuotaConfig, RateLimit, ServeConfig};
+pub use config::{AutoscalePolicy, MetricsConfig, QuotaConfig, RateLimit, ServeConfig};
 pub use error::ServeError;
 pub use request::{EvalOutput, EvalRequest, EvalResponse, RequestId};
 pub use server::{ServeBuilder, Server};

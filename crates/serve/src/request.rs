@@ -48,6 +48,11 @@ pub struct EvalRequest {
     pub runs: usize,
     /// First seed; run `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Observability trace identity, threaded through the worker's span
+    /// tree when a recorder is installed. `None` (the default) lets the
+    /// server mint one at admission while recording; it never affects
+    /// the evaluation result.
+    pub trace: Option<dqc_obs::TraceId>,
 }
 
 impl EvalRequest {
@@ -65,7 +70,16 @@ impl EvalRequest {
             design,
             runs: 1,
             base_seed: 0,
+            trace: None,
         }
+    }
+
+    /// Tags the request with an existing observability trace (the
+    /// daemon threads its per-request wire trace through here).
+    #[must_use]
+    pub fn trace(mut self, trace: dqc_obs::TraceId) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Sets the number of seeded runs.

@@ -41,6 +41,7 @@ use crate::stats::{
 };
 use crate::{EvalOutput, EvalRequest, EvalResponse, RequestId, ServeError};
 use dqc_core::{CompiledCircuit, DqcError, ExecutionReport, Experiment, SystemConfig};
+use dqc_obs::{Counter, MetricsSnapshot, Registry, TraceId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -53,6 +54,10 @@ struct Job {
     id: RequestId,
     request: EvalRequest,
     submitted_at: Instant,
+    /// Submission time on the installed observability clock, captured
+    /// only while recording — lets the worker synthesize the queue-wait
+    /// span in the request's trace.
+    submitted_us: Option<u64>,
 }
 
 /// Everything one worker thread needs, cloned per worker.
@@ -82,13 +87,14 @@ struct Shard {
 }
 
 /// The autoscaler controller's shared state: the stop latch the server
-/// pulls at shutdown, and the counters snapshots read.
-#[derive(Debug, Default)]
+/// pulls at shutdown, and the counters snapshots read (registered in
+/// the server's metrics registry).
+#[derive(Debug)]
 struct AutoscaleShared {
     stop: Mutex<bool>,
     wake: Condvar,
-    ticks: AtomicU64,
-    rebalances: AtomicU64,
+    ticks: Arc<Counter>,
+    rebalances: Arc<Counter>,
 }
 
 #[derive(Debug)]
@@ -326,7 +332,9 @@ impl ServeBuilder {
         };
 
         let (results, receiver) = channel();
-        let latency = Arc::new(LatencyWindow::new());
+        let registry = Arc::new(Registry::new());
+        let bounds_us = config.metrics.bucket_bounds_us();
+        let latency = Arc::new(LatencyWindow::new(config.metrics.latency_window));
         let shards: Vec<Shard> = self
             .points
             .into_iter()
@@ -337,8 +345,8 @@ impl ServeBuilder {
                 if autoscaling {
                     queue.set_active(target);
                 }
-                let counters = Arc::new(ShardCounters::default());
-                counters.workers.store(target as u64, Ordering::Relaxed);
+                let counters = Arc::new(ShardCounters::register(&registry, &point, &bounds_us));
+                counters.workers.set(target as u64);
                 let cache = Arc::new(Mutex::new(CompileCache::new(config.cache_capacity)));
                 let workers = (0..spawn_count)
                     .map(|worker_index| {
@@ -370,7 +378,12 @@ impl ServeBuilder {
 
         let autoscale = if autoscaling {
             let policy = config.autoscale.expect("checked");
-            let shared = Arc::new(AutoscaleShared::default());
+            let shared = Arc::new(AutoscaleShared {
+                stop: Mutex::new(false),
+                wake: Condvar::new(),
+                ticks: registry.counter("serve.autoscale_ticks"),
+                rebalances: registry.counter("serve.rebalances"),
+            });
             let scaler = Autoscaler::new(policy, targets);
             let watched: Vec<(Arc<BoundedQueue<Job>>, Arc<ShardCounters>)> = shards
                 .iter()
@@ -398,6 +411,7 @@ impl ServeBuilder {
                 next_id: AtomicU64::new(0),
                 started: Instant::now(),
                 latency,
+                registry,
                 autoscale,
             },
             receiver,
@@ -419,6 +433,7 @@ pub struct Server {
     next_id: AtomicU64,
     started: Instant,
     latency: Arc<LatencyWindow>,
+    registry: Arc<Registry>,
     autoscale: Option<AutoscaleHandle>,
 }
 
@@ -469,7 +484,7 @@ impl Server {
     /// * [`ServeError::ShuttingDown`] — the server is draining.
     ///
     /// [`DqcError::ZeroRuns`]: dqc_core::DqcError::ZeroRuns
-    pub fn submit(&self, request: EvalRequest) -> Result<RequestId, ServeError> {
+    pub fn submit(&self, mut request: EvalRequest) -> Result<RequestId, ServeError> {
         let Some(&shard_idx) = self.index.get(&request.point) else {
             return Err(ServeError::UnknownPoint {
                 point: request.point,
@@ -478,20 +493,33 @@ impl Server {
         if request.runs == 0 {
             return Err(ServeError::Engine(dqc_core::DqcError::ZeroRuns));
         }
+        // While recording, every accepted request gets a trace identity
+        // (kept if the caller already minted one) and an admission
+        // timestamp, so the worker can reconstruct queue-wait spans.
+        // `now_micros` is `None` when no recorder is installed, making
+        // all of this free on the default path.
+        let submitted_us = dqc_obs::now_micros();
+        if submitted_us.is_some() && request.trace.is_none() {
+            request.trace = Some(TraceId::mint());
+        }
         let shard = &self.shards[shard_idx];
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let job = Job {
             id,
             request,
             submitted_at: Instant::now(),
+            submitted_us,
         };
         match shard.queue.try_push(job) {
             Ok(()) => {
-                ShardCounters::bump(&shard.counters.submitted);
+                shard.counters.submitted.bump();
                 Ok(id)
             }
             Err(PushRefused::Full) => {
-                ShardCounters::bump(&shard.counters.rejected);
+                shard.counters.rejected.bump();
+                dqc_obs::event("serve.rejected", || {
+                    vec![("point", shard.point.as_str().into())]
+                });
                 Err(ServeError::Overloaded {
                     point: shard.point.clone(),
                     capacity: shard.queue.capacity(),
@@ -504,7 +532,6 @@ impl Server {
     /// A point-in-time snapshot of counters, queue depths, cache state,
     /// fusion/autoscale activity, latency quantiles, and throughput.
     pub fn stats(&self) -> ServeStats {
-        let read = ShardCounters::read;
         let shards: Vec<ShardSnapshot> = self
             .shards
             .iter()
@@ -512,17 +539,17 @@ impl Server {
                 point: s.point.clone(),
                 queue_depth: s.queue.depth(),
                 queue_capacity: s.queue.capacity(),
-                submitted: read(&s.counters.submitted),
-                served: read(&s.counters.served),
-                rejected: read(&s.counters.rejected),
-                errors: read(&s.counters.errors),
-                cache_hits: read(&s.counters.cache_hits),
-                cache_misses: read(&s.counters.cache_misses),
-                dispatches: read(&s.counters.dispatches),
-                fused_requests: read(&s.counters.fused_requests),
-                fused_replays_saved: read(&s.counters.fused_replays_saved),
+                submitted: s.counters.submitted.get(),
+                served: s.counters.served.get(),
+                rejected: s.counters.rejected.get(),
+                errors: s.counters.errors.get(),
+                cache_hits: s.counters.cache_hits.get(),
+                cache_misses: s.counters.cache_misses.get(),
+                dispatches: s.counters.dispatches.get(),
+                fused_requests: s.counters.fused_requests.get(),
+                fused_replays_saved: s.counters.fused_replays_saved.get(),
                 cached_circuits: s.cache.lock().expect("cache lock not poisoned").len(),
-                workers: read(&s.counters.workers) as usize,
+                workers: s.counters.workers.get() as usize,
             })
             .collect();
         let total = |f: fn(&ShardSnapshot) -> u64| shards.iter().map(f).sum();
@@ -530,10 +557,7 @@ impl Server {
         let elapsed = self.started.elapsed();
         let elapsed_ms = elapsed.as_secs_f64() * 1e3;
         let (autoscale_ticks, rebalances) = self.autoscale.as_ref().map_or((0, 0), |handle| {
-            (
-                handle.shared.ticks.load(Ordering::Relaxed),
-                handle.shared.rebalances.load(Ordering::Relaxed),
-            )
+            (handle.shared.ticks.get(), handle.shared.rebalances.get())
         });
         ServeStats {
             submitted: total(|s| s.submitted),
@@ -556,6 +580,22 @@ impl Server {
             latency: self.latency.summarize(),
             shards,
         }
+    }
+
+    /// A raw snapshot of the server's metrics registry: the same
+    /// per-shard counters [`Server::stats`] rolls up, plus the
+    /// queue-wait and service-time histograms the rolled-up view elides.
+    /// This is what the daemon's `metrics` wire frame serializes.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The server's metrics registry. Front ends register their own
+    /// counters here (the daemon's wire-level counters live alongside
+    /// the serve counters) so one `metrics` exposition covers the whole
+    /// process.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Gracefully shuts down: stops the autoscaler, closes every queue
@@ -627,7 +667,7 @@ fn controller_loop(
         if *stopped || !wait.timed_out() {
             continue;
         }
-        shared.ticks.fetch_add(1, Ordering::Relaxed);
+        shared.ticks.bump();
         let observations: Vec<QueueObservation> = shards
             .iter()
             .map(|(queue, _)| QueueObservation {
@@ -636,35 +676,103 @@ fn controller_loop(
             })
             .collect();
         if let Some(mv) = scaler.tick(&observations) {
-            shared.rebalances.fetch_add(1, Ordering::Relaxed);
+            shared.rebalances.bump();
             let targets = scaler.targets();
+            dqc_obs::event("serve.autoscale_move", || {
+                // Reconstruct the pre-move placement: the donor had one
+                // more worker, the winner one fewer.
+                let mut before = targets.to_vec();
+                before[mv.from] += 1;
+                before[mv.to] -= 1;
+                vec![
+                    ("from", (mv.from as u64).into()),
+                    ("to", (mv.to as u64).into()),
+                    ("before", placement_string(&before).into()),
+                    ("after", placement_string(targets).into()),
+                ]
+            });
             // Publish the donor's shrink before the winner's growth so
             // the budget is never transiently exceeded.
             shards[mv.from].0.set_active(targets[mv.from]);
             shards[mv.to].0.set_active(targets[mv.to]);
             for ((_, counters), &target) in shards.iter().zip(targets) {
-                counters.workers.store(target as u64, Ordering::Relaxed);
+                counters.workers.set(target as u64);
             }
         }
     }
+}
+
+/// Turns a worker placement into the compact `a,b,c` attr form.
+fn placement_string(targets: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, t) in targets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_string());
+    }
+    out
 }
 
 /// One worker's lifetime: drain batches until the queue closes empty,
 /// fusing same-fingerprint requests within each batch when enabled.
 fn worker_loop(ctx: WorkerContext) {
     while let Some(batch) = ctx.queue.pop_batch_as(ctx.index, ctx.batch_max) {
-        ShardCounters::bump(&ctx.counters.dispatches);
+        ctx.counters.dispatches.bump();
+        let mut dispatch = dqc_obs::span("serve.dispatch");
+        if dispatch.enabled() {
+            dispatch.attr("point", ctx.point.as_str());
+            dispatch.attr("batch", batch.len() as u64);
+        }
         if ctx.fusion && batch.len() > 1 {
             for group in fuse_batch(&ctx, batch) {
                 serve_group(&ctx, group);
             }
         } else {
             for job in batch {
-                let (outcome, cache_hit) = serve_one(&ctx, &job.request);
-                finish_job(&ctx, job, outcome, cache_hit);
+                serve_job(&ctx, job);
             }
         }
     }
+}
+
+/// Serves one unfused job end to end: request span, evaluation, and
+/// completion accounting.
+fn serve_job(ctx: &WorkerContext, job: Job) {
+    let service_started = Instant::now();
+    let _request_span = open_request_span(ctx, &job);
+    let (outcome, cache_hit) = serve_one(ctx, &job.request);
+    finish_job(ctx, job, outcome, cache_hit, service_started);
+}
+
+/// Opens the per-request span while recording: a `serve.request` root
+/// adopting the trace and admission time stamped at submit, plus a
+/// synthesized `serve.queue` child covering the time spent waiting in
+/// the shard queue. Inert (no allocation) when nothing is installed.
+fn open_request_span(ctx: &WorkerContext, job: &Job) -> dqc_obs::SpanGuard {
+    let mut span = match (job.request.trace, job.submitted_us) {
+        (Some(trace), Some(start)) => dqc_obs::root_span_at("serve.request", trace, start),
+        (Some(trace), None) => dqc_obs::root_span("serve.request", trace),
+        _ => dqc_obs::span("serve.request"),
+    };
+    if span.enabled() {
+        span.attr("point", ctx.point.as_str());
+        span.attr("runs", job.request.runs as u64);
+        span.attr("seed", job.request.base_seed);
+        if let (Some((trace, parent)), Some(start), Some(now)) =
+            (span.ids(), job.submitted_us, dqc_obs::now_micros())
+        {
+            dqc_obs::record_span(
+                "serve.queue",
+                trace,
+                Some(parent),
+                start,
+                now.max(start),
+                Vec::new(),
+            );
+        }
+    }
+    span
 }
 
 /// Splits one dispatch batch into fusion groups: jobs sharing a compile
@@ -701,8 +809,7 @@ fn fuse_batch(ctx: &WorkerContext, batch: Vec<Job>) -> Vec<Vec<Job>> {
 fn serve_group(ctx: &WorkerContext, group: Vec<Job>) {
     if group.len() == 1 {
         let job = group.into_iter().next().expect("one job");
-        let (outcome, cache_hit) = serve_one(ctx, &job.request);
-        finish_job(ctx, job, outcome, cache_hit);
+        serve_job(ctx, job);
         return;
     }
     let fused = group.len() as u64;
@@ -710,6 +817,8 @@ fn serve_group(ctx: &WorkerContext, group: Vec<Job>) {
     let mut memo: HashMap<u64, Result<ExecutionReport, DqcError>> = HashMap::new();
     let mut shared_compiled: Option<Arc<CompiledCircuit>> = None;
     for job in group {
+        let service_started = Instant::now();
+        let request_span = open_request_span(ctx, &job);
         let (outcome, cache_hit) = match resolve_compiled(ctx, &job.request) {
             Err(e) => (Err(e), false),
             Ok((compiled, cache_hit)) => {
@@ -747,24 +856,41 @@ fn serve_group(ctx: &WorkerContext, group: Vec<Job>) {
                 }
             }
         };
-        finish_job(ctx, job, outcome, cache_hit);
+        finish_job(ctx, job, outcome, cache_hit, service_started);
+        drop(request_span);
     }
-    ShardCounters::add(&ctx.counters.fused_requests, fused);
-    ShardCounters::add(&ctx.counters.fused_replays_saved, saved);
+    ctx.counters.fused_requests.add(fused);
+    ctx.counters.fused_replays_saved.add(saved);
+    dqc_obs::event("serve.fusion_group", || {
+        vec![
+            ("point", ctx.point.as_str().into()),
+            ("members", fused.into()),
+            ("replays_saved", saved.into()),
+        ]
+    });
 }
 
-/// Completes one job: counters, latency, and the response send.
+/// Completes one job: counters, histograms, latency, and the response
+/// send.
 fn finish_job(
     ctx: &WorkerContext,
     job: Job,
     outcome: Result<EvalOutput, ServeError>,
     cache_hit: bool,
+    service_started: Instant,
 ) {
     if outcome.is_err() {
-        ShardCounters::bump(&ctx.counters.errors);
+        ctx.counters.errors.bump();
     }
-    ShardCounters::bump(&ctx.counters.served);
+    ctx.counters.served.bump();
     let latency = job.submitted_at.elapsed();
+    let micros = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    ctx.counters.queue_wait.record(micros(
+        service_started.saturating_duration_since(job.submitted_at),
+    ));
+    ctx.counters
+        .service
+        .record(micros(service_started.elapsed()));
     ctx.latency.record(latency);
     // A gone receiver means the client stopped listening; keep
     // draining so shutdown still completes.
@@ -810,7 +936,7 @@ fn resolve_compiled(
         .get(key, &request.circuit);
     match cached {
         Some(compiled) => {
-            ShardCounters::bump(&ctx.counters.cache_hits);
+            ctx.counters.cache_hits.bump();
             Ok((compiled, true))
         }
         None => {
@@ -818,7 +944,7 @@ fn resolve_compiled(
             // compile; the duplicate insert collapses in the cache. That
             // wastes one compilation in a rare race — cheaper than
             // serializing every miss behind a single-flight lock.
-            ShardCounters::bump(&ctx.counters.cache_misses);
+            ctx.counters.cache_misses.bump();
             match CompiledCircuit::compile(&request.circuit, &ctx.config) {
                 Ok(compiled) => {
                     let compiled = Arc::new(compiled);

@@ -1,76 +1,105 @@
 //! Server observability: counters, latency quantiles, and the
 //! JSON-serializable [`ServeStats`] snapshot.
+//!
+//! Since the `dqc-obs` layer landed, the per-shard counters are typed
+//! handles into a per-server [`Registry`] — [`ServeStats`] is a *view*
+//! over that registry (same numbers, same JSON schema), and the same
+//! registry backs the daemon's `metrics` wire frame and `--profile`
+//! captures.
 
+use dqc_obs::{labeled, Counter, Gauge, Histogram, Registry};
 use dqc_types::{Json, JsonError};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// How many recent per-request latencies the quantile window retains.
-/// Quantiles are computed over this sliding window, so a long-lived
-/// server reports *recent* tail latency instead of averaging over its
-/// entire history (and its memory stays bounded).
-pub(crate) const LATENCY_WINDOW: usize = 8192;
-
-/// Lock-free per-shard counters, updated by workers and the admission
-/// path, read by [`ServeStats`] snapshots. Relaxed ordering everywhere:
-/// the counters are statistics, not synchronization.
-#[derive(Debug, Default)]
+/// Lock-free per-shard metric handles, updated by workers and the
+/// admission path, read by [`ServeStats`] snapshots. Every handle lives
+/// in the server's [`Registry`] under a `name{point=...}` label, so the
+/// stats snapshot and the raw metrics exposition always agree. Relaxed
+/// ordering everywhere: the counters are statistics, not
+/// synchronization.
+#[derive(Debug)]
 pub(crate) struct ShardCounters {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) served: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) errors: AtomicU64,
-    pub(crate) cache_hits: AtomicU64,
-    pub(crate) cache_misses: AtomicU64,
-    pub(crate) dispatches: AtomicU64,
-    pub(crate) fused_requests: AtomicU64,
-    pub(crate) fused_replays_saved: AtomicU64,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) served: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) dispatches: Arc<Counter>,
+    pub(crate) fused_requests: Arc<Counter>,
+    pub(crate) fused_replays_saved: Arc<Counter>,
     /// Current worker target — written at spawn and by the autoscaler
-    /// controller, read by snapshots. Not a statistic, but it lives with
-    /// them so a snapshot is one struct read.
-    pub(crate) workers: AtomicU64,
+    /// controller, read by snapshots. A gauge, not a counter: it moves
+    /// both ways.
+    pub(crate) workers: Arc<Gauge>,
+    /// Submission-to-dispatch wait per request, microseconds.
+    pub(crate) queue_wait: Arc<Histogram>,
+    /// Dispatch-to-completion service time per request, microseconds.
+    pub(crate) service: Arc<Histogram>,
 }
 
 impl ShardCounters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    pub(crate) fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// Registers (or re-attaches to) one shard's metric family in
+    /// `registry`, labeled by hardware point.
+    pub(crate) fn register(registry: &Registry, point: &str, bounds_us: &[u64]) -> Self {
+        let counter = |name| registry.counter(&labeled(name, "point", point));
+        Self {
+            submitted: counter("serve.submitted"),
+            served: counter("serve.served"),
+            rejected: counter("serve.rejected"),
+            errors: counter("serve.errors"),
+            cache_hits: counter("serve.cache_hits"),
+            cache_misses: counter("serve.cache_misses"),
+            dispatches: counter("serve.dispatches"),
+            fused_requests: counter("serve.fused_requests"),
+            fused_replays_saved: counter("serve.fused_replays_saved"),
+            workers: registry.gauge(&labeled("serve.workers", "point", point)),
+            queue_wait: registry
+                .histogram(&labeled("serve.queue_wait_us", "point", point), bounds_us),
+            service: registry.histogram(&labeled("serve.service_us", "point", point), bounds_us),
+        }
     }
 }
 
 /// A sliding window of recent request latencies (microseconds).
+///
+/// The capacity comes from `ServeConfig::metrics.latency_window`; a
+/// zero window records nothing (every percentile reads 0 — flagged as
+/// `DQC-W008` at config level).
 #[derive(Debug)]
 pub(crate) struct LatencyWindow {
+    window: usize,
     samples: Mutex<VecDeque<u64>>,
 }
 
 impl LatencyWindow {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(window: usize) -> Self {
         Self {
-            samples: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            window,
+            samples: Mutex::new(VecDeque::with_capacity(window.min(8192))),
         }
     }
 
     /// Records one request's submission-to-completion latency.
     pub(crate) fn record(&self, latency: Duration) {
+        if self.window == 0 {
+            return;
+        }
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let mut samples = self.samples.lock().expect("latency lock not poisoned");
-        if samples.len() == LATENCY_WINDOW {
+        if samples.len() == self.window {
             samples.pop_front();
         }
         samples.push_back(micros);
     }
 
-    /// Summarizes the current window.
+    /// Summarizes the current window. With fewer samples than the
+    /// window holds, quantiles are still exact nearest-rank over what
+    /// *was* observed — the p99 of a single sample is that sample, not
+    /// zero — so a freshly started server reports truthfully instead of
+    /// optimistically.
     pub(crate) fn summarize(&self) -> LatencySummary {
         let samples = self.samples.lock().expect("latency lock not poisoned");
         let mut sorted: Vec<u64> = samples.iter().copied().collect();
@@ -78,7 +107,10 @@ impl LatencyWindow {
         sorted.sort_unstable();
         let ms = |micros: u64| micros as f64 / 1e3;
         if sorted.is_empty() {
-            return LatencySummary::default();
+            return LatencySummary {
+                window: self.window,
+                ..LatencySummary::default()
+            };
         }
         // Nearest-rank quantiles: rank ⌈q·n⌉ (1-based), the convention
         // that never interpolates between observed samples.
@@ -88,6 +120,7 @@ impl LatencyWindow {
             sorted[r.clamp(1, n) - 1]
         };
         LatencySummary {
+            window: self.window,
             samples: sorted.len(),
             mean_ms: ms(sorted.iter().sum::<u64>()) / sorted.len() as f64,
             p50_ms: ms(rank(0.50)),
@@ -101,6 +134,9 @@ impl LatencyWindow {
 /// milliseconds.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LatencySummary {
+    /// The configured window capacity (`samples` saturates here). `0`
+    /// means the window is disabled and every quantile reads zero.
+    pub window: usize,
     /// Number of samples in the window (saturates at the window size).
     pub samples: usize,
     /// Mean latency.
@@ -117,6 +153,7 @@ impl LatencySummary {
     /// Serializes the summary for the machine-readable results pipeline.
     pub fn to_json(&self) -> Json {
         Json::object([
+            ("window", Json::from(self.window)),
             ("samples", Json::from(self.samples)),
             ("mean_ms", Json::float(self.mean_ms)),
             ("p50_ms", Json::float(self.p50_ms)),
@@ -132,6 +169,7 @@ impl LatencySummary {
     /// [`JsonError::Schema`] on a missing or mistyped field.
     pub fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(Self {
+            window: json.usize_field("window")?,
             samples: json.usize_field("samples")?,
             mean_ms: json.f64_field("mean_ms")?,
             p50_ms: json.f64_field("p50_ms")?,
@@ -413,6 +451,7 @@ mod tests {
             elapsed_ms: 1234.5,
             throughput_rps: 78.6,
             latency: LatencySummary {
+                window: 8192,
                 samples: 97,
                 mean_ms: 4.2,
                 p50_ms: 3.1,
@@ -477,11 +516,12 @@ mod tests {
 
     #[test]
     fn latency_window_quantiles_are_nearest_rank() {
-        let window = LatencyWindow::new();
+        let window = LatencyWindow::new(8192);
         for micros in (1..=100).rev() {
             window.record(Duration::from_micros(micros * 1000));
         }
         let summary = window.summarize();
+        assert_eq!(summary.window, 8192);
         assert_eq!(summary.samples, 100);
         assert!((summary.p50_ms - 50.0).abs() < 1e-9, "{summary:?}");
         assert!((summary.p99_ms - 99.0).abs() < 1e-9, "{summary:?}");
@@ -491,15 +531,76 @@ mod tests {
 
     #[test]
     fn latency_window_is_bounded() {
-        let window = LatencyWindow::new();
-        for _ in 0..(LATENCY_WINDOW + 100) {
+        let window = LatencyWindow::new(64);
+        for _ in 0..(64 + 100) {
             window.record(Duration::from_micros(1000));
         }
-        assert_eq!(window.summarize().samples, LATENCY_WINDOW);
+        assert_eq!(window.summarize().samples, 64);
+    }
+
+    #[test]
+    fn partially_filled_window_quantiles_cover_observed_samples_only() {
+        // A freshly started server has fewer samples than its window.
+        // Nearest-rank quantiles are then computed over what *was*
+        // observed — the p99 of one sample is that sample, never an
+        // optimistic zero — and the summary reports both the configured
+        // window and how much of it is filled.
+        let window = LatencyWindow::new(1000);
+        window.record(Duration::from_micros(7_000));
+        let one = window.summarize();
+        assert_eq!((one.window, one.samples), (1000, 1));
+        assert!((one.p50_ms - 7.0).abs() < 1e-9, "{one:?}");
+        assert!((one.p99_ms - 7.0).abs() < 1e-9, "{one:?}");
+
+        window.record(Duration::from_micros(1_000));
+        let two = window.summarize();
+        assert_eq!(two.samples, 2);
+        // rank ⌈0.99·2⌉ = 2 → the worse of the two samples.
+        assert!((two.p99_ms - 7.0).abs() < 1e-9, "{two:?}");
+        assert!((two.p50_ms - 1.0).abs() < 1e-9, "{two:?}");
+    }
+
+    #[test]
+    fn zero_window_drops_samples_instead_of_growing() {
+        let window = LatencyWindow::new(0);
+        window.record(Duration::from_micros(5_000));
+        let summary = window.summarize();
+        assert_eq!((summary.window, summary.samples), (0, 0));
+        assert_eq!(summary.p99_ms, 0.0);
     }
 
     #[test]
     fn empty_window_summarizes_to_zeros() {
-        assert_eq!(LatencyWindow::new().summarize(), LatencySummary::default());
+        let summary = LatencyWindow::new(16).summarize();
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.window, 16);
+        assert_eq!(
+            LatencySummary {
+                window: 0,
+                ..summary
+            },
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn shard_counters_are_views_over_the_registry() {
+        let registry = Registry::new();
+        let counters = ShardCounters::register(&registry, "paper", &[100, 1000]);
+        counters.submitted.bump();
+        counters.served.add(2);
+        counters.workers.set(3);
+        counters.queue_wait.record(50);
+        counters.service.record(5000);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("serve.submitted{point=paper}"), Some(1));
+        assert_eq!(snapshot.counter("serve.served{point=paper}"), Some(2));
+        assert_eq!(
+            ShardCounters::register(&registry, "paper", &[100, 1000])
+                .served
+                .get(),
+            2,
+            "re-registration re-attaches to the same handles"
+        );
     }
 }

@@ -11,9 +11,10 @@
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::protocol::{
-    bye_frame, hello_frame, parse_server_frame, stats_frame, submit_frame, DaemonStats,
-    ServerFrame, Submission, Welcome, WireError, WireReply,
+    bye_frame, hello_frame, metrics_frame, parse_server_frame, stats_frame, submit_frame,
+    trace_frame, DaemonStats, ServerFrame, Submission, Welcome, WireError, WireReply,
 };
+use dqc_obs::{Capture, MetricsSnapshot};
 use dqc_serve::ServeStats;
 use dqc_types::JsonError;
 use std::collections::VecDeque;
@@ -21,6 +22,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::ControlFlow;
 
 /// Everything that can go wrong on the client side of the wire.
 #[derive(Debug)]
@@ -133,7 +135,7 @@ impl ServedClient {
             ServerFrame::Welcome(welcome) => Ok(Self {
                 reader,
                 writer,
-                welcome,
+                welcome: *welcome,
                 next_tag: 0,
                 pending: VecDeque::new(),
             }),
@@ -186,18 +188,25 @@ impl ServedClient {
                 ServerFrame::Error {
                     tag: Some(tag),
                     error,
+                    ..
                 } => {
                     return Ok(WireReply {
                         tag,
                         outcome: Err(error),
                     })
                 }
-                ServerFrame::Error { tag: None, error } => return Err(ClientError::Fatal(error)),
+                ServerFrame::Error {
+                    tag: None, error, ..
+                } => return Err(ClientError::Fatal(error)),
                 ServerFrame::Bye => return Err(ClientError::ClosedByServer),
-                // A stats reply racing ahead of results is dropped here;
-                // `stats()` is the only sender of stats requests and it
-                // drains its own reply before returning.
-                ServerFrame::Stats { .. } | ServerFrame::Welcome(_) => {}
+                // A stats/metrics/trace reply racing ahead of results is
+                // dropped here; `stats()`, `metrics()`, and `trace()`
+                // are the only senders of those requests and each drains
+                // its own reply before returning.
+                ServerFrame::Stats { .. }
+                | ServerFrame::Metrics { .. }
+                | ServerFrame::Trace { .. }
+                | ServerFrame::Welcome(_) => {}
             }
         }
     }
@@ -214,13 +223,74 @@ impl ServedClient {
         let tag = self.next_tag;
         self.next_tag += 1;
         write_frame(&mut self.writer, &stats_frame(tag))?;
+        self.drain_until(tag, |frame, tag| match frame {
+            ServerFrame::Stats {
+                tag: reply_tag,
+                serve,
+                daemon,
+            } if reply_tag == tag => ControlFlow::Break((serve, daemon)),
+            other => ControlFlow::Continue(other),
+        })
+    }
+
+    /// Requests and returns one snapshot of the daemon's metrics
+    /// registry: the serving layer's per-shard `serve.*` metrics plus
+    /// the daemon's `served.*` connection counters (protocol v3).
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`recv_reply`](ServedClient::recv_reply).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        write_frame(&mut self.writer, &metrics_frame(tag))?;
+        self.drain_until(tag, |frame, tag| match frame {
+            ServerFrame::Metrics {
+                tag: reply_tag,
+                metrics,
+            } if reply_tag == tag => ControlFlow::Break(metrics),
+            other => ControlFlow::Continue(other),
+        })
+    }
+
+    /// Requests and returns the daemon's current trace capture: the
+    /// spans and events buffered in its configured trace ring, plus a
+    /// metrics snapshot (protocol v3). Span-free when the daemon has no
+    /// ring or no recorder is installed.
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`recv_reply`](ServedClient::recv_reply).
+    pub fn trace(&mut self) -> Result<Capture, ClientError> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        write_frame(&mut self.writer, &trace_frame(tag))?;
+        self.drain_until(tag, |frame, tag| match frame {
+            ServerFrame::Trace {
+                tag: reply_tag,
+                capture,
+            } if reply_tag == tag => ControlFlow::Break(*capture),
+            other => ControlFlow::Continue(other),
+        })
+    }
+
+    /// Reads frames until `matches` claims one (an out-of-band reply to
+    /// the request tagged `tag`), buffering submit replies that race
+    /// ahead for [`recv_reply`](ServedClient::recv_reply). An unmatched
+    /// frame is not an error — `ControlFlow::Continue` hands it back to
+    /// keep draining.
+    fn drain_until<T>(
+        &mut self,
+        tag: u64,
+        matches: impl Fn(ServerFrame, u64) -> ControlFlow<T, ServerFrame>,
+    ) -> Result<T, ClientError> {
         loop {
-            match self.read_server_frame()? {
-                ServerFrame::Stats {
-                    tag: reply_tag,
-                    serve,
-                    daemon,
-                } if reply_tag == tag => return Ok((serve, daemon)),
+            let frame = self.read_server_frame()?;
+            let unmatched = match matches(frame, tag) {
+                ControlFlow::Break(value) => return Ok(value),
+                ControlFlow::Continue(frame) => frame,
+            };
+            match unmatched {
                 ServerFrame::Result { tag, output } => self.pending.push_back(WireReply {
                     tag,
                     outcome: Ok(output),
@@ -228,13 +298,19 @@ impl ServedClient {
                 ServerFrame::Error {
                     tag: Some(tag),
                     error,
+                    ..
                 } => self.pending.push_back(WireReply {
                     tag,
                     outcome: Err(error),
                 }),
-                ServerFrame::Error { tag: None, error } => return Err(ClientError::Fatal(error)),
+                ServerFrame::Error {
+                    tag: None, error, ..
+                } => return Err(ClientError::Fatal(error)),
                 ServerFrame::Bye => return Err(ClientError::ClosedByServer),
-                ServerFrame::Stats { .. } | ServerFrame::Welcome(_) => {}
+                ServerFrame::Stats { .. }
+                | ServerFrame::Metrics { .. }
+                | ServerFrame::Trace { .. }
+                | ServerFrame::Welcome(_) => {}
             }
         }
     }

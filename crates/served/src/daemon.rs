@@ -25,11 +25,13 @@
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::protocol::{
-    bye_frame, error_frame, parse_client_frame, result_frame, stats_reply_frame, ClientFrame,
-    DaemonStats, Submission, Welcome, WireError, WireOutput, PROTOCOL_VERSION, SERVER_NAME,
+    bye_frame, error_frame, metrics_reply_frame, parse_client_frame, result_frame,
+    stats_reply_frame, trace_reply_frame, ClientFrame, DaemonStats, Submission, Welcome, WireError,
+    WireOutput, PROTOCOL_VERSION, SERVER_NAME,
 };
 use crate::quota::{AdmissionLedger, QuotaConfig};
 use dqc_core::{Design, SystemConfig};
+use dqc_obs::{Capture, Counter, Registry, RingRecorder, TraceId};
 use dqc_serve::{
     AutoscalePolicy, EvalResponse, ServeBuilder, ServeConfig, ServeError, ServeStats, Server,
     WorkerPlacement,
@@ -40,7 +42,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -109,6 +111,7 @@ impl From<ServeError> for ServedError {
 #[derive(Debug, Clone)]
 pub struct ServedBuilder {
     serve: ServeBuilder,
+    trace_ring: Option<Arc<RingRecorder>>,
 }
 
 impl Default for ServedBuilder {
@@ -125,6 +128,7 @@ impl ServedBuilder {
     pub fn new() -> Self {
         Self {
             serve: ServeBuilder::new(),
+            trace_ring: None,
         }
     }
 
@@ -223,6 +227,17 @@ impl ServedBuilder {
         self.serve.config_ref().quota
     }
 
+    /// Attaches the span ring the daemon drains to answer `trace`
+    /// frames. The daemon does **not** install it: the caller decides
+    /// when recording is on by pairing the same ring with
+    /// [`dqc_obs::install`]. Without a ring, `trace` replies carry an
+    /// empty capture (metrics only).
+    #[must_use]
+    pub fn trace_ring(mut self, ring: Arc<RingRecorder>) -> Self {
+        self.trace_ring = Some(ring);
+        self
+    }
+
     /// Binds the listener, spawns the serving layer and the daemon's
     /// threads, and returns the running daemon.
     ///
@@ -239,10 +254,14 @@ impl ServedBuilder {
         let quota = self.serve.config_ref().quota;
         let (server, responses) = self.serve.spawn()?;
         let server = Arc::new(server);
+        // The daemon's counters live in the serving layer's registry, so
+        // the `metrics` wire frame is one snapshot covering both layers.
+        let counters = Counters::register(&server.registry());
         let shared = Arc::new(Shared {
             ledger: AdmissionLedger::new(quota),
             dispatcher: Dispatcher::default(),
-            counters: Counters::default(),
+            counters,
+            trace_ring: self.trace_ring,
             closing: AtomicBool::new(false),
             epoch: Instant::now(),
             conns: Mutex::new(HashMap::new()),
@@ -300,6 +319,14 @@ impl Served {
     /// The daemon's own live counters.
     pub fn daemon_stats(&self) -> DaemonStats {
         self.shared.counters.snapshot()
+    }
+
+    /// One snapshot of the shared metrics registry: the serving layer's
+    /// per-shard `serve.*` metrics plus the daemon's `served.*`
+    /// connection counters — exactly what the `metrics` wire frame
+    /// returns.
+    pub fn metrics(&self) -> dqc_obs::MetricsSnapshot {
+        self.server.metrics()
     }
 
     /// Gracefully shuts the daemon down: stops accepting, severs open
@@ -417,6 +444,7 @@ struct Shared {
     ledger: AdmissionLedger,
     dispatcher: Dispatcher,
     counters: Counters,
+    trace_ring: Option<Arc<RingRecorder>>,
     closing: AtomicBool,
     epoch: Instant,
     conns: Mutex<HashMap<u64, TcpStream>>,
@@ -429,32 +457,52 @@ impl Shared {
     }
 }
 
-#[derive(Debug, Default)]
+/// The daemon's counters, as handles into the serving layer's metrics
+/// registry (`served.*` names). `connections_active` is derived from the
+/// two monotone counters so every registered metric stays monotone —
+/// the stats-frame regression tests rely on that.
+#[derive(Debug)]
 struct Counters {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    quota_rejected: AtomicU64,
-    bad_requests: AtomicU64,
-    protocol_errors: AtomicU64,
+    connections_accepted: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    quota_rejected: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
 }
 
 impl Counters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            connections_accepted: registry.counter("served.connections_accepted"),
+            connections_closed: registry.counter("served.connections_closed"),
+            quota_rejected: registry.counter("served.quota_rejected"),
+            bad_requests: registry.counter("served.bad_requests"),
+            protocol_errors: registry.counter("served.protocol_errors"),
+        }
+    }
+
     fn snapshot(&self) -> DaemonStats {
+        // Read `closed` first: a connection retiring between the two
+        // loads can only make `active` read high, never underflow.
+        let closed = self.connections_closed.get();
+        let accepted = self.connections_accepted.get();
         DaemonStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
-            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_accepted: accepted,
+            connections_active: accepted.saturating_sub(closed),
+            quota_rejected: self.quota_rejected.get(),
+            bad_requests: self.bad_requests.get(),
+            protocol_errors: self.protocol_errors.get(),
         }
     }
 }
 
-/// Where one accepted request's reply goes.
+/// Where one accepted request's reply goes, and under which trace
+/// identity the reply is stamped.
 #[derive(Debug)]
 struct Route {
     tag: u64,
     client: String,
+    trace: Option<TraceId>,
     reply: Sender<Json>,
 }
 
@@ -524,10 +572,11 @@ fn deliver(shared: &Shared, route: Route, response: EvalResponse) {
                 point: response.point,
                 cache_hit: response.cache_hit,
                 latency_ms: response.latency.as_secs_f64() * 1e3,
+                trace_id: route.trace,
                 reports: output.reports,
             },
         ),
-        Err(e) => error_frame(Some(route.tag), &WireError::from_serve(e)),
+        Err(e) => error_frame(Some(route.tag), &WireError::from_serve(e), route.trace),
     };
     // A send failure means the connection is gone; the result is simply
     // dropped, exactly like an in-process caller hanging up its channel.
@@ -554,14 +603,7 @@ fn accept_loop(listener: &TcpListener, server: &Arc<Server>, shared: &Arc<Shared
         };
         let conn_id = next_conn_id;
         next_conn_id += 1;
-        shared
-            .counters
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
-        shared
-            .counters
-            .connections_active
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.connections_accepted.bump();
         shared
             .conns
             .lock()
@@ -578,10 +620,7 @@ fn accept_loop(listener: &TcpListener, server: &Arc<Server>, shared: &Arc<Shared
                 .lock()
                 .expect("connection registry poisoned")
                 .remove(&conn_id);
-            shared_for_conn
-                .counters
-                .connections_active
-                .fetch_sub(1, Ordering::Relaxed);
+            shared_for_conn.counters.connections_closed.bump();
         });
         let mut threads = shared
             .conn_threads
@@ -638,23 +677,17 @@ fn connection_loop(stream: TcpStream, server: &Arc<Server>, shared: &Arc<Shared>
                         "protocol version mismatch: client speaks {protocol}, server speaks {PROTOCOL_VERSION}"
                     ),
                 };
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(error_frame(None, &error));
+                shared.counters.protocol_errors.bump();
+                let _ = reply_tx.send(error_frame(None, &error, None));
                 return;
             }
         }
         _ => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.protocol_errors.bump();
             let error = WireError::Protocol {
                 message: "expected a `hello` frame first".to_string(),
             };
-            let _ = reply_tx.send(error_frame(None, &error));
+            let _ = reply_tx.send(error_frame(None, &error, None));
             return;
         }
     };
@@ -678,14 +711,11 @@ fn connection_loop(stream: TcpStream, server: &Arc<Server>, shared: &Arc<Shared>
             Err(FrameError::Closed) => break,
             Err(FrameError::Io(_)) => break,
             Err(e @ (FrameError::TooLarge { .. } | FrameError::BadPayload(_))) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.protocol_errors.bump();
                 let error = WireError::Protocol {
                     message: e.to_string(),
                 };
-                let _ = reply_tx.send(error_frame(None, &error));
+                let _ = reply_tx.send(error_frame(None, &error, None));
                 break;
             }
         };
@@ -702,34 +732,53 @@ fn connection_loop(stream: TcpStream, server: &Arc<Server>, shared: &Arc<Shared>
                     break;
                 }
             }
+            Ok(ClientFrame::Metrics { tag }) => {
+                let frame = metrics_reply_frame(tag, &server.metrics());
+                if reply_tx.send(frame).is_err() {
+                    break;
+                }
+            }
+            Ok(ClientFrame::Trace { tag }) => {
+                // Without a configured ring the capture is still well
+                // formed — just span-free — so `trace` never errors.
+                let capture = match &shared.trace_ring {
+                    Some(ring) => {
+                        Capture::from_ring(SERVER_NAME, "monotonic", ring, server.metrics())
+                    }
+                    None => Capture {
+                        producer: SERVER_NAME.to_string(),
+                        clock: "none".to_string(),
+                        spans: Vec::new(),
+                        events: Vec::new(),
+                        metrics: server.metrics(),
+                    },
+                };
+                if reply_tx.send(trace_reply_frame(tag, &capture)).is_err() {
+                    break;
+                }
+            }
             Ok(ClientFrame::Bye) => {
                 let _ = reply_tx.send(bye_frame());
                 break;
             }
             Ok(ClientFrame::Hello { .. }) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.protocol_errors.bump();
                 let error = WireError::Protocol {
                     message: "duplicate `hello`".to_string(),
                 };
-                let _ = reply_tx.send(error_frame(None, &error));
+                let _ = reply_tx.send(error_frame(None, &error, None));
                 break;
             }
             Err(error @ WireError::Protocol { .. }) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(error_frame(tag_hint, &error));
+                shared.counters.protocol_errors.bump();
+                let _ = reply_tx.send(error_frame(tag_hint, &error, None));
                 break;
             }
             Err(error) => {
                 // A malformed submit is an answerable mistake, not a
                 // broken conversation: reply and keep the session.
-                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                if reply_tx.send(error_frame(tag_hint, &error)).is_err() {
+                shared.counters.bad_requests.bump();
+                if reply_tx.send(error_frame(tag_hint, &error, None)).is_err() {
                     break;
                 }
             }
@@ -749,21 +798,22 @@ fn handle_submit(
     shared: &Arc<Shared>,
 ) {
     if let Err(error) = shared.ledger.admit(client, shared.now_micros()) {
-        shared
-            .counters
-            .quota_rejected
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = reply_tx.send(error_frame(Some(tag), &error));
+        shared.counters.quota_rejected.bump();
+        let _ = reply_tx.send(error_frame(Some(tag), &error, None));
         return;
     }
-    // Admitted: every exit below either registers a route (released on
+    // Admitted: the submission owns a trace identity from here on —
+    // echoed on its eventual `result` or `error` frame and threaded
+    // through the serving layer's span tree when a recorder is
+    // installed. Every exit below either registers a route (released on
     // delivery) or releases the slot itself.
+    let trace = TraceId::mint();
     let request = match submission.to_eval_request() {
-        Ok(request) => request,
+        Ok(request) => request.trace(trace),
         Err(error) => {
             shared.ledger.release(client);
-            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = reply_tx.send(error_frame(Some(tag), &error));
+            shared.counters.bad_requests.bump();
+            let _ = reply_tx.send(error_frame(Some(tag), &error, Some(trace)));
             return;
         }
     };
@@ -778,14 +828,14 @@ fn handle_submit(
         );
         if report.has_errors() {
             shared.ledger.release(client);
-            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            shared.counters.bad_requests.bump();
             let mut errors = report;
             errors.retain_errors();
             let error = WireError::Rejected {
                 point: request.point.clone(),
                 diagnostics: errors.into_diagnostics(),
             };
-            let _ = reply_tx.send(error_frame(Some(tag), &error));
+            let _ = reply_tx.send(error_frame(Some(tag), &error, Some(trace)));
             return;
         }
     }
@@ -794,6 +844,7 @@ fn handle_submit(
             let route = Route {
                 tag,
                 client: client.to_string(),
+                trace: Some(trace),
                 reply: reply_tx.clone(),
             };
             if let Some((route, response)) = shared.dispatcher.register(id.0, route) {
@@ -802,7 +853,11 @@ fn handle_submit(
         }
         Err(e) => {
             shared.ledger.release(client);
-            let _ = reply_tx.send(error_frame(Some(tag), &WireError::from_serve(e)));
+            let _ = reply_tx.send(error_frame(
+                Some(tag),
+                &WireError::from_serve(e),
+                Some(trace),
+            ));
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use dqc_circuit::{from_qasm, Circuit};
 use dqc_core::{Design, ExecutionReport};
+use dqc_obs::{Capture, MetricsSnapshot, TraceId};
 use dqc_serve::{EvalRequest, ServeConfig, ServeError, ServeStats};
 use dqc_types::{Diagnostic, Json, JsonError};
 use std::error::Error;
@@ -38,7 +39,14 @@ use std::sync::Arc;
 /// [`ServeConfig`]) so clients can introspect limits; the `stats` reply's
 /// serve snapshot gained fusion/autoscale counters and per-shard worker
 /// placements.
-pub const PROTOCOL_VERSION: i64 = 2;
+///
+/// v3: observability. Every admitted submission gets a server-minted
+/// trace identity, echoed as an optional `trace_id` on its `result` or
+/// `error` reply; two new tagged commands — `metrics` (the raw
+/// [`MetricsSnapshot`] behind the stats roll-up, histograms included)
+/// and `trace` (the daemon's recent span/event ring as a
+/// [`Capture`]) — expose the live registry and trace buffer.
+pub const PROTOCOL_VERSION: i64 = 3;
 
 /// The server identity string sent in `welcome`.
 pub const SERVER_NAME: &str = concat!("dqc-served/", env!("CARGO_PKG_VERSION"));
@@ -540,6 +548,16 @@ pub fn stats_frame(tag: u64) -> Json {
     Json::object([("type", Json::from("stats")), ("tag", Json::uint(tag))])
 }
 
+/// Builds a tagged `metrics` request frame (v3).
+pub fn metrics_frame(tag: u64) -> Json {
+    Json::object([("type", Json::from("metrics")), ("tag", Json::uint(tag))])
+}
+
+/// Builds a tagged `trace` request frame (v3).
+pub fn trace_frame(tag: u64) -> Json {
+    Json::object([("type", Json::from("trace")), ("tag", Json::uint(tag))])
+}
+
 /// Builds the farewell `bye` frame (either direction).
 pub fn bye_frame() -> Json {
     Json::object([("type", Json::from("bye"))])
@@ -547,10 +565,16 @@ pub fn bye_frame() -> Json {
 
 /// Builds a server `error` frame; `tag` is echoed when the error is
 /// tied to one request, and absent for fatal connection-level errors.
-pub fn error_frame(tag: Option<u64>, error: &WireError) -> Json {
+/// `trace_id` (v3) carries the request's trace identity when one was
+/// minted before the failure.
+pub fn error_frame(tag: Option<u64>, error: &WireError, trace_id: Option<TraceId>) -> Json {
     Json::object([
         ("type", Json::from("error")),
         ("tag", tag.map_or(Json::Null, Json::uint)),
+        (
+            "trace_id",
+            trace_id.map_or(Json::Null, |t| Json::Str(t.to_string())),
+        ),
         ("error", error.to_json()),
     ])
 }
@@ -574,6 +598,16 @@ pub enum ClientFrame {
     },
     /// A tagged request for the live stats snapshot.
     Stats {
+        /// Client-chosen tag echoed on the reply.
+        tag: u64,
+    },
+    /// A tagged request for the raw metrics registry snapshot (v3).
+    Metrics {
+        /// Client-chosen tag echoed on the reply.
+        tag: u64,
+    },
+    /// A tagged request for the daemon's recent span/event capture (v3).
+    Trace {
         /// Client-chosen tag echoed on the reply.
         tag: u64,
     },
@@ -612,6 +646,12 @@ pub fn parse_client_frame(json: &Json) -> Result<ClientFrame, WireError> {
             Ok(ClientFrame::Submit { tag, submission })
         }
         "stats" => Ok(ClientFrame::Stats {
+            tag: json.u64_field("tag").map_err(protocol_err)?,
+        }),
+        "metrics" => Ok(ClientFrame::Metrics {
+            tag: json.u64_field("tag").map_err(protocol_err)?,
+        }),
+        "trace" => Ok(ClientFrame::Trace {
             tag: json.u64_field("tag").map_err(protocol_err)?,
         }),
         "bye" => Ok(ClientFrame::Bye),
@@ -786,6 +826,10 @@ pub struct WireOutput {
     /// Server-side wall-clock latency in milliseconds (submission to
     /// completion, queueing included).
     pub latency_ms: f64,
+    /// The trace identity the daemon minted at admission (v3), usable
+    /// to correlate this request with a `trace` capture. Absent from
+    /// pre-v3 peers.
+    pub trace_id: Option<TraceId>,
     /// Per-seed reports, in seed order.
     pub reports: Vec<ExecutionReport>,
 }
@@ -809,6 +853,12 @@ pub fn result_frame(tag: u64, output: &WireOutput) -> Json {
         ("cache_hit", Json::from(output.cache_hit)),
         ("latency_ms", Json::float(output.latency_ms)),
         (
+            "trace_id",
+            output
+                .trace_id
+                .map_or(Json::Null, |t| Json::Str(t.to_string())),
+        ),
+        (
             "reports",
             Json::Array(
                 output
@@ -831,11 +881,32 @@ pub fn stats_reply_frame(tag: u64, serve: &ServeStats, daemon: &DaemonStats) -> 
     ])
 }
 
+/// Builds a tagged `metrics` reply frame (v3): the raw registry
+/// snapshot behind the stats roll-up.
+pub fn metrics_reply_frame(tag: u64, metrics: &MetricsSnapshot) -> Json {
+    Json::object([
+        ("type", Json::from("metrics")),
+        ("tag", Json::uint(tag)),
+        ("metrics", metrics.to_json()),
+    ])
+}
+
+/// Builds a tagged `trace` reply frame (v3): the daemon's recent
+/// span/event ring as a schema-versioned capture document.
+pub fn trace_reply_frame(tag: u64, capture: &Capture) -> Json {
+    Json::object([
+        ("type", Json::from("trace")),
+        ("tag", Json::uint(tag)),
+        ("capture", capture.to_json()),
+    ])
+}
+
 /// One decoded server → client frame.
 #[derive(Debug, Clone)]
 pub enum ServerFrame {
-    /// The handshake acceptance.
-    Welcome(Welcome),
+    /// The handshake acceptance. Boxed for the same reason as `Trace`:
+    /// the full config echo dominates the enum's footprint.
+    Welcome(Box<Welcome>),
     /// A tagged evaluation result.
     Result {
         /// The client's tag, echoed back.
@@ -848,6 +919,8 @@ pub enum ServerFrame {
         /// The offending request's tag, or `None` for connection-fatal
         /// errors.
         tag: Option<u64>,
+        /// The request's trace identity, when one was minted (v3).
+        trace_id: Option<TraceId>,
         /// The error itself.
         error: WireError,
     },
@@ -859,6 +932,22 @@ pub enum ServerFrame {
         serve: ServeStats,
         /// The daemon's own counters.
         daemon: DaemonStats,
+    },
+    /// A tagged raw metrics snapshot (v3).
+    Metrics {
+        /// The client's tag, echoed back.
+        tag: u64,
+        /// The registry snapshot, histograms included.
+        metrics: MetricsSnapshot,
+    },
+    /// A tagged span/event capture (v3). Boxed: a capture dwarfs every
+    /// other variant, and frames travel through `Result<_, ServerFrame>`
+    /// plumbing on the client.
+    Trace {
+        /// The client's tag, echoed back.
+        tag: u64,
+        /// The daemon's recent span/event ring.
+        capture: Box<Capture>,
     },
     /// The server's goodbye; the connection closes after this.
     Bye,
@@ -873,7 +962,7 @@ pub enum ServerFrame {
 pub fn parse_server_frame(json: &Json) -> Result<ServerFrame, JsonError> {
     let frame_type = json.str_field("type")?;
     Ok(match frame_type {
-        "welcome" => ServerFrame::Welcome(Welcome::from_json(json)?),
+        "welcome" => ServerFrame::Welcome(Box::new(Welcome::from_json(json)?)),
         "result" => ServerFrame::Result {
             tag: json.u64_field("tag")?,
             output: WireOutput {
@@ -884,6 +973,7 @@ pub fn parse_server_frame(json: &Json) -> Result<ServerFrame, JsonError> {
                     .as_bool()
                     .ok_or_else(|| JsonError::schema("field `cache_hit`: expected a bool"))?,
                 latency_ms: json.f64_field("latency_ms")?,
+                trace_id: optional_trace_id(json)?,
                 reports: json
                     .array_field("reports")?
                     .iter()
@@ -900,6 +990,7 @@ pub fn parse_server_frame(json: &Json) -> Result<ServerFrame, JsonError> {
                         .ok_or_else(|| JsonError::schema("field `tag`: expected a tag or null"))?,
                 ),
             },
+            trace_id: optional_trace_id(json)?,
             error: WireError::from_json(json.field("error")?)?,
         },
         "stats" => ServerFrame::Stats {
@@ -907,9 +998,33 @@ pub fn parse_server_frame(json: &Json) -> Result<ServerFrame, JsonError> {
             serve: ServeStats::from_json(json.field("serve")?)?,
             daemon: DaemonStats::from_json(json.field("daemon")?)?,
         },
+        "metrics" => ServerFrame::Metrics {
+            tag: json.u64_field("tag")?,
+            metrics: MetricsSnapshot::from_json(json.field("metrics")?)?,
+        },
+        "trace" => ServerFrame::Trace {
+            tag: json.u64_field("tag")?,
+            capture: Box::new(Capture::from_json(json.field("capture")?)?),
+        },
         "bye" => ServerFrame::Bye,
         other => return Err(JsonError::schema(format!("unknown frame type `{other}`"))),
     })
+}
+
+/// Reads the optional v3 `trace_id` field: absent or `null` means none
+/// (a pre-v3 peer), a present string must parse as a trace identity.
+fn optional_trace_id(json: &Json) -> Result<Option<TraceId>, JsonError> {
+    match json.get("trace_id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => {
+            let text = value
+                .as_str()
+                .ok_or_else(|| JsonError::schema("field `trace_id`: expected a string or null"))?;
+            TraceId::parse(text)
+                .map(Some)
+                .ok_or_else(|| JsonError::schema("field `trace_id`: expected 16 hex digits"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1104,5 +1219,116 @@ mod tests {
         };
         let json = Json::parse(&stats.to_json().to_compact_string()).unwrap();
         assert_eq!(DaemonStats::from_json(&json).unwrap(), stats);
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_parse() {
+        match parse_client_frame(&metrics_frame(4)).unwrap() {
+            ClientFrame::Metrics { tag } => assert_eq!(tag, 4),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        match parse_client_frame(&trace_frame(9)).unwrap() {
+            ClientFrame::Trace { tag } => assert_eq!(tag, 9),
+            other => panic!("expected Trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_the_snapshot() {
+        let registry = dqc_obs::Registry::new();
+        registry.counter("served.connections_accepted").add(3);
+        registry.gauge("serve.workers{point=paper}").set(2);
+        registry
+            .histogram("serve.service_us{point=paper}", &[100, 1000])
+            .record(250);
+        let snapshot = registry.snapshot();
+        let frame = metrics_reply_frame(11, &snapshot);
+        let reparsed = Json::parse(&frame.to_compact_string()).unwrap();
+        match parse_server_frame(&reparsed).unwrap() {
+            ServerFrame::Metrics { tag, metrics } => {
+                assert_eq!(tag, 11);
+                assert_eq!(metrics, snapshot);
+                assert_eq!(metrics.counter("served.connections_accepted"), Some(3));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_reply_round_trips_the_capture() {
+        use dqc_obs::Recorder as _;
+        let ring = dqc_obs::RingRecorder::new(8);
+        ring.record_span(dqc_obs::SpanRecord {
+            trace: TraceId(0x1234),
+            id: dqc_obs::SpanId(1),
+            parent: None,
+            name: "serve.request".to_string(),
+            start_us: 10,
+            end_us: 90,
+            attrs: vec![("point".to_string(), dqc_obs::AttrValue::Str("paper".into()))],
+        });
+        let capture =
+            Capture::from_ring(SERVER_NAME, "monotonic", &ring, MetricsSnapshot::default());
+        let frame = trace_reply_frame(2, &capture);
+        let reparsed = Json::parse(&frame.to_compact_string()).unwrap();
+        match parse_server_frame(&reparsed).unwrap() {
+            ServerFrame::Trace { tag, capture: back } => {
+                assert_eq!(tag, 2);
+                assert_eq!(*back, capture);
+                assert_eq!(back.traces(), vec![TraceId(0x1234)]);
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn results_and_errors_echo_their_trace_id() {
+        let trace = TraceId(0xabcdef);
+        let output = WireOutput {
+            label: "bell".into(),
+            point: "paper".into(),
+            cache_hit: true,
+            latency_ms: 1.5,
+            trace_id: Some(trace),
+            reports: Vec::new(),
+        };
+        let reparsed = Json::parse(&result_frame(3, &output).to_compact_string()).unwrap();
+        match parse_server_frame(&reparsed).unwrap() {
+            ServerFrame::Result { tag, output } => {
+                assert_eq!(tag, 3);
+                assert_eq!(output.trace_id, Some(trace));
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+
+        let err = bad_request("nope");
+        let with =
+            Json::parse(&error_frame(Some(8), &err, Some(trace)).to_compact_string()).unwrap();
+        match parse_server_frame(&with).unwrap() {
+            ServerFrame::Error { tag, trace_id, .. } => {
+                assert_eq!(tag, Some(8));
+                assert_eq!(trace_id, Some(trace));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Absent and null both mean "no trace" (pre-v3 peers).
+        let without = Json::parse(&error_frame(None, &err, None).to_compact_string()).unwrap();
+        match parse_server_frame(&without).unwrap() {
+            ServerFrame::Error { trace_id, .. } => assert_eq!(trace_id, None),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_trace_ids_are_schema_errors() {
+        let mut frame = error_frame(Some(1), &bad_request("x"), None);
+        if let Json::Object(members) = &mut frame {
+            for (key, value) in members.iter_mut() {
+                if key == "trace_id" {
+                    *value = Json::from("not-hex");
+                }
+            }
+        }
+        assert!(parse_server_frame(&frame).is_err());
     }
 }

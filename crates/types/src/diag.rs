@@ -355,6 +355,11 @@ pub const REGISTRY: &[CodeInfo] = &[
         severity: Severity::Warning,
         summary: "autoscale hysteresis is zero (placement may thrash every tick)",
     },
+    CodeInfo {
+        code: "DQC-W008",
+        severity: Severity::Warning,
+        summary: "metrics window disabled or histogram buckets degenerate (blind telemetry)",
+    },
 ];
 
 /// Looks a code up in [`REGISTRY`].

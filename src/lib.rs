@@ -21,6 +21,7 @@
 //! | [`codesign`] | `dqc-codesign` | design-space search + Pareto frontier |
 //! | [`serve`] | `dqc-serve` | sharded compile-once serving layer |
 //! | [`served`] | `dqc-served` | TCP daemon: frame protocol, QASM front door, quotas |
+//! | [`obs`] | `dqc-obs` | tracing spans, metrics registry, profiling captures |
 //!
 //! The evaluation engine's main types — [`CompiledCircuit`],
 //! [`Experiment`], [`Sweep`], [`Design`], [`SystemConfig`], [`DqcError`] —
@@ -83,6 +84,7 @@ pub use dqc_circuit as circuit;
 pub use dqc_codesign as codesign;
 pub use dqc_core as core;
 pub use dqc_entanglement as entanglement;
+pub use dqc_obs as obs;
 pub use dqc_partition as partition;
 pub use dqc_serve as serve;
 pub use dqc_served as served;

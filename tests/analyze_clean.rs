@@ -13,7 +13,7 @@ use dqc::analyze::{AnalysisReport, Analyzer, PortfolioItem};
 use dqc::circuit::Circuit;
 use dqc::core::RemoteProtocol;
 use dqc::entanglement::NetworkTopology;
-use dqc::serve::{AutoscalePolicy, QuotaConfig, RateLimit};
+use dqc::serve::{AutoscalePolicy, MetricsConfig, QuotaConfig, RateLimit};
 use dqc::types::diag::REGISTRY;
 use dqc::workloads::PaperBenchmark;
 use dqc::{Backend, Design, ServeConfig, SystemConfig};
@@ -222,6 +222,18 @@ fn fixture(code: &str) -> AnalysisReport {
                     hysteresis_ticks: 0,
                     ..AutoscalePolicy::default()
                 }),
+                ..ServeConfig::default()
+            };
+            analyzer.analyze_serve_config(&config)
+        }
+        "DQC-W008" => {
+            // A zero-length latency window silently reports every
+            // percentile as 0 — blind telemetry, not an error.
+            let config = ServeConfig {
+                metrics: MetricsConfig {
+                    latency_window: 0,
+                    ..MetricsConfig::default()
+                },
                 ..ServeConfig::default()
             };
             analyzer.analyze_serve_config(&config)

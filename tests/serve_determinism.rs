@@ -209,6 +209,71 @@ fn autoscaled_serving_is_byte_identical_and_conserves_the_worker_budget() {
 }
 
 #[test]
+fn observability_recording_never_changes_served_bytes() {
+    // The tracing layer's contract with this suite: instrumentation is
+    // inert by default (no recorder installed — the hot path is one
+    // relaxed atomic load), and even with a live recorder capturing
+    // every span, the served bytes stay identical to direct evaluation.
+    let requests = request_set();
+    let expected = direct_reports(&requests);
+
+    let serve_all = |requests: &[EvalRequest]| -> Vec<Vec<ExecutionReport>> {
+        let (server, responses) = ServeBuilder::new()
+            .hardware_point("paper", SystemConfig::paper_two_node_32())
+            .workers_per_shard(2)
+            .queue_capacity(requests.len())
+            .spawn()
+            .unwrap();
+        let mut by_id = HashMap::new();
+        for (request_idx, request) in requests.iter().enumerate() {
+            by_id.insert(server.submit(request.clone()).unwrap(), request_idx);
+        }
+        let mut outputs = vec![Vec::new(); requests.len()];
+        for _ in 0..requests.len() {
+            let response = responses.recv().expect("server streams every response");
+            let request_idx = by_id.remove(&response.id).expect("ids are unique");
+            outputs[request_idx] = response.outcome.expect("request succeeds").reports;
+        }
+        server.shutdown();
+        outputs
+    };
+
+    // Pass 1: the default — nothing installed, nothing recorded.
+    assert!(
+        !dqc::obs::recording(),
+        "no recorder is installed by default"
+    );
+    assert_eq!(serve_all(&requests), expected, "uninstrumented pass");
+
+    // Pass 2: a ring recorder capturing every span. Same bytes.
+    let ring = Arc::new(dqc::obs::RingRecorder::new(262_144));
+    let session = dqc::obs::install(ring.clone(), Arc::new(dqc::obs::MonotonicClock::new()));
+    assert_eq!(serve_all(&requests), expected, "recorded pass");
+    drop(session);
+    assert!(
+        !dqc::obs::recording(),
+        "dropping the session disarms recording"
+    );
+
+    // The recorder was genuinely live: every request's span tree landed.
+    let spans = ring.spans();
+    let roots = spans.iter().filter(|s| s.parent.is_none()).count();
+    assert!(
+        roots >= requests.len(),
+        "expected a root span per served request, got {roots} for {}",
+        requests.len()
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "compile"),
+        "compile spans present"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "exec.replay"),
+        "replay spans present"
+    );
+}
+
+#[test]
 fn repeated_serving_of_one_request_is_self_consistent() {
     // The same request submitted many times — interleaved with other
     // traffic — always returns the same bytes (cold or warm cache).

@@ -128,6 +128,126 @@ fn wire_results_are_byte_identical_from_concurrent_connections() {
     assert_eq!(wire.protocol_errors, 0);
 }
 
+/// The protocol v3 observability surface, scraped from a live daemon:
+/// the `metrics` frame carries both layers' registered metrics (the
+/// serving layer's per-shard `serve.*` family and the daemon's
+/// `served.*` connection counters), two scrapes bracketing real traffic
+/// are monotone on every counter, each result echoes a distinct
+/// `trace_id`, and the final scrape's totals match the shutdown report.
+#[test]
+fn metrics_frames_are_monotone_and_match_shutdown_totals() {
+    use dqc::obs::MetricValue;
+
+    let daemon = ServedBuilder::new()
+        .hardware_point("paper", SystemConfig::paper_two_node_32())
+        .workers_per_shard(2)
+        .bind("127.0.0.1:0")
+        .expect("daemon binds");
+    let addr = daemon.local_addr().to_string();
+    let requests = wire_requests();
+
+    let mut client = ServedClient::connect(addr.as_str(), "scraper").expect("client connects");
+    let first = client.metrics().expect("first metrics scrape");
+    for name in [
+        "served.connections_accepted",
+        "served.connections_closed",
+        "served.quota_rejected",
+        "served.bad_requests",
+        "served.protocol_errors",
+        "serve.submitted{point=paper}",
+        "serve.served{point=paper}",
+        "serve.rejected{point=paper}",
+        "serve.errors{point=paper}",
+        "serve.cache_hits{point=paper}",
+        "serve.cache_misses{point=paper}",
+        "serve.dispatches{point=paper}",
+        "serve.fused_requests{point=paper}",
+        "serve.fused_replays_saved{point=paper}",
+    ] {
+        assert!(
+            first.counter(name).is_some(),
+            "`{name}` missing from the metrics frame"
+        );
+    }
+    assert!(
+        matches!(
+            first.get("serve.workers{point=paper}"),
+            Some(MetricValue::Gauge(_))
+        ),
+        "worker gauge missing"
+    );
+    for name in [
+        "serve.queue_wait_us{point=paper}",
+        "serve.service_us{point=paper}",
+    ] {
+        assert!(
+            matches!(first.get(name), Some(MetricValue::Histogram(_))),
+            "`{name}` histogram missing"
+        );
+    }
+
+    let mut tags = Vec::new();
+    for request in &requests {
+        tags.push(
+            client
+                .submit(&Submission::from_request(request))
+                .expect("submit succeeds"),
+        );
+    }
+    let mut traces = Vec::new();
+    for _ in 0..requests.len() {
+        let reply = client.recv_reply().expect("reply arrives");
+        let output = reply.outcome.expect("request succeeds");
+        traces.push(output.trace_id.expect("v3 results carry a trace id"));
+    }
+    let mut unique = traces.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), traces.len(), "trace ids are distinct");
+
+    let second = client.metrics().expect("second metrics scrape");
+    for entry in &first.entries {
+        if let MetricValue::Counter(before) = entry.value {
+            let after = second
+                .counter(&entry.name)
+                .expect("registered counters never disappear");
+            assert!(
+                after >= before,
+                "`{}` went backwards across scrapes: {before} -> {after}",
+                entry.name
+            );
+        }
+    }
+    let served = requests.len() as u64;
+    assert_eq!(second.counter("serve.served{point=paper}"), Some(served));
+    match second.get("serve.service_us{point=paper}") {
+        Some(MetricValue::Histogram(h)) => {
+            assert_eq!(h.count, served, "service histogram saw every request");
+        }
+        other => panic!("expected a service histogram, got {other:?}"),
+    }
+
+    client.bye().expect("clean goodbye");
+    let report = daemon.shutdown();
+    assert_eq!(
+        second.counter("serve.served{point=paper}"),
+        Some(report.serve.served),
+        "metrics frame total matches the shutdown report"
+    );
+    assert_eq!(
+        second.counter("served.connections_accepted"),
+        Some(report.daemon.connections_accepted),
+    );
+    assert_eq!(
+        second.counter("serve.cache_hits{point=paper}"),
+        Some(report.serve.cache_hits),
+    );
+    assert_eq!(
+        second.counter("serve.cache_misses{point=paper}"),
+        Some(report.serve.cache_misses),
+    );
+}
+
 /// Multi-tenant admission: with a per-client in-flight cap of 2 on an
 /// accept-only daemon (no workers, so nothing ever completes), a greedy
 /// client's pile-on is refused with typed `QuotaExceeded` while a second
